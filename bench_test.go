@@ -1,0 +1,413 @@
+// Benchmark harness: one benchmark per evaluation artifact (see
+// EXPERIMENTS.md for the experiment index). The paper's evaluation is
+// qualitative (figures 1-2 and the §6 discussion); §6 "future work (3)" is
+// performance testing, which these benches carry out on the simulated
+// substrate:
+//
+//   - BenchmarkSyscallUnfiltered / BenchmarkSyscallIntercepted (E8): the
+//     per-syscall overhead matrix across emulation modes. Expected shape:
+//     none < seccomp ≪ fakeroot(hooked) < proot; seccomp's cost is flat
+//     across filtered and unfiltered calls, ptrace taxes *everything*.
+//
+//   - BenchmarkBuildMatrix (E8/E15): end-to-end Dockerfile builds (the
+//     Fig. 1a and Fig. 2 workloads) under every emulation mode.
+//
+//   - BenchmarkFilterGenerate / BenchmarkFilterEvaluate (E4 + DESIGN.md
+//     ablation 2): program generation cost and linear-vs-tree dispatch.
+//
+//   - BenchmarkDataMarshal: the seccomp_data serialisation on the
+//     simulated hot path.
+//
+//   - BenchmarkLayerCommit: the builder's snapshot+diff+pack step.
+package repro
+
+import (
+	"testing"
+
+	"repro/internal/baseline"
+	"repro/internal/bpf"
+	"repro/internal/build"
+	"repro/internal/container"
+	"repro/internal/core"
+	"repro/internal/errno"
+	"repro/internal/image"
+	"repro/internal/pkgmgr"
+	"repro/internal/seccomp"
+	"repro/internal/simos"
+	"repro/internal/sysarch"
+	"repro/internal/tarutil"
+	"repro/internal/vfs"
+)
+
+// reportVirtual attaches the cost-model metric: modeled nanoseconds per
+// operation (see simos.CostModel). This is the E8 headline number; raw
+// ns/op measures only the simulator's own speed.
+func reportVirtual(b *testing.B, k *simos.Kernel) {
+	b.Helper()
+	b.ReportMetric(float64(k.VirtualNanos())/float64(b.N), "vns/op")
+}
+
+// contProc builds a Type III container process with a file to probe.
+func contProc(b *testing.B) *simos.Proc {
+	b.Helper()
+	k := simos.NewKernel()
+	p := k.NewInitProc(simos.Mount{FS: vfs.New(), Owner: k.InitNS()}, 1000, 1000)
+	img := vfs.New()
+	rc := vfs.RootContext()
+	img.MkdirAll(rc, "/data", 0o755, 1000, 1000)
+	img.WriteFile(rc, "/data/f", []byte("x"), 0o644, 1000, 1000)
+	img.ChownAll(1000, 1000)
+	if err := container.Enter(p, container.Options{Type: container.TypeIII, RootFS: img}); err != nil {
+		b.Fatal(err)
+	}
+	return p
+}
+
+func withSeccomp(b *testing.B, p *simos.Proc) {
+	b.Helper()
+	p.Prctl(simos.PrSetNoNewPrivs, 1)
+	if e := p.SeccompInstall(core.MustNewFilter(core.Config{})); e != errno.OK {
+		b.Fatal(e)
+	}
+}
+
+// E8a: an UNFILTERED syscall (stat) under each regime — the tax every
+// syscall pays.
+func BenchmarkSyscallUnfiltered(b *testing.B) {
+	b.Run("none", func(b *testing.B) {
+		p := contProc(b)
+		p.Kernel().ResetVirtualTime()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			p.Stat("/data/f")
+		}
+		reportVirtual(b, p.Kernel())
+	})
+	b.Run("seccomp", func(b *testing.B) {
+		p := contProc(b)
+		withSeccomp(b, p)
+		p.Kernel().ResetVirtualTime()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			p.Stat("/data/f")
+		}
+		reportVirtual(b, p.Kernel())
+	})
+	b.Run("fakeroot-preload", func(b *testing.B) {
+		p := contProc(b)
+		fr := baseline.NewFakeroot()
+		p.AddPreload(fr.Hook())
+		c := &simos.CLib{P: p, Hooks: p.Preloads()}
+		p.Kernel().ResetVirtualTime()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			c.Stat("/data/f") // hooked even for reads: consistency must be maintained
+		}
+		reportVirtual(b, p.Kernel())
+	})
+	b.Run("proot-ptrace", func(b *testing.B) {
+		p := contProc(b)
+		baseline.NewPRoot().Attach(p)
+		p.Kernel().ResetVirtualTime()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			p.Stat("/data/f")
+		}
+		reportVirtual(b, p.Kernel())
+	})
+}
+
+// E8b: an INTERCEPTED syscall (chown) under each regime.
+func BenchmarkSyscallIntercepted(b *testing.B) {
+	b.Run("seccomp", func(b *testing.B) {
+		p := contProc(b)
+		withSeccomp(b, p)
+		p.Kernel().ResetVirtualTime()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			p.Chown("/data/f", 74, 74)
+		}
+		reportVirtual(b, p.Kernel())
+	})
+	b.Run("fakeroot-preload", func(b *testing.B) {
+		p := contProc(b)
+		fr := baseline.NewFakeroot()
+		p.AddPreload(fr.Hook())
+		c := &simos.CLib{P: p, Hooks: p.Preloads()}
+		p.Kernel().ResetVirtualTime()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			c.Chown("/data/f", 74, 74)
+		}
+		reportVirtual(b, p.Kernel())
+	})
+	b.Run("proot-ptrace", func(b *testing.B) {
+		p := contProc(b)
+		baseline.NewPRoot().Attach(p)
+		p.Kernel().ResetVirtualTime()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			p.Chown("/data/f", 74, 74)
+		}
+		reportVirtual(b, p.Kernel())
+	})
+	b.Run("usernotif", func(b *testing.B) {
+		p := contProc(b)
+		p.Prctl(simos.PrSetNoNewPrivs, 1)
+		p.SetNotifier(simos.NotifierFunc(func(*simos.Proc, string, []uint64) errno.Errno {
+			return errno.OK
+		}))
+		p.SeccompInstall(core.MustNewFilter(core.Config{IDConsistency: true}))
+		p.Kernel().ResetVirtualTime()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			p.Setresuid(100, 100, 100)
+		}
+		reportVirtual(b, p.Kernel())
+	})
+}
+
+// buildOnce runs one Dockerfile build to completion, returning the modeled
+// (virtual) nanoseconds the kernel charged.
+func buildOnce(b *testing.B, distro, name, text string, mode build.ForceMode) float64 {
+	b.Helper()
+	world := pkgmgr.NewWorld()
+	store := image.NewStore()
+	img, err := world.BaseImage(distro, name)
+	if err != nil {
+		b.Fatal(err)
+	}
+	store.Put(img)
+	wantErr := mode == build.ForceNone && distro == pkgmgr.DistroCentOS7
+	res, err := build.Build(text, build.Options{
+		Tag: "bench", Force: mode, Store: store, World: world,
+	})
+	if (err != nil) != wantErr {
+		b.Fatalf("build err=%v wantErr=%v", err, wantErr)
+	}
+	return float64(res.VirtualNanos)
+}
+
+// E15: the end-to-end build matrix — the Fig. 1a and Fig. 1b/2 workloads
+// under each emulation mode.
+func BenchmarkBuildMatrix(b *testing.B) {
+	workloads := []struct {
+		key, distro, image, text string
+	}{
+		{"apk-sl", pkgmgr.DistroAlpine, "alpine:3.19", "FROM alpine:3.19\nRUN apk add sl\n"},
+		{"yum-openssh", pkgmgr.DistroCentOS7, "centos:7", "FROM centos:7\nRUN yum install -y openssh\n"},
+	}
+	modes := []build.ForceMode{build.ForceNone, build.ForceSeccomp, build.ForceFakeroot, build.ForceProot}
+	for _, w := range workloads {
+		for _, m := range modes {
+			b.Run(w.key+"/"+m.String(), func(b *testing.B) {
+				b.ReportAllocs()
+				var vns float64
+				for i := 0; i < b.N; i++ {
+					vns += buildOnce(b, w.distro, w.image, w.text, m)
+				}
+				b.ReportMetric(vns/float64(b.N), "vns/op")
+			})
+		}
+	}
+}
+
+// E4: filter generation cost, per variant and dispatch strategy.
+func BenchmarkFilterGenerate(b *testing.B) {
+	cases := []struct {
+		key string
+		cfg core.Config
+	}{
+		{"charliecloud-linear", core.Config{}},
+		{"charliecloud-tree", core.Config{Strategy: core.DispatchTree}},
+		{"enroot", core.Config{Variant: core.VariantEnroot}},
+		{"extended", core.Config{Variant: core.VariantExtended}},
+		{"single-arch", core.Config{Arches: []*sysarch.Arch{sysarch.X8664}}},
+	}
+	for _, c := range cases {
+		b.Run(c.key, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := core.Generate(c.cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// DESIGN.md ablation 2: linear vs tree dispatch, measured at the VM level
+// on the best case (first table entry), worst case (unfiltered syscall
+// walks the whole ladder), and the arch-mismatch fast path.
+func BenchmarkFilterEvaluate(b *testing.B) {
+	for _, strat := range []core.Strategy{core.DispatchLinear, core.DispatchTree} {
+		f := core.MustNewFilter(core.Config{Strategy: strat})
+		cases := []struct {
+			key string
+			d   seccomp.Data
+		}{
+			{"intercepted", seccomp.Data{NR: 92, Arch: sysarch.AuditArchX8664}}, // chown
+			{"unfiltered", seccomp.Data{NR: 1, Arch: sysarch.AuditArchX8664}},   // write
+			{"foreign-arch", seccomp.Data{NR: 92, Arch: 0xdeadbeef}},            // unknown
+		}
+		for _, c := range cases {
+			c := c
+			b.Run(strat.String()+"/"+c.key, func(b *testing.B) {
+				var vm bpf.VM
+				data := c.d.MarshalAuto()
+				prog := f.Program()
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					vm.Run(prog, data)
+				}
+			})
+		}
+	}
+}
+
+// seccomp_data marshalling, the simulated per-syscall serialisation cost.
+func BenchmarkDataMarshal(b *testing.B) {
+	d := seccomp.Data{NR: 92, Arch: sysarch.AuditArchX8664, Args: [6]uint64{1, 2, 3, 4, 5, 6}}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		d.MarshalAuto()
+	}
+}
+
+// The builder's per-instruction commit: snapshot + diff + pack on a
+// realistic tree.
+func BenchmarkLayerCommit(b *testing.B) {
+	world := pkgmgr.NewWorld()
+	img, err := world.BaseImage(pkgmgr.DistroCentOS7, "centos:7")
+	if err != nil {
+		b.Fatal(err)
+	}
+	fs, err := img.Flatten()
+	if err != nil {
+		b.Fatal(err)
+	}
+	lower, err := tarutil.Snapshot(fs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rc := vfs.RootContext()
+	fs.WriteFile(rc, "/etc/changed", []byte("delta"), 0o644, 0, 0)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		upper, err := tarutil.Snapshot(fs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		diff := tarutil.Diff(lower, upper)
+		if _, err := tarutil.Pack(diff); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// E9 rendered as a measurement: state kept per method after the yum
+// workload. Reported via custom metrics rather than ns/op.
+func BenchmarkStateFootprint(b *testing.B) {
+	for _, mode := range []build.ForceMode{build.ForceSeccomp, build.ForceFakeroot, build.ForceProot} {
+		b.Run(mode.String(), func(b *testing.B) {
+			var records float64
+			for i := 0; i < b.N; i++ {
+				world := pkgmgr.NewWorld()
+				store := image.NewStore()
+				img, _ := world.BaseImage(pkgmgr.DistroCentOS7, "centos:7")
+				store.Put(img)
+				res, err := build.Build("FROM centos:7\nRUN yum install -y openssh\n",
+					build.Options{Tag: "bench", Force: mode, Store: store, World: world})
+				if err != nil {
+					b.Fatal(err)
+				}
+				records = float64(res.FakerootRecords)
+			}
+			b.ReportMetric(records, "state-records")
+		})
+	}
+}
+
+// Build-cache ablation: warm-cache rebuilds skip the expensive RUNs.
+func BenchmarkBuildCached(b *testing.B) {
+	world := pkgmgr.NewWorld()
+	store := image.NewStore()
+	img, err := world.BaseImage(pkgmgr.DistroCentOS7, "centos:7")
+	if err != nil {
+		b.Fatal(err)
+	}
+	store.Put(img)
+	cache := build.NewCache()
+	text := "FROM centos:7\nRUN yum install -y openssh\n"
+	opt := build.Options{Tag: "bench", Force: build.ForceSeccomp,
+		Store: store, World: world, Cache: cache}
+	if _, err := build.Build(text, opt); err != nil {
+		b.Fatal(err) // warm the cache
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res, err := build.Build(text, opt)
+		if err != nil || res.CacheHits == 0 {
+			b.Fatalf("cached rebuild: hits=%d err=%v", res.CacheHits, err)
+		}
+	}
+}
+
+// Filter-variant ablation over a passing workload: the full Charliecloud
+// filter vs the extended one (the Enroot variant cannot build this
+// workload at all — its failure is asserted in the build tests).
+func BenchmarkBuildFilterVariants(b *testing.B) {
+	variants := []struct {
+		key string
+		cfg core.Config
+	}{
+		{"charliecloud", core.Config{}},
+		{"extended", core.Config{Variant: core.VariantExtended}},
+		{"tree-dispatch", core.Config{Strategy: core.DispatchTree}},
+		{"single-arch", core.Config{Arches: []*sysarch.Arch{sysarch.X8664}}},
+	}
+	for _, v := range variants {
+		b.Run(v.key, func(b *testing.B) {
+			b.ReportAllocs()
+			var vns float64
+			for i := 0; i < b.N; i++ {
+				world := pkgmgr.NewWorld()
+				store := image.NewStore()
+				img, _ := world.BaseImage(pkgmgr.DistroCentOS7, "centos:7")
+				store.Put(img)
+				res, err := build.Build("FROM centos:7\nRUN yum install -y openssh\n",
+					build.Options{Tag: "bench", Force: build.ForceSeccomp,
+						Store: store, World: world, FilterConfig: v.cfg})
+				if err != nil {
+					b.Fatal(err)
+				}
+				vns += float64(res.VirtualNanos)
+			}
+			b.ReportMetric(vns/float64(b.N), "vns/op")
+		})
+	}
+}
+
+// Registry round trip: push + pull a built image over loopback HTTP.
+func BenchmarkRegistryPushPull(b *testing.B) {
+	world := pkgmgr.NewWorld()
+	img, err := world.BaseImage(pkgmgr.DistroAlpine, "alpine:3.19")
+	if err != nil {
+		b.Fatal(err)
+	}
+	reg := image.NewRegistry(image.NewStore())
+	url, err := reg.Start()
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer reg.Close()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := image.Push(url, img); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := image.Pull(url, "alpine:3.19"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

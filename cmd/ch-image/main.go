@@ -1,0 +1,199 @@
+// ch-image is the simulated Charliecloud image builder: it builds
+// Dockerfiles inside a fully unprivileged (Type III) simulated container
+// with a selectable root-emulation mode, printing transcripts in the style
+// of the paper's Figures 1 and 2.
+//
+// Usage:
+//
+//	ch-image build -t TAG [-f DOCKERFILE] [--force=none|seccomp|fakeroot|proot] CONTEXT
+//	ch-image list
+//
+// The simulated world ships base images alpine:3.19, centos:7 and
+// debian:12 with their package repositories.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/build"
+	"repro/internal/image"
+	"repro/internal/pkgmgr"
+	"repro/internal/simos"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(1)
+	}
+	switch os.Args[1] {
+	case "build":
+		os.Exit(cmdBuild(os.Args[2:]))
+	case "list":
+		os.Exit(cmdList())
+	default:
+		usage()
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: ch-image build -t TAG [-f DOCKERFILE] [--force=MODE] CONTEXT")
+	fmt.Fprintln(os.Stderr, "       ch-image list")
+}
+
+func seededStore(w *pkgmgr.World) (*image.Store, error) {
+	s := image.NewStore()
+	for _, d := range []struct{ distro, name string }{
+		{pkgmgr.DistroAlpine, "alpine:3.19"},
+		{pkgmgr.DistroCentOS7, "centos:7"},
+		{pkgmgr.DistroDebian, "debian:12"},
+	} {
+		img, err := w.BaseImage(d.distro, d.name)
+		if err != nil {
+			return nil, err
+		}
+		s.Put(img)
+	}
+	return s, nil
+}
+
+func cmdBuild(args []string) int {
+	fs := flag.NewFlagSet("build", flag.ExitOnError)
+	tag := fs.String("t", "", "image tag")
+	file := fs.String("f", "", "Dockerfile path (default CONTEXT/Dockerfile)")
+	force := fs.String("force", "seccomp", "root emulation: none, seccomp, fakeroot, proot")
+	noWorkaround := fs.Bool("no-apt-workaround", false, "disable the apt sandbox RUN rewriting")
+	rebuild := fs.Bool("rebuild", false, "build twice to demonstrate the instruction cache")
+	pushTo := fs.String("push", "", "after a successful build, push the image to this registry URL")
+	strace := fs.String("strace", "", "trace syscalls: 'faked' (emulated only) or 'all'")
+	fs.Parse(args)
+	if *tag == "" {
+		fmt.Fprintln(os.Stderr, "ch-image: -t TAG is required")
+		return 2
+	}
+	ctxDir := "."
+	if fs.NArg() > 0 {
+		ctxDir = fs.Arg(0)
+	}
+	dfPath := *file
+	if dfPath == "" {
+		dfPath = filepath.Join(ctxDir, "Dockerfile")
+	}
+	text, err := os.ReadFile(dfPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ch-image: %v\n", err)
+		return 2
+	}
+
+	var mode build.ForceMode
+	switch *force {
+	case "none":
+		mode = build.ForceNone
+	case "seccomp":
+		mode = build.ForceSeccomp
+	case "fakeroot":
+		mode = build.ForceFakeroot
+	case "proot":
+		mode = build.ForceProot
+	default:
+		fmt.Fprintf(os.Stderr, "ch-image: unknown --force mode %q\n", *force)
+		return 2
+	}
+
+	// Load the build context (regular files only, one level of depth is
+	// plenty for the examples).
+	context := map[string][]byte{}
+	entries, err := os.ReadDir(ctxDir)
+	if err == nil {
+		for _, e := range entries {
+			if e.Type().IsRegular() {
+				if data, err := os.ReadFile(filepath.Join(ctxDir, e.Name())); err == nil {
+					context[e.Name()] = data
+				}
+			}
+		}
+	}
+
+	world := pkgmgr.NewWorld()
+	store, err := seededStore(world)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ch-image: %v\n", err)
+		return 2
+	}
+	opts := build.Options{
+		Tag: *tag, Force: mode, Store: store, World: world,
+		Context: context, Output: os.Stdout,
+		DisableAptWorkaround: *noWorkaround,
+	}
+	if *rebuild {
+		opts.Cache = build.NewCache()
+	}
+	switch *strace {
+	case "":
+	case "faked":
+		opts.Tracer = func(ev simos.TraceEvent) {
+			if ev.Faked {
+				fmt.Fprintf(os.Stderr, "    [strace pid %d %s] %s(%s) = 0 (faked)\n",
+					ev.PID, ev.Comm, ev.Name, ev.Detail)
+			}
+		}
+	case "all":
+		opts.Tracer = func(ev simos.TraceEvent) {
+			suffix := ""
+			if ev.Faked {
+				suffix = " (faked)"
+			}
+			fmt.Fprintf(os.Stderr, "    [strace pid %d %s] %s(%s) = -%d%s\n",
+				ev.PID, ev.Comm, ev.Name, ev.Detail, ev.Errno, suffix)
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "ch-image: unknown -strace mode %q\n", *strace)
+		return 2
+	}
+	res, err := build.Build(string(text), opts)
+	if err != nil {
+		return 1
+	}
+	if *rebuild {
+		fmt.Println("--- rebuilding with warm cache ---")
+		res, err = build.Build(string(text), opts)
+		if err != nil {
+			return 1
+		}
+		fmt.Printf("cache hits: %d\n", res.CacheHits)
+	}
+	if *pushTo != "" {
+		if err := image.Push(*pushTo, res.Image); err != nil {
+			fmt.Fprintf(os.Stderr, "ch-image: push: %v\n", err)
+			return 1
+		}
+		fmt.Printf("pushed %s to %s\n", res.Image.Name, *pushTo)
+	}
+	return 0
+}
+
+func cmdList() int {
+	world := pkgmgr.NewWorld()
+	store, err := seededStore(world)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ch-image: %v\n", err)
+		return 2
+	}
+	fmt.Println("base images:")
+	for _, t := range store.Tags() {
+		fmt.Println("  " + t)
+	}
+	fmt.Println("packages:")
+	for _, d := range []struct {
+		name string
+		repo *pkgmgr.Repo
+	}{{"alpine", world.Alpine}, {"centos7", world.CentOS7}, {"debian", world.Debian}} {
+		fmt.Printf("  %s: %s\n", d.name, strings.Join(d.repo.Names(), " "))
+	}
+	return 0
+}

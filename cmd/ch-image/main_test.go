@@ -1,0 +1,72 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// CLI-level smoke tests: the three figures through cmdBuild with real
+// files on disk.
+
+func writeContext(t *testing.T, dockerfile string, files map[string]string) string {
+	t.Helper()
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "Dockerfile"), []byte(dockerfile), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	for name, content := range files {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+func TestCLIFig1a(t *testing.T) {
+	dir := writeContext(t, "FROM alpine:3.19\nRUN apk add sl\n", nil)
+	if code := cmdBuild([]string{"-t", "win", "--force", "none", dir}); code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+}
+
+func TestCLIFig1bFails(t *testing.T) {
+	dir := writeContext(t, "FROM centos:7\nRUN yum install -y openssh\n", nil)
+	if code := cmdBuild([]string{"-t", "win", "--force", "none", dir}); code != 1 {
+		t.Fatalf("exit %d, want 1", code)
+	}
+}
+
+func TestCLIFig2Succeeds(t *testing.T) {
+	dir := writeContext(t, "FROM centos:7\nRUN yum install -y openssh\n", nil)
+	if code := cmdBuild([]string{"-t", "win", "--force", "seccomp", dir}); code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+}
+
+func TestCLIRebuildWithCache(t *testing.T) {
+	dir := writeContext(t, "FROM alpine:3.19\nCOPY hello.txt /hello\nRUN apk add sl\n",
+		map[string]string{"hello.txt": "hi\n"})
+	if code := cmdBuild([]string{"-t", "win", "-rebuild", dir}); code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+}
+
+func TestCLIMissingTag(t *testing.T) {
+	if code := cmdBuild([]string{}); code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+}
+
+func TestCLIBadForceMode(t *testing.T) {
+	dir := writeContext(t, "FROM alpine:3.19\nRUN true\n", nil)
+	if code := cmdBuild([]string{"-t", "x", "--force", "magic", dir}); code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+}
+
+func TestCLIList(t *testing.T) {
+	if code := cmdList(); code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+}

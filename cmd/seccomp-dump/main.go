@@ -1,0 +1,110 @@
+// seccomp-dump generates the zero-consistency root-emulation BPF filter
+// and prints its disassembly — the inspection tool for the paper's §5
+// program.
+//
+// Usage:
+//
+//	seccomp-dump [-arch NAME|all] [-variant charliecloud|enroot|extended]
+//	             [-dispatch linear|tree] [-stats]
+package main
+
+import (
+	"encoding/binary"
+	"flag"
+	"fmt"
+	"os"
+	"unsafe"
+
+	"repro/internal/bpf"
+	"repro/internal/core"
+	"repro/internal/sysarch"
+)
+
+func main() {
+	archName := flag.String("arch", "all", "target architecture (x86_64, i386, arm, arm64, ppc64le, s390x, or all)")
+	variant := flag.String("variant", "charliecloud", "filter variant: charliecloud, enroot, extended")
+	dispatch := flag.String("dispatch", "linear", "syscall dispatch: linear or tree")
+	stats := flag.Bool("stats", false, "print program statistics instead of disassembly")
+	format := flag.String("format", "asm", "output format: asm (disassembly), c (C array), raw (sock_filter bytes to stdout)")
+	flag.Parse()
+
+	cfg := core.Config{}
+	switch *variant {
+	case "charliecloud":
+	case "enroot":
+		cfg.Variant = core.VariantEnroot
+	case "extended":
+		cfg.Variant = core.VariantExtended
+	default:
+		fmt.Fprintf(os.Stderr, "seccomp-dump: unknown variant %q\n", *variant)
+		os.Exit(2)
+	}
+	switch *dispatch {
+	case "linear":
+	case "tree":
+		cfg.Strategy = core.DispatchTree
+	default:
+		fmt.Fprintf(os.Stderr, "seccomp-dump: unknown dispatch %q\n", *dispatch)
+		os.Exit(2)
+	}
+	if *archName != "all" {
+		arch, ok := sysarch.ByName(*archName)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "seccomp-dump: unknown architecture %q\n", *archName)
+			os.Exit(2)
+		}
+		cfg.Arches = []*sysarch.Arch{arch}
+	}
+
+	prog, err := core.Generate(cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "seccomp-dump: %v\n", err)
+		os.Exit(1)
+	}
+	if *stats {
+		fmt.Printf("variant:      %s\n", cfg.Variant)
+		fmt.Printf("dispatch:     %s\n", cfg.Strategy)
+		fmt.Printf("instructions: %d\n", len(prog))
+		fmt.Printf("bytes:        %d\n", len(prog)*bpf.InstructionSize)
+		if ps, err := bpf.Analyze(prog); err == nil {
+			fmt.Printf("path:         best %d, worst %d instructions per syscall\n",
+				ps.Shortest, ps.Longest)
+		}
+		fmt.Printf("syscalls:     %d filtered (union over arches)\n", len(core.Inventory(cfg.Variant)))
+		for class, names := range core.InventoryByClass(cfg.Variant) {
+			fmt.Printf("  %-20s %d: %v\n", class.String(), len(names), names)
+		}
+		return
+	}
+	switch *format {
+	case "asm":
+		fmt.Printf("; root-emulation filter, variant=%s dispatch=%s (%d instructions)\n",
+			cfg.Variant, cfg.Strategy, len(prog))
+		fmt.Print(bpf.Disassemble(prog))
+	case "c":
+		// The form Charliecloud would embed: a struct sock_filter array.
+		fmt.Printf("/* root-emulation filter: variant=%s dispatch=%s */\n", cfg.Variant, cfg.Strategy)
+		fmt.Printf("static struct sock_filter rootemu_filter[%d] = {\n", len(prog))
+		for _, ins := range prog {
+			fmt.Printf("    { 0x%04x, %d, %d, 0x%08x },\n", ins.Op, ins.JT, ins.JF, ins.K)
+		}
+		fmt.Println("};")
+	case "raw":
+		// Native-endian sock_filter bytes, loadable via seccomp(2).
+		os.Stdout.Write(bpf.Marshal(prog, hostOrder()))
+	default:
+		fmt.Fprintf(os.Stderr, "seccomp-dump: unknown format %q\n", *format)
+		os.Exit(2)
+	}
+}
+
+// hostOrder returns the byte order of the running machine, the order the
+// kernel expects raw sock_filter programs in.
+func hostOrder() binary.ByteOrder {
+	var probe [2]byte
+	*(*uint16)(unsafe.Pointer(&probe[0])) = 1
+	if probe[0] == 1 {
+		return binary.LittleEndian
+	}
+	return binary.BigEndian
+}

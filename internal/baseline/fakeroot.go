@@ -1,0 +1,189 @@
+// Package baseline implements the complex, consistent root emulators the
+// paper compares against (§3): fakeroot(1) via LD_PRELOAD interposition
+// with a state-keeping daemon, PRoot via ptrace interception, and
+// fakechroot(1)'s /bin/true substitution. All three work over the
+// simulated kernel's hook points, with the real mechanisms' structural
+// costs: per-call state maintenance and daemon round trips for fakeroot,
+// two trace stops on every syscall for PRoot, and nothing but compatibility
+// holes for fakechroot.
+package baseline
+
+import (
+	"encoding/json"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/errno"
+	"repro/internal/simos"
+	"repro/internal/vfs"
+)
+
+// ownerRecord is the fakeroot daemon's entry for one path: the lie it
+// tells back on stat.
+type ownerRecord struct {
+	UID  int    `json:"uid"`
+	GID  int    `json:"gid"`
+	Mode uint32 `json:"mode,omitempty"`
+	Dev  uint64 `json:"dev,omitempty"` // recorded device number for faked mknod
+	Type int    `json:"type,omitempty"`
+}
+
+// Fakeroot is the daemon state (faked(1)): a consistent overlay of
+// ownership and identity. "All fakeroot(s) maintain state in order to
+// provide a consistent emulated environment (e.g., so stat(2) is
+// consistent with prior chown(2)), with a daemon and/or disk files" (§3.1).
+type Fakeroot struct {
+	mu     sync.Mutex
+	owners map[string]ownerRecord
+	ids    map[int][3]int // per-PID faked r/e/s uid from set*id
+
+	// RoundTrips counts daemon IPC round trips — one per intercepted
+	// call, the structural overhead §6(1) attributes to consistent
+	// emulation.
+	RoundTrips atomic.Uint64
+}
+
+// NewFakeroot starts an empty daemon.
+func NewFakeroot() *Fakeroot {
+	return &Fakeroot{owners: map[string]ownerRecord{}, ids: map[int][3]int{}}
+}
+
+// Records returns the number of ownership records (the E9 state-size
+// metric; the seccomp method's equivalent is always zero).
+func (f *Fakeroot) Records() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.owners)
+}
+
+// SaveState serialises the daemon database — fakeroot -s.
+func (f *Fakeroot) SaveState() ([]byte, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return json.Marshal(f.owners)
+}
+
+// LoadState restores a saved database — fakeroot -i.
+func (f *Fakeroot) LoadState(data []byte) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return json.Unmarshal(data, &f.owners)
+}
+
+// Hook returns the LD_PRELOAD interposer. Attach with proc.AddPreload;
+// statically linked binaries will bypass it, exactly like the real thing.
+func (f *Fakeroot) Hook() *simos.CHook {
+	return &simos.CHook{
+		Name: "fakeroot",
+		Chown: func(c *simos.CLib, path string, uid, gid int, follow bool) (errno.Errno, bool) {
+			f.RoundTrips.Add(1)
+			// Record the requested ownership; change nothing real.
+			f.mu.Lock()
+			rec := f.owners[path]
+			if uid != -1 {
+				rec.UID = uid
+			}
+			if gid != -1 {
+				rec.GID = gid
+			}
+			f.owners[path] = rec
+			f.mu.Unlock()
+			return errno.OK, true
+		},
+		Stat: func(c *simos.CLib, path string, follow bool) (vfs.Stat, errno.Errno, bool) {
+			f.RoundTrips.Add(1)
+			var st vfs.Stat
+			var e errno.Errno
+			if follow {
+				st, e = c.P.Stat(path)
+			} else {
+				st, e = c.P.Lstat(path)
+			}
+			if e != errno.OK {
+				return st, e, true
+			}
+			f.mu.Lock()
+			rec, ok := f.owners[path]
+			f.mu.Unlock()
+			if ok {
+				st.UID, st.GID = rec.UID, rec.GID
+				if rec.Mode != 0 {
+					st.Mode = rec.Mode
+				}
+				if rec.Type != 0 {
+					st.Type = vfs.FileType(rec.Type)
+					st.Rdev = vfs.Dev(rec.Dev)
+				}
+			} else {
+				// fakeroot's default lie: everything is root's.
+				st.UID, st.GID = 0, 0
+			}
+			return st, errno.OK, true
+		},
+		Chmod: func(c *simos.CLib, path string, mode uint32) (errno.Errno, bool) {
+			f.RoundTrips.Add(1)
+			// Apply for real when possible, record the full mode
+			// (including setuid bits the kernel would refuse).
+			e := c.P.Chmod(path, mode&0o777)
+			f.mu.Lock()
+			rec := f.owners[path]
+			rec.Mode = mode
+			f.owners[path] = rec
+			f.mu.Unlock()
+			if e != errno.OK && e != errno.EPERM {
+				return e, true
+			}
+			return errno.OK, true
+		},
+		Mknod: func(c *simos.CLib, path string, mode uint32, dev vfs.Dev) (errno.Errno, bool) {
+			f.RoundTrips.Add(1)
+			typ, _ := vfs.TypeFromMode(mode)
+			if typ != vfs.TypeCharDev && typ != vfs.TypeBlockDev {
+				return 0, false // unprivileged types go to the kernel
+			}
+			// fakeroot creates a plain placeholder file and records the
+			// device-ness, so later stat shows a device node.
+			if e := c.P.WriteFileAll(path, nil, mode&0o777); e != errno.OK {
+				return e, true
+			}
+			f.mu.Lock()
+			f.owners[path] = ownerRecord{
+				UID: 0, GID: 0, Mode: mode & 0o7777,
+				Dev: uint64(dev), Type: int(typ),
+			}
+			f.mu.Unlock()
+			return errno.OK, true
+		},
+		GetID: func(c *simos.CLib, name string) (int, bool) {
+			f.RoundTrips.Add(1)
+			f.mu.Lock()
+			ids, ok := f.ids[c.P.PID()]
+			f.mu.Unlock()
+			if ok {
+				if name == "getuid" {
+					return ids[0], true
+				}
+				return ids[1], true
+			}
+			return 0, true // you are root
+		},
+		SetID: func(c *simos.CLib, name string, args []int) (errno.Errno, bool) {
+			f.RoundTrips.Add(1)
+			f.mu.Lock()
+			defer f.mu.Unlock()
+			switch name {
+			case "setuid":
+				f.ids[c.P.PID()] = [3]int{args[0], args[0], args[0]}
+			case "setresuid":
+				cur := f.ids[c.P.PID()]
+				for i, v := range args {
+					if i < 3 && v != -1 {
+						cur[i] = v
+					}
+				}
+				f.ids[c.P.PID()] = cur
+			}
+			return errno.OK, true
+		},
+	}
+}

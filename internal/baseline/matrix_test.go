@@ -1,0 +1,145 @@
+package baseline
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/errno"
+	"repro/internal/simos"
+	"repro/internal/vfs"
+)
+
+// E10 — §6(3) compatibility: which emulation mechanism reaches which kind
+// of binary. LD_PRELOAD misses statically linked executables; seccomp and
+// ptrace are linking-agnostic.
+func TestCompatibilityMatrix(t *testing.T) {
+	type mechanism struct {
+		name   string
+		attach func(p *simos.Proc)
+	}
+	mechanisms := []mechanism{
+		{"seccomp", func(p *simos.Proc) {
+			p.Prctl(simos.PrSetNoNewPrivs, 1)
+			if e := p.SeccompInstall(core.MustNewFilter(core.Config{})); e != errno.OK {
+				t.Fatal(e)
+			}
+		}},
+		{"fakeroot-preload", func(p *simos.Proc) {
+			p.AddPreload(NewFakeroot().Hook())
+		}},
+		{"proot-ptrace", func(p *simos.Proc) {
+			NewPRoot().Attach(p)
+		}},
+	}
+	// wantEmulated[mechanism][static] — whether the chown inside the
+	// binary is expected to be emulated (succeed).
+	wantEmulated := map[string]map[bool]bool{
+		"seccomp":          {false: true, true: true},
+		"fakeroot-preload": {false: true, true: false}, // the §6(3) gap
+		"proot-ptrace":     {false: true, true: true},
+	}
+	for _, mech := range mechanisms {
+		for _, static := range []bool{false, true} {
+			k := simos.NewKernel()
+			fs := vfs.New()
+			rc := vfs.RootContext()
+			fs.Chmod(rc, "/", 0o777, true)
+			p := k.NewInitProc(simos.Mount{FS: fs, Owner: k.InitNS()}, 1000, 1000)
+			fs.ChownAll(1000, 1000)
+			fs.MkdirAll(rc, "/bin", 0o755, 1000, 1000)
+			fs.WriteFile(rc, "/bin/probe", []byte("ELF"), 0o755, 1000, 1000)
+			p.WriteFileAll("/f", []byte("x"), 0o644)
+
+			reg := simos.NewBinaryRegistry()
+			reg.Register("/bin/probe", &simos.Binary{
+				Name: "probe", Static: static,
+				Main: func(ctx *simos.ExecCtx) int {
+					if e := ctx.C.Chown("/f", 74, 74); e != errno.OK {
+						return 1
+					}
+					return 0
+				},
+			})
+			p.SetRegistry(reg)
+			mech.attach(p)
+
+			status, e := p.Exec([]string{"/bin/probe"}, nil, nil, nil, nil)
+			if e != errno.OK {
+				t.Fatalf("%s/static=%v: exec: %v", mech.name, static, e)
+			}
+			emulated := status == 0
+			if want := wantEmulated[mech.name][static]; emulated != want {
+				t.Errorf("%s/static=%v: emulated=%v, want %v",
+					mech.name, static, emulated, want)
+			}
+		}
+	}
+}
+
+// E11 — §6 consistency: what a chown-then-stat sequence observes under
+// each method. Zero-consistency seccomp reports success and shows nothing;
+// the consistent emulators show the recorded lie.
+func TestConsistencyMatrix(t *testing.T) {
+	newProc := func() *simos.Proc {
+		k := simos.NewKernel()
+		fs := vfs.New()
+		rc := vfs.RootContext()
+		fs.Chmod(rc, "/", 0o777, true)
+		p := k.NewInitProc(simos.Mount{FS: fs, Owner: k.InitNS()}, 1000, 1000)
+		fs.ChownAll(1000, 1000)
+		p.WriteFileAll("/f", []byte("x"), 0o644)
+		return p
+	}
+	type result struct {
+		chownOK bool
+		statUID int
+	}
+	observe := map[string]result{}
+
+	// none
+	{
+		p := newProc()
+		e := p.Chown("/f", 74, 74)
+		st, _ := p.Stat("/f")
+		observe["none"] = result{e == errno.OK, st.UID}
+	}
+	// seccomp
+	{
+		p := newProc()
+		p.Prctl(simos.PrSetNoNewPrivs, 1)
+		p.SeccompInstall(core.MustNewFilter(core.Config{}))
+		e := p.Chown("/f", 74, 74)
+		st, _ := p.Stat("/f")
+		observe["seccomp"] = result{e == errno.OK, st.UID}
+	}
+	// fakeroot
+	{
+		p := newProc()
+		p.AddPreload(NewFakeroot().Hook())
+		c := &simos.CLib{P: p, Hooks: p.Preloads()}
+		e := c.Chown("/f", 74, 74)
+		st, _ := c.Stat("/f")
+		observe["fakeroot"] = result{e == errno.OK, st.UID}
+	}
+	// proot
+	{
+		p := newProc()
+		NewPRoot().Attach(p)
+		e := p.Chown("/f", 74, 74)
+		st, _ := p.Stat("/f")
+		observe["proot"] = result{e == errno.OK, st.UID}
+	}
+
+	if observe["none"].chownOK {
+		t.Error("none: chown must fail")
+	}
+	if !observe["seccomp"].chownOK || observe["seccomp"].statUID == 74 {
+		t.Errorf("seccomp: want success + NO visible change, got %+v", observe["seccomp"])
+	}
+	if !observe["fakeroot"].chownOK || observe["fakeroot"].statUID != 74 {
+		t.Errorf("fakeroot: want success + visible change, got %+v", observe["fakeroot"])
+	}
+	if !observe["proot"].chownOK || observe["proot"].statUID != 74 {
+		t.Errorf("proot: want success + visible change, got %+v", observe["proot"])
+	}
+}

@@ -1,0 +1,67 @@
+package bpf
+
+import "fmt"
+
+// PathStats reports the exact shortest and longest instruction paths from
+// entry to any return — computable statically because validated cBPF is a
+// DAG (forward-only jumps, no loops). The longest path bounds the
+// per-syscall cost of a seccomp filter; it is the number the linear-vs-tree
+// dispatch ablation turns on.
+type PathStats struct {
+	Shortest int // best-case instructions executed
+	Longest  int // worst-case instructions executed
+}
+
+// Analyze computes PathStats for a validated program. It fails on programs
+// that do not validate (the DP needs the DAG guarantee).
+func Analyze(p Program) (PathStats, error) {
+	if err := p.Validate(); err != nil {
+		return PathStats{}, fmt.Errorf("bpf: analyze: %w", err)
+	}
+	n := len(p)
+	longest := make([]int, n)
+	shortest := make([]int, n)
+	// Process in reverse: every successor of i has index > i.
+	for pc := n - 1; pc >= 0; pc-- {
+		ins := p[pc]
+		succs := successors(ins, pc)
+		if len(succs) == 0 { // RET
+			longest[pc], shortest[pc] = 1, 1
+			continue
+		}
+		lo, hi := 1<<30, 0
+		for _, s := range succs {
+			if longest[s] > hi {
+				hi = longest[s]
+			}
+			if shortest[s] < lo {
+				lo = shortest[s]
+			}
+		}
+		longest[pc] = 1 + hi
+		shortest[pc] = 1 + lo
+	}
+	return PathStats{Shortest: shortest[0], Longest: longest[0]}, nil
+}
+
+// successors lists the possible next instruction indices, empty for RET.
+// Data loads that run off the input buffer terminate execution too, but
+// with return value 0 — for path purposes they count as their fall-through
+// (the worst case still dominates).
+func successors(ins Instruction, pc int) []int {
+	switch Class(ins.Op) {
+	case ClassRET:
+		return nil
+	case ClassJMP:
+		if JmpOp(ins.Op) == JmpJA {
+			return []int{pc + 1 + int(ins.K)}
+		}
+		jt := pc + 1 + int(ins.JT)
+		jf := pc + 1 + int(ins.JF)
+		if jt == jf {
+			return []int{jt}
+		}
+		return []int{jt, jf}
+	}
+	return []int{pc + 1}
+}

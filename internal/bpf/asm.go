@@ -1,0 +1,190 @@
+package bpf
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Assembler builds cBPF programs with symbolic jump labels, resolving them
+// to the forward-only relative offsets the machine requires. It exists
+// because hand-computing jt/jf offsets is exactly the error-prone step that
+// motivates Charliecloud's generated-table approach; filter generators in
+// internal/core emit through this type.
+//
+// Usage: append instructions with the emit methods, mark positions with
+// Label, and call Assemble. Conditional branches name labels; unconditional
+// Ja too. A label may be referenced before it is defined (forward jumps are
+// the only legal kind).
+type Assembler struct {
+	insns  []Instruction
+	labels map[string]int   // label -> instruction index it precedes
+	fixups []fixup          // references awaiting resolution
+	errs   []error          // accumulated emit-time errors
+	marks  map[int][]string // for the disassembler: labels by index
+}
+
+type fixup struct {
+	pc    int    // index of the referencing instruction
+	label string // target label
+	slot  fixupSlot
+}
+
+type fixupSlot int
+
+const (
+	slotJT fixupSlot = iota
+	slotJF
+	slotK // unconditional jump target
+)
+
+// NewAssembler returns an empty assembler.
+func NewAssembler() *Assembler {
+	return &Assembler{
+		labels: make(map[string]int),
+		marks:  make(map[int][]string),
+	}
+}
+
+// Len returns the number of instructions emitted so far.
+func (a *Assembler) Len() int { return len(a.insns) }
+
+// Label marks the position of the next emitted instruction. Defining the
+// same label twice is an error reported by Assemble.
+func (a *Assembler) Label(name string) {
+	if _, dup := a.labels[name]; dup {
+		a.errs = append(a.errs, fmt.Errorf("bpf: asm: duplicate label %q", name))
+		return
+	}
+	a.labels[name] = len(a.insns)
+	a.marks[len(a.insns)] = append(a.marks[len(a.insns)], name)
+}
+
+// Raw appends a pre-built instruction verbatim.
+func (a *Assembler) Raw(ins Instruction) { a.insns = append(a.insns, ins) }
+
+// LoadAbsW emits LD|W|ABS: A = word at absolute offset off of the input.
+func (a *Assembler) LoadAbsW(off uint32) {
+	a.Raw(Stmt(ClassLD|SizeW|ModeABS, off))
+}
+
+// LoadImm emits LD|IMM: A = k.
+func (a *Assembler) LoadImm(k uint32) { a.Raw(Stmt(ClassLD|SizeW|ModeIMM, k)) }
+
+// LoadMem emits LD|MEM: A = scratch[slot].
+func (a *Assembler) LoadMem(slot uint32) { a.Raw(Stmt(ClassLD|SizeW|ModeMEM, slot)) }
+
+// StoreMem emits ST: scratch[slot] = A.
+func (a *Assembler) StoreMem(slot uint32) { a.Raw(Stmt(ClassST, slot)) }
+
+// LoadXImm emits LDX|IMM: X = k.
+func (a *Assembler) LoadXImm(k uint32) { a.Raw(Stmt(ClassLDX|SizeW|ModeIMM, k)) }
+
+// TAX emits MISC|TAX: X = A.
+func (a *Assembler) TAX() { a.Raw(Stmt(ClassMISC|MiscTAX, 0)) }
+
+// TXA emits MISC|TXA: A = X.
+func (a *Assembler) TXA() { a.Raw(Stmt(ClassMISC|MiscTXA, 0)) }
+
+// ALUAndImm emits ALU|AND|K: A &= k.
+func (a *Assembler) ALUAndImm(k uint32) { a.Raw(Stmt(ClassALU|ALUAnd|SrcK, k)) }
+
+// ALURshImm emits ALU|RSH|K: A >>= k.
+func (a *Assembler) ALURshImm(k uint32) { a.Raw(Stmt(ClassALU|ALURsh|SrcK, k)) }
+
+// Ret emits RET|K: return the constant v.
+func (a *Assembler) Ret(v uint32) { a.Raw(Stmt(ClassRET|RetK, v)) }
+
+// RetA emits RET|A: return the accumulator.
+func (a *Assembler) RetA() { a.Raw(Stmt(ClassRET|RetA, 0)) }
+
+// Ja emits an unconditional jump to label.
+func (a *Assembler) Ja(label string) {
+	a.fixups = append(a.fixups, fixup{pc: len(a.insns), label: label, slot: slotK})
+	a.Raw(Stmt(ClassJMP|JmpJA, 0))
+}
+
+// JeqImm emits JEQ|K with both branches naming labels. The empty string
+// means "fall through to the next instruction".
+func (a *Assembler) JeqImm(k uint32, whenTrue, whenFalse string) {
+	a.condJump(ClassJMP|JmpJEQ|SrcK, k, whenTrue, whenFalse)
+}
+
+// JgtImm emits JGT|K (unsigned A > k).
+func (a *Assembler) JgtImm(k uint32, whenTrue, whenFalse string) {
+	a.condJump(ClassJMP|JmpJGT|SrcK, k, whenTrue, whenFalse)
+}
+
+// JgeImm emits JGE|K (unsigned A >= k).
+func (a *Assembler) JgeImm(k uint32, whenTrue, whenFalse string) {
+	a.condJump(ClassJMP|JmpJGE|SrcK, k, whenTrue, whenFalse)
+}
+
+// JsetImm emits JSET|K (A & k != 0).
+func (a *Assembler) JsetImm(k uint32, whenTrue, whenFalse string) {
+	a.condJump(ClassJMP|JmpJSET|SrcK, k, whenTrue, whenFalse)
+}
+
+func (a *Assembler) condJump(op uint16, k uint32, whenTrue, whenFalse string) {
+	pc := len(a.insns)
+	if whenTrue != "" {
+		a.fixups = append(a.fixups, fixup{pc: pc, label: whenTrue, slot: slotJT})
+	}
+	if whenFalse != "" {
+		a.fixups = append(a.fixups, fixup{pc: pc, label: whenFalse, slot: slotJF})
+	}
+	a.Raw(Jump(op, k, 0, 0))
+}
+
+// Assemble resolves all label references and returns the finished program.
+// It fails on undefined labels, backward jumps (illegal in cBPF), branch
+// offsets exceeding the 8-bit conditional range, and accumulated emit
+// errors. The returned program is a copy; the assembler may be reused after
+// a call only by starting over.
+func (a *Assembler) Assemble() (Program, error) {
+	if len(a.errs) > 0 {
+		return nil, a.errs[0]
+	}
+	out := make(Program, len(a.insns))
+	copy(out, a.insns)
+	// Deterministic error reporting: resolve in emission order.
+	sort.SliceStable(a.fixups, func(i, j int) bool { return a.fixups[i].pc < a.fixups[j].pc })
+	for _, f := range a.fixups {
+		target, ok := a.labels[f.label]
+		if !ok {
+			return nil, fmt.Errorf("bpf: asm: undefined label %q referenced at insn %d", f.label, f.pc)
+		}
+		delta := target - (f.pc + 1)
+		if delta < 0 {
+			return nil, fmt.Errorf("bpf: asm: backward jump to %q at insn %d (cBPF jumps must be forward)", f.label, f.pc)
+		}
+		switch f.slot {
+		case slotK:
+			out[f.pc].K = uint32(delta)
+		case slotJT, slotJF:
+			if delta > 255 {
+				return nil, fmt.Errorf("bpf: asm: conditional branch to %q at insn %d spans %d insns (max 255)", f.label, f.pc, delta)
+			}
+			if f.slot == slotJT {
+				out[f.pc].JT = uint8(delta)
+			} else {
+				out[f.pc].JF = uint8(delta)
+			}
+		}
+	}
+	return out, nil
+}
+
+// MustAssemble is Assemble for statically-known-good generators; it panics
+// on error, which for internal/core means a programming bug in the filter
+// builder, never bad user input.
+func (a *Assembler) MustAssemble() Program {
+	p, err := a.Assemble()
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// LabelsAt returns the labels defined at instruction index pc, for the
+// disassembler's annotated output.
+func (a *Assembler) LabelsAt(pc int) []string { return a.marks[pc] }

@@ -1,0 +1,664 @@
+package bpf
+
+import (
+	"encoding/binary"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// retProg builds the minimal valid program: return k.
+func retProg(k uint32) Program {
+	return Program{Stmt(ClassRET|RetK, k)}
+}
+
+func TestValidateEmptyProgram(t *testing.T) {
+	var p Program
+	if err := p.Validate(); err == nil {
+		t.Fatal("empty program must be rejected")
+	}
+}
+
+func TestValidateTooLong(t *testing.T) {
+	p := make(Program, MaxInstructions+1)
+	for i := range p {
+		p[i] = Stmt(ClassRET|RetK, 0)
+	}
+	if err := p.Validate(); err == nil {
+		t.Fatal("over-length program must be rejected")
+	}
+}
+
+func TestValidateMinimal(t *testing.T) {
+	if err := retProg(7).Validate(); err != nil {
+		t.Fatalf("minimal return program rejected: %v", err)
+	}
+}
+
+func TestValidateMustEndInReturn(t *testing.T) {
+	p := Program{Stmt(ClassLD|SizeW|ModeIMM, 1)}
+	if err := p.Validate(); err == nil {
+		t.Fatal("program not ending in RET must be rejected")
+	}
+}
+
+func TestValidateUnknownOpcode(t *testing.T) {
+	p := Program{
+		Instruction{Op: 0xffff},
+		Stmt(ClassRET|RetK, 0),
+	}
+	if err := p.Validate(); err == nil {
+		t.Fatal("unknown opcode must be rejected")
+	}
+}
+
+func TestValidateJumpOutOfRange(t *testing.T) {
+	cases := []struct {
+		name string
+		p    Program
+	}{
+		{"ja past end", Program{
+			Stmt(ClassJMP|JmpJA, 5),
+			Stmt(ClassRET|RetK, 0),
+		}},
+		{"jt past end", Program{
+			Jump(ClassJMP|JmpJEQ|SrcK, 1, 9, 0),
+			Stmt(ClassRET|RetK, 0),
+		}},
+		{"jf past end", Program{
+			Jump(ClassJMP|JmpJEQ|SrcK, 1, 0, 9),
+			Stmt(ClassRET|RetK, 0),
+		}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if err := c.p.Validate(); err == nil {
+				t.Fatalf("%s must be rejected", c.name)
+			}
+		})
+	}
+}
+
+func TestValidateDivByConstZero(t *testing.T) {
+	p := Program{
+		Stmt(ClassALU|ALUDiv|SrcK, 0),
+		Stmt(ClassRET|RetK, 0),
+	}
+	if err := p.Validate(); err == nil {
+		t.Fatal("constant division by zero must be rejected")
+	}
+	// Mod too.
+	p[0] = Stmt(ClassALU|ALUMod|SrcK, 0)
+	if err := p.Validate(); err == nil {
+		t.Fatal("constant modulo by zero must be rejected")
+	}
+}
+
+func TestValidateShiftRange(t *testing.T) {
+	p := Program{
+		Stmt(ClassALU|ALULsh|SrcK, 32),
+		Stmt(ClassRET|RetK, 0),
+	}
+	if err := p.Validate(); err == nil {
+		t.Fatal("constant shift by 32 must be rejected")
+	}
+}
+
+func TestValidateScratchBounds(t *testing.T) {
+	p := Program{
+		Stmt(ClassST, MemWords),
+		Stmt(ClassRET|RetK, 0),
+	}
+	if err := p.Validate(); err == nil {
+		t.Fatal("scratch store out of range must be rejected")
+	}
+	p = Program{
+		Stmt(ClassLD|SizeW|ModeMEM, MemWords),
+		Stmt(ClassRET|RetK, 0),
+	}
+	if err := p.Validate(); err == nil {
+		t.Fatal("scratch load out of range must be rejected")
+	}
+}
+
+func TestSeccompRejectsRetX(t *testing.T) {
+	p := Program{Stmt(ClassRET|RetX, 0)}
+	if err := p.Validate(); err != nil {
+		t.Fatalf("classic validation should accept RET|X: %v", err)
+	}
+	if err := p.ValidateSeccomp(); err == nil {
+		t.Fatal("seccomp validation must reject RET|X")
+	}
+}
+
+func TestSeccompRejectsUnalignedLoad(t *testing.T) {
+	p := Program{
+		Stmt(ClassLD|SizeW|ModeABS, 2),
+		Stmt(ClassRET|RetK, 0),
+	}
+	if err := p.ValidateSeccomp(); err == nil {
+		t.Fatal("unaligned absolute load must be rejected for seccomp")
+	}
+}
+
+func TestSeccompRejectsOutOfDataLoad(t *testing.T) {
+	p := Program{
+		Stmt(ClassLD|SizeW|ModeABS, SeccompDataSize),
+		Stmt(ClassRET|RetK, 0),
+	}
+	if err := p.ValidateSeccomp(); err == nil {
+		t.Fatal("load beyond seccomp_data must be rejected")
+	}
+}
+
+func TestSeccompRejectsSubWordLoad(t *testing.T) {
+	p := Program{
+		Stmt(ClassLD|SizeB|ModeABS, 0),
+		Stmt(ClassRET|RetK, 0),
+	}
+	if err := p.ValidateSeccomp(); err == nil {
+		t.Fatal("byte-sized absolute load must be rejected for seccomp")
+	}
+}
+
+func TestSeccompRejectsIndirectLoad(t *testing.T) {
+	p := Program{
+		Stmt(ClassLD|SizeW|ModeIND, 0),
+		Stmt(ClassRET|RetK, 0),
+	}
+	if err := p.ValidateSeccomp(); err == nil {
+		t.Fatal("indirect load must be rejected for seccomp")
+	}
+}
+
+func TestSeccompAcceptsCanonicalFilterShape(t *testing.T) {
+	// The canonical allow-or-fake shape: load nr, compare, return.
+	p := Program{
+		Stmt(ClassLD|SizeW|ModeABS, 0),       // A = nr
+		Jump(ClassJMP|JmpJEQ|SrcK, 92, 0, 1), // nr == chown ?
+		Stmt(ClassRET|RetK, 0x00050000),      // ERRNO(0)
+		Stmt(ClassRET|RetK, 0x7fff0000),      // ALLOW
+	}
+	if err := p.ValidateSeccomp(); err != nil {
+		t.Fatalf("canonical filter rejected: %v", err)
+	}
+}
+
+func runVM(t *testing.T, p Program, data []byte) uint32 {
+	t.Helper()
+	if err := p.Validate(); err != nil {
+		t.Fatalf("program invalid: %v", err)
+	}
+	var vm VM
+	got, err := vm.Run(p, data)
+	if err != nil {
+		t.Fatalf("vm: %v", err)
+	}
+	return got
+}
+
+func TestVMRetConstant(t *testing.T) {
+	if got := runVM(t, retProg(0xdead), nil); got != 0xdead {
+		t.Fatalf("got %#x, want 0xdead", got)
+	}
+}
+
+func TestVMLoadAbsWordBigEndian(t *testing.T) {
+	p := Program{
+		Stmt(ClassLD|SizeW|ModeABS, 4),
+		Stmt(ClassRET|RetA, 0),
+	}
+	data := []byte{0, 0, 0, 0, 0x12, 0x34, 0x56, 0x78}
+	if got := runVM(t, p, data); got != 0x12345678 {
+		t.Fatalf("got %#x, want 0x12345678", got)
+	}
+}
+
+func TestVMLoadOutOfRangeReturnsZero(t *testing.T) {
+	p := Program{
+		Stmt(ClassLD|SizeW|ModeABS, 100),
+		Stmt(ClassRET|RetK, 0xffffffff),
+	}
+	if got := runVM(t, p, make([]byte, 8)); got != 0 {
+		t.Fatalf("out-of-range load must terminate with 0, got %#x", got)
+	}
+}
+
+func TestVMALUOperations(t *testing.T) {
+	cases := []struct {
+		name string
+		op   uint16
+		a, k uint32
+		want uint32
+	}{
+		{"add", ClassALU | ALUAdd | SrcK, 10, 3, 13},
+		{"add wraps", ClassALU | ALUAdd | SrcK, 0xffffffff, 2, 1},
+		{"sub", ClassALU | ALUSub | SrcK, 10, 3, 7},
+		{"sub wraps", ClassALU | ALUSub | SrcK, 0, 1, 0xffffffff},
+		{"mul", ClassALU | ALUMul | SrcK, 7, 6, 42},
+		{"div", ClassALU | ALUDiv | SrcK, 42, 5, 8},
+		{"mod", ClassALU | ALUMod | SrcK, 42, 5, 2},
+		{"or", ClassALU | ALUOr | SrcK, 0xf0, 0x0f, 0xff},
+		{"and", ClassALU | ALUAnd | SrcK, 0xff, 0x0f, 0x0f},
+		{"xor", ClassALU | ALUXor | SrcK, 0xff, 0x0f, 0xf0},
+		{"lsh", ClassALU | ALULsh | SrcK, 1, 4, 16},
+		{"rsh", ClassALU | ALURsh | SrcK, 16, 4, 1},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			p := Program{
+				Stmt(ClassLD|SizeW|ModeIMM, c.a),
+				Stmt(c.op, c.k),
+				Stmt(ClassRET|RetA, 0),
+			}
+			if got := runVM(t, p, nil); got != c.want {
+				t.Fatalf("%s: got %#x, want %#x", c.name, got, c.want)
+			}
+		})
+	}
+}
+
+func TestVMNeg(t *testing.T) {
+	p := Program{
+		Stmt(ClassLD|SizeW|ModeIMM, 1),
+		Stmt(ClassALU|ALUNeg, 0),
+		Stmt(ClassRET|RetA, 0),
+	}
+	if got := runVM(t, p, nil); got != 0xffffffff {
+		t.Fatalf("neg 1 = %#x, want 0xffffffff", got)
+	}
+}
+
+func TestVMRuntimeDivByZeroViaX(t *testing.T) {
+	p := Program{
+		Stmt(ClassLD|SizeW|ModeIMM, 42),
+		Stmt(ClassLDX|SizeW|ModeIMM, 0),
+		Stmt(ClassALU|ALUDiv|SrcX, 0),
+		Stmt(ClassRET|RetK, 0xff),
+	}
+	if got := runVM(t, p, nil); got != 0 {
+		t.Fatalf("runtime div by zero must return 0, got %#x", got)
+	}
+}
+
+func TestVMScratchMemory(t *testing.T) {
+	p := Program{
+		Stmt(ClassLD|SizeW|ModeIMM, 0x1111),
+		Stmt(ClassST, 3),
+		Stmt(ClassLD|SizeW|ModeIMM, 0),
+		Stmt(ClassLD|SizeW|ModeMEM, 3),
+		Stmt(ClassRET|RetA, 0),
+	}
+	if got := runVM(t, p, nil); got != 0x1111 {
+		t.Fatalf("scratch roundtrip got %#x", got)
+	}
+}
+
+func TestVMRegisterTransfers(t *testing.T) {
+	p := Program{
+		Stmt(ClassLD|SizeW|ModeIMM, 0x2222),
+		Stmt(ClassMISC|MiscTAX, 0), // X = A
+		Stmt(ClassLD|SizeW|ModeIMM, 0),
+		Stmt(ClassMISC|MiscTXA, 0), // A = X
+		Stmt(ClassRET|RetA, 0),
+	}
+	if got := runVM(t, p, nil); got != 0x2222 {
+		t.Fatalf("tax/txa roundtrip got %#x", got)
+	}
+}
+
+func TestVMConditionalJumps(t *testing.T) {
+	// if A == 5 return 1 else return 2
+	mk := func(op uint16, k uint32) Program {
+		return Program{
+			Stmt(ClassLD|SizeW|ModeIMM, 5),
+			Jump(op, k, 0, 1),
+			Stmt(ClassRET|RetK, 1),
+			Stmt(ClassRET|RetK, 2),
+		}
+	}
+	cases := []struct {
+		name string
+		op   uint16
+		k    uint32
+		want uint32
+	}{
+		{"jeq taken", ClassJMP | JmpJEQ | SrcK, 5, 1},
+		{"jeq not taken", ClassJMP | JmpJEQ | SrcK, 6, 2},
+		{"jgt taken", ClassJMP | JmpJGT | SrcK, 4, 1},
+		{"jgt not taken", ClassJMP | JmpJGT | SrcK, 5, 2},
+		{"jge taken", ClassJMP | JmpJGE | SrcK, 5, 1},
+		{"jge not taken", ClassJMP | JmpJGE | SrcK, 6, 2},
+		{"jset taken", ClassJMP | JmpJSET | SrcK, 4, 1},
+		{"jset not taken", ClassJMP | JmpJSET | SrcK, 2, 2},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if got := runVM(t, mk(c.op, c.k), nil); got != c.want {
+				t.Fatalf("got %d, want %d", got, c.want)
+			}
+		})
+	}
+}
+
+func TestVMLen(t *testing.T) {
+	p := Program{
+		Stmt(ClassLD|SizeW|ModeLEN, 0),
+		Stmt(ClassRET|RetA, 0),
+	}
+	if got := runVM(t, p, make([]byte, 64)); got != 64 {
+		t.Fatalf("len got %d", got)
+	}
+}
+
+func TestAssemblerForwardJumps(t *testing.T) {
+	a := NewAssembler()
+	a.LoadAbsW(0)
+	a.JeqImm(42, "fake", "")
+	a.Ret(1)
+	a.Label("fake")
+	a.Ret(2)
+	p, err := a.Assemble()
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	data := make([]byte, SeccompDataSize)
+	binary.BigEndian.PutUint32(data, 42)
+	if got := runVM(t, p, data); got != 2 {
+		t.Fatalf("taken branch got %d, want 2", got)
+	}
+	binary.BigEndian.PutUint32(data, 41)
+	if got := runVM(t, p, data); got != 1 {
+		t.Fatalf("fallthrough got %d, want 1", got)
+	}
+}
+
+func TestAssemblerUndefinedLabel(t *testing.T) {
+	a := NewAssembler()
+	a.JeqImm(1, "nowhere", "")
+	a.Ret(0)
+	if _, err := a.Assemble(); err == nil {
+		t.Fatal("undefined label must fail")
+	}
+}
+
+func TestAssemblerBackwardJump(t *testing.T) {
+	a := NewAssembler()
+	a.Label("top")
+	a.Ret(0)
+	a.Ja("top")
+	a.Ret(0)
+	if _, err := a.Assemble(); err == nil {
+		t.Fatal("backward jump must fail")
+	}
+}
+
+func TestAssemblerDuplicateLabel(t *testing.T) {
+	a := NewAssembler()
+	a.Label("x")
+	a.Ret(0)
+	a.Label("x")
+	a.Ret(0)
+	if _, err := a.Assemble(); err == nil {
+		t.Fatal("duplicate label must fail")
+	}
+}
+
+func TestAssemblerBranchSpanLimit(t *testing.T) {
+	a := NewAssembler()
+	a.JeqImm(1, "far", "")
+	for i := 0; i < 300; i++ {
+		a.LoadImm(uint32(i))
+	}
+	a.Label("far")
+	a.Ret(0)
+	if _, err := a.Assemble(); err == nil {
+		t.Fatal("conditional branch spanning >255 insns must fail")
+	}
+}
+
+func TestAssemblerUnconditionalLongJump(t *testing.T) {
+	a := NewAssembler()
+	a.Ja("far")
+	for i := 0; i < 300; i++ {
+		a.LoadImm(uint32(i))
+	}
+	a.Label("far")
+	a.Ret(9)
+	p, err := a.Assemble()
+	if err != nil {
+		t.Fatalf("ja has 32-bit range and must assemble: %v", err)
+	}
+	if got := runVM(t, p, nil); got != 9 {
+		t.Fatalf("long ja got %d", got)
+	}
+}
+
+func TestMarshalRoundTrip(t *testing.T) {
+	a := NewAssembler()
+	a.LoadAbsW(4)
+	a.JeqImm(0xc000003e, "ok", "")
+	a.Ret(0)
+	a.Label("ok")
+	a.Ret(0x7fff0000)
+	p := a.MustAssemble()
+	for _, order := range []binary.ByteOrder{binary.LittleEndian, binary.BigEndian} {
+		b := Marshal(p, order)
+		if len(b) != len(p)*InstructionSize {
+			t.Fatalf("marshal size %d", len(b))
+		}
+		q, err := Unmarshal(b, order)
+		if err != nil {
+			t.Fatalf("unmarshal: %v", err)
+		}
+		if !Equal(p, q) {
+			t.Fatalf("round trip mismatch under %v", order)
+		}
+	}
+}
+
+func TestUnmarshalBadLength(t *testing.T) {
+	if _, err := Unmarshal(make([]byte, 7), binary.LittleEndian); err == nil {
+		t.Fatal("length not multiple of 8 must fail")
+	}
+}
+
+func TestDisassembleStable(t *testing.T) {
+	a := NewAssembler()
+	a.LoadAbsW(0)
+	a.JeqImm(92, "fake", "")
+	a.Ret(0x7fff0000)
+	a.Label("fake")
+	a.Ret(0x00050000)
+	p := a.MustAssemble()
+	out := Disassemble(p)
+	for _, want := range []string{"seccomp_data.nr", "ALLOW", "ERRNO(0)", "jeq"} {
+		if !contains(out, want) {
+			t.Fatalf("disassembly missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func contains(s, sub string) bool {
+	return len(s) >= len(sub) && (s == sub || len(sub) == 0 ||
+		indexOf(s, sub) >= 0)
+}
+
+func indexOf(s, sub string) int {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return i
+		}
+	}
+	return -1
+}
+
+// TestQuickValidatedProgramsTerminate is the core safety property the
+// kernel relies on: any program passing validation terminates and returns
+// without error, for arbitrary input data.
+func TestQuickValidatedProgramsTerminate(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	gen := func() Program {
+		n := 1 + rng.Intn(32)
+		p := make(Program, 0, n+1)
+		for i := 0; i < n; i++ {
+			p = append(p, randomInsn(rng, n-i))
+		}
+		p = append(p, Stmt(ClassRET|RetK, uint32(rng.Uint32())))
+		return p
+	}
+	var vm VM
+	validated := 0
+	for i := 0; i < 3000; i++ {
+		p := gen()
+		if p.Validate() != nil {
+			continue
+		}
+		validated++
+		data := make([]byte, rng.Intn(72))
+		rng.Read(data)
+		if _, err := vm.Run(p, data); err != nil {
+			t.Fatalf("validated program failed at run time: %v\n%s", err, Disassemble(p))
+		}
+	}
+	if validated < 100 {
+		t.Fatalf("generator too weak: only %d/3000 programs validated", validated)
+	}
+}
+
+// randomInsn produces a plausibly-valid instruction; remaining is the count
+// of instructions after this one, used to keep most jumps in range so a
+// useful fraction of programs validates.
+func randomInsn(rng *rand.Rand, remaining int) Instruction {
+	switch rng.Intn(7) {
+	case 0:
+		return Stmt(ClassLD|SizeW|ModeIMM, rng.Uint32())
+	case 1:
+		return Stmt(ClassLD|SizeW|ModeABS, uint32(rng.Intn(80)))
+	case 2:
+		return Stmt(ClassST, uint32(rng.Intn(MemWords)))
+	case 3:
+		ops := []uint16{ALUAdd, ALUSub, ALUMul, ALUOr, ALUAnd, ALUXor}
+		return Stmt(ClassALU|ops[rng.Intn(len(ops))]|SrcK, rng.Uint32())
+	case 4:
+		jt := uint8(rng.Intn(remaining + 1))
+		jf := uint8(rng.Intn(remaining + 1))
+		return Jump(ClassJMP|JmpJEQ|SrcK, rng.Uint32(), jt, jf)
+	case 5:
+		return Stmt(ClassMISC|MiscTAX, 0)
+	default:
+		return Stmt(ClassRET|RetK, rng.Uint32())
+	}
+}
+
+// TestQuickMarshalRoundTrip property: Marshal∘Unmarshal is the identity for
+// any instruction sequence.
+func TestQuickMarshalRoundTrip(t *testing.T) {
+	f := func(ops []uint16, ks []uint32) bool {
+		n := len(ops)
+		if len(ks) < n {
+			n = len(ks)
+		}
+		p := make(Program, n)
+		for i := 0; i < n; i++ {
+			p[i] = Instruction{Op: ops[i], JT: uint8(ks[i]), JF: uint8(ks[i] >> 8), K: ks[i]}
+		}
+		b := Marshal(p, binary.LittleEndian)
+		q, err := Unmarshal(b, binary.LittleEndian)
+		return err == nil && Equal(p, q)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkVMMinimalProgram(b *testing.B) {
+	p := retProg(0x7fff0000)
+	data := make([]byte, SeccompDataSize)
+	var vm VM
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		vm.Run(p, data)
+	}
+}
+
+func BenchmarkVMCanonicalFilter(b *testing.B) {
+	// A realistic 64-instruction dispatch ladder.
+	a := NewAssembler()
+	a.LoadAbsW(0)
+	for i := 0; i < 29; i++ {
+		a.JeqImm(uint32(100+i), "fake", "")
+	}
+	a.Ret(0x7fff0000)
+	a.Label("fake")
+	a.Ret(0x00050000)
+	p := a.MustAssemble()
+	data := make([]byte, SeccompDataSize)
+	var vm VM
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		vm.Run(p, data)
+	}
+}
+
+func TestAnalyzeMinimal(t *testing.T) {
+	st, err := Analyze(retProg(0))
+	if err != nil || st.Shortest != 1 || st.Longest != 1 {
+		t.Fatalf("minimal: %+v %v", st, err)
+	}
+}
+
+func TestAnalyzeBranches(t *testing.T) {
+	// ld; jeq -> ret / ld; ret — shortest 3, longest 4.
+	p := Program{
+		Stmt(ClassLD|SizeW|ModeABS, 0),
+		Jump(ClassJMP|JmpJEQ|SrcK, 1, 0, 1),
+		Stmt(ClassRET|RetK, 1),
+		Stmt(ClassLD|SizeW|ModeIMM, 0),
+		Stmt(ClassRET|RetK, 2),
+	}
+	st, err := Analyze(p)
+	if err != nil || st.Shortest != 3 || st.Longest != 4 {
+		t.Fatalf("branches: %+v %v", st, err)
+	}
+}
+
+func TestAnalyzeRejectsInvalid(t *testing.T) {
+	if _, err := Analyze(Program{Stmt(ClassLD|SizeW|ModeIMM, 1)}); err == nil {
+		t.Fatal("invalid program must not analyze")
+	}
+}
+
+// TestQuickAnalyzeBoundsActualExecution: for random valid programs and
+// random inputs, the interpreter never executes more instructions than the
+// statically computed Longest path. (The Shortest bound does not hold
+// universally: out-of-range data loads terminate execution early with
+// return value 0.)
+func TestQuickAnalyzeBoundsActualExecution(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	var vm VM
+	checked := 0
+	for i := 0; i < 2000; i++ {
+		n := 1 + rng.Intn(24)
+		p := make(Program, 0, n+1)
+		for j := 0; j < n; j++ {
+			p = append(p, randomInsn(rng, n-j))
+		}
+		p = append(p, Stmt(ClassRET|RetK, 0))
+		st, err := Analyze(p)
+		if err != nil {
+			continue
+		}
+		checked++
+		data := make([]byte, 80) // full seccomp_data: no early load exits
+		rng.Read(data)
+		vm.Run(p, data)
+		if vm.Steps > st.Longest {
+			t.Fatalf("steps %d exceed longest path %d:\n%s",
+				vm.Steps, st.Longest, Disassemble(p))
+		}
+	}
+	if checked < 100 {
+		t.Fatalf("only %d programs analyzed", checked)
+	}
+}

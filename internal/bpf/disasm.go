@@ -1,0 +1,144 @@
+package bpf
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Disassemble renders the program in the two-column style of bpf_asm /
+// libseccomp's scmp_bpf_disasm: index, mnemonic, operands, and resolved
+// branch targets. It never fails; unknown opcodes render as raw words so a
+// rejected program can still be inspected.
+func Disassemble(p Program) string {
+	var b strings.Builder
+	for pc, ins := range p {
+		fmt.Fprintf(&b, "%04d: %s\n", pc, DisasmInsn(ins, pc))
+	}
+	return b.String()
+}
+
+// DisasmInsn renders a single instruction. pc is used to resolve jump
+// targets to absolute indices.
+func DisasmInsn(ins Instruction, pc int) string {
+	switch Class(ins.Op) {
+	case ClassLD:
+		return disasmLoad("ld", ins)
+	case ClassLDX:
+		return disasmLoad("ldx", ins)
+	case ClassST:
+		return fmt.Sprintf("st   M[%d]", ins.K)
+	case ClassSTX:
+		return fmt.Sprintf("stx  M[%d]", ins.K)
+	case ClassALU:
+		return disasmALU(ins)
+	case ClassJMP:
+		return disasmJump(ins, pc)
+	case ClassRET:
+		switch RetSrc(ins.Op) {
+		case RetA:
+			return "ret  A"
+		case RetX:
+			return "ret  X"
+		default:
+			return fmt.Sprintf("ret  %#08x%s", ins.K, retComment(ins.K))
+		}
+	case ClassMISC:
+		if MiscOp(ins.Op) == MiscTAX {
+			return "tax"
+		}
+		return "txa"
+	}
+	return fmt.Sprintf(".word %#04x %d %d %#x", ins.Op, ins.JT, ins.JF, ins.K)
+}
+
+func disasmLoad(mn string, ins Instruction) string {
+	sz := map[uint16]string{SizeW: "", SizeH: "h", SizeB: "b"}[Size(ins.Op)]
+	switch Mode(ins.Op) {
+	case ModeIMM:
+		return fmt.Sprintf("%-4s #%#x", mn, ins.K)
+	case ModeABS:
+		return fmt.Sprintf("%s%-3s [%d]%s", mn, sz, ins.K, seccompFieldComment(ins.K))
+	case ModeIND:
+		return fmt.Sprintf("%s%-3s [x + %d]", mn, sz, ins.K)
+	case ModeMEM:
+		return fmt.Sprintf("%-4s M[%d]", mn, ins.K)
+	case ModeLEN:
+		return fmt.Sprintf("%-4s len", mn)
+	case ModeMSH:
+		return fmt.Sprintf("%-4s 4*([%d]&0xf)", mn, ins.K)
+	}
+	return fmt.Sprintf("%-4s ?%#x", mn, ins.K)
+}
+
+func disasmALU(ins Instruction) string {
+	names := map[uint16]string{
+		ALUAdd: "add", ALUSub: "sub", ALUMul: "mul", ALUDiv: "div",
+		ALUOr: "or", ALUAnd: "and", ALULsh: "lsh", ALURsh: "rsh",
+		ALUNeg: "neg", ALUMod: "mod", ALUXor: "xor",
+	}
+	name := names[ALUOp(ins.Op)]
+	if ALUOp(ins.Op) == ALUNeg {
+		return "neg"
+	}
+	if SrcOperand(ins.Op) == SrcX {
+		return fmt.Sprintf("%-4s x", name)
+	}
+	return fmt.Sprintf("%-4s #%#x", name, ins.K)
+}
+
+func disasmJump(ins Instruction, pc int) string {
+	if JmpOp(ins.Op) == JmpJA {
+		return fmt.Sprintf("ja   %d", pc+1+int(ins.K))
+	}
+	names := map[uint16]string{JmpJEQ: "jeq", JmpJGT: "jgt", JmpJGE: "jge", JmpJSET: "jset"}
+	name := names[JmpOp(ins.Op)]
+	operand := fmt.Sprintf("#%#x", ins.K)
+	if SrcOperand(ins.Op) == SrcX {
+		operand = "x"
+	}
+	return fmt.Sprintf("%-4s %s, %d, %d", name, operand, pc+1+int(ins.JT), pc+1+int(ins.JF))
+}
+
+// seccompFieldComment annotates absolute load offsets with the
+// seccomp_data field they address, the single most useful hint when
+// reading a generated filter.
+func seccompFieldComment(off uint32) string {
+	switch {
+	case off == 0:
+		return "  ; seccomp_data.nr"
+	case off == 4:
+		return "  ; seccomp_data.arch"
+	case off == 8 || off == 12:
+		return "  ; seccomp_data.instruction_pointer"
+	case off >= 16 && off < SeccompDataSize:
+		arg := (off - 16) / 8
+		half := "lo"
+		if (off-16)%8 == 4 {
+			half = "hi"
+		}
+		return fmt.Sprintf("  ; seccomp_data.args[%d].%s", arg, half)
+	}
+	return ""
+}
+
+// retComment annotates common seccomp return constants.
+func retComment(k uint32) string {
+	switch k & 0xffff0000 {
+	case 0x7fff0000:
+		return "  ; ALLOW"
+	case 0x00050000:
+		return fmt.Sprintf("  ; ERRNO(%d)", k&0xffff)
+	case 0x00030000:
+		return "  ; TRAP"
+	case 0x80000000:
+		return "  ; KILL_PROCESS"
+	case 0x7ffc0000:
+		return "  ; LOG"
+	case 0x7ff00000:
+		return "  ; TRACE"
+	}
+	if k == 0 {
+		return "  ; KILL_THREAD"
+	}
+	return ""
+}

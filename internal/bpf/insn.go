@@ -1,0 +1,160 @@
+// Package bpf implements the classic Berkeley Packet Filter (cBPF) virtual
+// machine as used by Linux seccomp filter mode: instruction encoding, an
+// assembler with symbolic labels, a kernel-equivalent verifier, a
+// disassembler, and an interpreter.
+//
+// Seccomp filters are cBPF programs run by the kernel on every system call.
+// This package reproduces the execution environment exactly as documented in
+// seccomp(2) and the kernel's net/core/filter.c + kernel/seccomp.c, so that a
+// filter program verified and evaluated here behaves identically to one
+// loaded into a real kernel. The same program bytes can be handed to the
+// native install path (internal/seccomp) or to the simulated kernel
+// (internal/simos).
+package bpf
+
+import "fmt"
+
+// Instruction classes (low 3 bits of the opcode).
+const (
+	ClassLD   = 0x00 // load into accumulator A
+	ClassLDX  = 0x01 // load into index register X
+	ClassST   = 0x02 // store A into scratch memory
+	ClassSTX  = 0x03 // store X into scratch memory
+	ClassALU  = 0x04 // arithmetic on A
+	ClassJMP  = 0x05 // jumps
+	ClassRET  = 0x06 // return
+	ClassMISC = 0x07 // register transfers
+)
+
+// Load sizes (bits 3-4).
+const (
+	SizeW = 0x00 // 32-bit word
+	SizeH = 0x08 // 16-bit half word
+	SizeB = 0x10 // byte
+)
+
+// Load modes (bits 5-7).
+const (
+	ModeIMM = 0x00 // constant k
+	ModeABS = 0x20 // absolute offset k into input data
+	ModeIND = 0x40 // indirect offset X+k into input data
+	ModeMEM = 0x60 // scratch memory slot k
+	ModeLEN = 0x80 // length of input data
+	ModeMSH = 0xa0 // IP header length hack (packet filters only)
+)
+
+// ALU/JMP source operand (bit 3).
+const (
+	SrcK = 0x00 // immediate k
+	SrcX = 0x08 // register X
+)
+
+// ALU operations (bits 4-7).
+const (
+	ALUAdd = 0x00
+	ALUSub = 0x10
+	ALUMul = 0x20
+	ALUDiv = 0x30
+	ALUOr  = 0x40
+	ALUAnd = 0x50
+	ALULsh = 0x60
+	ALURsh = 0x70
+	ALUNeg = 0x80
+	ALUMod = 0x90
+	ALUXor = 0xa0
+)
+
+// Jump operations (bits 4-7).
+const (
+	JmpJA   = 0x00 // unconditional, target pc+1+k
+	JmpJEQ  = 0x10
+	JmpJGT  = 0x20
+	JmpJGE  = 0x30
+	JmpJSET = 0x40 // jump if A & operand != 0
+)
+
+// Return value sources (bits 3-4 of a ClassRET opcode).
+const (
+	RetK = 0x00 // return constant k
+	RetX = 0x08 // return register X (rejected by seccomp's checker)
+	RetA = 0x10 // return accumulator A
+)
+
+// MISC operations (bits 3-7).
+const (
+	MiscTAX = 0x00 // X = A
+	MiscTXA = 0x80 // A = X
+)
+
+// MemWords is the number of 32-bit scratch memory slots available to a
+// program (BPF_MEMWORDS in the kernel).
+const MemWords = 16
+
+// MaxInstructions is the kernel's BPF_MAXINSNS limit on program length.
+const MaxInstructions = 4096
+
+// Instruction is one cBPF instruction, laid out exactly like the kernel's
+// struct sock_filter: a 16-bit opcode, two 8-bit conditional-jump offsets,
+// and a 32-bit immediate.
+type Instruction struct {
+	Op uint16 // operation code
+	JT uint8  // jump offset if true (conditional jumps only)
+	JF uint8  // jump offset if false
+	K  uint32 // immediate / offset operand
+}
+
+// InstructionSize is the wire size of one encoded instruction in bytes.
+const InstructionSize = 8
+
+// Class extracts the instruction class from an opcode.
+func Class(op uint16) uint16 { return op & 0x07 }
+
+// Size extracts the load size bits from an opcode.
+func Size(op uint16) uint16 { return op & 0x18 }
+
+// Mode extracts the addressing-mode bits from an opcode.
+func Mode(op uint16) uint16 { return op & 0xe0 }
+
+// ALUOp extracts the ALU operation bits from an opcode.
+func ALUOp(op uint16) uint16 { return op & 0xf0 }
+
+// JmpOp extracts the jump operation bits from an opcode.
+func JmpOp(op uint16) uint16 { return op & 0xf0 }
+
+// SrcOperand extracts the source-operand bit (SrcK or SrcX).
+func SrcOperand(op uint16) uint16 { return op & 0x08 }
+
+// RetSrc extracts the return-value source bits (RetK, RetX or RetA).
+func RetSrc(op uint16) uint16 { return op & 0x18 }
+
+// MiscOp extracts the MISC operation bits.
+func MiscOp(op uint16) uint16 { return op & 0xf8 }
+
+// Stmt builds a non-jump instruction (the kernel's BPF_STMT macro).
+func Stmt(op uint16, k uint32) Instruction {
+	return Instruction{Op: op, K: k}
+}
+
+// Jump builds a conditional-jump instruction (the kernel's BPF_JUMP macro).
+func Jump(op uint16, k uint32, jt, jf uint8) Instruction {
+	return Instruction{Op: op, JT: jt, JF: jf, K: k}
+}
+
+// Program is a complete cBPF program.
+type Program []Instruction
+
+// Validate reports whether the program passes the general cBPF checks the
+// kernel applies at attach time (bpf_check_classic): length bounds, known
+// opcodes, in-range jumps (forward only), in-range scratch slots, no division
+// by constant zero, and a guaranteed return.
+func (p Program) Validate() error { return validateClassic(p) }
+
+// ValidateSeccomp reports whether the program additionally passes the
+// seccomp-specific instruction whitelist (seccomp_check_filter): only a
+// restricted opcode set is allowed and absolute loads must fall inside
+// struct seccomp_data.
+func (p Program) ValidateSeccomp() error { return validateSeccomp(p) }
+
+func (i Instruction) String() string {
+	return fmt.Sprintf("{op=%#04x jt=%d jf=%d k=%#x}", i.Op, i.JT, i.JF, i.K)
+}

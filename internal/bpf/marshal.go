@@ -1,0 +1,57 @@
+package bpf
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Marshal encodes the program in the wire layout of struct sock_filter[]
+// with the given byte order. The kernel consumes native-endian programs;
+// callers exporting to a cross-endian target (s390x filters generated on
+// x86_64, say) pick the order explicitly, which is why there is no
+// hidden-host-order variant.
+func Marshal(p Program, order binary.ByteOrder) []byte {
+	out := make([]byte, len(p)*InstructionSize)
+	for i, ins := range p {
+		off := i * InstructionSize
+		order.PutUint16(out[off:], ins.Op)
+		out[off+2] = ins.JT
+		out[off+3] = ins.JF
+		order.PutUint32(out[off+4:], ins.K)
+	}
+	return out
+}
+
+// Unmarshal decodes a struct sock_filter[] image produced by Marshal with
+// the same byte order.
+func Unmarshal(b []byte, order binary.ByteOrder) (Program, error) {
+	if len(b)%InstructionSize != 0 {
+		return nil, fmt.Errorf("bpf: unmarshal: length %d not a multiple of %d", len(b), InstructionSize)
+	}
+	p := make(Program, len(b)/InstructionSize)
+	for i := range p {
+		off := i * InstructionSize
+		p[i] = Instruction{
+			Op: order.Uint16(b[off:]),
+			JT: b[off+2],
+			JF: b[off+3],
+			K:  order.Uint32(b[off+4:]),
+		}
+	}
+	return p, nil
+}
+
+// Equal reports whether two programs are instruction-for-instruction
+// identical. Used by the same-bytes tests: the program the sim kernel
+// interprets must match the one the native path loads.
+func Equal(a, b Program) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,209 @@
+package bpf
+
+import "fmt"
+
+// VerifyError describes a program rejected by the verifier, identifying the
+// offending instruction the same way the kernel's EINVAL would (by index).
+type VerifyError struct {
+	PC     int    // instruction index, -1 for whole-program errors
+	Reason string // human-readable cause
+}
+
+func (e *VerifyError) Error() string {
+	if e.PC < 0 {
+		return "bpf: verify: " + e.Reason
+	}
+	return fmt.Sprintf("bpf: verify: insn %d: %s", e.PC, e.Reason)
+}
+
+func errAt(pc int, format string, args ...any) error {
+	return &VerifyError{PC: pc, Reason: fmt.Sprintf(format, args...)}
+}
+
+// validateClassic mirrors the kernel's bpf_check_classic(): every opcode must
+// be known, all jumps must land strictly forward and inside the program
+// (cBPF is verifiable precisely because it cannot loop), scratch-memory
+// references must be within MemWords, constant division by zero is rejected,
+// and the final reachable flow must end in RET (the kernel requires the last
+// instruction to be a return).
+func validateClassic(p Program) error {
+	if len(p) == 0 {
+		return &VerifyError{PC: -1, Reason: "empty program"}
+	}
+	if len(p) > MaxInstructions {
+		return &VerifyError{PC: -1, Reason: fmt.Sprintf("program too long: %d > %d instructions", len(p), MaxInstructions)}
+	}
+	for pc, ins := range p {
+		switch Class(ins.Op) {
+		case ClassLD, ClassLDX:
+			if err := checkLoad(pc, ins); err != nil {
+				return err
+			}
+		case ClassST, ClassSTX:
+			if Size(ins.Op) != 0 || Mode(ins.Op) != 0 {
+				return errAt(pc, "unknown store opcode %#04x", ins.Op)
+			}
+			if ins.K >= MemWords {
+				return errAt(pc, "scratch store slot %d out of range [0,%d)", ins.K, MemWords)
+			}
+		case ClassALU:
+			if err := checkALU(pc, ins); err != nil {
+				return err
+			}
+		case ClassJMP:
+			if err := checkJump(pc, ins, len(p)); err != nil {
+				return err
+			}
+		case ClassRET:
+			switch RetSrc(ins.Op) {
+			case RetK, RetA, RetX:
+			default:
+				return errAt(pc, "unknown return source in opcode %#04x", ins.Op)
+			}
+		case ClassMISC:
+			switch MiscOp(ins.Op) {
+			case MiscTAX, MiscTXA:
+			default:
+				return errAt(pc, "unknown misc opcode %#04x", ins.Op)
+			}
+		default:
+			return errAt(pc, "unknown instruction class in opcode %#04x", ins.Op)
+		}
+	}
+	last := p[len(p)-1]
+	if Class(last.Op) != ClassRET {
+		return errAt(len(p)-1, "program must end with a return, got opcode %#04x", last.Op)
+	}
+	return nil
+}
+
+func checkLoad(pc int, ins Instruction) error {
+	cls := Class(ins.Op)
+	mode := Mode(ins.Op)
+	size := Size(ins.Op)
+	switch mode {
+	case ModeIMM, ModeLEN:
+		// size bits must be W for these in practice; the kernel accepts
+		// only the canonical encodings.
+		if size != SizeW {
+			return errAt(pc, "immediate/len load must be word-sized, opcode %#04x", ins.Op)
+		}
+	case ModeABS, ModeIND:
+		if cls == ClassLDX && mode == ModeABS {
+			return errAt(pc, "LDX does not support absolute mode")
+		}
+		if cls == ClassLDX && mode == ModeIND {
+			return errAt(pc, "LDX does not support indirect mode")
+		}
+		switch size {
+		case SizeW, SizeH, SizeB:
+		default:
+			return errAt(pc, "bad load size in opcode %#04x", ins.Op)
+		}
+	case ModeMEM:
+		if ins.K >= MemWords {
+			return errAt(pc, "scratch load slot %d out of range [0,%d)", ins.K, MemWords)
+		}
+	case ModeMSH:
+		if cls != ClassLDX || size != SizeB {
+			return errAt(pc, "MSH mode is only valid as LDX|B, opcode %#04x", ins.Op)
+		}
+	default:
+		return errAt(pc, "unknown load mode in opcode %#04x", ins.Op)
+	}
+	return nil
+}
+
+func checkALU(pc int, ins Instruction) error {
+	switch ALUOp(ins.Op) {
+	case ALUAdd, ALUSub, ALUMul, ALUOr, ALUAnd, ALULsh, ALURsh, ALUXor:
+		// Shifts by constant >= 32 are undefined in C; the kernel rejects them.
+		if op := ALUOp(ins.Op); (op == ALULsh || op == ALURsh) &&
+			SrcOperand(ins.Op) == SrcK && ins.K >= 32 {
+			return errAt(pc, "constant shift %d out of range [0,32)", ins.K)
+		}
+	case ALUDiv, ALUMod:
+		if SrcOperand(ins.Op) == SrcK && ins.K == 0 {
+			return errAt(pc, "division by constant zero")
+		}
+	case ALUNeg:
+		if SrcOperand(ins.Op) != 0 {
+			return errAt(pc, "NEG takes no source operand")
+		}
+	default:
+		return errAt(pc, "unknown ALU op in opcode %#04x", ins.Op)
+	}
+	return nil
+}
+
+func checkJump(pc int, ins Instruction, n int) error {
+	switch JmpOp(ins.Op) {
+	case JmpJA:
+		// Unconditional: target is pc+1+K. K is unsigned so jumps are
+		// forward-only; guard overflow like the kernel does.
+		if ins.K >= uint32(n) || uint32(pc)+1+ins.K >= uint32(n) {
+			return errAt(pc, "unconditional jump to %d outside program of %d instructions", uint32(pc)+1+ins.K, n)
+		}
+	case JmpJEQ, JmpJGT, JmpJGE, JmpJSET:
+		if pc+1+int(ins.JT) >= n {
+			return errAt(pc, "true branch to %d outside program of %d instructions", pc+1+int(ins.JT), n)
+		}
+		if pc+1+int(ins.JF) >= n {
+			return errAt(pc, "false branch to %d outside program of %d instructions", pc+1+int(ins.JF), n)
+		}
+	default:
+		return errAt(pc, "unknown jump op in opcode %#04x", ins.Op)
+	}
+	return nil
+}
+
+// validateSeccomp mirrors the kernel's seccomp_check_filter(): on top of the
+// classic checks, only a whitelist of instructions is permitted, and
+// absolute loads must read 32-bit-aligned words inside struct seccomp_data.
+// Notably RET|X, packet-data indirect loads, and the MSH hack are rejected —
+// a seccomp filter cannot dereference pointers or return register X.
+func validateSeccomp(p Program) error {
+	if err := validateClassic(p); err != nil {
+		return err
+	}
+	for pc, ins := range p {
+		switch Class(ins.Op) {
+		case ClassLD:
+			switch Mode(ins.Op) {
+			case ModeIMM, ModeMEM, ModeLEN:
+				// allowed
+			case ModeABS:
+				if Size(ins.Op) != SizeW {
+					return errAt(pc, "seccomp: absolute load must be word-sized")
+				}
+				if ins.K&3 != 0 {
+					return errAt(pc, "seccomp: absolute load offset %d not 4-byte aligned", ins.K)
+				}
+				if ins.K >= SeccompDataSize {
+					return errAt(pc, "seccomp: absolute load offset %d outside seccomp_data (%d bytes)", ins.K, SeccompDataSize)
+				}
+			default:
+				return errAt(pc, "seccomp: load mode %#x not permitted", Mode(ins.Op))
+			}
+		case ClassLDX:
+			switch Mode(ins.Op) {
+			case ModeIMM, ModeMEM, ModeLEN:
+			default:
+				return errAt(pc, "seccomp: LDX mode %#x not permitted", Mode(ins.Op))
+			}
+		case ClassST, ClassSTX, ClassALU, ClassMISC:
+			// all forms already validated by the classic pass
+		case ClassJMP:
+			// all jump forms allowed
+		case ClassRET:
+			if RetSrc(ins.Op) == RetX {
+				return errAt(pc, "seccomp: RET|X not permitted")
+			}
+		}
+	}
+	return nil
+}
+
+// SeccompDataSize is sizeof(struct seccomp_data): int nr; __u32 arch;
+// __u64 instruction_pointer; __u64 args[6].
+const SeccompDataSize = 4 + 4 + 8 + 6*8

@@ -1,0 +1,216 @@
+package bpf
+
+import (
+	"errors"
+	"fmt"
+)
+
+// VM executes cBPF programs with exactly the semantics of the kernel
+// interpreter: 32-bit unsigned arithmetic on the accumulator A and index
+// register X, 16 scratch words, forward-only jumps, and byte loads from the
+// input buffer. A program that reads past the end of the input terminates
+// with return value 0 (the kernel drops the packet / kills the task source
+// data on out-of-range loads by returning 0).
+//
+// The zero value is ready to use; Run is not safe for concurrent use on the
+// same VM (allocate one per goroutine or use Program.Run for a stateless
+// call).
+type VM struct {
+	mem [MemWords]uint32
+
+	// Steps counts instructions executed by the last Run, for the
+	// overhead benchmarks (E8): seccomp's cost per syscall is the filter
+	// path length.
+	Steps int
+}
+
+// ErrNotValidated is returned by Run when the program fails validation.
+// Callers should Validate (or ValidateSeccomp) once at install time, as the
+// kernel does, rather than per execution.
+var ErrNotValidated = errors.New("bpf: program failed validation")
+
+// Run validates and executes the program over data, returning the filter's
+// 32-bit return value. It is a convenience wrapper for one-shot use; for the
+// per-syscall hot path use VM.Run with a pre-validated program.
+func (p Program) Run(data []byte) (uint32, error) {
+	if err := p.Validate(); err != nil {
+		return 0, fmt.Errorf("%w: %v", ErrNotValidated, err)
+	}
+	var vm VM
+	return vm.Run(p, data)
+}
+
+// Run executes a pre-validated program over the input buffer. Behaviour on
+// an unvalidated program is undefined in the same way the kernel's would be;
+// out-of-range data loads return 0 as the kernel interpreter does.
+func (vm *VM) Run(p Program, data []byte) (uint32, error) {
+	var a, x uint32
+	for i := range vm.mem {
+		vm.mem[i] = 0
+	}
+	vm.Steps = 0
+	pc := 0
+	for pc < len(p) {
+		ins := p[pc]
+		vm.Steps++
+		next := pc + 1
+		switch Class(ins.Op) {
+		case ClassLD:
+			switch Mode(ins.Op) {
+			case ModeIMM:
+				a = ins.K
+			case ModeLEN:
+				a = uint32(len(data))
+			case ModeMEM:
+				a = vm.mem[ins.K]
+			case ModeABS:
+				v, ok := loadData(data, ins.K, Size(ins.Op))
+				if !ok {
+					return 0, nil
+				}
+				a = v
+			case ModeIND:
+				v, ok := loadData(data, x+ins.K, Size(ins.Op))
+				if !ok {
+					return 0, nil
+				}
+				a = v
+			}
+		case ClassLDX:
+			switch Mode(ins.Op) {
+			case ModeIMM:
+				x = ins.K
+			case ModeLEN:
+				x = uint32(len(data))
+			case ModeMEM:
+				x = vm.mem[ins.K]
+			case ModeMSH:
+				if int(ins.K) >= len(data) {
+					return 0, nil
+				}
+				x = uint32(data[ins.K]&0x0f) << 2
+			}
+		case ClassST:
+			vm.mem[ins.K] = a
+		case ClassSTX:
+			vm.mem[ins.K] = x
+		case ClassALU:
+			operand := ins.K
+			if SrcOperand(ins.Op) == SrcX {
+				operand = x
+			}
+			switch ALUOp(ins.Op) {
+			case ALUAdd:
+				a += operand
+			case ALUSub:
+				a -= operand
+			case ALUMul:
+				a *= operand
+			case ALUDiv:
+				if operand == 0 {
+					return 0, nil // kernel: runtime div-by-zero via X returns 0
+				}
+				a /= operand
+			case ALUMod:
+				if operand == 0 {
+					return 0, nil
+				}
+				a %= operand
+			case ALUOr:
+				a |= operand
+			case ALUAnd:
+				a &= operand
+			case ALUXor:
+				a ^= operand
+			case ALULsh:
+				if operand >= 32 {
+					a = 0 // shifts by >=32: kernel JIT-consistent zero
+				} else {
+					a <<= operand
+				}
+			case ALURsh:
+				if operand >= 32 {
+					a = 0
+				} else {
+					a >>= operand
+				}
+			case ALUNeg:
+				a = -a
+			}
+		case ClassJMP:
+			switch JmpOp(ins.Op) {
+			case JmpJA:
+				next = pc + 1 + int(ins.K)
+			default:
+				operand := ins.K
+				if SrcOperand(ins.Op) == SrcX {
+					operand = x
+				}
+				var cond bool
+				switch JmpOp(ins.Op) {
+				case JmpJEQ:
+					cond = a == operand
+				case JmpJGT:
+					cond = a > operand
+				case JmpJGE:
+					cond = a >= operand
+				case JmpJSET:
+					cond = a&operand != 0
+				}
+				if cond {
+					next = pc + 1 + int(ins.JT)
+				} else {
+					next = pc + 1 + int(ins.JF)
+				}
+			}
+		case ClassRET:
+			switch RetSrc(ins.Op) {
+			case RetK:
+				return ins.K, nil
+			case RetA:
+				return a, nil
+			case RetX:
+				return x, nil
+			}
+		case ClassMISC:
+			switch MiscOp(ins.Op) {
+			case MiscTAX:
+				x = a
+			case MiscTXA:
+				a = x
+			}
+		}
+		pc = next
+	}
+	// Unreachable for validated programs (they must end in RET), but keep
+	// the kernel's fail-safe of returning 0.
+	return 0, nil
+}
+
+// loadData performs a big-endian load from the input buffer, the network
+// byte order the classic packet-filter BPF machine specifies. Seccomp
+// programs never use H/B loads (the verifier forbids them), and the W loads
+// they perform are against a seccomp_data buffer that internal/seccomp
+// serialises in the matching order, so both worlds observe correct values.
+func loadData(data []byte, off uint32, size uint16) (uint32, bool) {
+	n := uint32(len(data))
+	switch size {
+	case SizeW:
+		if off > n || n-off < 4 {
+			return 0, false
+		}
+		return uint32(data[off])<<24 | uint32(data[off+1])<<16 |
+			uint32(data[off+2])<<8 | uint32(data[off+3]), true
+	case SizeH:
+		if off > n || n-off < 2 {
+			return 0, false
+		}
+		return uint32(data[off])<<8 | uint32(data[off+1]), true
+	case SizeB:
+		if off >= n {
+			return 0, false
+		}
+		return uint32(data[off]), true
+	}
+	return 0, false
+}

@@ -1,0 +1,155 @@
+// Package container implements the paper's tripartite container
+// classification (§2) over the simulated kernel:
+//
+//	Type I   — mount namespace only; setup requires root or CAP_SYS_ADMIN.
+//	Type II  — mount + privileged user namespaces; setup needs the setuid
+//	           helpers newuidmap(1)/newgidmap(1) (CAP_SETUID/CAP_SETGID),
+//	           so it is "rootless" in name only.
+//	Type III — mount + unprivileged user namespaces; setup is fully
+//	           unprivileged, the only kind acceptable for HPC centres that
+//	           forbid elevated access of any sort.
+//
+// Enter() performs the setup appropriate to the requested type and
+// re-roots the process onto the image filesystem, leaving the process as
+// "container root" — EUID 0 in its namespace view with full capabilities
+// there and, for Type III, a single-ID mapping to the invoking user.
+package container
+
+import (
+	"fmt"
+
+	"repro/internal/errno"
+	"repro/internal/simos"
+	"repro/internal/vfs"
+)
+
+// Type is the container classification.
+type Type int
+
+const (
+	// TypeI uses the mount namespace but not the user namespace.
+	TypeI Type = iota + 1
+	// TypeII uses mount plus privileged user namespaces.
+	TypeII
+	// TypeIII uses mount plus unprivileged user namespaces.
+	TypeIII
+)
+
+func (t Type) String() string {
+	switch t {
+	case TypeI:
+		return "Type I"
+	case TypeII:
+		return "Type II"
+	case TypeIII:
+		return "Type III"
+	}
+	return "Type ?"
+}
+
+// Options configures container entry.
+type Options struct {
+	Type Type
+
+	// RootFS is the image filesystem to pivot onto.
+	RootFS *vfs.FS
+
+	// UIDMaps/GIDMaps for Type II (multi-range, via the privileged
+	// helpers). Ignored for Type III, which always gets the single
+	// mapping {0 -> invoking IDs}.
+	UIDMaps []simos.MapRange
+	GIDMaps []simos.MapRange
+
+	// Helper simulates the presence of setuid-root newuidmap/newgidmap
+	// binaries for Type II. Without it, Type II setup fails — the paper's
+	// point that "rootless" Type II still depends on privileged helpers.
+	Helper bool
+}
+
+// Enter performs container setup on p. On success the process is rooted
+// on RootFS with the privilege structure of the requested type.
+func Enter(p *simos.Proc, opt Options) error {
+	if opt.RootFS == nil {
+		return fmt.Errorf("container: no root filesystem")
+	}
+	cred := p.Cred()
+	initNS := p.Kernel().InitNS()
+	switch opt.Type {
+	case TypeI:
+		// Mount-namespace-only: requires privilege in the init namespace.
+		if !cred.CapableIn(simos.CapSysAdmin, initNS) {
+			return fmt.Errorf("container: Type I setup requires root or CAP_SYS_ADMIN: %s", errno.EPERM.Message())
+		}
+		// No user namespace: IDs pass through. Pivot only.
+		p.SetMount(simos.Mount{FS: opt.RootFS, Owner: initNS})
+		return nil
+
+	case TypeII:
+		// Privileged user namespace: multi-range maps installed by the
+		// setuid helpers.
+		if !opt.Helper && !cred.CapableIn(simos.CapSetuid, initNS) {
+			return fmt.Errorf("container: Type II setup requires newuidmap/newgidmap (setuid helpers)")
+		}
+		if e := p.UnshareUser(); e != errno.OK {
+			return fmt.Errorf("container: unshare: %v", e)
+		}
+		uidMaps := opt.UIDMaps
+		if len(uidMaps) == 0 {
+			uidMaps = []simos.MapRange{
+				{Inside: 0, Global: cred.EUID, Count: 1},
+				{Inside: 1, Global: 100000, Count: 65536},
+			}
+		}
+		gidMaps := opt.GIDMaps
+		if len(gidMaps) == 0 {
+			gidMaps = []simos.MapRange{
+				{Inside: 0, Global: cred.EGID, Count: 1},
+				{Inside: 1, Global: 100000, Count: 65536},
+			}
+		}
+		// The helper writes the maps with CAP_SETUID/CAP_SETGID in the
+		// parent namespace; simulate by using the privileged map writer.
+		if err := writeMapsPrivileged(p, uidMaps, gidMaps); err != nil {
+			return err
+		}
+		p.SetMount(simos.Mount{FS: opt.RootFS, Owner: initNS})
+		return nil
+
+	case TypeIII:
+		// Fully unprivileged: single-ID maps written by the process
+		// itself, setgroups denied — the paper's target environment.
+		if e := p.UnshareUser(); e != errno.OK {
+			return fmt.Errorf("container: unshare: %v", e)
+		}
+		if e := p.WriteUIDMap([]simos.MapRange{{Inside: 0, Global: cred.EUID, Count: 1}}); e != errno.OK {
+			return fmt.Errorf("container: uid_map: %v", e)
+		}
+		if e := p.DenySetgroups(); e != errno.OK {
+			return fmt.Errorf("container: setgroups deny: %v", e)
+		}
+		if e := p.WriteGIDMap([]simos.MapRange{{Inside: 0, Global: cred.EGID, Count: 1}}); e != errno.OK {
+			return fmt.Errorf("container: gid_map: %v", e)
+		}
+		p.SetMount(simos.Mount{FS: opt.RootFS, Owner: initNS})
+		return nil
+	}
+	return fmt.Errorf("container: unknown type %d", int(opt.Type))
+}
+
+// writeMapsPrivileged installs multi-range maps as the setuid helpers
+// would: newuidmap/newgidmap are setuid root, so the write happens with
+// CAP_SETUID/CAP_SETGID in the parent namespace regardless of the caller's
+// own (lack of) privilege.
+func writeMapsPrivileged(p *simos.Proc, uidMaps, gidMaps []simos.MapRange) error {
+	if err := simos.HelperWriteMaps(p, uidMaps, gidMaps); err != nil {
+		return fmt.Errorf("container: newuidmap/newgidmap: %w", err)
+	}
+	return nil
+}
+
+// Caps reports a summary string for transcripts and tests.
+func Caps(p *simos.Proc) string {
+	cred := p.Cred()
+	return fmt.Sprintf("euid=%d ns=%s caps_in_ns=%v",
+		p.Geteuid(), cred.NS.Name(), cred.Capable(simos.CapChown))
+}

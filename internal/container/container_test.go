@@ -1,0 +1,126 @@
+package container
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/errno"
+	"repro/internal/simos"
+	"repro/internal/vfs"
+)
+
+func world(uid int) (*simos.Kernel, *simos.Proc, *vfs.FS) {
+	k := simos.NewKernel()
+	host := vfs.New()
+	p := k.NewInitProc(simos.Mount{FS: host, Owner: k.InitNS()}, uid, uid)
+	img := vfs.New()
+	rc := vfs.RootContext()
+	img.MkdirAll(rc, "/tmp", 0o1777, uid, uid)
+	img.ChownAll(uid, uid)
+	return k, p, img
+}
+
+// E12: §2 classification — setup privilege requirements.
+
+func TestTypeIRequiresPrivilege(t *testing.T) {
+	_, p, img := world(1000)
+	err := Enter(p, Options{Type: TypeI, RootFS: img})
+	if err == nil || !strings.Contains(err.Error(), "CAP_SYS_ADMIN") {
+		t.Fatalf("unprivileged Type I: %v", err)
+	}
+	// Root can.
+	_, rp, rimg := world(0)
+	if err := Enter(rp, Options{Type: TypeI, RootFS: rimg}); err != nil {
+		t.Fatalf("root Type I: %v", err)
+	}
+	// No user namespace: still the init one.
+	if rp.Cred().NS.Level() != 0 {
+		t.Fatal("Type I must not create a user namespace")
+	}
+}
+
+func TestTypeIIRequiresHelper(t *testing.T) {
+	_, p, img := world(1000)
+	err := Enter(p, Options{Type: TypeII, RootFS: img})
+	if err == nil || !strings.Contains(err.Error(), "newuidmap") {
+		t.Fatalf("Type II without helper: %v", err)
+	}
+	_, p2, img2 := world(1000)
+	if err := Enter(p2, Options{Type: TypeII, RootFS: img2, Helper: true}); err != nil {
+		t.Fatalf("Type II with helper: %v", err)
+	}
+	// Type II's benefit (§2): multiple IDs are mapped.
+	if _, ok := p2.Cred().NS.UIDToGlobal(37); !ok {
+		t.Fatal("Type II must map a UID range beyond 0")
+	}
+}
+
+func TestTypeIIIFullyUnprivileged(t *testing.T) {
+	_, p, img := world(1000)
+	if err := Enter(p, Options{Type: TypeIII, RootFS: img}); err != nil {
+		t.Fatalf("Type III: %v", err)
+	}
+	if p.Geteuid() != 0 {
+		t.Fatalf("container euid view = %d", p.Geteuid())
+	}
+	if !p.Cred().Capable(simos.CapChown) {
+		t.Fatal("container root must hold caps in its namespace")
+	}
+	// Single mapping only.
+	if _, ok := p.Cred().NS.UIDToGlobal(1); ok {
+		t.Fatal("Type III must map exactly one UID")
+	}
+	// Groups are locked (setgroups denied).
+	if e := p.Setgroups([]int{0}); e != errno.OK {
+		// EPERM expected
+	} else {
+		t.Fatal("setgroups must be denied in a Type III container")
+	}
+}
+
+func TestTypeIIChownToSubordinateUIDStillFailsOnHostFS(t *testing.T) {
+	// Even Type II (multi-mapping) cannot chown on an init-ns-owned
+	// filesystem: the capability check is against the superblock's
+	// namespace. This isolates the difference between ID *mapping*
+	// (EINVAL) and capability (EPERM).
+	_, p, img := world(1000)
+	if err := Enter(p, Options{Type: TypeII, RootFS: img, Helper: true}); err != nil {
+		t.Fatal(err)
+	}
+	p.WriteFileAll("/tmp/f", []byte("x"), 0o644)
+	e := p.Chown("/tmp/f", 37, 37) // mapped in Type II
+	if e != errno.EPERM {
+		t.Fatalf("chown to mapped-but-foreign uid: %v, want EPERM", e)
+	}
+}
+
+func TestTypeIIIChownUnmappedEINVAL(t *testing.T) {
+	_, p, img := world(1000)
+	Enter(p, Options{Type: TypeIII, RootFS: img})
+	p.WriteFileAll("/tmp/f", []byte("x"), 0o644)
+	if e := p.Chown("/tmp/f", 37, 37); e != errno.EINVAL {
+		t.Fatalf("chown unmapped: %v, want EINVAL", e)
+	}
+}
+
+func TestEnterRequiresRootFS(t *testing.T) {
+	_, p, _ := world(1000)
+	if err := Enter(p, Options{Type: TypeIII}); err == nil {
+		t.Fatal("nil rootfs must fail")
+	}
+}
+
+func TestCapsSummary(t *testing.T) {
+	_, p, img := world(1000)
+	Enter(p, Options{Type: TypeIII, RootFS: img})
+	s := Caps(p)
+	if !strings.Contains(s, "euid=0") {
+		t.Fatalf("caps summary: %s", s)
+	}
+}
+
+func TestTypeStrings(t *testing.T) {
+	if TypeI.String() != "Type I" || TypeII.String() != "Type II" || TypeIII.String() != "Type III" {
+		t.Fatal("type strings")
+	}
+}

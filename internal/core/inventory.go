@@ -1,0 +1,140 @@
+// Package core implements the paper's primary contribution: Charliecloud's
+// zero-consistency root emulation (§5). It generates a seccomp BPF filter
+// that intercepts the privileged system calls distribution package managers
+// issue during container image build, executes nothing, and returns success
+// — "telling processes simple lies instead of complex ones".
+//
+// The package provides:
+//
+//   - the inventory of the 29 filtered syscalls in the paper's four classes
+//     (file ownership, identity/capability manipulation, the mknod pair
+//     with file-type argument inspection, and the kexec_load self-test);
+//
+//   - a filter generator producing one multi-architecture BPF program (or
+//     single-architecture programs) with either linear or binary-tree
+//     syscall dispatch (an ablation the benches compare);
+//
+//   - variants: the Enroot-style reduced set (§3: "trap all setuid-related
+//     syscalls"), the extended xattr set (future work #1), and an ID-only
+//     consistency mode built on SECCOMP_RET_USER_NOTIF (future work #2);
+//
+//   - the apt(8) sandbox workaround (§5): RUN-instruction rewriting that
+//     injects -o APT::Sandbox::User=root.
+package core
+
+import "sort"
+
+// Class is one of the paper's four categories of filtered syscalls (§5).
+type Class int
+
+const (
+	// ClassOwnership is file-ownership changes: chown(2) and friends.
+	// 7 syscalls across the supported ABIs.
+	ClassOwnership Class = iota
+	// ClassIdentity is user/group/capability manipulation: setresuid(2),
+	// capset(2), etc. 19 syscalls.
+	ClassIdentity
+	// ClassMknod is mknod(2)/mknodat(2), privileged only when creating
+	// device files; the filter inspects the file-type argument.
+	ClassMknod
+	// ClassSelfTest is kexec_load(2), never needed by HPC applications and
+	// therefore used to validate the filter after installation.
+	ClassSelfTest
+)
+
+func (c Class) String() string {
+	switch c {
+	case ClassOwnership:
+		return "file-ownership"
+	case ClassIdentity:
+		return "identity/capability"
+	case ClassMknod:
+		return "mknod"
+	case ClassSelfTest:
+		return "self-test"
+	}
+	return "unknown"
+}
+
+// FilteredSyscall names one intercepted syscall and its class.
+type FilteredSyscall struct {
+	Name  string
+	Class Class
+}
+
+// ownershipSyscalls: the 7 file-ownership syscalls (§5 class 1). The *32
+// variants exist only on legacy 32-bit ABIs; the generator emits a rule per
+// architecture only when that architecture implements the call.
+var ownershipSyscalls = []string{
+	"chown", "lchown", "fchown",
+	"chown32", "lchown32", "fchown32",
+	"fchownat",
+}
+
+// identitySyscalls: the 19 identity and capability syscalls (§5 class 2).
+var identitySyscalls = []string{
+	"setuid", "setgid", "setreuid", "setregid",
+	"setgroups", "setresuid", "setresgid", "setfsuid", "setfsgid",
+	"setuid32", "setgid32", "setreuid32", "setregid32",
+	"setgroups32", "setresuid32", "setresgid32", "setfsuid32", "setfsgid32",
+	"capset",
+}
+
+// mknodSyscalls: class 3, argument-inspected.
+var mknodSyscalls = []string{"mknod", "mknodat"}
+
+// selfTestSyscall: class 4.
+const selfTestSyscall = "kexec_load"
+
+// xattrSyscalls is the future-work extension set (§6: "an optional wider
+// set of emulated syscalls, such as setxattr(2), which may allow systemd to
+// be installed").
+var xattrSyscalls = []string{"setxattr", "lsetxattr", "fsetxattr"}
+
+// Inventory returns the filtered-syscall inventory for a variant, sorted by
+// class then name. For VariantCharliecloud it contains exactly the paper's
+// 29 entries.
+func Inventory(v Variant) []FilteredSyscall {
+	var out []FilteredSyscall
+	add := func(names []string, c Class) {
+		for _, n := range names {
+			out = append(out, FilteredSyscall{Name: n, Class: c})
+		}
+	}
+	switch v {
+	case VariantEnroot:
+		// "[w]e use a seccomp filter to trap all setuid-related syscalls,
+		// to make them succeed" — identity class only, no ownership, no
+		// mknod inspection, no self-test. The paper calls this filter
+		// "less complete than Charliecloud's".
+		add(identitySyscalls, ClassIdentity)
+	case VariantExtended:
+		add(ownershipSyscalls, ClassOwnership)
+		add(identitySyscalls, ClassIdentity)
+		add(xattrSyscalls, ClassIdentity)
+		add(mknodSyscalls, ClassMknod)
+		add([]string{selfTestSyscall}, ClassSelfTest)
+	default: // VariantCharliecloud
+		add(ownershipSyscalls, ClassOwnership)
+		add(identitySyscalls, ClassIdentity)
+		add(mknodSyscalls, ClassMknod)
+		add([]string{selfTestSyscall}, ClassSelfTest)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Class != out[j].Class {
+			return out[i].Class < out[j].Class
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}
+
+// InventoryByClass groups the inventory, for the §5 table test and the
+// simplicity comparison (E9).
+func InventoryByClass(v Variant) map[Class][]string {
+	m := make(map[Class][]string)
+	for _, fs := range Inventory(v) {
+		m[fs.Class] = append(m[fs.Class], fs.Name)
+	}
+	return m
+}

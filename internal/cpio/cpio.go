@@ -1,0 +1,268 @@
+// Package cpio implements the "newc" (SVR4) cpio archive format, the
+// payload format inside RPM packages. rpm(8) extracts its file payload with
+// a cpio engine, chowning each entry as it goes — the operation that fails
+// in Figure 1b with "cpio: chown". The simulated rpm (internal/pkgmgr)
+// therefore carries real cpio archives, built and parsed here.
+package cpio
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Magic is the newc format magic.
+const Magic = "070701"
+
+// Trailer is the conventional end-of-archive entry name.
+const Trailer = "TRAILER!!!"
+
+// Header describes one archive member. Mode carries S_IF* type bits plus
+// permissions, as in the on-disk format.
+type Header struct {
+	Name     string
+	Ino      uint32
+	Mode     uint32
+	UID      uint32
+	GID      uint32
+	Nlink    uint32
+	Mtime    uint32
+	Size     uint32
+	DevMajor uint32
+	DevMinor uint32
+	RMajor   uint32 // device number for device nodes
+	RMinor   uint32
+}
+
+// ErrHeader reports a malformed archive.
+var ErrHeader = errors.New("cpio: invalid header")
+
+// Writer emits a newc archive.
+type Writer struct {
+	w       io.Writer
+	ino     uint32
+	pending uint32 // bytes of current member body still expected
+	size    uint32 // declared size of the current member
+	closed  bool
+}
+
+// NewWriter writes to w.
+func NewWriter(w io.Writer) *Writer {
+	return &Writer{w: w, ino: 1}
+}
+
+// WriteHeader starts a member; the previous member's body must be
+// complete. If h.Ino is zero an inode number is assigned.
+func (w *Writer) WriteHeader(h *Header) error {
+	if w.closed {
+		return errors.New("cpio: write after Close")
+	}
+	if w.pending != 0 {
+		return fmt.Errorf("cpio: previous member has %d unwritten bytes", w.pending)
+	}
+	ino := h.Ino
+	if ino == 0 {
+		ino = w.ino
+		w.ino++
+	}
+	name := strings.TrimPrefix(h.Name, "/")
+	if name == "" {
+		return errors.New("cpio: empty member name")
+	}
+	if err := w.emitHeader(ino, h, name); err != nil {
+		return err
+	}
+	w.pending = h.Size
+	w.size = h.Size
+	return nil
+}
+
+func (w *Writer) emitHeader(ino uint32, h *Header, name string) error {
+	var b bytes.Buffer
+	b.WriteString(Magic)
+	for _, v := range []uint32{
+		ino, h.Mode, h.UID, h.GID, max32(h.Nlink, 1), h.Mtime, h.Size,
+		h.DevMajor, h.DevMinor, h.RMajor, h.RMinor,
+		uint32(len(name) + 1), 0, // namesize incl NUL, check (unused)
+	} {
+		fmt.Fprintf(&b, "%08X", v)
+	}
+	b.WriteString(name)
+	b.WriteByte(0)
+	// Header+name padded to 4 bytes.
+	for b.Len()%4 != 0 {
+		b.WriteByte(0)
+	}
+	_, err := w.w.Write(b.Bytes())
+	return err
+}
+
+// Write appends body bytes for the current member.
+func (w *Writer) Write(p []byte) (int, error) {
+	if uint32(len(p)) > w.pending {
+		return 0, fmt.Errorf("cpio: body overrun: %d > %d pending", len(p), w.pending)
+	}
+	n, err := w.w.Write(p)
+	w.pending -= uint32(n)
+	if err != nil {
+		return n, err
+	}
+	if w.pending == 0 {
+		// Body padded to 4 bytes, based on the member's declared size.
+		if rem := int(w.size) % 4; rem != 0 {
+			if _, err := w.w.Write(make([]byte, 4-rem)); err != nil {
+				return n, err
+			}
+		}
+	}
+	return n, nil
+}
+
+// WriteMember writes a complete member in one call.
+func (w *Writer) WriteMember(h *Header, body []byte) error {
+	h.Size = uint32(len(body))
+	if err := w.WriteHeader(h); err != nil {
+		return err
+	}
+	if len(body) > 0 {
+		if _, err := w.Write(body); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Close writes the trailer.
+func (w *Writer) Close() error {
+	if w.closed {
+		return nil
+	}
+	if w.pending != 0 {
+		return fmt.Errorf("cpio: close with %d pending bytes", w.pending)
+	}
+	if err := w.emitHeader(0, &Header{Nlink: 1}, Trailer); err != nil {
+		return err
+	}
+	w.closed = true
+	return nil
+}
+
+// Reader parses a newc archive.
+type Reader struct {
+	r       *bytes.Reader
+	body    []byte // current member body
+	bodyPos int
+}
+
+// NewReader parses data (cpio archives in RPMs are small enough to hold).
+func NewReader(data []byte) *Reader {
+	return &Reader{r: bytes.NewReader(data)}
+}
+
+// Next advances to the next member, returning io.EOF after the trailer.
+func (r *Reader) Next() (*Header, error) {
+	// Skip any remaining body + padding of the previous member.
+	r.body = nil
+	r.bodyPos = 0
+
+	var hdr [110]byte
+	if _, err := io.ReadFull(r.r, hdr[:]); err != nil {
+		// A well-formed archive always ends with the TRAILER!!! member;
+		// running out of bytes before it is corruption, as cpio(1)'s
+		// "premature end of archive" diagnoses.
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			return nil, fmt.Errorf("%w: premature end of archive (missing trailer)", ErrHeader)
+		}
+		return nil, err
+	}
+	if string(hdr[:6]) != Magic {
+		return nil, fmt.Errorf("%w: bad magic %q", ErrHeader, hdr[:6])
+	}
+	field := func(i int) (uint32, error) {
+		var v uint32
+		for _, c := range hdr[6+8*i : 6+8*i+8] {
+			d := hexDigit(c)
+			if d < 0 {
+				return 0, fmt.Errorf("%w: bad hex field %d", ErrHeader, i)
+			}
+			v = v<<4 | uint32(d)
+		}
+		return v, nil
+	}
+	var vals [13]uint32
+	for i := range vals {
+		v, err := field(i)
+		if err != nil {
+			return nil, err
+		}
+		vals[i] = v
+	}
+	h := &Header{
+		Ino: vals[0], Mode: vals[1], UID: vals[2], GID: vals[3],
+		Nlink: vals[4], Mtime: vals[5], Size: vals[6],
+		DevMajor: vals[7], DevMinor: vals[8], RMajor: vals[9], RMinor: vals[10],
+	}
+	nameSize := vals[11]
+	if nameSize == 0 || nameSize > 4096 {
+		return nil, fmt.Errorf("%w: name size %d", ErrHeader, nameSize)
+	}
+	nameBuf := make([]byte, nameSize)
+	if _, err := io.ReadFull(r.r, nameBuf); err != nil {
+		return nil, fmt.Errorf("%w: short name", ErrHeader)
+	}
+	h.Name = string(nameBuf[:nameSize-1])
+	// Header (110) + name padded to 4.
+	if pad := (110 + int(nameSize)) % 4; pad != 0 {
+		if _, err := r.r.Seek(int64(4-pad), io.SeekCurrent); err != nil {
+			return nil, err
+		}
+	}
+	if h.Name == Trailer {
+		return nil, io.EOF
+	}
+	body := make([]byte, h.Size)
+	if _, err := io.ReadFull(r.r, body); err != nil {
+		return nil, fmt.Errorf("%w: short body for %s", ErrHeader, h.Name)
+	}
+	if pad := int(h.Size) % 4; pad != 0 {
+		if _, err := r.r.Seek(int64(4-pad), io.SeekCurrent); err != nil {
+			return nil, err
+		}
+	}
+	r.body = body
+	return h, nil
+}
+
+// Read reads from the current member body.
+func (r *Reader) Read(p []byte) (int, error) {
+	if r.bodyPos >= len(r.body) {
+		return 0, io.EOF
+	}
+	n := copy(p, r.body[r.bodyPos:])
+	r.bodyPos += n
+	return n, nil
+}
+
+// Body returns the current member's full body.
+func (r *Reader) Body() []byte { return r.body }
+
+func hexDigit(c byte) int {
+	switch {
+	case c >= '0' && c <= '9':
+		return int(c - '0')
+	case c >= 'A' && c <= 'F':
+		return int(c-'A') + 10
+	case c >= 'a' && c <= 'f':
+		return int(c-'a') + 10
+	}
+	return -1
+}
+
+func max32(a, b uint32) uint32 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,190 @@
+package cpio
+
+import (
+	"bytes"
+	"io"
+	"math/rand"
+	"testing"
+)
+
+func TestRoundTripSingleFile(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if err := w.WriteMember(&Header{Name: "etc/motd", Mode: 0o100644, UID: 0, GID: 0}, []byte("hello\n")); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	r := NewReader(buf.Bytes())
+	h, err := r.Next()
+	if err != nil {
+		t.Fatalf("next: %v", err)
+	}
+	if h.Name != "etc/motd" || h.Mode != 0o100644 || h.Size != 6 {
+		t.Fatalf("header %+v", h)
+	}
+	if string(r.Body()) != "hello\n" {
+		t.Fatalf("body %q", r.Body())
+	}
+	if _, err := r.Next(); err != io.EOF {
+		t.Fatalf("expected EOF, got %v", err)
+	}
+}
+
+func TestRoundTripManyMembers(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	type member struct {
+		h    Header
+		body []byte
+	}
+	var members []member
+	for i := 0; i < 50; i++ {
+		body := make([]byte, rng.Intn(1000))
+		rng.Read(body)
+		members = append(members, member{
+			h: Header{
+				Name: "dir/file" + string(rune('a'+i%26)) + itoa(i),
+				Mode: 0o100644, UID: uint32(i), GID: uint32(i * 2),
+			},
+			body: body,
+		})
+	}
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	for i := range members {
+		if err := w.WriteMember(&members[i].h, members[i].body); err != nil {
+			t.Fatalf("member %d: %v", i, err)
+		}
+	}
+	w.Close()
+	r := NewReader(buf.Bytes())
+	for i := range members {
+		h, err := r.Next()
+		if err != nil {
+			t.Fatalf("next %d: %v", i, err)
+		}
+		if h.Name != members[i].h.Name || h.UID != members[i].h.UID {
+			t.Fatalf("member %d header %+v", i, h)
+		}
+		if !bytes.Equal(r.Body(), members[i].body) {
+			t.Fatalf("member %d body mismatch", i)
+		}
+	}
+	if _, err := r.Next(); err != io.EOF {
+		t.Fatalf("trailer: %v", err)
+	}
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var b []byte
+	for v > 0 {
+		b = append([]byte{byte('0' + v%10)}, b...)
+		v /= 10
+	}
+	return string(b)
+}
+
+func TestDeviceNode(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.WriteMember(&Header{Name: "dev/null", Mode: 0o20666, RMajor: 1, RMinor: 3}, nil)
+	w.Close()
+	r := NewReader(buf.Bytes())
+	h, err := r.Next()
+	if err != nil {
+		t.Fatalf("next: %v", err)
+	}
+	if h.RMajor != 1 || h.RMinor != 3 || h.Mode&0o170000 != 0o20000 {
+		t.Fatalf("device header %+v", h)
+	}
+}
+
+func TestDirectoryAndSymlink(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.WriteMember(&Header{Name: "usr/bin", Mode: 0o40755, Nlink: 2}, nil)
+	w.WriteMember(&Header{Name: "usr/bin/sh", Mode: 0o120777}, []byte("busybox"))
+	w.Close()
+	r := NewReader(buf.Bytes())
+	d, _ := r.Next()
+	if d.Mode&0o170000 != 0o40000 {
+		t.Fatalf("dir mode %o", d.Mode)
+	}
+	l, err := r.Next()
+	if err != nil {
+		t.Fatalf("symlink: %v", err)
+	}
+	if l.Mode&0o170000 != 0o120000 || string(r.Body()) != "busybox" {
+		t.Fatalf("symlink %+v body %q", l, r.Body())
+	}
+}
+
+func TestBadMagic(t *testing.T) {
+	r := NewReader([]byte("070702XXXXXXXXXXXXXXXXXXXXXXXXXXXXXXXXXXXXXXXXXXXXXXXXXXXXXXXXXXXXXXXXXXXXXXXXXXXXXXXXXXXXXXXXXXXXXXXXXXXXXXXX"))
+	if _, err := r.Next(); err == nil {
+		t.Fatal("bad magic must fail")
+	}
+}
+
+func TestTruncatedArchive(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.WriteMember(&Header{Name: "f", Mode: 0o100644}, []byte("0123456789"))
+	w.Close()
+	full := buf.Bytes()
+	for _, cut := range []int{10, 50, len(full) - 3} {
+		if cut >= len(full) {
+			continue
+		}
+		r := NewReader(full[:cut])
+		_, err := r.Next()
+		if err == nil {
+			// First member may parse if the cut hits the trailer; then
+			// the next call must fail or EOF cleanly.
+			if _, err2 := r.Next(); err2 == nil {
+				t.Fatalf("cut %d: no error", cut)
+			}
+		}
+	}
+}
+
+func TestWriterBodyOverrun(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if err := w.WriteHeader(&Header{Name: "f", Mode: 0o100644, Size: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Write([]byte("toolong")); err == nil {
+		t.Fatal("overrun must fail")
+	}
+}
+
+func TestWriterPendingClose(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.WriteHeader(&Header{Name: "f", Mode: 0o100644, Size: 5})
+	if err := w.Close(); err == nil {
+		t.Fatal("close with pending body must fail")
+	}
+}
+
+func TestHardlinkInodesPreserved(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.WriteMember(&Header{Name: "a", Ino: 77, Mode: 0o100644, Nlink: 2}, []byte("x"))
+	w.WriteMember(&Header{Name: "b", Ino: 77, Mode: 0o100644, Nlink: 2}, nil)
+	w.Close()
+	r := NewReader(buf.Bytes())
+	a, _ := r.Next()
+	b, err := r.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Ino != 77 || b.Ino != 77 {
+		t.Fatalf("inos %d %d", a.Ino, b.Ino)
+	}
+}

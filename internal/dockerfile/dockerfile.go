@@ -1,0 +1,227 @@
+// Package dockerfile parses Dockerfiles into instruction lists, covering
+// the subset ch-image supports plus the instructions the experiments use:
+// FROM, RUN (shell and exec form), COPY, ADD, ENV, ARG, WORKDIR, USER,
+// LABEL, CMD, ENTRYPOINT, SHELL, EXPOSE, VOLUME, STOPSIGNAL, COMMENT
+// handling, line continuations, and ARG/ENV variable expansion at build
+// time (performed by the builder, not the parser).
+package dockerfile
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+)
+
+// Instruction is one parsed Dockerfile instruction.
+type Instruction struct {
+	// Cmd is the upper-cased instruction name ("FROM", "RUN", ...).
+	Cmd string
+	// Raw is the full argument string after the instruction word, with
+	// continuations folded.
+	Raw string
+	// ExecForm is the parsed JSON array for exec-form RUN/CMD/ENTRYPOINT,
+	// nil for shell form.
+	ExecForm []string
+	// Line is the 1-based source line of the instruction start.
+	Line int
+}
+
+// File is a parsed Dockerfile.
+type File struct {
+	Instructions []Instruction
+}
+
+// ParseError reports a syntax error with its line.
+type ParseError struct {
+	Line   int
+	Reason string
+}
+
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("dockerfile: line %d: %s", e.Line, e.Reason)
+}
+
+// knownInstructions gates parsing; unknown instructions are errors, as in
+// BuildKit.
+var knownInstructions = map[string]bool{
+	"FROM": true, "RUN": true, "COPY": true, "ADD": true, "ENV": true,
+	"ARG": true, "WORKDIR": true, "USER": true, "LABEL": true, "CMD": true,
+	"ENTRYPOINT": true, "SHELL": true, "EXPOSE": true, "VOLUME": true,
+	"STOPSIGNAL": true, "HEALTHCHECK": true, "ONBUILD": true,
+	"MAINTAINER": true,
+}
+
+// Parse parses Dockerfile text.
+func Parse(text string) (*File, error) {
+	var f File
+	lines := strings.Split(text, "\n")
+	i := 0
+	for i < len(lines) {
+		startLine := i + 1
+		line := lines[i]
+		i++
+		trimmed := strings.TrimSpace(line)
+		if trimmed == "" || strings.HasPrefix(trimmed, "#") {
+			continue
+		}
+		// Fold continuations; a trailing backslash joins the next
+		// non-comment line (comment lines inside a continuation are
+		// skipped, as BuildKit does).
+		full := trimmed
+		for strings.HasSuffix(full, "\\") && i < len(lines) {
+			full = strings.TrimSpace(strings.TrimSuffix(full, "\\"))
+			for i < len(lines) {
+				next := strings.TrimSpace(lines[i])
+				i++
+				if strings.HasPrefix(next, "#") {
+					continue
+				}
+				full += " " + next
+				break
+			}
+		}
+		word, rest, _ := strings.Cut(full, " ")
+		cmd := strings.ToUpper(word)
+		if !knownInstructions[cmd] {
+			return nil, &ParseError{Line: startLine, Reason: fmt.Sprintf("unknown instruction %q", word)}
+		}
+		ins := Instruction{Cmd: cmd, Raw: strings.TrimSpace(rest), Line: startLine}
+		if ins.Raw == "" && cmd != "HEALTHCHECK" {
+			return nil, &ParseError{Line: startLine, Reason: cmd + " requires arguments"}
+		}
+		if cmd == "RUN" || cmd == "CMD" || cmd == "ENTRYPOINT" || cmd == "SHELL" {
+			if strings.HasPrefix(ins.Raw, "[") {
+				var exec []string
+				if err := json.Unmarshal([]byte(ins.Raw), &exec); err != nil {
+					return nil, &ParseError{Line: startLine, Reason: "malformed exec form: " + err.Error()}
+				}
+				ins.ExecForm = exec
+			}
+		}
+		f.Instructions = append(f.Instructions, ins)
+	}
+	if len(f.Instructions) == 0 {
+		return nil, &ParseError{Line: 1, Reason: "empty Dockerfile"}
+	}
+	// The first non-ARG instruction must be FROM.
+	for _, ins := range f.Instructions {
+		if ins.Cmd == "ARG" {
+			continue
+		}
+		if ins.Cmd != "FROM" {
+			return nil, &ParseError{Line: ins.Line, Reason: "first instruction must be FROM"}
+		}
+		break
+	}
+	return &f, nil
+}
+
+// KeyValues parses "K=V K2=V2" or legacy "K V" argument forms (ENV, LABEL,
+// ARG).
+func KeyValues(raw string) (map[string]string, error) {
+	out := map[string]string{}
+	if !strings.Contains(raw, "=") {
+		// Legacy form: ENV key value...
+		k, v, ok := strings.Cut(raw, " ")
+		if !ok {
+			// ARG without default.
+			out[strings.TrimSpace(raw)] = ""
+			return out, nil
+		}
+		out[k] = strings.TrimSpace(v)
+		return out, nil
+	}
+	for _, tok := range splitQuoted(raw) {
+		k, v, ok := strings.Cut(tok, "=")
+		if !ok {
+			return nil, fmt.Errorf("dockerfile: malformed key=value %q", tok)
+		}
+		out[k] = unquote(v)
+	}
+	return out, nil
+}
+
+// splitQuoted splits on spaces outside quotes.
+func splitQuoted(s string) []string {
+	var out []string
+	var cur strings.Builder
+	quote := byte(0)
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case quote != 0:
+			cur.WriteByte(c)
+			if c == quote {
+				quote = 0
+			}
+		case c == '"' || c == '\'':
+			quote = c
+			cur.WriteByte(c)
+		case c == ' ' || c == '\t':
+			if cur.Len() > 0 {
+				out = append(out, cur.String())
+				cur.Reset()
+			}
+		default:
+			cur.WriteByte(c)
+		}
+	}
+	if cur.Len() > 0 {
+		out = append(out, cur.String())
+	}
+	return out
+}
+
+func unquote(s string) string {
+	if len(s) >= 2 && (s[0] == '"' || s[0] == '\'') && s[len(s)-1] == s[0] {
+		return s[1 : len(s)-1]
+	}
+	return s
+}
+
+// Expand substitutes $VAR and ${VAR} (with ${VAR:-default} support)
+// against the build-time variable table.
+func Expand(s string, vars map[string]string) string {
+	var b strings.Builder
+	i := 0
+	for i < len(s) {
+		if s[i] != '$' {
+			b.WriteByte(s[i])
+			i++
+			continue
+		}
+		if i+1 < len(s) && s[i+1] == '{' {
+			end := strings.IndexByte(s[i:], '}')
+			if end < 0 {
+				b.WriteByte(s[i])
+				i++
+				continue
+			}
+			expr := s[i+2 : i+end]
+			name, def, hasDef := strings.Cut(expr, ":-")
+			if v, ok := vars[name]; ok && v != "" {
+				b.WriteString(v)
+			} else if hasDef {
+				b.WriteString(def)
+			}
+			i += end + 1
+			continue
+		}
+		j := i + 1
+		for j < len(s) && (isAlnum(s[j]) || s[j] == '_') {
+			j++
+		}
+		if j == i+1 {
+			b.WriteByte(s[i])
+			i++
+			continue
+		}
+		b.WriteString(vars[s[i+1:j]])
+		i = j
+	}
+	return b.String()
+}
+
+func isAlnum(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9'
+}

@@ -1,0 +1,178 @@
+package dockerfile
+
+import (
+	"strings"
+	"testing"
+)
+
+func parse(t *testing.T, text string) *File {
+	t.Helper()
+	f, err := Parse(text)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return f
+}
+
+func TestParsePaperFigure1a(t *testing.T) {
+	f := parse(t, "FROM alpine:3.19\nRUN apk add sl\n")
+	if len(f.Instructions) != 2 {
+		t.Fatalf("instructions: %d", len(f.Instructions))
+	}
+	if f.Instructions[0].Cmd != "FROM" || f.Instructions[0].Raw != "alpine:3.19" {
+		t.Fatalf("from: %+v", f.Instructions[0])
+	}
+	if f.Instructions[1].Cmd != "RUN" || f.Instructions[1].Raw != "apk add sl" {
+		t.Fatalf("run: %+v", f.Instructions[1])
+	}
+}
+
+func TestParseComments(t *testing.T) {
+	f := parse(t, "# a comment\nFROM x\n  # indented comment\nRUN true\n")
+	if len(f.Instructions) != 2 {
+		t.Fatalf("instructions: %d", len(f.Instructions))
+	}
+}
+
+func TestParseContinuations(t *testing.T) {
+	f := parse(t, "FROM x\nRUN apt-get update && \\\n    apt-get install -y \\\n    curl vim\n")
+	if len(f.Instructions) != 2 {
+		t.Fatalf("instructions: %d", len(f.Instructions))
+	}
+	want := "apt-get update && apt-get install -y curl vim"
+	if f.Instructions[1].Raw != want {
+		t.Fatalf("folded: %q, want %q", f.Instructions[1].Raw, want)
+	}
+}
+
+func TestParseContinuationWithEmbeddedComment(t *testing.T) {
+	f := parse(t, "FROM x\nRUN echo a \\\n# interleaved comment\necho b\n")
+	if !strings.Contains(f.Instructions[1].Raw, "echo a") {
+		t.Fatalf("raw: %q", f.Instructions[1].Raw)
+	}
+}
+
+func TestParseExecForm(t *testing.T) {
+	f := parse(t, `FROM x
+RUN ["apk", "add", "sl"]
+CMD ["/bin/sh", "-c", "echo hi"]
+ENTRYPOINT ["/entry"]
+`)
+	run := f.Instructions[1]
+	if len(run.ExecForm) != 3 || run.ExecForm[0] != "apk" {
+		t.Fatalf("exec form: %v", run.ExecForm)
+	}
+	if f.Instructions[3].ExecForm[0] != "/entry" {
+		t.Fatalf("entrypoint: %v", f.Instructions[3].ExecForm)
+	}
+}
+
+func TestParseMalformedExecForm(t *testing.T) {
+	if _, err := Parse("FROM x\nRUN [\"unterminated\n"); err == nil {
+		t.Fatal("malformed exec form must fail")
+	}
+}
+
+func TestParseUnknownInstruction(t *testing.T) {
+	_, err := Parse("FROM x\nFLY to the moon\n")
+	if err == nil {
+		t.Fatal("unknown instruction must fail")
+	}
+	pe, ok := err.(*ParseError)
+	if !ok || pe.Line != 2 {
+		t.Fatalf("error: %v", err)
+	}
+}
+
+func TestParseFirstMustBeFrom(t *testing.T) {
+	if _, err := Parse("RUN true\n"); err == nil {
+		t.Fatal("RUN before FROM must fail")
+	}
+	// ARG before FROM is allowed.
+	if _, err := Parse("ARG VERSION=3.19\nFROM alpine:$VERSION\n"); err != nil {
+		t.Fatalf("ARG before FROM: %v", err)
+	}
+}
+
+func TestParseEmpty(t *testing.T) {
+	for _, text := range []string{"", "\n\n", "# only comments\n"} {
+		if _, err := Parse(text); err == nil {
+			t.Fatalf("%q must fail", text)
+		}
+	}
+}
+
+func TestParseMissingArguments(t *testing.T) {
+	if _, err := Parse("FROM\n"); err == nil {
+		t.Fatal("FROM without args must fail")
+	}
+}
+
+func TestKeyValuesForms(t *testing.T) {
+	kv, err := KeyValues(`A=1 B="two words" C='single'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kv["A"] != "1" || kv["B"] != "two words" || kv["C"] != "single" {
+		t.Fatalf("kv: %v", kv)
+	}
+	// Legacy space form.
+	kv, _ = KeyValues("KEY the whole rest")
+	if kv["KEY"] != "the whole rest" {
+		t.Fatalf("legacy kv: %v", kv)
+	}
+	// ARG without default.
+	kv, _ = KeyValues("NAME")
+	if _, ok := kv["NAME"]; !ok {
+		t.Fatalf("bare arg: %v", kv)
+	}
+}
+
+func TestExpand(t *testing.T) {
+	vars := map[string]string{"V": "3.19", "NAME": "alpine"}
+	cases := []struct{ in, want string }{
+		{"$NAME:$V", "alpine:3.19"},
+		{"${NAME}:${V}", "alpine:3.19"},
+		{"${MISSING:-fallback}", "fallback"},
+		{"${V:-fallback}", "3.19"},
+		{"no vars here", "no vars here"},
+		{"$", "$"},
+		{"$ NAME", "$ NAME"},
+		{"a$Vb", "a"}, // $Vb is an (unset) variable, like shell
+	}
+	for _, c := range cases {
+		if got := Expand(c.in, vars); got != c.want {
+			t.Errorf("Expand(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestLineNumbersTracked(t *testing.T) {
+	f := parse(t, "\n# c\nFROM x\n\nRUN true\n")
+	if f.Instructions[0].Line != 3 || f.Instructions[1].Line != 5 {
+		t.Fatalf("lines: %d %d", f.Instructions[0].Line, f.Instructions[1].Line)
+	}
+}
+
+func TestParseAllSupportedInstructions(t *testing.T) {
+	f := parse(t, `FROM base
+RUN true
+COPY a b
+ADD c d
+ENV K=V
+ARG X=1
+WORKDIR /w
+USER nobody
+LABEL l=v
+CMD ["x"]
+ENTRYPOINT ["y"]
+SHELL ["/bin/sh", "-c"]
+EXPOSE 8080
+VOLUME /data
+STOPSIGNAL SIGTERM
+MAINTAINER someone
+`)
+	if len(f.Instructions) != 16 {
+		t.Fatalf("instructions: %d", len(f.Instructions))
+	}
+}

@@ -1,0 +1,113 @@
+// Package errno defines the Unix error numbers the simulated kernel returns
+// and the emulation layers fake. A dedicated type (rather than syscall.Errno)
+// keeps the simulation OS-independent and makes "errno 0 == success" — the
+// entire trick of zero-consistency root emulation — explicit in signatures.
+package errno
+
+import "fmt"
+
+// Errno is a Unix error number. The zero value OK means success, which is
+// exactly what SECCOMP_RET_ERRNO with data 0 delivers to the caller.
+type Errno int
+
+// The subset of errno values the simulation uses, with Linux x86 numbering
+// (the numbers travel through seccomp return values, so they are ABI).
+const (
+	OK           Errno = 0
+	EPERM        Errno = 1
+	ENOENT       Errno = 2
+	ESRCH        Errno = 3
+	EINTR        Errno = 4
+	EIO          Errno = 5
+	ENXIO        Errno = 6
+	E2BIG        Errno = 7
+	ENOEXEC      Errno = 8
+	EBADF        Errno = 9
+	ECHILD       Errno = 10
+	EAGAIN       Errno = 11
+	ENOMEM       Errno = 12
+	EACCES       Errno = 13
+	EFAULT       Errno = 14
+	EBUSY        Errno = 16
+	EEXIST       Errno = 17
+	EXDEV        Errno = 18
+	ENODEV       Errno = 19
+	ENOTDIR      Errno = 20
+	EISDIR       Errno = 21
+	EINVAL       Errno = 22
+	ENFILE       Errno = 23
+	EMFILE       Errno = 24
+	ENOTTY       Errno = 25
+	EFBIG        Errno = 27
+	ENOSPC       Errno = 28
+	ESPIPE       Errno = 29
+	EROFS        Errno = 30
+	EMLINK       Errno = 31
+	EPIPE        Errno = 32
+	ERANGE       Errno = 34
+	ENAMETOOLONG Errno = 36
+	ENOSYS       Errno = 38
+	ENOTEMPTY    Errno = 39
+	ELOOP        Errno = 40
+	ENODATA      Errno = 61
+	EOVERFLOW    Errno = 75
+	EOPNOTSUPP   Errno = 95
+)
+
+var names = map[Errno]string{
+	OK: "OK", EPERM: "EPERM", ENOENT: "ENOENT", ESRCH: "ESRCH",
+	EINTR: "EINTR", EIO: "EIO", ENXIO: "ENXIO", E2BIG: "E2BIG",
+	ENOEXEC: "ENOEXEC", EBADF: "EBADF", ECHILD: "ECHILD", EAGAIN: "EAGAIN",
+	ENOMEM: "ENOMEM", EACCES: "EACCES", EFAULT: "EFAULT", EBUSY: "EBUSY",
+	EEXIST: "EEXIST", EXDEV: "EXDEV", ENODEV: "ENODEV", ENOTDIR: "ENOTDIR",
+	EISDIR: "EISDIR", EINVAL: "EINVAL", ENFILE: "ENFILE", EMFILE: "EMFILE",
+	ENOTTY: "ENOTTY", EFBIG: "EFBIG", ENOSPC: "ENOSPC", ESPIPE: "ESPIPE",
+	EROFS: "EROFS", EMLINK: "EMLINK", EPIPE: "EPIPE", ERANGE: "ERANGE",
+	ENAMETOOLONG: "ENAMETOOLONG", ENOSYS: "ENOSYS", ENOTEMPTY: "ENOTEMPTY",
+	ELOOP: "ELOOP", ENODATA: "ENODATA", EOVERFLOW: "EOVERFLOW",
+	EOPNOTSUPP: "EOPNOTSUPP",
+}
+
+var messages = map[Errno]string{
+	EPERM: "Operation not permitted", ENOENT: "No such file or directory",
+	EACCES: "Permission denied", EEXIST: "File exists",
+	ENOTDIR: "Not a directory", EISDIR: "Is a directory",
+	EINVAL: "Invalid argument", ENOSYS: "Function not implemented",
+	ENOTEMPTY: "Directory not empty", ELOOP: "Too many levels of symbolic links",
+	EBADF: "Bad file descriptor", EXDEV: "Invalid cross-device link",
+	EROFS: "Read-only file system", ENODATA: "No data available",
+	ENAMETOOLONG: "File name too long", EBUSY: "Device or resource busy",
+	ERANGE: "Numerical result out of range", ESRCH: "No such process",
+	ECHILD: "No child processes", ENODEV: "No such device",
+	EOPNOTSUPP: "Operation not supported",
+}
+
+// Name returns the symbolic name (e.g. "EPERM"), or "errno(N)".
+func (e Errno) Name() string {
+	if n, ok := names[e]; ok {
+		return n
+	}
+	return fmt.Sprintf("errno(%d)", int(e))
+}
+
+// Message returns the strerror(3)-style message used in build transcripts
+// ("cpio: chown failed - Invalid argument").
+func (e Errno) Message() string {
+	if e == OK {
+		return "Success"
+	}
+	if m, ok := messages[e]; ok {
+		return m
+	}
+	return e.Name()
+}
+
+// Error makes Errno usable as a Go error. OK is still non-nil as an error
+// value, so callers use Errno returns directly (e != errno.OK), never err !=
+// nil, for syscall results.
+func (e Errno) Error() string {
+	return fmt.Sprintf("%s (%s)", e.Name(), e.Message())
+}
+
+// Ok reports success.
+func (e Errno) Ok() bool { return e == OK }

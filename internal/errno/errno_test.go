@@ -1,0 +1,50 @@
+package errno
+
+import "testing"
+
+func TestOKSemantics(t *testing.T) {
+	if !OK.Ok() || OK != 0 {
+		t.Fatal("OK must be zero")
+	}
+	if EPERM.Ok() {
+		t.Fatal("EPERM is not success")
+	}
+}
+
+func TestNamesAndMessages(t *testing.T) {
+	cases := []struct {
+		e    Errno
+		name string
+		msg  string
+	}{
+		{EPERM, "EPERM", "Operation not permitted"},
+		{EINVAL, "EINVAL", "Invalid argument"},
+		{ENOENT, "ENOENT", "No such file or directory"},
+		{OK, "OK", "Success"},
+	}
+	for _, c := range cases {
+		if c.e.Name() != c.name {
+			t.Errorf("%d name %q, want %q", c.e, c.e.Name(), c.name)
+		}
+		if c.e.Message() != c.msg {
+			t.Errorf("%d message %q, want %q", c.e, c.e.Message(), c.msg)
+		}
+	}
+}
+
+func TestUnknownErrno(t *testing.T) {
+	e := Errno(9999)
+	if e.Name() != "errno(9999)" {
+		t.Fatalf("name: %s", e.Name())
+	}
+	if e.Message() != "errno(9999)" {
+		t.Fatalf("message: %s", e.Message())
+	}
+}
+
+func TestErrorInterface(t *testing.T) {
+	var err error = EACCES
+	if err.Error() != "EACCES (Permission denied)" {
+		t.Fatalf("error: %s", err.Error())
+	}
+}

@@ -1,0 +1,189 @@
+// Package image implements layered container images: a content-addressed
+// layer store, image metadata, flattening layers onto a simulated
+// filesystem, committing filesystem changes as new layers, and an
+// in-process HTTP registry speaking a subset of the OCI distribution
+// protocol for FROM pulls.
+package image
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/tarutil"
+	"repro/internal/vfs"
+)
+
+// Layer is one content-addressed filesystem diff.
+type Layer struct {
+	Digest string // "sha256:<hex>"
+	Data   []byte // tar bytes
+}
+
+// Digest computes the layer digest of data.
+func Digest(data []byte) string {
+	sum := sha256.Sum256(data)
+	return "sha256:" + hex.EncodeToString(sum[:])
+}
+
+// Config is the image runtime configuration (a subset of the OCI image
+// config).
+type Config struct {
+	Env        []string          `json:"env,omitempty"`
+	Cmd        []string          `json:"cmd,omitempty"`
+	Entrypoint []string          `json:"entrypoint,omitempty"`
+	WorkingDir string            `json:"working_dir,omitempty"`
+	User       string            `json:"user,omitempty"`
+	Labels     map[string]string `json:"labels,omitempty"`
+	Arch       string            `json:"arch,omitempty"`
+}
+
+// Distro returns the distribution label ("alpine", "centos7", "debian"),
+// which decides the toolchain (binaries) the builder attaches.
+func (c Config) Distro() string { return c.Labels["org.repro.distro"] }
+
+// Image is a named, layered image.
+type Image struct {
+	Name   string // "alpine:3.19"
+	Layers []Layer
+	Config Config
+}
+
+// Clone returns a deep-enough copy for derivation (layers are immutable).
+func (img *Image) Clone(name string) *Image {
+	out := &Image{Name: name, Config: img.Config}
+	out.Layers = append([]Layer{}, img.Layers...)
+	if img.Config.Labels != nil {
+		out.Config.Labels = map[string]string{}
+		for k, v := range img.Config.Labels {
+			out.Config.Labels[k] = v
+		}
+	}
+	out.Config.Env = append([]string{}, img.Config.Env...)
+	return out
+}
+
+// Flatten unpacks all layers, in order, onto a fresh filesystem — the
+// privileged (image-store) path, so recorded ownership is preserved
+// exactly.
+func (img *Image) Flatten() (*vfs.FS, error) {
+	fs := vfs.New()
+	for i, l := range img.Layers {
+		if err := tarutil.Unpack(fs, l.Data); err != nil {
+			return nil, fmt.Errorf("image %s: layer %d: %w", img.Name, i, err)
+		}
+	}
+	return fs, nil
+}
+
+// CommitLayer diffs fs against the image's current flattened state and, if
+// anything changed, appends the diff as a new layer on a derived image
+// named newName. The returned bool reports whether a layer was added.
+func (img *Image) CommitLayer(newName string, fs *vfs.FS) (*Image, bool, error) {
+	baseFS, err := img.Flatten()
+	if err != nil {
+		return nil, false, err
+	}
+	lower, err := tarutil.Snapshot(baseFS)
+	if err != nil {
+		return nil, false, err
+	}
+	upper, err := tarutil.Snapshot(fs)
+	if err != nil {
+		return nil, false, err
+	}
+	diff := tarutil.Diff(lower, upper)
+	out := img.Clone(newName)
+	if len(diff) == 0 {
+		return out, false, nil
+	}
+	data, err := tarutil.Pack(diff)
+	if err != nil {
+		return nil, false, err
+	}
+	out.Layers = append(out.Layers, Layer{Digest: Digest(data), Data: data})
+	return out, true, nil
+}
+
+// Store is a tag→image map plus a content-addressed blob store, the
+// ch-image storage-directory analog.
+type Store struct {
+	mu     sync.RWMutex
+	images map[string]*Image
+	blobs  map[string][]byte
+}
+
+// NewStore creates an empty store.
+func NewStore() *Store {
+	return &Store{images: map[string]*Image{}, blobs: map[string][]byte{}}
+}
+
+// Put tags an image, registering its layer blobs.
+func (s *Store) Put(img *Image) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, l := range img.Layers {
+		s.blobs[l.Digest] = l.Data
+	}
+	s.images[img.Name] = img
+}
+
+// Get resolves a tag.
+func (s *Store) Get(name string) (*Image, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	img, ok := s.images[name]
+	return img, ok
+}
+
+// Delete removes a tag (blobs are kept; the store is append-mostly like
+// real CAS stores, and nothing in the workloads needs GC).
+func (s *Store) Delete(name string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.images, name)
+}
+
+// Blob fetches a blob by digest.
+func (s *Store) Blob(digest string) ([]byte, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	b, ok := s.blobs[digest]
+	return b, ok
+}
+
+// Tags lists image names, sorted.
+func (s *Store) Tags() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]string, 0, len(s.images))
+	for n := range s.images {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// FromFS builds a single-layer image from a filesystem.
+func FromFS(name string, fs *vfs.FS, cfg Config) (*Image, error) {
+	data, err := tarutil.PackFS(fs)
+	if err != nil {
+		return nil, err
+	}
+	return &Image{
+		Name:   name,
+		Layers: []Layer{{Digest: Digest(data), Data: data}},
+		Config: cfg,
+	}, nil
+}
+
+// SplitRef splits "name:tag" with a default "latest" tag.
+func SplitRef(ref string) (name, tag string) {
+	if i := strings.LastIndexByte(ref, ':'); i >= 0 && !strings.Contains(ref[i+1:], "/") {
+		return ref[:i], ref[i+1:]
+	}
+	return ref, "latest"
+}

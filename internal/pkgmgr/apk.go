@@ -1,0 +1,269 @@
+package pkgmgr
+
+import (
+	"archive/tar"
+	"bytes"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"repro/internal/simos"
+	"repro/internal/vfs"
+)
+
+// APK format: a tar archive whose first member is .PKGINFO (key = value
+// lines) followed by the package files — close enough to the real .apk
+// (which is three concatenated gzipped tar segments) that parsing exercises
+// the same machinery.
+
+// BuildAPK encodes a package.
+func BuildAPK(p *Package) ([]byte, error) {
+	var buf bytes.Buffer
+	tw := tar.NewWriter(&buf)
+	var info strings.Builder
+	fmt.Fprintf(&info, "pkgname = %s\n", p.Name)
+	fmt.Fprintf(&info, "pkgver = %s\n", p.Version)
+	fmt.Fprintf(&info, "size = %d\n", p.Size)
+	for _, d := range p.Depends {
+		fmt.Fprintf(&info, "depend = %s\n", d)
+	}
+	if p.Trigger != "" {
+		fmt.Fprintf(&info, "triggers = %s\n", p.Trigger)
+	}
+	if p.PostInstall != "" {
+		fmt.Fprintf(&info, "postinstall = %s\n", encodeScript(p.PostInstall))
+	}
+	hdr := &tar.Header{Name: ".PKGINFO", Mode: 0o644, Size: int64(info.Len()), Typeflag: tar.TypeReg}
+	if err := tw.WriteHeader(hdr); err != nil {
+		return nil, err
+	}
+	io.WriteString(tw, info.String())
+	if err := writeFileSpecs(tw, p.Files); err != nil {
+		return nil, err
+	}
+	if err := tw.Close(); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// ParseAPK decodes a package.
+func ParseAPK(blob []byte) (*Package, error) {
+	tr := tar.NewReader(bytes.NewReader(blob))
+	p := &Package{}
+	for {
+		hdr, err := tr.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("pkgmgr: apk: %w", err)
+		}
+		if hdr.Name == ".PKGINFO" {
+			data, _ := io.ReadAll(tr)
+			parsePkginfo(p, string(data))
+			continue
+		}
+		f, err := specFromTar(hdr, tr)
+		if err != nil {
+			return nil, err
+		}
+		p.Files = append(p.Files, f)
+	}
+	if p.Name == "" {
+		return nil, fmt.Errorf("pkgmgr: apk: missing .PKGINFO")
+	}
+	return p, nil
+}
+
+func parsePkginfo(p *Package, text string) {
+	for _, line := range strings.Split(text, "\n") {
+		k, v, ok := strings.Cut(line, " = ")
+		if !ok {
+			continue
+		}
+		switch k {
+		case "pkgname":
+			p.Name = v
+		case "pkgver":
+			p.Version = v
+		case "size":
+			fmt.Sscanf(v, "%d", &p.Size)
+		case "depend":
+			p.Depends = append(p.Depends, v)
+		case "triggers":
+			p.Trigger = v
+		case "postinstall":
+			p.PostInstall = decodeScript(v)
+		}
+	}
+}
+
+// encodeScript flattens a script into one .PKGINFO line.
+func encodeScript(s string) string { return strings.ReplaceAll(s, "\n", "\\n") }
+
+func decodeScript(s string) string { return strings.ReplaceAll(s, "\\n", "\n") }
+
+// writeFileSpecs emits FileSpecs as tar members (shared with deb).
+func writeFileSpecs(tw *tar.Writer, files []FileSpec) error {
+	for _, f := range files {
+		hdr := &tar.Header{
+			Name: strings.TrimPrefix(f.Path, "/"),
+			Mode: int64(f.Mode), Uid: f.UID, Gid: f.GID,
+		}
+		switch f.Type {
+		case vfs.TypeDir:
+			hdr.Typeflag = tar.TypeDir
+			hdr.Name += "/"
+		case vfs.TypeRegular:
+			hdr.Typeflag = tar.TypeReg
+			hdr.Size = int64(len(f.Data))
+		case vfs.TypeSymlink:
+			hdr.Typeflag = tar.TypeSymlink
+			hdr.Linkname = f.Target
+		case vfs.TypeCharDev:
+			hdr.Typeflag = tar.TypeChar
+			hdr.Devmajor, hdr.Devminor = int64(f.Major), int64(f.Minor)
+		case vfs.TypeBlockDev:
+			hdr.Typeflag = tar.TypeBlock
+			hdr.Devmajor, hdr.Devminor = int64(f.Major), int64(f.Minor)
+		case vfs.TypeFIFO:
+			hdr.Typeflag = tar.TypeFifo
+		}
+		if err := tw.WriteHeader(hdr); err != nil {
+			return err
+		}
+		if f.Type == vfs.TypeRegular {
+			if _, err := tw.Write(f.Data); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// specFromTar decodes one tar member into a FileSpec (shared with deb).
+func specFromTar(hdr *tar.Header, tr *tar.Reader) (FileSpec, error) {
+	f := FileSpec{
+		Path: "/" + strings.Trim(hdr.Name, "/"),
+		Mode: uint32(hdr.Mode) & 0o7777,
+		UID:  hdr.Uid, GID: hdr.Gid,
+	}
+	switch hdr.Typeflag {
+	case tar.TypeDir:
+		f.Type = vfs.TypeDir
+	case tar.TypeReg:
+		f.Type = vfs.TypeRegular
+		data, err := io.ReadAll(tr)
+		if err != nil {
+			return f, err
+		}
+		f.Data = data
+	case tar.TypeSymlink:
+		f.Type = vfs.TypeSymlink
+		f.Target = hdr.Linkname
+	case tar.TypeChar:
+		f.Type = vfs.TypeCharDev
+		f.Major, f.Minor = uint32(hdr.Devmajor), uint32(hdr.Devminor)
+	case tar.TypeBlock:
+		f.Type = vfs.TypeBlockDev
+		f.Major, f.Minor = uint32(hdr.Devmajor), uint32(hdr.Devminor)
+	case tar.TypeFifo:
+		f.Type = vfs.TypeFIFO
+	}
+	return f, nil
+}
+
+// apkInstalledDB is where apk records installed packages.
+const apkInstalledDB = "/lib/apk/db/installed"
+
+// APKBinary builds the /sbin/apk executable bound to a repository.
+func APKBinary(repo *Repo) *simos.Binary {
+	return &simos.Binary{
+		Name:   "apk",
+		Static: false, // apk links against musl dynamically
+		Main: func(ctx *simos.ExecCtx) int {
+			args := ctx.Argv[1:]
+			if len(args) == 0 {
+				fmt.Fprintln(ctx.Stderr, "apk: usage: apk add PKG...")
+				return 1
+			}
+			switch args[0] {
+			case "add":
+				return apkAdd(ctx, repo, filterFlags(args[1:]))
+			case "update":
+				fmt.Fprintf(ctx.Stdout, "fetch %s/x86_64/APKINDEX.tar.gz\n", repo.URL)
+				fmt.Fprintln(ctx.Stdout, "OK: index updated")
+				return 0
+			case "info":
+				for _, n := range repo.Names() {
+					fmt.Fprintln(ctx.Stdout, n)
+				}
+				return 0
+			}
+			fmt.Fprintf(ctx.Stderr, "apk: unknown command %q\n", args[0])
+			return 1
+		},
+	}
+}
+
+func filterFlags(args []string) []string {
+	var out []string
+	for _, a := range args {
+		if !strings.HasPrefix(a, "-") {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+func apkAdd(ctx *simos.ExecCtx, repo *Repo, pkgs []string) int {
+	p := ctx.Proc
+	// Fig. 1a lines 7-8: two index fetches.
+	fmt.Fprintf(ctx.Stdout, "fetch %s/main/x86_64/APKINDEX.tar.gz\n", repo.URL)
+	fmt.Fprintf(ctx.Stdout, "fetch %s/community/x86_64/APKINDEX.tar.gz\n", repo.URL)
+
+	installed := readInstalledDB(p, apkInstalledDB)
+	order, err := repo.Resolve(pkgs, installed)
+	if err != nil {
+		fmt.Fprintf(ctx.Stderr, "ERROR: %v\n", err)
+		return 1
+	}
+	var triggers []string
+	totalKiB := 0
+	for i, meta := range order {
+		blob, ok := repo.Fetch(meta.Name)
+		if !ok {
+			fmt.Fprintf(ctx.Stderr, "ERROR: unable to fetch %s\n", meta.Name)
+			return 1
+		}
+		pkg, err := ParseAPK(blob)
+		if err != nil {
+			fmt.Fprintf(ctx.Stderr, "ERROR: %s: %v\n", meta.Name, err)
+			return 1
+		}
+		fmt.Fprintf(ctx.Stdout, "(%d/%d) Installing %s (%s)\n", i+1, len(order), pkg.Name, pkg.Version)
+		if msg := extractFiles(ctx, pkg.Files, extractOptions{Tool: "apk"}); msg != "" {
+			fmt.Fprintf(ctx.Stderr, "ERROR: %s: %s\n", pkg.Name, msg)
+			return 1
+		}
+		if status := runScript(ctx, pkg.PostInstall); status != 0 {
+			fmt.Fprintf(ctx.Stderr, "ERROR: %s: post-install script failed (%d)\n", pkg.Name, status)
+			return 1
+		}
+		if pkg.Trigger != "" {
+			triggers = append(triggers, pkg.Trigger)
+		}
+		appendInstalledDB(p, apkInstalledDB, pkg.Name)
+		installed[pkg.Name] = true
+		totalKiB += pkg.Size
+	}
+	sort.Strings(triggers)
+	for _, t := range triggers {
+		fmt.Fprintf(ctx.Stdout, "Executing %s\n", t)
+	}
+	fmt.Fprintf(ctx.Stdout, "OK: %d MiB in %d packages\n",
+		(totalKiB+1023)/1024+7, len(installed))
+	return 0
+}

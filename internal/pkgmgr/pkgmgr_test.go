@@ -1,0 +1,349 @@
+package pkgmgr
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/container"
+	"repro/internal/errno"
+	"repro/internal/simos"
+	"repro/internal/vfs"
+)
+
+func TestAPKFormatRoundTrip(t *testing.T) {
+	p := &Package{
+		Name: "demo", Version: "1.0-r0", Size: 12,
+		Depends:     []string{"libdemo", "base"},
+		Trigger:     "demo.trigger",
+		PostInstall: "echo post\ntrue",
+		Files: []FileSpec{
+			{Path: "/usr/bin/demo", Type: vfs.TypeRegular, Mode: 0o755, Data: []byte("ELF")},
+			{Path: "/usr/lib/demo", Type: vfs.TypeDir, Mode: 0o755},
+			{Path: "/usr/bin/demo-link", Type: vfs.TypeSymlink, Target: "demo"},
+		},
+	}
+	blob, err := BuildAPK(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := ParseAPK(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Name != "demo" || q.Version != "1.0-r0" || len(q.Depends) != 2 ||
+		q.Trigger != "demo.trigger" || q.PostInstall != "echo post\ntrue" {
+		t.Fatalf("meta: %+v", q)
+	}
+	if len(q.Files) != 3 || q.Files[0].Path != "/usr/bin/demo" ||
+		string(q.Files[0].Data) != "ELF" || q.Files[2].Target != "demo" {
+		t.Fatalf("files: %+v", q.Files)
+	}
+}
+
+func TestRPMFormatRoundTrip(t *testing.T) {
+	p := &Package{
+		Name: "openssh", Version: "7.4p1-23.el7_9", Arch: "x86_64",
+		Depends: []string{"fipscheck"},
+		Files: []FileSpec{
+			{Path: "/usr/sbin/sshd", Type: vfs.TypeRegular, Mode: 0o755, Data: []byte("ELF sshd")},
+			{Path: "/usr/libexec/openssh/ssh-keysign", Type: vfs.TypeRegular,
+				Mode: 0o2555, UID: 0, GID: 998, Data: []byte("ELF")},
+			{Path: "/dev/demo", Type: vfs.TypeCharDev, Mode: 0o666, Major: 1, Minor: 3},
+		},
+	}
+	blob, err := BuildRPM(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := ParseRPM(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Name != "openssh" || len(q.Files) != 3 {
+		t.Fatalf("meta: %+v", q)
+	}
+	if q.Files[1].GID != 998 || q.Files[1].Mode != 0o2555 {
+		t.Fatalf("ownership lost: %+v", q.Files[1])
+	}
+	if q.Files[2].Type != vfs.TypeCharDev || q.Files[2].Major != 1 {
+		t.Fatalf("device: %+v", q.Files[2])
+	}
+	if fullRPMName(q) != "openssh-7.4p1-23.el7_9.x86_64" {
+		t.Fatalf("full name: %s", fullRPMName(q))
+	}
+}
+
+func TestRPMBadMagic(t *testing.T) {
+	if _, err := ParseRPM([]byte("not an rpm at all")); err == nil {
+		t.Fatal("bad magic must fail")
+	}
+}
+
+func TestDEBFormatRoundTrip(t *testing.T) {
+	p := &Package{
+		Name: "curl", Version: "7.88.1-10", Depends: []string{"libcurl4"},
+		PostInstall: "true",
+		Files: []FileSpec{
+			{Path: "/usr/bin/curl", Type: vfs.TypeRegular, Mode: 0o755, Data: []byte("ELF")},
+		},
+	}
+	blob, err := BuildDEB(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := ParseDEB(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Name != "curl" || q.Depends[0] != "libcurl4" || q.PostInstall != "true" {
+		t.Fatalf("meta: %+v", q)
+	}
+}
+
+func TestRepoResolveTopological(t *testing.T) {
+	r := NewRepo("http://example", "apk")
+	r.MustAdd(&Package{Name: "a", Version: "1", Depends: []string{"b", "c"}})
+	r.MustAdd(&Package{Name: "b", Version: "1", Depends: []string{"c"}})
+	r.MustAdd(&Package{Name: "c", Version: "1"})
+	order, err := r.Resolve([]string{"a"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	for _, p := range order {
+		names = append(names, p.Name)
+	}
+	if strings.Join(names, ",") != "c,b,a" {
+		t.Fatalf("order: %v", names)
+	}
+}
+
+func TestRepoResolveSkipsInstalled(t *testing.T) {
+	r := NewRepo("http://example", "apk")
+	r.MustAdd(&Package{Name: "a", Version: "1", Depends: []string{"b"}})
+	r.MustAdd(&Package{Name: "b", Version: "1"})
+	order, err := r.Resolve([]string{"a"}, map[string]bool{"b": true})
+	if err != nil || len(order) != 1 || order[0].Name != "a" {
+		t.Fatalf("order: %v err: %v", order, err)
+	}
+}
+
+func TestRepoResolveMissing(t *testing.T) {
+	r := NewRepo("http://example", "apk")
+	if _, err := r.Resolve([]string{"ghost"}, nil); err == nil {
+		t.Fatal("missing package must fail")
+	}
+}
+
+func TestRepoResolveCycle(t *testing.T) {
+	r := NewRepo("http://example", "apk")
+	r.MustAdd(&Package{Name: "a", Version: "1", Depends: []string{"b"}})
+	r.MustAdd(&Package{Name: "b", Version: "1", Depends: []string{"a"}})
+	if _, err := r.Resolve([]string{"a"}, nil); err == nil {
+		t.Fatal("cycle must fail")
+	}
+}
+
+// containerWorld builds a Type III container on a distro base image with
+// the distro's toolchain, mirroring what the builder does per RUN.
+func containerWorld(t *testing.T, distro string) (*World, *simos.Proc) {
+	t.Helper()
+	w := NewWorld()
+	img, err := w.BaseImage(distro, distro+":test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs, err := img.Flatten()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs.ChownAll(1000, 1000)
+	k := simos.NewKernel()
+	p := k.NewInitProc(simos.Mount{FS: vfs.New(), Owner: k.InitNS()}, 1000, 1000)
+	if err := container.Enter(p, container.Options{Type: container.TypeIII, RootFS: fs}); err != nil {
+		t.Fatal(err)
+	}
+	reg, err := w.Toolchain(distro)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.SetRegistry(reg)
+	return w, p
+}
+
+func runCmd(t *testing.T, p *simos.Proc, line string) (int, string) {
+	t.Helper()
+	var out strings.Builder
+	status, e := p.Exec([]string{"/bin/sh", "-c", line},
+		map[string]string{"PATH": "/usr/local/sbin:/usr/local/bin:/usr/sbin:/usr/bin:/sbin:/bin"},
+		nil, &out, &out)
+	if e != errno.OK {
+		t.Fatalf("exec: %v", e)
+	}
+	return status, out.String()
+}
+
+func TestApkAddInContainerNoEmulation(t *testing.T) {
+	// Fig. 1a at the package-manager level.
+	_, p := containerWorld(t, DistroAlpine)
+	status, out := runCmd(t, p, "apk add sl")
+	if status != 0 {
+		t.Fatalf("apk add failed (%d):\n%s", status, out)
+	}
+	if !strings.Contains(out, "(3/3) Installing sl") {
+		t.Fatalf("out:\n%s", out)
+	}
+	// The binary landed and is runnable.
+	if status, _ := runCmd(t, p, "sl"); status != 0 {
+		t.Fatal("installed sl does not run")
+	}
+	// Idempotent: second add installs nothing new.
+	_, out = runCmd(t, p, "apk add sl")
+	if strings.Contains(out, "Installing sl") {
+		t.Fatalf("reinstalled:\n%s", out)
+	}
+}
+
+func TestYumInstallFailsInContainerNoEmulation(t *testing.T) {
+	// Fig. 1b at the package-manager level.
+	_, p := containerWorld(t, DistroCentOS7)
+	status, out := runCmd(t, p, "yum install -y openssh")
+	if status == 0 {
+		t.Fatalf("yum must fail:\n%s", out)
+	}
+	if !strings.Contains(out, "cpio: chown failed - Invalid argument") {
+		t.Fatalf("out:\n%s", out)
+	}
+}
+
+func TestYumInstallAllRootPackageSucceeds(t *testing.T) {
+	// The all-root "which" package has no foreign owners: rpm's chowns
+	// are no-ops and the install works even without emulation.
+	_, p := containerWorld(t, DistroCentOS7)
+	status, out := runCmd(t, p, "yum install -y which")
+	if status != 0 {
+		t.Fatalf("which install failed:\n%s", out)
+	}
+	if !strings.Contains(out, "Complete!") {
+		t.Fatalf("out:\n%s", out)
+	}
+}
+
+func TestRPMLocalInstall(t *testing.T) {
+	w, p := containerWorld(t, DistroCentOS7)
+	blob, _ := w.CentOS7.Fetch("which")
+	p.WriteFileAll("/tmp/which.rpm", blob, 0o644)
+	status, out := runCmd(t, p, "rpm -i /tmp/which.rpm")
+	if status != 0 {
+		t.Fatalf("rpm -i failed:\n%s", out)
+	}
+}
+
+func TestAptInstallFailsNoEmulation(t *testing.T) {
+	_, p := containerWorld(t, DistroDebian)
+	status, out := runCmd(t, p, "apt-get install -y curl")
+	if status == 0 {
+		t.Fatalf("apt must fail:\n%s", out)
+	}
+	if !strings.Contains(out, "setresuid 100 failed") {
+		t.Fatalf("out:\n%s", out)
+	}
+}
+
+func TestAptInstallSandboxDisabled(t *testing.T) {
+	// Without emulation but with the sandbox off, dpkg's chown 0:0 is a
+	// no-op and the install completes.
+	_, p := containerWorld(t, DistroDebian)
+	status, out := runCmd(t, p, "apt-get -o APT::Sandbox::User=root install -y curl")
+	if status != 0 {
+		t.Fatalf("apt with sandbox off failed:\n%s", out)
+	}
+	if !strings.Contains(out, "unsandboxed as root") {
+		t.Fatalf("out:\n%s", out)
+	}
+}
+
+func TestToolchainUnknownDistro(t *testing.T) {
+	w := NewWorld()
+	if _, err := w.Toolchain("slackware"); err == nil {
+		t.Fatal("unknown distro must fail")
+	}
+	if _, err := w.BaseImage("slackware", "x"); err == nil {
+		t.Fatal("unknown distro must fail")
+	}
+}
+
+func TestWorldRepoFor(t *testing.T) {
+	w := NewWorld()
+	for _, d := range []string{DistroAlpine, DistroCentOS7, DistroDebian} {
+		if _, ok := w.RepoFor(d); !ok {
+			t.Errorf("no repo for %s", d)
+		}
+	}
+	if _, ok := w.RepoFor("gentoo"); ok {
+		t.Error("gentoo repo should not exist")
+	}
+}
+
+func TestBaseImagesHaveDistroLabel(t *testing.T) {
+	w := NewWorld()
+	for _, d := range []string{DistroAlpine, DistroCentOS7, DistroDebian} {
+		img, err := w.BaseImage(d, d+":x")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if img.Config.Distro() != d {
+			t.Errorf("%s: label %q", d, img.Config.Distro())
+		}
+	}
+}
+
+func TestPostInstallScriptRuns(t *testing.T) {
+	w, p := containerWorld(t, DistroAlpine)
+	w.Alpine.MustAdd(&Package{
+		Name: "scripted", Version: "1.0", Size: 1,
+		PostInstall: "echo post-ran > /tmp/marker",
+		Files: []FileSpec{
+			{Path: "/usr/share/scripted", Type: vfs.TypeRegular, Mode: 0o644, Data: []byte("x")},
+		},
+	})
+	status, out := runCmd(t, p, "apk add scripted")
+	if status != 0 {
+		t.Fatalf("install failed:\n%s", out)
+	}
+	if _, e := p.Stat("/tmp/marker"); e != errno.OK {
+		t.Fatal("post-install script did not run")
+	}
+}
+
+func TestExtractPreservesModes(t *testing.T) {
+	w, p := containerWorld(t, DistroAlpine)
+	w.Alpine.MustAdd(&Package{
+		Name: "modes", Version: "1", Size: 1,
+		Files: []FileSpec{
+			{Path: "/usr/bin/exec", Type: vfs.TypeRegular, Mode: 0o755, Data: []byte("x")},
+			{Path: "/etc/secret", Type: vfs.TypeRegular, Mode: 0o600, Data: []byte("x")},
+		},
+	})
+	if status, out := runCmd(t, p, "apk add modes"); status != 0 {
+		t.Fatalf("install failed:\n%s", out)
+	}
+	st, _ := p.Stat("/usr/bin/exec")
+	if st.Mode != 0o755 {
+		t.Errorf("exec mode %o", st.Mode)
+	}
+	st, _ = p.Stat("/etc/secret")
+	if st.Mode != 0o600 {
+		t.Errorf("secret mode %o", st.Mode)
+	}
+}
+
+func TestDnfAliasWorks(t *testing.T) {
+	_, p := containerWorld(t, DistroCentOS7)
+	// dnf is a symlink to yum fronting the same engine; with no emulation
+	// the openssh install fails identically.
+	status, out := runCmd(t, p, "dnf install -y which")
+	if status != 0 || !strings.Contains(out, "Complete!") {
+		t.Fatalf("dnf install: %d\n%s", status, out)
+	}
+}

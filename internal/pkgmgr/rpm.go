@@ -1,0 +1,260 @@
+package pkgmgr
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/cpio"
+	"repro/internal/simos"
+	"repro/internal/vfs"
+)
+
+// RPM format: the real thing is lead + signature + header + compressed
+// cpio. We keep the structural essentials — a magic-tagged header carrying
+// the metadata and a genuine cpio-newc payload holding the files with
+// their recorded owners — because the failure the paper reproduces lives
+// in the cpio-extraction chown loop.
+
+// rpmMagic is the RPM lead magic.
+var rpmMagic = []byte{0xed, 0xab, 0xee, 0xdb}
+
+// rpmHeader is the JSON-encoded metadata block.
+type rpmHeader struct {
+	Name        string   `json:"name"`
+	Version     string   `json:"version"`
+	Arch        string   `json:"arch"`
+	Depends     []string `json:"depends,omitempty"`
+	PostInstall string   `json:"post_install,omitempty"`
+	Size        int      `json:"size"`
+	// Owners records uid/gid per path: rpm headers carry ownership in
+	// RPMTAG_FILEUSERNAME/GROUPNAME; the cpio header duplicates it.
+	Owners map[string][2]int `json:"owners"`
+}
+
+// BuildRPM encodes a package.
+func BuildRPM(p *Package) ([]byte, error) {
+	hdr := rpmHeader{
+		Name: p.Name, Version: p.Version, Arch: defaultArch(p.Arch),
+		Depends: p.Depends, PostInstall: p.PostInstall, Size: p.Size,
+		Owners: map[string][2]int{},
+	}
+	var payload bytes.Buffer
+	cw := cpio.NewWriter(&payload)
+	for _, f := range p.Files {
+		hdr.Owners[f.Path] = [2]int{f.UID, f.GID}
+		ch := &cpio.Header{
+			Name: strings.TrimPrefix(f.Path, "/"),
+			Mode: f.Mode | f.Type.ModeBits(),
+			UID:  uint32(f.UID), GID: uint32(f.GID),
+			RMajor: f.Major, RMinor: f.Minor,
+		}
+		var body []byte
+		switch f.Type {
+		case vfs.TypeRegular:
+			body = f.Data
+		case vfs.TypeSymlink:
+			body = []byte(f.Target)
+		}
+		if err := cw.WriteMember(ch, body); err != nil {
+			return nil, err
+		}
+	}
+	if err := cw.Close(); err != nil {
+		return nil, err
+	}
+	meta, err := json.Marshal(hdr)
+	if err != nil {
+		return nil, err
+	}
+	var out bytes.Buffer
+	out.Write(rpmMagic)
+	var lenBuf [4]byte
+	binary.BigEndian.PutUint32(lenBuf[:], uint32(len(meta)))
+	out.Write(lenBuf[:])
+	out.Write(meta)
+	out.Write(payload.Bytes())
+	return out.Bytes(), nil
+}
+
+// ParseRPM decodes a package.
+func ParseRPM(blob []byte) (*Package, error) {
+	if len(blob) < 8 || !bytes.Equal(blob[:4], rpmMagic) {
+		return nil, fmt.Errorf("pkgmgr: rpm: bad magic")
+	}
+	metaLen := binary.BigEndian.Uint32(blob[4:8])
+	if int(8+metaLen) > len(blob) {
+		return nil, fmt.Errorf("pkgmgr: rpm: truncated header")
+	}
+	var hdr rpmHeader
+	if err := json.Unmarshal(blob[8:8+metaLen], &hdr); err != nil {
+		return nil, fmt.Errorf("pkgmgr: rpm: header: %w", err)
+	}
+	p := &Package{
+		Name: hdr.Name, Version: hdr.Version, Arch: hdr.Arch,
+		Depends: hdr.Depends, PostInstall: hdr.PostInstall, Size: hdr.Size,
+	}
+	cr := cpio.NewReader(blob[8+metaLen:])
+	for {
+		ch, err := cr.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("pkgmgr: rpm: payload: %w", err)
+		}
+		typ, _ := vfs.TypeFromMode(ch.Mode)
+		f := FileSpec{
+			Path: "/" + ch.Name, Type: typ, Mode: ch.Mode & 0o7777,
+			UID: int(ch.UID), GID: int(ch.GID),
+			Major: ch.RMajor, Minor: ch.RMinor,
+		}
+		switch typ {
+		case vfs.TypeRegular:
+			f.Data = append([]byte{}, cr.Body()...)
+		case vfs.TypeSymlink:
+			f.Target = string(cr.Body())
+		}
+		p.Files = append(p.Files, f)
+	}
+	return p, nil
+}
+
+func defaultArch(a string) string {
+	if a == "" {
+		return "x86_64"
+	}
+	return a
+}
+
+// rpmInstalledDB is the rpmdb stand-in.
+const rpmInstalledDB = "/var/lib/rpm/Packages"
+
+// fullRPMName renders the transcript name: openssh-7.4p1-23.el7_9.x86_64.
+func fullRPMName(p *Package) string {
+	return fmt.Sprintf("%s-%s.%s", p.Name, p.Version, defaultArch(p.Arch))
+}
+
+// installRPMPackage extracts one parsed RPM with rpm's profile: cpio
+// extraction with an unconditional chown per entry. On failure it emits
+// rpm's characteristic error lines and reports false.
+func installRPMPackage(ctx *simos.ExecCtx, pkg *Package, idx, total int) bool {
+	fmt.Fprintf(ctx.Stdout, "  Installing : %-40s %3d/%d\n", fullRPMName(pkg), idx, total)
+	if msg := extractFiles(ctx, pkg.Files, extractOptions{AlwaysChown: true, Tool: "cpio"}); msg != "" {
+		// Fig. 1b lines 9-10.
+		fmt.Fprintf(ctx.Stdout, "Error unpacking rpm package %s\n", fullRPMName(pkg))
+		fmt.Fprintf(ctx.Stdout, "error: unpacking of archive failed: %s\n", msg)
+		return false
+	}
+	if status := runScript(ctx, pkg.PostInstall); status != 0 {
+		fmt.Fprintf(ctx.Stdout, "warning: %%post(%s) scriptlet failed, exit status %d\n",
+			fullRPMName(pkg), status)
+	}
+	appendInstalledDB(ctx.Proc, rpmInstalledDB, pkg.Name)
+	return true
+}
+
+// YumBinary builds /usr/bin/yum bound to a repository.
+func YumBinary(repo *Repo) *simos.Binary {
+	return &simos.Binary{
+		Name:   "yum",
+		Static: false,
+		Main: func(ctx *simos.ExecCtx) int {
+			args := filterFlags(ctx.Argv[1:])
+			if len(args) == 0 || args[0] != "install" {
+				fmt.Fprintln(ctx.Stderr, "yum: usage: yum install -y PKG...")
+				return 1
+			}
+			return yumInstall(ctx, repo, args[1:])
+		},
+	}
+}
+
+func yumInstall(ctx *simos.ExecCtx, repo *Repo, pkgs []string) int {
+	p := ctx.Proc
+	fmt.Fprintln(ctx.Stdout, "Loaded plugins: fastestmirror, ovl")
+	fmt.Fprintln(ctx.Stdout, "Resolving Dependencies")
+	installed := readInstalledDB(p, rpmInstalledDB)
+	order, err := repo.Resolve(pkgs, installed)
+	if err != nil {
+		fmt.Fprintf(ctx.Stderr, "Error: %v\n", err)
+		return 1
+	}
+	if len(order) == 0 {
+		fmt.Fprintln(ctx.Stdout, "Nothing to do")
+		return 0
+	}
+	fmt.Fprintln(ctx.Stdout, "Dependencies Resolved")
+	fmt.Fprintln(ctx.Stdout, "Running transaction")
+	for i, meta := range order {
+		blob, ok := repo.Fetch(meta.Name)
+		if !ok {
+			fmt.Fprintf(ctx.Stderr, "Error: cannot fetch %s\n", meta.Name)
+			return 1
+		}
+		pkg, err := ParseRPM(blob)
+		if err != nil {
+			fmt.Fprintf(ctx.Stderr, "Error: %s: %v\n", meta.Name, err)
+			return 1
+		}
+		if !installRPMPackage(ctx, pkg, i+1, len(order)) {
+			// Fig. 1b lines 11-13: the transaction rolls back and the
+			// RUN instruction fails.
+			fmt.Fprintln(ctx.Stdout, "Verifying  : transaction rollback")
+			fmt.Fprintf(ctx.Stderr, "error: %s: install failed\n", fullRPMName(pkg))
+			return 1
+		}
+	}
+	fmt.Fprintln(ctx.Stdout, "Complete!")
+	return 0
+}
+
+// RPMBinary builds /usr/bin/rpm for local-file installs (rpm -i file.rpm)
+// — the path Charliecloud's test suite exercises directly.
+func RPMBinary(repo *Repo) *simos.Binary {
+	return &simos.Binary{
+		Name:   "rpm",
+		Static: false,
+		Main: func(ctx *simos.ExecCtx) int {
+			args := ctx.Argv[1:]
+			install := false
+			var targets []string
+			for _, a := range args {
+				switch {
+				case a == "-i" || a == "-U" || a == "--install":
+					install = true
+				case strings.HasPrefix(a, "-"):
+				default:
+					targets = append(targets, a)
+				}
+			}
+			if !install || len(targets) == 0 {
+				fmt.Fprintln(ctx.Stderr, "rpm: usage: rpm -i FILE.rpm")
+				return 1
+			}
+			for i, t := range targets {
+				var blob []byte
+				if data, e := ctx.Proc.ReadFileAll(t); e.Ok() {
+					blob = data
+				} else if data, ok := repo.Fetch(strings.TrimSuffix(t, ".rpm")); ok {
+					blob = data
+				} else {
+					fmt.Fprintf(ctx.Stderr, "rpm: %s: not found\n", t)
+					return 1
+				}
+				pkg, err := ParseRPM(blob)
+				if err != nil {
+					fmt.Fprintf(ctx.Stderr, "rpm: %v\n", err)
+					return 1
+				}
+				if !installRPMPackage(ctx, pkg, i+1, len(targets)) {
+					return 1
+				}
+			}
+			return 0
+		},
+	}
+}

@@ -1,0 +1,63 @@
+// Package rootemu glues the paper's filter (internal/core) onto simulated
+// processes (internal/simos): the complete installation sequence ch-run
+// performs before exec'ing a user command, plus convenience constructors
+// for the consistent baselines, so examples and harnesses configure any
+// emulation mode with one call.
+package rootemu
+
+import (
+	"fmt"
+
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/errno"
+	"repro/internal/seccomp"
+	"repro/internal/simos"
+)
+
+// Install performs the root-emulation installation on p:
+//
+//  1. prctl(PR_SET_NO_NEW_PRIVS, 1) — the unprivileged-install
+//     prerequisite;
+//  2. generate and load the filter for cfg;
+//  3. run the §5 self-test: kexec_load must return the configured fake
+//     result, proving the filter is active (skipped for variants without
+//     the self-test class, like Enroot's, and for EPERM fakes, which are
+//     indistinguishable from no filter).
+//
+// The returned filter exposes Stats() for experiment harnesses.
+func Install(p *simos.Proc, cfg core.Config) (*seccomp.Filter, error) {
+	if _, e := p.Prctl(simos.PrSetNoNewPrivs, 1); e != errno.OK {
+		return nil, fmt.Errorf("rootemu: prctl(NO_NEW_PRIVS): %v", e)
+	}
+	f, err := core.NewFilter(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if e := p.SeccompInstall(f); e != errno.OK {
+		return nil, fmt.Errorf("rootemu: seccomp install: %v", e)
+	}
+	if len(core.InventoryByClass(cfg.Variant)[core.ClassSelfTest]) > 0 &&
+		errno.Errno(cfg.FakeErrno) != errno.EPERM {
+		if e := p.KexecLoad(); e != errno.Errno(cfg.FakeErrno) {
+			return nil, fmt.Errorf("rootemu: self-test: kexec_load returned %v, want %v",
+				e, errno.Errno(cfg.FakeErrno))
+		}
+	}
+	return f, nil
+}
+
+// AttachFakeroot attaches a fakeroot daemon's preload hook to p and
+// returns the daemon for state inspection.
+func AttachFakeroot(p *simos.Proc) *baseline.Fakeroot {
+	fr := baseline.NewFakeroot()
+	p.AddPreload(fr.Hook())
+	return fr
+}
+
+// AttachPRoot attaches a PRoot supervisor to p.
+func AttachPRoot(p *simos.Proc) *baseline.PRoot {
+	pr := baseline.NewPRoot()
+	pr.Attach(p)
+	return pr
+}

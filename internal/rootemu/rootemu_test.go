@@ -1,0 +1,88 @@
+package rootemu
+
+import (
+	"testing"
+
+	"repro/internal/container"
+	"repro/internal/core"
+	"repro/internal/errno"
+	"repro/internal/simos"
+	"repro/internal/vfs"
+)
+
+func typeIIIProc(t *testing.T) *simos.Proc {
+	t.Helper()
+	k := simos.NewKernel()
+	p := k.NewInitProc(simos.Mount{FS: vfs.New(), Owner: k.InitNS()}, 1000, 1000)
+	img := vfs.New()
+	rc := vfs.RootContext()
+	img.MkdirAll(rc, "/tmp", 0o1777, 1000, 1000)
+	img.ChownAll(1000, 1000)
+	if err := container.Enter(p, container.Options{Type: container.TypeIII, RootFS: img}); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestInstallSequence(t *testing.T) {
+	p := typeIIIProc(t)
+	f, err := Install(p, core.Config{})
+	if err != nil {
+		t.Fatalf("install: %v", err)
+	}
+	// The self-test already ran; its fake shows up in the stats.
+	if f.Stats().Faked == 0 {
+		t.Fatal("self-test did not run through the filter")
+	}
+	// And the emulation works.
+	p.WriteFileAll("/tmp/f", []byte("x"), 0o644)
+	if e := p.Chown("/tmp/f", 74, 74); e != errno.OK {
+		t.Fatalf("chown: %v", e)
+	}
+}
+
+func TestInstallEnrootSkipsSelfTest(t *testing.T) {
+	p := typeIIIProc(t)
+	f, err := Install(p, core.Config{Variant: core.VariantEnroot})
+	if err != nil {
+		t.Fatalf("enroot install: %v", err)
+	}
+	if f.Stats().Faked != 0 {
+		t.Fatal("enroot variant has no self-test; nothing should be faked yet")
+	}
+}
+
+func TestInstallDetectsBrokenFilter(t *testing.T) {
+	// A filter whose fake errno is ENOENT: kexec_load must return ENOENT,
+	// and Install's self-test accepts exactly that — proving it checks
+	// the configured value rather than blind success.
+	p := typeIIIProc(t)
+	if _, err := Install(p, core.Config{FakeErrno: 2 /* ENOENT */}); err != nil {
+		t.Fatalf("install with ENOENT fake: %v", err)
+	}
+	if e := p.KexecLoad(); e != errno.ENOENT {
+		t.Fatalf("kexec under ENOENT filter: %v", e)
+	}
+}
+
+func TestAttachBaselines(t *testing.T) {
+	p := typeIIIProc(t)
+	fr := AttachFakeroot(p)
+	pr := AttachPRoot(p)
+	p.WriteFileAll("/tmp/f", []byte("x"), 0o644)
+	// ptrace path intercepts the raw syscall.
+	if e := p.Chown("/tmp/f", 74, 74); e != errno.OK {
+		t.Fatalf("proot chown: %v", e)
+	}
+	if pr.Records() != 1 {
+		t.Fatalf("proot records: %d", pr.Records())
+	}
+	// preload path intercepts the libc call.
+	c := &simos.CLib{P: p, Hooks: p.Preloads()}
+	if e := c.Chown("/tmp/f", 75, 75); e != errno.OK {
+		t.Fatalf("fakeroot chown: %v", e)
+	}
+	if fr.Records() != 1 {
+		t.Fatalf("fakeroot records: %d", fr.Records())
+	}
+}

@@ -1,0 +1,140 @@
+//go:build linux
+
+package seccomp
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"syscall"
+	"unsafe"
+
+	"repro/internal/bpf"
+	"repro/internal/sysarch"
+)
+
+// Native install path. This is the "runc precedent": loading a cBPF program
+// into the real kernel from Go. Two complications the paper's C
+// implementation does not have:
+//
+//   - The Go runtime is multi-threaded before main() runs, and a plain
+//     seccomp(2) call applies to the calling thread only. We pass
+//     SECCOMP_FILTER_FLAG_TSYNC so the kernel atomically applies the filter
+//     to every thread of the process, failing if any thread has a
+//     conflicting filter.
+//
+//   - Installing an unprivileged filter requires no_new_privs (otherwise
+//     the kernel demands CAP_SYS_ADMIN), so we set
+//     prctl(PR_SET_NO_NEW_PRIVS) first, exactly as Charliecloud does.
+//
+// Installation is process-wide and irrevocable, so tests exercise it in a
+// re-exec'd child (cmd/seccomp-probe), never in the test process itself.
+
+const (
+	prSetNoNewPrivs = 38 // PR_SET_NO_NEW_PRIVS
+
+	seccompSetModeFilter = 1 // SECCOMP_SET_MODE_FILTER
+	seccompFlagTSync     = 1 // SECCOMP_FILTER_FLAG_TSYNC
+)
+
+// sockFilter and sockFprog mirror the kernel ABI structs passed to
+// seccomp(2).
+type sockFilter struct {
+	code uint16
+	jt   uint8
+	jf   uint8
+	k    uint32
+}
+
+type sockFprog struct {
+	len    uint16
+	_      [6]byte // padding to pointer alignment on 64-bit
+	filter *sockFilter
+}
+
+// ErrNotSupported is returned when the host cannot install native filters
+// (non-Linux, or an architecture outside the supported table).
+var ErrNotSupported = errors.New("seccomp: native install not supported on this host")
+
+// HostArch maps the running Go architecture onto the paper's table.
+func HostArch() (*sysarch.Arch, bool) {
+	switch runtime.GOARCH {
+	case "amd64":
+		return sysarch.X8664, true
+	case "386":
+		return sysarch.I386, true
+	case "arm":
+		return sysarch.ARM, true
+	case "arm64":
+		return sysarch.ARM64, true
+	case "ppc64le":
+		return sysarch.PPC64LE, true
+	case "s390x":
+		return sysarch.S390X, true
+	}
+	return nil, false
+}
+
+// InstallNative loads the program into the running kernel for the calling
+// process (all threads, via TSYNC), after setting no_new_privs. The filter
+// must have been generated for the host architecture; loading an arm64
+// filter on x86_64 would kill every syscall, so the mismatch is rejected
+// here rather than discovered fatally.
+func InstallNative(f *Filter) error {
+	host, ok := HostArch()
+	if !ok {
+		return ErrNotSupported
+	}
+	// A nil filter arch means a multi-architecture program, which always
+	// contains the host's section; a single-arch program must match.
+	if a := f.Arch(); a != nil && a != host {
+		return fmt.Errorf("seccomp: filter built for %s but host is %s", a, host)
+	}
+	prog := f.Program()
+	if len(prog) == 0 || len(prog) > bpf.MaxInstructions {
+		return fmt.Errorf("seccomp: program length %d out of range", len(prog))
+	}
+
+	prctlNR := host.MustNumber("prctl")
+	if _, _, errno := syscall.Syscall6(uintptr(prctlNR), prSetNoNewPrivs, 1, 0, 0, 0, 0); errno != 0 {
+		return fmt.Errorf("seccomp: prctl(PR_SET_NO_NEW_PRIVS): %w", errno)
+	}
+
+	raw := make([]sockFilter, len(prog))
+	for i, ins := range prog {
+		raw[i] = sockFilter{code: ins.Op, jt: ins.JT, jf: ins.JF, k: ins.K}
+	}
+	fprog := sockFprog{len: uint16(len(raw)), filter: &raw[0]}
+
+	seccompNR, ok := host.Number("seccomp")
+	if !ok {
+		return ErrNotSupported
+	}
+	_, _, errno := syscall.Syscall(uintptr(seccompNR), seccompSetModeFilter,
+		seccompFlagTSync, uintptr(unsafe.Pointer(&fprog)))
+	runtime.KeepAlive(raw)
+	if errno != 0 {
+		return fmt.Errorf("seccomp: seccomp(SET_MODE_FILTER, TSYNC): %w", errno)
+	}
+	return nil
+}
+
+// NativeAvailable probes, without side effects, whether the kernel supports
+// installing an unprivileged seccomp filter (seccomp(2) present and
+// permitted). It calls seccomp(SECCOMP_GET_ACTION_AVAIL) which changes no
+// process state.
+func NativeAvailable() bool {
+	host, ok := HostArch()
+	if !ok {
+		return false
+	}
+	nr, ok := host.Number("seccomp")
+	if !ok {
+		return false
+	}
+	const seccompGetActionAvail = 2
+	action := RetAllow
+	_, _, errno := syscall.Syscall(uintptr(nr), seccompGetActionAvail, 0,
+		uintptr(unsafe.Pointer(&action)))
+	return errno == 0
+}

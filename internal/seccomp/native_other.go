@@ -1,0 +1,22 @@
+//go:build !linux
+
+package seccomp
+
+import (
+	"errors"
+
+	"repro/internal/sysarch"
+)
+
+// ErrNotSupported is returned when the host cannot install native filters.
+var ErrNotSupported = errors.New("seccomp: native install not supported on this host")
+
+// HostArch reports no supported architecture off Linux; callers fall back
+// to the simulated kernel, which runs everywhere.
+func HostArch() (*sysarch.Arch, bool) { return nil, false }
+
+// InstallNative always fails off Linux.
+func InstallNative(*Filter) error { return ErrNotSupported }
+
+// NativeAvailable reports false off Linux.
+func NativeAvailable() bool { return false }

@@ -1,0 +1,189 @@
+// Package seccomp implements Linux seccomp filter mode (§4 of the paper) as
+// a library: the seccomp_data ABI presented to BPF filters, the SECCOMP_RET_*
+// disposition space with the kernel's multi-filter precedence rules, filter
+// objects that pair a verified cBPF program with runtime statistics, and (on
+// Linux) a native install path using prctl(2)/seccomp(2) with thread
+// synchronisation.
+//
+// The package is substrate-neutral: the same Filter can be attached to the
+// simulated kernel (internal/simos), where every simulated syscall is run
+// through the cBPF interpreter, or loaded into the real kernel via
+// InstallNative. Tests assert the two paths consume byte-identical programs.
+package seccomp
+
+import (
+	"fmt"
+
+	"repro/internal/bpf"
+	"repro/internal/sysarch"
+)
+
+// Data mirrors struct seccomp_data, the only state a filter can see (§4):
+// syscall number, architecture, instruction pointer, and the six raw
+// argument words. BPF cannot dereference pointers, so pointer arguments are
+// visible only as addresses — the root cause of the paper's "zero
+// consistency" design point.
+type Data struct {
+	NR                 int32     // system call number (architecture-specific)
+	Arch               uint32    // AUDIT_ARCH_* value
+	InstructionPointer uint64    // caller's IP at syscall entry
+	Args               [6]uint64 // raw syscall arguments
+}
+
+// Marshal serialises Data into the byte image the cBPF VM loads from.
+//
+// In the kernel, BPF_LD|BPF_W|BPF_ABS against seccomp_data is a
+// native-endian 32-bit load at the given offset. Our VM performs big-endian
+// loads (classic BPF packet semantics), so Marshal stores every 32-bit cell
+// big-endian while placing the cells at the offsets the target ABI defines:
+// on little-endian ABIs args[i] occupies {lo,hi} at 16+8i, on big-endian
+// ABIs {hi,lo}. The result: a filter reading offset k observes exactly the
+// value a kernel on that architecture would deliver.
+// MarshalAuto resolves the layout architecture from d.Arch. Data carrying
+// an unknown audit-arch value marshals with little-endian argument layout,
+// which only matters to filters that inspect arguments — and a correct
+// filter refuses unknown architectures before looking at arguments.
+func (d *Data) MarshalAuto() []byte {
+	arch, ok := sysarch.ByAuditArch(d.Arch)
+	if !ok {
+		arch = sysarch.X8664
+	}
+	return d.Marshal(arch)
+}
+
+func (d *Data) Marshal(arch *sysarch.Arch) []byte {
+	buf := make([]byte, bpf.SeccompDataSize)
+	put32 := func(off int, v uint32) {
+		buf[off] = byte(v >> 24)
+		buf[off+1] = byte(v >> 16)
+		buf[off+2] = byte(v >> 8)
+		buf[off+3] = byte(v)
+	}
+	put64 := func(off int, v uint64) {
+		lo, hi := uint32(v), uint32(v>>32)
+		if arch.BigEndian {
+			put32(off, hi)
+			put32(off+4, lo)
+		} else {
+			put32(off, lo)
+			put32(off+4, hi)
+		}
+	}
+	put32(0, uint32(d.NR))
+	put32(4, d.Arch)
+	put64(8, d.InstructionPointer)
+	for i, a := range d.Args {
+		put64(16+8*i, a)
+	}
+	return buf
+}
+
+// Offsets of seccomp_data fields, for filter generators.
+const (
+	OffNR   = 0
+	OffArch = 4
+	OffIP   = 8
+)
+
+// OffArgLo returns the offset of the low 32 bits of args[i] on the given
+// architecture (endianness decides which half sits first).
+func OffArgLo(arch *sysarch.Arch, i int) uint32 {
+	off := uint32(16 + 8*i)
+	if arch.BigEndian {
+		return off + 4
+	}
+	return off
+}
+
+// OffArgHi returns the offset of the high 32 bits of args[i].
+func OffArgHi(arch *sysarch.Arch, i int) uint32 {
+	off := uint32(16 + 8*i)
+	if arch.BigEndian {
+		return off
+	}
+	return off + 4
+}
+
+// Filter return actions (include/uapi/linux/seccomp.h). The low 16 bits are
+// action-specific data (the errno for RetErrno); the high bits select the
+// action.
+const (
+	RetKillProcess uint32 = 0x80000000
+	RetKillThread  uint32 = 0x00000000
+	RetTrap        uint32 = 0x00030000
+	RetErrnoBase   uint32 = 0x00050000
+	RetUserNotif   uint32 = 0x7fc00000
+	RetTrace       uint32 = 0x7ff00000
+	RetLog         uint32 = 0x7ffc0000
+	RetAllow       uint32 = 0x7fff0000
+
+	RetActionFull uint32 = 0xffff0000 // SECCOMP_RET_ACTION_FULL mask
+	RetDataMask   uint32 = 0x0000ffff
+)
+
+// RetErrno builds an ERRNO action carrying errno e. The paper's filter is
+// almost entirely RetErrno(0): "do nothing and return success" — errno zero
+// makes the faked syscall appear to have succeeded.
+func RetErrno(e uint16) uint32 { return RetErrnoBase | uint32(e) }
+
+// Action extracts the action bits of a filter return value.
+func Action(ret uint32) uint32 { return ret & RetActionFull }
+
+// ActionData extracts the 16 data bits (the errno, for ERRNO actions).
+func ActionData(ret uint32) uint16 { return uint16(ret & RetDataMask) }
+
+// precedence orders actions from strongest to weakest, per seccomp(2):
+// KILL_PROCESS > KILL_THREAD > TRAP > ERRNO > USER_NOTIF > TRACE > LOG >
+// ALLOW. When several filters are installed, every filter runs and the
+// strongest result wins.
+func precedence(action uint32) int {
+	switch action {
+	case RetKillProcess:
+		return 0
+	case RetKillThread:
+		return 1
+	case RetTrap:
+		return 2
+	case RetErrnoBase:
+		return 3
+	case RetUserNotif:
+		return 4
+	case RetTrace:
+		return 5
+	case RetLog:
+		return 6
+	case RetAllow:
+		return 7
+	default:
+		// Unknown actions behave like KILL_PROCESS on modern kernels.
+		return 0
+	}
+}
+
+// Stronger reports whether return value a takes precedence over b.
+func Stronger(a, b uint32) bool {
+	return precedence(Action(a)) < precedence(Action(b))
+}
+
+// ActionName renders an action for traces and test failures.
+func ActionName(ret uint32) string {
+	switch Action(ret) {
+	case RetKillProcess:
+		return "KILL_PROCESS"
+	case RetKillThread:
+		return "KILL_THREAD"
+	case RetTrap:
+		return "TRAP"
+	case RetErrnoBase:
+		return fmt.Sprintf("ERRNO(%d)", ActionData(ret))
+	case RetUserNotif:
+		return "USER_NOTIF"
+	case RetTrace:
+		return fmt.Sprintf("TRACE(%d)", ActionData(ret))
+	case RetLog:
+		return "LOG"
+	case RetAllow:
+		return "ALLOW"
+	}
+	return fmt.Sprintf("UNKNOWN(%#x)", ret)
+}

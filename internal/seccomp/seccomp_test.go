@@ -1,0 +1,258 @@
+package seccomp
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/bpf"
+	"repro/internal/sysarch"
+)
+
+func TestDataMarshalLittleEndianLayout(t *testing.T) {
+	d := Data{
+		NR:                 0x01020304,
+		Arch:               sysarch.AuditArchX8664,
+		InstructionPointer: 0x1122334455667788,
+	}
+	d.Args[0] = 0xaabbccdd00112233
+	buf := d.Marshal(sysarch.X8664)
+	if len(buf) != bpf.SeccompDataSize {
+		t.Fatalf("marshal size %d", len(buf))
+	}
+	// The VM loads big-endian words; field values must round-trip.
+	load := func(off uint32) uint32 {
+		p := bpf.Program{
+			bpf.Stmt(bpf.ClassLD|bpf.SizeW|bpf.ModeABS, off),
+			bpf.Stmt(bpf.ClassRET|bpf.RetA, 0),
+		}
+		v, err := p.Run(buf)
+		if err != nil {
+			t.Fatalf("vm: %v", err)
+		}
+		return v
+	}
+	if got := load(OffNR); got != 0x01020304 {
+		t.Errorf("nr = %#x", got)
+	}
+	if got := load(OffArch); got != sysarch.AuditArchX8664 {
+		t.Errorf("arch = %#x", got)
+	}
+	// Little-endian ABI: args[0] low half first.
+	if got := load(OffArgLo(sysarch.X8664, 0)); got != 0x00112233 {
+		t.Errorf("arg0 lo = %#x", got)
+	}
+	if got := load(OffArgHi(sysarch.X8664, 0)); got != 0xaabbccdd {
+		t.Errorf("arg0 hi = %#x", got)
+	}
+}
+
+func TestDataMarshalBigEndianLayout(t *testing.T) {
+	var d Data
+	d.Arch = sysarch.AuditArchS390X
+	d.Args[2] = 0xaabbccdd00112233
+	buf := d.MarshalAuto()
+	load := func(off uint32) uint32 {
+		p := bpf.Program{
+			bpf.Stmt(bpf.ClassLD|bpf.SizeW|bpf.ModeABS, off),
+			bpf.Stmt(bpf.ClassRET|bpf.RetA, 0),
+		}
+		v, _ := p.Run(buf)
+		return v
+	}
+	// Big-endian ABI: high half sits at the lower offset.
+	if got := load(16 + 8*2); got != 0xaabbccdd {
+		t.Errorf("arg2 first word = %#x, want high half", got)
+	}
+	if got := load(OffArgLo(sysarch.S390X, 2)); got != 0x00112233 {
+		t.Errorf("arg2 lo = %#x", got)
+	}
+	if got := load(OffArgHi(sysarch.S390X, 2)); got != 0xaabbccdd {
+		t.Errorf("arg2 hi = %#x", got)
+	}
+}
+
+func TestQuickMarshalArgsRecoverable(t *testing.T) {
+	// Property: for every arch and argument index, the lo/hi words loaded
+	// at OffArgLo/OffArgHi reassemble the original 64-bit argument.
+	f := func(v uint64, idx uint8) bool {
+		i := int(idx) % 6
+		for _, arch := range sysarch.All() {
+			var d Data
+			d.Arch = arch.AuditArch
+			d.Args[i] = v
+			buf := d.MarshalAuto()
+			loadw := func(off uint32) uint32 {
+				p := bpf.Program{
+					bpf.Stmt(bpf.ClassLD|bpf.SizeW|bpf.ModeABS, off),
+					bpf.Stmt(bpf.ClassRET|bpf.RetA, 0),
+				}
+				w, _ := p.Run(buf)
+				return w
+			}
+			lo := loadw(OffArgLo(arch, i))
+			hi := loadw(OffArgHi(arch, i))
+			if uint64(hi)<<32|uint64(lo) != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRetErrno(t *testing.T) {
+	r := RetErrno(13)
+	if Action(r) != RetErrnoBase {
+		t.Fatalf("action %#x", Action(r))
+	}
+	if ActionData(r) != 13 {
+		t.Fatalf("data %d", ActionData(r))
+	}
+	if ActionName(r) != "ERRNO(13)" {
+		t.Fatalf("name %s", ActionName(r))
+	}
+}
+
+func TestPrecedenceOrdering(t *testing.T) {
+	// seccomp(2): KILL_PROCESS > KILL_THREAD > TRAP > ERRNO > USER_NOTIF >
+	// TRACE > LOG > ALLOW.
+	order := []uint32{RetKillProcess, RetKillThread, RetTrap, RetErrno(1),
+		RetUserNotif, RetTrace, RetLog, RetAllow}
+	for i := 0; i < len(order); i++ {
+		for j := i + 1; j < len(order); j++ {
+			if !Stronger(order[i], order[j]) {
+				t.Errorf("%s must be stronger than %s",
+					ActionName(order[i]), ActionName(order[j]))
+			}
+			if Stronger(order[j], order[i]) {
+				t.Errorf("%s must not be stronger than %s",
+					ActionName(order[j]), ActionName(order[i]))
+			}
+		}
+	}
+}
+
+func mustFilter(t *testing.T, name string, ret uint32) *Filter {
+	t.Helper()
+	p := bpf.Program{bpf.Stmt(bpf.ClassRET|bpf.RetK, ret)}
+	f, err := New(name, nil, p)
+	if err != nil {
+		t.Fatalf("filter %s: %v", name, err)
+	}
+	return f
+}
+
+func TestNewRejectsInvalidProgram(t *testing.T) {
+	if _, err := New("bad", nil, bpf.Program{bpf.Stmt(bpf.ClassRET|bpf.RetX, 0)}); err == nil {
+		t.Fatal("RET|X program must be rejected")
+	}
+	if _, err := New("empty", nil, nil); err == nil {
+		t.Fatal("empty program must be rejected")
+	}
+}
+
+func TestChainEmptyAllows(t *testing.T) {
+	var c Chain
+	d := Data{NR: 1, Arch: sysarch.AuditArchX8664}
+	if got := c.Evaluate(&d); got != RetAllow {
+		t.Fatalf("empty chain returned %s", ActionName(got))
+	}
+	if !c.Empty() {
+		t.Fatal("chain should report empty")
+	}
+}
+
+func TestChainPrecedenceAcrossFilters(t *testing.T) {
+	var c Chain
+	c.Install(mustFilter(t, "allow", RetAllow))
+	c.Install(mustFilter(t, "errno", RetErrno(1)))
+	c.Install(mustFilter(t, "log", RetLog))
+	d := Data{NR: 42, Arch: sysarch.AuditArchX8664}
+	if got := c.Evaluate(&d); Action(got) != RetErrnoBase {
+		t.Fatalf("chain returned %s, want ERRNO", ActionName(got))
+	}
+	c.Install(mustFilter(t, "kill", RetKillProcess))
+	if got := c.Evaluate(&d); got != RetKillProcess {
+		t.Fatalf("chain returned %s, want KILL_PROCESS", ActionName(got))
+	}
+}
+
+func TestChainCloneInheritsAndIsIndependent(t *testing.T) {
+	var parent Chain
+	parent.Install(mustFilter(t, "errno", RetErrno(5)))
+	child := parent.Clone()
+	if child.Len() != 1 {
+		t.Fatalf("child chain has %d filters", child.Len())
+	}
+	// New filters on the child must not appear on the parent — but a
+	// child can never shed the inherited ones (§4: the filter "binds
+	// program children whether they like it or not").
+	child.Install(mustFilter(t, "kill", RetKillProcess))
+	if parent.Len() != 1 {
+		t.Fatal("parent chain mutated by child install")
+	}
+	d := Data{NR: 7, Arch: sysarch.AuditArchX8664}
+	if got := child.Evaluate(&d); got != RetKillProcess {
+		t.Fatalf("child = %s", ActionName(got))
+	}
+	if got := parent.Evaluate(&d); Action(got) != RetErrnoBase {
+		t.Fatalf("parent = %s", ActionName(got))
+	}
+}
+
+func TestFilterStats(t *testing.T) {
+	f := mustFilter(t, "fake", RetErrno(0))
+	d := Data{NR: 92, Arch: sysarch.AuditArchX8664}
+	for i := 0; i < 5; i++ {
+		f.EvaluateData(&d)
+	}
+	s := f.Stats()
+	if s.Evaluations != 5 || s.Faked != 5 || s.Errnoed != 0 || s.Killed != 0 {
+		t.Fatalf("stats %+v", s)
+	}
+	g := mustFilter(t, "eperm", RetErrno(1))
+	g.EvaluateData(&d)
+	if s := g.Stats(); s.Errnoed != 1 || s.Faked != 0 {
+		t.Fatalf("stats %+v", s)
+	}
+	k := mustFilter(t, "kill", RetKillThread)
+	k.EvaluateData(&d)
+	if s := k.Stats(); s.Killed != 1 {
+		t.Fatalf("stats %+v", s)
+	}
+}
+
+func TestFilterProgramIsCopied(t *testing.T) {
+	p := bpf.Program{bpf.Stmt(bpf.ClassRET|bpf.RetK, RetAllow)}
+	f, err := New("copy", nil, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p[0].K = 0 // mutate caller's slice
+	if got := f.Program()[0].K; got != RetAllow {
+		t.Fatal("filter must copy the program at construction")
+	}
+	q := f.Program()
+	q[0].K = 0 // mutate returned copy
+	if got := f.Program()[0].K; got != RetAllow {
+		t.Fatal("Program() must return a copy")
+	}
+}
+
+func TestActionNames(t *testing.T) {
+	cases := map[uint32]string{
+		RetAllow:       "ALLOW",
+		RetKillProcess: "KILL_PROCESS",
+		RetKillThread:  "KILL_THREAD",
+		RetTrap:        "TRAP",
+		RetLog:         "LOG",
+		RetUserNotif:   "USER_NOTIF",
+	}
+	for v, want := range cases {
+		if got := ActionName(v); got != want {
+			t.Errorf("ActionName(%#x) = %s, want %s", v, got, want)
+		}
+	}
+}

@@ -1,0 +1,353 @@
+package shell
+
+import (
+	"fmt"
+	"io"
+	"path"
+	"strings"
+
+	"repro/internal/errno"
+	"repro/internal/simos"
+	"repro/internal/vfs"
+)
+
+// Busybox-style coreutils: one statically linked multi-call binary
+// dispatching on argv[0], exactly how Alpine images work. Applets use
+// ctx.C (the libc layer) for the calls the consistent emulators hook, so
+// "chown" under fakeroot behaves as fakeroot intends — except that busybox
+// is static, which is the documented LD_PRELOAD failure mode; the dynamic
+// coreutils variant (GNU-flavoured images) registers with Static: false.
+
+// Busybox returns the multi-call binary.
+func Busybox(static bool) *simos.Binary {
+	return &simos.Binary{
+		Name:   "busybox",
+		Static: static,
+		Main: func(ctx *simos.ExecCtx) int {
+			name := path.Base(ctx.Argv[0])
+			args := ctx.Argv[1:]
+			if name == "busybox" {
+				if len(args) == 0 {
+					fmt.Fprintln(ctx.Stdout, "BusyBox v1.36-sim multi-call binary.")
+					return 0
+				}
+				name, args = args[0], args[1:]
+			}
+			if fn, ok := applets[name]; ok {
+				return fn(ctx, args)
+			}
+			fmt.Fprintf(ctx.Stderr, "%s: applet not found\n", name)
+			return 127
+		},
+	}
+}
+
+// InstallBusybox registers the multi-call binary and symlinks the standard
+// applet names to it in the filesystem and registry.
+func InstallBusybox(fs *vfs.FS, reg *simos.BinaryRegistry, static bool) {
+	rc := vfs.RootContext()
+	fs.MkdirAll(rc, "/bin", 0o755, 0, 0)
+	fs.WriteFile(rc, "/bin/busybox", []byte("ELF busybox"), 0o755, 0, 0)
+	bb := Busybox(static)
+	reg.Register("/bin/busybox", bb)
+	reg.Register("/bin/sh", Binary()) // sh is its own entry for clarity
+	fs.WriteFile(rc, "/bin/sh.real", []byte("ELF sh"), 0o755, 0, 0)
+	fs.Symlink(rc, "sh.real", "/bin/sh", 0, 0)
+	reg.Register("/bin/sh.real", Binary())
+	for name := range applets {
+		p := "/bin/" + name
+		if name == "sh" {
+			continue
+		}
+		fs.Symlink(rc, "busybox", p, 0, 0)
+	}
+}
+
+type applet func(ctx *simos.ExecCtx, args []string) int
+
+var applets = map[string]applet{
+	"echo": func(ctx *simos.ExecCtx, args []string) int {
+		fmt.Fprintln(ctx.Stdout, strings.Join(args, " "))
+		return 0
+	},
+	"true":  func(*simos.ExecCtx, []string) int { return 0 },
+	"false": func(*simos.ExecCtx, []string) int { return 1 },
+	"cat": func(ctx *simos.ExecCtx, args []string) int {
+		if len(args) == 0 {
+			data, err := io.ReadAll(ctx.Stdin)
+			if err != nil {
+				return 1
+			}
+			ctx.Stdout.Write(data)
+			return 0
+		}
+		for _, f := range args {
+			data, e := ctx.Proc.ReadFileAll(f)
+			if e != errno.OK {
+				fmt.Fprintf(ctx.Stderr, "cat: %s: %s\n", f, e.Message())
+				return 1
+			}
+			ctx.Stdout.Write(data)
+		}
+		return 0
+	},
+	"id": func(ctx *simos.ExecCtx, args []string) int {
+		fmt.Fprintf(ctx.Stdout, "uid=%d gid=%d euid=%d egid=%d\n",
+			ctx.C.Getuid(), ctx.Proc.Getgid(), ctx.C.Geteuid(), ctx.Proc.Getegid())
+		return 0
+	},
+	"whoami": func(ctx *simos.ExecCtx, args []string) int {
+		if ctx.C.Geteuid() == 0 {
+			fmt.Fprintln(ctx.Stdout, "root")
+		} else {
+			fmt.Fprintf(ctx.Stdout, "uid%d\n", ctx.C.Geteuid())
+		}
+		return 0
+	},
+	"ls": func(ctx *simos.ExecCtx, args []string) int {
+		dir := "."
+		long := false
+		for _, a := range args {
+			if a == "-l" {
+				long = true
+			} else if !strings.HasPrefix(a, "-") {
+				dir = a
+			}
+		}
+		ents, e := ctx.Proc.ReadDir(dir)
+		if e != errno.OK {
+			fmt.Fprintf(ctx.Stderr, "ls: %s: %s\n", dir, e.Message())
+			return 1
+		}
+		for _, de := range ents {
+			if long {
+				st, _ := ctx.C.Lstat(path.Join(ctx.AbsPath(dir), de.Name))
+				fmt.Fprintf(ctx.Stdout, "%04o %4d %4d %s\n", st.Mode, st.UID, st.GID, de.Name)
+			} else {
+				fmt.Fprintln(ctx.Stdout, de.Name)
+			}
+		}
+		return 0
+	},
+	"touch": func(ctx *simos.ExecCtx, args []string) int {
+		for _, f := range args {
+			if _, e := ctx.C.Stat(f); e == errno.OK {
+				ctx.Proc.Utimens(f)
+				continue
+			}
+			if e := ctx.Proc.WriteFileAll(f, nil, 0o644); e != errno.OK {
+				fmt.Fprintf(ctx.Stderr, "touch: %s: %s\n", f, e.Message())
+				return 1
+			}
+		}
+		return 0
+	},
+	"mkdir": func(ctx *simos.ExecCtx, args []string) int {
+		parents := false
+		status := 0
+		for _, a := range args {
+			if a == "-p" {
+				parents = true
+				continue
+			}
+			if strings.HasPrefix(a, "-") {
+				continue
+			}
+			var e errno.Errno
+			if parents {
+				cur := ""
+				for _, c := range strings.Split(strings.Trim(ctx.AbsPath(a), "/"), "/") {
+					cur += "/" + c
+					if e2 := ctx.Proc.Mkdir(cur, 0o755); e2 != errno.OK && e2 != errno.EEXIST {
+						e = e2
+						break
+					}
+				}
+			} else {
+				e = ctx.Proc.Mkdir(a, 0o755)
+			}
+			if e != errno.OK {
+				fmt.Fprintf(ctx.Stderr, "mkdir: %s: %s\n", a, e.Message())
+				status = 1
+			}
+		}
+		return status
+	},
+	"rm": func(ctx *simos.ExecCtx, args []string) int {
+		status := 0
+		for _, a := range args {
+			if strings.HasPrefix(a, "-") {
+				continue
+			}
+			if e := ctx.Proc.Unlink(a); e != errno.OK {
+				fmt.Fprintf(ctx.Stderr, "rm: %s: %s\n", a, e.Message())
+				status = 1
+			}
+		}
+		return status
+	},
+	"chown": func(ctx *simos.ExecCtx, args []string) int {
+		var owner string
+		var files []string
+		for _, a := range args {
+			if strings.HasPrefix(a, "-") {
+				continue
+			}
+			if owner == "" {
+				owner = a
+			} else {
+				files = append(files, a)
+			}
+		}
+		uid, gid := parseOwner(owner)
+		status := 0
+		for _, f := range files {
+			if e := ctx.C.Chown(f, uid, gid); e != errno.OK {
+				fmt.Fprintf(ctx.Stderr, "chown: %s: %s\n", f, e.Message())
+				status = 1
+			}
+		}
+		return status
+	},
+	"chmod": func(ctx *simos.ExecCtx, args []string) int {
+		if len(args) < 2 {
+			return 1
+		}
+		var mode uint32
+		fmt.Sscanf(args[0], "%o", &mode)
+		status := 0
+		for _, f := range args[1:] {
+			if e := ctx.C.Chmod(f, mode); e != errno.OK {
+				fmt.Fprintf(ctx.Stderr, "chmod: %s: %s\n", f, e.Message())
+				status = 1
+			}
+		}
+		return status
+	},
+	"mknod": func(ctx *simos.ExecCtx, args []string) int {
+		// mknod PATH TYPE MAJOR MINOR
+		if len(args) < 2 {
+			fmt.Fprintln(ctx.Stderr, "mknod: usage: mknod PATH c|b|p [MAJ MIN]")
+			return 1
+		}
+		var mode uint32 = 0o644
+		var dev vfs.Dev
+		switch args[1] {
+		case "c":
+			mode |= vfs.SIFCHR
+		case "b":
+			mode |= vfs.SIFBLK
+		case "p":
+			mode |= vfs.SIFIFO
+		default:
+			fmt.Fprintln(ctx.Stderr, "mknod: bad type")
+			return 1
+		}
+		if len(args) >= 4 {
+			var maj, min uint32
+			fmt.Sscanf(args[2], "%d", &maj)
+			fmt.Sscanf(args[3], "%d", &min)
+			dev = vfs.Makedev(maj, min)
+		}
+		if e := ctx.C.Mknod(args[0], mode, dev); e != errno.OK {
+			fmt.Fprintf(ctx.Stderr, "mknod: %s: %s\n", args[0], e.Message())
+			return 1
+		}
+		return 0
+	},
+	"stat": func(ctx *simos.ExecCtx, args []string) int {
+		status := 0
+		for _, f := range args {
+			if strings.HasPrefix(f, "-") {
+				continue
+			}
+			st, e := ctx.C.Stat(f)
+			if e != errno.OK {
+				fmt.Fprintf(ctx.Stderr, "stat: %s: %s\n", f, e.Message())
+				status = 1
+				continue
+			}
+			fmt.Fprintf(ctx.Stdout, "%s uid=%d gid=%d mode=%04o size=%d\n",
+				f, st.UID, st.GID, st.Mode, st.Size)
+		}
+		return status
+	},
+	"ln": func(ctx *simos.ExecCtx, args []string) int {
+		soft := false
+		var rest []string
+		for _, a := range args {
+			if a == "-s" {
+				soft = true
+			} else {
+				rest = append(rest, a)
+			}
+		}
+		if len(rest) != 2 {
+			return 1
+		}
+		var e errno.Errno
+		if soft {
+			e = ctx.Proc.Symlink(rest[0], rest[1])
+		} else {
+			e = ctx.Proc.Link(rest[0], rest[1])
+		}
+		if e != errno.OK {
+			fmt.Fprintf(ctx.Stderr, "ln: %s\n", e.Message())
+			return 1
+		}
+		return 0
+	},
+	"readlink": func(ctx *simos.ExecCtx, args []string) int {
+		if len(args) == 0 {
+			return 1
+		}
+		t, e := ctx.Proc.Readlink(args[len(args)-1])
+		if e != errno.OK {
+			return 1
+		}
+		fmt.Fprintln(ctx.Stdout, t)
+		return 0
+	},
+	"uname": func(ctx *simos.ExecCtx, args []string) int {
+		sys, rel, mach, _ := ctx.Proc.Uname()
+		fmt.Fprintf(ctx.Stdout, "%s %s %s\n", sys, rel, mach)
+		return 0
+	},
+	"env": func(ctx *simos.ExecCtx, args []string) int {
+		for k, v := range ctx.Env {
+			fmt.Fprintf(ctx.Stdout, "%s=%s\n", k, v)
+		}
+		return 0
+	},
+	"sleep": func(*simos.ExecCtx, []string) int { return 0 },
+	"sl": func(ctx *simos.ExecCtx, args []string) int {
+		// The locomotive. Faithfully pointless.
+		fmt.Fprintln(ctx.Stdout, "    ====        ________")
+		fmt.Fprintln(ctx.Stdout, "_D _|  |_______/        \\__I_I_____===__")
+		return 0
+	},
+}
+
+// parseOwner parses "uid[:gid]" numerically or via the tiny built-in name
+// table images carry in /etc/passwd semantics (root=0, sshd=74, _apt=100).
+func parseOwner(s string) (int, int) {
+	names := map[string]int{"root": 0, "bin": 1, "daemon": 2, "sshd": 74, "_apt": 100, "nobody": 65534}
+	parse := func(tok string) int {
+		if tok == "" {
+			return -1
+		}
+		if v, ok := names[tok]; ok {
+			return v
+		}
+		n := 0
+		if _, err := fmt.Sscanf(tok, "%d", &n); err != nil {
+			return -1
+		}
+		return n
+	}
+	u, g := s, ""
+	if i := strings.IndexAny(s, ":."); i >= 0 {
+		u, g = s[:i], s[i+1:]
+	}
+	return parse(u), parse(g)
+}

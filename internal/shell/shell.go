@@ -1,0 +1,485 @@
+// Package shell is a minimal POSIX-flavoured shell for the simulated
+// world: it is the /bin/sh the builder's RUN instructions and the package
+// managers' maintainer scripts execute under. Supported: word splitting
+// with quoting, $VAR and ${VAR} expansion, variable assignments, the
+// operators && || ; and |, a handful of builtins, and external command
+// dispatch through the simulated execve.
+package shell
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/errno"
+	"repro/internal/simos"
+)
+
+// Run executes a command line in the context of a process (the RUN entry
+// point: sh -c "line"). It returns the exit status of the last command.
+func Run(ctx *simos.ExecCtx, line string) int {
+	sh := &state{ctx: ctx, env: ctx.Env}
+	return sh.runLine(line)
+}
+
+// Binary returns the /bin/sh binary for a binary registry. Busybox-style
+// shells are statically linked; the fakeroot baseline relies on the
+// *children* being dynamic, not the shell itself.
+func Binary() *simos.Binary {
+	return &simos.Binary{
+		Name:   "sh",
+		Static: true,
+		Main: func(ctx *simos.ExecCtx) int {
+			// sh -c "cmd", or sh <script>, or read stdin.
+			args := ctx.Argv[1:]
+			if len(args) >= 2 && args[0] == "-c" {
+				return Run(ctx, strings.Join(args[1:], " "))
+			}
+			if len(args) == 1 {
+				data, e := ctx.Proc.ReadFileAll(args[0])
+				if e != errno.OK {
+					fmt.Fprintf(ctx.Stderr, "sh: %s: %s\n", args[0], e.Message())
+					return 127
+				}
+				return RunScript(ctx, string(data))
+			}
+			data, err := io.ReadAll(ctx.Stdin)
+			if err != nil || len(data) == 0 {
+				return 0
+			}
+			return RunScript(ctx, string(data))
+		},
+	}
+}
+
+// RunScript executes a multi-line script: each line is a command list;
+// blank lines and #-comments are skipped; a failing line does NOT abort
+// unless `set -e` was issued.
+func RunScript(ctx *simos.ExecCtx, script string) int {
+	sh := &state{ctx: ctx, env: ctx.Env}
+	status := 0
+	for _, raw := range strings.Split(script, "\n") {
+		line := strings.TrimSpace(raw)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		status = sh.runLine(line)
+		if sh.errexit && status != 0 {
+			return status
+		}
+	}
+	return status
+}
+
+type state struct {
+	ctx     *simos.ExecCtx
+	env     map[string]string
+	errexit bool
+}
+
+// runLine handles && || ; sequencing over pipelines.
+func (s *state) runLine(line string) int {
+	seqs := splitTop(line, ";")
+	status := 0
+	for _, seq := range seqs {
+		status = s.runAndOr(seq)
+	}
+	return status
+}
+
+func (s *state) runAndOr(line string) int {
+	// Split into [cmd, op, cmd, op, ...] preserving && / || order.
+	parts, ops := splitAndOr(line)
+	status := 0
+	for i, part := range parts {
+		if i > 0 {
+			if ops[i-1] == "&&" && status != 0 {
+				continue
+			}
+			if ops[i-1] == "||" && status == 0 {
+				continue
+			}
+		}
+		status = s.runPipeline(part)
+	}
+	return status
+}
+
+func (s *state) runPipeline(line string) int {
+	stages := splitTop(line, "|")
+	if len(stages) == 1 {
+		return s.runSimple(stages[0], s.ctx.Stdin, s.ctx.Stdout)
+	}
+	// Sequential pipeline: run each stage to completion, feeding its
+	// stdout to the next (the workloads' pipelines are small).
+	var input io.Reader = s.ctx.Stdin
+	status := 0
+	for i, stage := range stages {
+		var out strings.Builder
+		dst := io.Writer(&out)
+		if i == len(stages)-1 {
+			dst = s.ctx.Stdout
+		}
+		status = s.runSimple(stage, input, dst)
+		input = strings.NewReader(out.String())
+	}
+	return status
+}
+
+// runSimple executes one command with optional env-assignment prefix and
+// output redirection.
+func (s *state) runSimple(line string, stdin io.Reader, stdout io.Writer) int {
+	words, err := Split(line, s.env)
+	if err != nil {
+		fmt.Fprintf(s.ctx.Stderr, "sh: %v\n", err)
+		return 2
+	}
+	if len(words) == 0 {
+		return 0
+	}
+	// Redirections: "> path" and ">> path" (last wins; simple grammar).
+	var redirPath string
+	var redirAppend bool
+	filtered := words[:0]
+	for i := 0; i < len(words); i++ {
+		switch words[i] {
+		case ">", ">>":
+			if i+1 >= len(words) {
+				fmt.Fprintln(s.ctx.Stderr, "sh: missing redirect target")
+				return 2
+			}
+			redirPath = words[i+1]
+			redirAppend = words[i] == ">>"
+			i++
+		default:
+			filtered = append(filtered, words[i])
+		}
+	}
+	words = filtered
+	// Env assignments prefix.
+	cmdEnv := s.env
+	assignments := map[string]string{}
+	for len(words) > 0 {
+		if k, v, ok := strings.Cut(words[0], "="); ok && isName(k) {
+			assignments[k] = v
+			words = words[1:]
+			continue
+		}
+		break
+	}
+	if len(words) == 0 {
+		// Pure assignment: mutates the shell environment.
+		for k, v := range assignments {
+			s.env[k] = v
+		}
+		return 0
+	}
+	if len(assignments) > 0 {
+		cmdEnv = map[string]string{}
+		for k, v := range s.env {
+			cmdEnv[k] = v
+		}
+		for k, v := range assignments {
+			cmdEnv[k] = v
+		}
+	}
+
+	var redirBuf strings.Builder
+	if redirPath != "" {
+		stdout = &redirBuf
+	}
+	status := s.dispatch(words, cmdEnv, stdin, stdout)
+	if redirPath != "" {
+		p := s.ctx.Proc
+		var e errno.Errno
+		if redirAppend {
+			if old, e2 := p.ReadFileAll(redirPath); e2 == errno.OK {
+				e = p.WriteFileAll(redirPath, append(old, []byte(redirBuf.String())...), 0o644)
+			} else {
+				e = p.WriteFileAll(redirPath, []byte(redirBuf.String()), 0o644)
+			}
+		} else {
+			e = p.WriteFileAll(redirPath, []byte(redirBuf.String()), 0o644)
+		}
+		if e != errno.OK {
+			fmt.Fprintf(s.ctx.Stderr, "sh: %s: %s\n", redirPath, e.Message())
+			return 1
+		}
+	}
+	return status
+}
+
+func (s *state) dispatch(words []string, env map[string]string, stdin io.Reader, stdout io.Writer) int {
+	switch words[0] {
+	case "true":
+		return 0
+	case "false":
+		return 1
+	case "echo":
+		fmt.Fprintln(stdout, strings.Join(words[1:], " "))
+		return 0
+	case "exit":
+		code := 0
+		if len(words) > 1 {
+			fmt.Sscanf(words[1], "%d", &code)
+		}
+		s.ctx.Proc.Exit(code)
+		return code
+	case "cd":
+		dir := "/"
+		if len(words) > 1 {
+			dir = words[1]
+		}
+		if e := s.ctx.Proc.Chdir(dir); e != errno.OK {
+			fmt.Fprintf(s.ctx.Stderr, "sh: cd: %s: %s\n", dir, e.Message())
+			return 1
+		}
+		return 0
+	case "export":
+		for _, w := range words[1:] {
+			if k, v, ok := strings.Cut(w, "="); ok {
+				s.env[k] = v
+			}
+		}
+		return 0
+	case "set":
+		for _, w := range words[1:] {
+			if w == "-e" {
+				s.errexit = true
+			}
+		}
+		return 0
+	case "umask":
+		if len(words) > 1 {
+			var m uint32
+			fmt.Sscanf(words[1], "%o", &m)
+			s.ctx.Proc.Umask(m)
+		}
+		return 0
+	case ":":
+		return 0
+	}
+	status, e := s.ctx.Proc.Exec(words, env, stdin, stdout, s.ctx.Stderr)
+	if e != errno.OK {
+		if e == errno.ENOENT {
+			fmt.Fprintf(s.ctx.Stderr, "sh: %s: not found\n", words[0])
+			return 127
+		}
+		fmt.Fprintf(s.ctx.Stderr, "sh: %s: %s\n", words[0], e.Message())
+		return 126
+	}
+	return status
+}
+
+// Split tokenises a command into words with quoting and $-expansion.
+// Exported for the builder's SHELL handling and for tests.
+func Split(line string, env map[string]string) ([]string, error) {
+	var words []string
+	var cur strings.Builder
+	started := false
+	i := 0
+	n := len(line)
+	flush := func() {
+		if started {
+			words = append(words, cur.String())
+			cur.Reset()
+			started = false
+		}
+	}
+	for i < n {
+		c := line[i]
+		switch {
+		case c == ' ' || c == '\t':
+			flush()
+			i++
+		case c == '\'':
+			started = true
+			j := i + 1
+			for j < n && line[j] != '\'' {
+				j++
+			}
+			if j >= n {
+				return nil, fmt.Errorf("unterminated single quote")
+			}
+			cur.WriteString(line[i+1 : j])
+			i = j + 1
+		case c == '"':
+			started = true
+			j := i + 1
+			var inner strings.Builder
+			for j < n && line[j] != '"' {
+				if line[j] == '\\' && j+1 < n && (line[j+1] == '"' || line[j+1] == '\\' || line[j+1] == '$') {
+					inner.WriteByte(line[j+1])
+					j += 2
+					continue
+				}
+				inner.WriteByte(line[j])
+				j++
+			}
+			if j >= n {
+				return nil, fmt.Errorf("unterminated double quote")
+			}
+			cur.WriteString(expand(inner.String(), env))
+			i = j + 1
+		case c == '\\' && i+1 < n:
+			started = true
+			cur.WriteByte(line[i+1])
+			i += 2
+		case c == '$':
+			started = true
+			name, consumed := varName(line[i:])
+			if consumed == 0 {
+				cur.WriteByte(c)
+				i++
+				break
+			}
+			cur.WriteString(env[name])
+			i += consumed
+		default:
+			started = true
+			cur.WriteByte(c)
+			i++
+		}
+	}
+	flush()
+	return words, nil
+}
+
+// expand performs $VAR/${VAR} expansion inside double quotes.
+func expand(s string, env map[string]string) string {
+	var b strings.Builder
+	i := 0
+	for i < len(s) {
+		if s[i] == '$' {
+			name, consumed := varName(s[i:])
+			if consumed > 0 {
+				b.WriteString(env[name])
+				i += consumed
+				continue
+			}
+		}
+		b.WriteByte(s[i])
+		i++
+	}
+	return b.String()
+}
+
+// varName parses "$NAME" or "${NAME}" at the start of s, returning the
+// name and bytes consumed (0 if not a variable reference).
+func varName(s string) (string, int) {
+	if len(s) < 2 || s[0] != '$' {
+		return "", 0
+	}
+	if s[1] == '{' {
+		end := strings.IndexByte(s, '}')
+		if end < 0 {
+			return "", 0
+		}
+		return s[2:end], end + 1
+	}
+	j := 1
+	for j < len(s) && (isAlnum(s[j]) || s[j] == '_') {
+		j++
+	}
+	if j == 1 {
+		return "", 0
+	}
+	return s[1:j], j
+}
+
+func isAlnum(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9'
+}
+
+func isName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if !(c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c == '_' || (i > 0 && c >= '0' && c <= '9')) {
+			return false
+		}
+	}
+	return true
+}
+
+// splitTop splits on a single-char separator at the top level (outside
+// quotes), trimming empties.
+func splitTop(line, sep string) []string {
+	var out []string
+	depth := 0
+	var cur strings.Builder
+	inQuote := byte(0)
+	for i := 0; i < len(line); i++ {
+		c := line[i]
+		switch {
+		case inQuote != 0:
+			cur.WriteByte(c)
+			if c == inQuote {
+				inQuote = 0
+			}
+		case c == '\'' || c == '"':
+			inQuote = c
+			cur.WriteByte(c)
+		case c == '(':
+			depth++
+			cur.WriteByte(c)
+		case c == ')':
+			depth--
+			cur.WriteByte(c)
+		case depth == 0 && c == sep[0] && sep != "|":
+			out = append(out, cur.String())
+			cur.Reset()
+		case depth == 0 && sep == "|" && c == '|' &&
+			(i == 0 || line[i-1] != '|') && (i+1 >= len(line) || line[i+1] != '|'):
+			out = append(out, cur.String())
+			cur.Reset()
+		default:
+			cur.WriteByte(c)
+		}
+	}
+	out = append(out, cur.String())
+	var trimmed []string
+	for _, s := range out {
+		if t := strings.TrimSpace(s); t != "" {
+			trimmed = append(trimmed, t)
+		}
+	}
+	return trimmed
+}
+
+// splitAndOr splits a line into pipeline segments joined by && and ||.
+func splitAndOr(line string) (parts []string, ops []string) {
+	inQuote := byte(0)
+	var cur strings.Builder
+	for i := 0; i < len(line); i++ {
+		c := line[i]
+		switch {
+		case inQuote != 0:
+			cur.WriteByte(c)
+			if c == inQuote {
+				inQuote = 0
+			}
+		case c == '\'' || c == '"':
+			inQuote = c
+			cur.WriteByte(c)
+		case c == '&' && i+1 < len(line) && line[i+1] == '&':
+			parts = append(parts, strings.TrimSpace(cur.String()))
+			ops = append(ops, "&&")
+			cur.Reset()
+			i++
+		case c == '|' && i+1 < len(line) && line[i+1] == '|':
+			parts = append(parts, strings.TrimSpace(cur.String()))
+			ops = append(ops, "||")
+			cur.Reset()
+			i++
+		default:
+			cur.WriteByte(c)
+		}
+	}
+	if t := strings.TrimSpace(cur.String()); t != "" {
+		parts = append(parts, t)
+	}
+	return parts, ops
+}

@@ -1,0 +1,268 @@
+package shell
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/errno"
+	"repro/internal/simos"
+	"repro/internal/vfs"
+)
+
+// shellWorld builds a kernel + proc with busybox installed.
+func shellWorld(t *testing.T) (*simos.Proc, *vfs.FS) {
+	t.Helper()
+	k := simos.NewKernel()
+	fs := vfs.New()
+	rc := vfs.RootContext()
+	fs.Chmod(rc, "/", 0o777, true)
+	p := k.NewInitProc(simos.Mount{FS: fs, Owner: k.InitNS()}, 1000, 1000)
+	reg := simos.NewBinaryRegistry()
+	InstallBusybox(fs, reg, true)
+	p.SetRegistry(reg)
+	fs.ChownAll(1000, 1000)
+	for _, d := range []string{"/tmp", "/etc"} {
+		fs.MkdirAll(rc, d, 0o755, 1000, 1000)
+	}
+	return p, fs
+}
+
+// runSh executes a command line under /bin/sh -c and returns status +
+// stdout.
+func runSh(t *testing.T, p *simos.Proc, line string) (int, string) {
+	t.Helper()
+	var out strings.Builder
+	status, e := p.Exec([]string{"/bin/sh", "-c", line},
+		map[string]string{"PATH": "/bin"}, nil, &out, &out)
+	if e != errno.OK {
+		t.Fatalf("exec sh: %v", e)
+	}
+	return status, out.String()
+}
+
+func TestEcho(t *testing.T) {
+	p, _ := shellWorld(t)
+	status, out := runSh(t, p, "echo hello world")
+	if status != 0 || out != "hello world\n" {
+		t.Fatalf("status=%d out=%q", status, out)
+	}
+}
+
+func TestTrueFalseStatus(t *testing.T) {
+	p, _ := shellWorld(t)
+	if s, _ := runSh(t, p, "true"); s != 0 {
+		t.Fatalf("true: %d", s)
+	}
+	if s, _ := runSh(t, p, "false"); s != 1 {
+		t.Fatalf("false: %d", s)
+	}
+}
+
+func TestAndOrOperators(t *testing.T) {
+	p, _ := shellWorld(t)
+	cases := []struct {
+		line string
+		want string
+	}{
+		{"true && echo yes", "yes\n"},
+		{"false && echo yes", ""},
+		{"false || echo fallback", "fallback\n"},
+		{"true || echo no", ""},
+		{"true && false || echo rescued", "rescued\n"},
+	}
+	for _, c := range cases {
+		_, out := runSh(t, p, c.line)
+		if out != c.want {
+			t.Errorf("%q -> %q, want %q", c.line, out, c.want)
+		}
+	}
+}
+
+func TestSemicolonSequencing(t *testing.T) {
+	p, _ := shellWorld(t)
+	_, out := runSh(t, p, "echo a; echo b; echo c")
+	if out != "a\nb\nc\n" {
+		t.Fatalf("out=%q", out)
+	}
+}
+
+func TestPipeline(t *testing.T) {
+	p, _ := shellWorld(t)
+	// cat reads the piped stdin? Our cat only reads files; use a file.
+	runSh(t, p, "echo piped > /tmp/f")
+	_, out := runSh(t, p, "cat /tmp/f")
+	if out != "piped\n" {
+		t.Fatalf("out=%q", out)
+	}
+}
+
+func TestRedirection(t *testing.T) {
+	p, fs := shellWorld(t)
+	status, _ := runSh(t, p, "echo content > /tmp/out.txt")
+	if status != 0 {
+		t.Fatalf("status=%d", status)
+	}
+	data, e := fs.ReadFile(vfs.RootContext(), "/tmp/out.txt")
+	if e != errno.OK || string(data) != "content\n" {
+		t.Fatalf("file: %q %v", data, e)
+	}
+	// Append.
+	runSh(t, p, "echo more >> /tmp/out.txt")
+	data, _ = fs.ReadFile(vfs.RootContext(), "/tmp/out.txt")
+	if string(data) != "content\nmore\n" {
+		t.Fatalf("append: %q", data)
+	}
+}
+
+func TestVariableExpansion(t *testing.T) {
+	p, _ := shellWorld(t)
+	_, out := runSh(t, p, `X=world; echo "hello $X"`)
+	if out != "hello world\n" {
+		t.Fatalf("out=%q", out)
+	}
+	// Single quotes suppress expansion.
+	_, out = runSh(t, p, `X=world; echo 'hello $X'`)
+	if out != "hello $X\n" {
+		t.Fatalf("single-quote out=%q", out)
+	}
+}
+
+func TestEnvAssignmentPrefix(t *testing.T) {
+	p, _ := shellWorld(t)
+	_, out := runSh(t, p, "GREETING=hi env")
+	if !strings.Contains(out, "GREETING=hi") {
+		t.Fatalf("env out=%q", out)
+	}
+}
+
+func TestCommandNotFound(t *testing.T) {
+	p, _ := shellWorld(t)
+	status, out := runSh(t, p, "nonesuch")
+	if status != 127 || !strings.Contains(out, "not found") {
+		t.Fatalf("status=%d out=%q", status, out)
+	}
+}
+
+func TestCdAffectsRelativePaths(t *testing.T) {
+	p, fs := shellWorld(t)
+	status, _ := runSh(t, p, "cd /tmp && touch rel && stat /tmp/rel")
+	if status != 0 {
+		t.Fatal("cd+touch failed")
+	}
+	if !fs.Exists(vfs.RootContext(), "/tmp/rel") {
+		t.Fatal("file not created relative to cd")
+	}
+}
+
+func TestExitStatus(t *testing.T) {
+	p, _ := shellWorld(t)
+	status, _ := runSh(t, p, "exit 3")
+	if status != 3 {
+		t.Fatalf("status=%d", status)
+	}
+}
+
+func TestScriptExecution(t *testing.T) {
+	p, fs := shellWorld(t)
+	fs.WriteFile(vfs.RootContext(), "/tmp/script.sh",
+		[]byte("# demo\necho one\necho two\n"), 0o755, 1000, 1000)
+	var out strings.Builder
+	status, e := p.Exec([]string{"/bin/sh", "/tmp/script.sh"},
+		map[string]string{"PATH": "/bin"}, nil, &out, &out)
+	if e != errno.OK || status != 0 || out.String() != "one\ntwo\n" {
+		t.Fatalf("status=%d out=%q e=%v", status, out.String(), e)
+	}
+}
+
+func TestSetErrexit(t *testing.T) {
+	p, fs := shellWorld(t)
+	fs.WriteFile(vfs.RootContext(), "/tmp/e.sh",
+		[]byte("set -e\nfalse\necho unreachable\n"), 0o755, 1000, 1000)
+	var out strings.Builder
+	status, _ := p.Exec([]string{"/bin/sh", "/tmp/e.sh"},
+		map[string]string{"PATH": "/bin"}, nil, &out, &out)
+	if status == 0 || strings.Contains(out.String(), "unreachable") {
+		t.Fatalf("errexit ignored: status=%d out=%q", status, out.String())
+	}
+}
+
+func TestSplitWords(t *testing.T) {
+	env := map[string]string{"X": "val"}
+	cases := []struct {
+		in   string
+		want []string
+	}{
+		{`a b c`, []string{"a", "b", "c"}},
+		{`a "b c" d`, []string{"a", "b c", "d"}},
+		{`'a b'`, []string{"a b"}},
+		{`$X`, []string{"val"}},
+		{`"$X"`, []string{"val"}},
+		{`'$X'`, []string{"$X"}},
+		{`a\ b`, []string{"a b"}},
+		{`-o APT::Sandbox::User=root`, []string{"-o", "APT::Sandbox::User=root"}},
+	}
+	for _, c := range cases {
+		got, err := Split(c.in, env)
+		if err != nil {
+			t.Errorf("Split(%q): %v", c.in, err)
+			continue
+		}
+		if len(got) != len(c.want) {
+			t.Errorf("Split(%q) = %v, want %v", c.in, got, c.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Errorf("Split(%q)[%d] = %q, want %q", c.in, i, got[i], c.want[i])
+			}
+		}
+	}
+}
+
+func TestSplitUnterminatedQuote(t *testing.T) {
+	if _, err := Split(`"unterminated`, nil); err == nil {
+		t.Fatal("unterminated quote must fail")
+	}
+}
+
+func TestCoreutilsChownStat(t *testing.T) {
+	p, _ := shellWorld(t)
+	// As uid 1000 in the init ns, chown to someone else fails.
+	runSh(t, p, "touch /tmp/f")
+	status, out := runSh(t, p, "chown sshd:sshd /tmp/f")
+	if status == 0 {
+		t.Fatalf("chown must fail unprivileged: %q", out)
+	}
+	// stat shows our ownership.
+	_, out = runSh(t, p, "stat /tmp/f")
+	if !strings.Contains(out, "uid=1000") {
+		t.Fatalf("stat out=%q", out)
+	}
+}
+
+func TestCoreutilsMknodUnprivileged(t *testing.T) {
+	p, _ := shellWorld(t)
+	status, out := runSh(t, p, "mknod /tmp/null c 1 3")
+	if status == 0 {
+		t.Fatalf("device mknod must fail: %q", out)
+	}
+	if status, _ = runSh(t, p, "mknod /tmp/fifo p"); status != 0 {
+		t.Fatal("fifo mknod must succeed")
+	}
+}
+
+func TestMkdirP(t *testing.T) {
+	p, fs := shellWorld(t)
+	status, _ := runSh(t, p, "mkdir -p /tmp/a/b/c")
+	if status != 0 || !fs.Exists(vfs.RootContext(), "/tmp/a/b/c") {
+		t.Fatal("mkdir -p failed")
+	}
+}
+
+func TestIdReportsUID(t *testing.T) {
+	p, _ := shellWorld(t)
+	_, out := runSh(t, p, "id")
+	if !strings.Contains(out, "uid=1000") {
+		t.Fatalf("id out=%q", out)
+	}
+}

@@ -1,0 +1,240 @@
+package simos
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/bpf"
+	"repro/internal/core"
+	"repro/internal/errno"
+	"repro/internal/seccomp"
+	"repro/internal/sysarch"
+	"repro/internal/vfs"
+)
+
+// Additional kernel-behaviour coverage: filter stacking, exec plumbing,
+// fsuid semantics, tracing detail.
+
+func TestMultipleFiltersStack(t *testing.T) {
+	// Installing a second filter must not shed the first (§4: filters
+	// cannot be removed), and precedence combines them.
+	_, p := newHostProc(t)
+	enterTypeIII(t, p)
+	p.Prctl(PrSetNoNewPrivs, 1)
+	// First: the paper's filter (fakes chown).
+	if e := p.SeccompInstall(core.MustNewFilter(core.Config{})); e != errno.OK {
+		t.Fatal(e)
+	}
+	// Second: a filter that ERRNO(EACCES)'s mkdir — simulating a policy
+	// layer stacked on top.
+	nr := sysarch.X8664.MustNumber("mkdir")
+	a := bpf.NewAssembler()
+	a.LoadAbsW(seccomp.OffNR)
+	a.JeqImm(uint32(nr), "deny", "")
+	a.Ret(seccomp.RetAllow)
+	a.Label("deny")
+	a.Ret(seccomp.RetErrno(13))
+	denyMkdir, err := seccomp.New("deny-mkdir", nil, a.MustAssemble())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := p.SeccompInstall(denyMkdir); e != errno.OK {
+		t.Fatal(e)
+	}
+	if p.SeccompChain().Len() != 2 {
+		t.Fatalf("chain length %d", p.SeccompChain().Len())
+	}
+	// chown still faked by filter 1.
+	p.WriteFileAll("/tmp/f", []byte("x"), 0o644)
+	if e := p.Chown("/tmp/f", 74, 74); e != errno.OK {
+		t.Fatalf("chown: %v", e)
+	}
+	// mkdir now denied by filter 2 (EACCES beats ALLOW).
+	if e := p.Mkdir("/tmp/dir", 0o755); e != errno.EACCES {
+		t.Fatalf("mkdir: %v, want EACCES", e)
+	}
+}
+
+func TestExecPlumbsStdio(t *testing.T) {
+	_, p := newHostProc(t)
+	reg := NewBinaryRegistry()
+	reg.Register("/bin/upper", &Binary{Name: "upper", Main: func(ctx *ExecCtx) int {
+		buf := make([]byte, 64)
+		n, _ := ctx.Stdin.Read(buf)
+		ctx.Stdout.Write([]byte(strings.ToUpper(string(buf[:n]))))
+		ctx.Stderr.Write([]byte("logged\n"))
+		return 0
+	}})
+	p.SetRegistry(reg)
+	p.mount.FS.WriteFile(vfs.RootContext(), "/bin/upper", []byte("ELF"), 0o755, 1000, 1000)
+	var out, errOut strings.Builder
+	status, e := p.Exec([]string{"/bin/upper"}, nil, strings.NewReader("hello"), &out, &errOut)
+	if e != errno.OK || status != 0 {
+		t.Fatalf("exec: %d %v", status, e)
+	}
+	if out.String() != "HELLO" || errOut.String() != "logged\n" {
+		t.Fatalf("stdio: out=%q err=%q", out.String(), errOut.String())
+	}
+}
+
+func TestExecDeniedWithoutExecuteBit(t *testing.T) {
+	_, p := newHostProc(t)
+	reg := NewBinaryRegistry()
+	reg.Register("/bin/noexec", &Binary{Name: "noexec", Main: func(*ExecCtx) int { return 0 }})
+	p.SetRegistry(reg)
+	p.mount.FS.WriteFile(vfs.RootContext(), "/bin/noexec", []byte("ELF"), 0o644, 1000, 1000)
+	if _, e := p.Exec([]string{"/bin/noexec"}, nil, nil, nil, nil); e != errno.EACCES {
+		t.Fatalf("exec without x bit: %v", e)
+	}
+}
+
+func TestSetfsuidSemantics(t *testing.T) {
+	k := NewKernel()
+	fs := vfs.New()
+	root := k.NewInitProc(Mount{FS: fs, Owner: k.InitNS()}, 0, 0)
+	old := root.Setfsuid(1234)
+	if old != 0 {
+		t.Fatalf("setfsuid returned %d, want previous fsuid 0", old)
+	}
+	if root.Cred().FSUID != 1234 {
+		t.Fatalf("fsuid %d", root.Cred().FSUID)
+	}
+	// Invalid target: no change, returns current.
+	old = root.Setfsuid(-999999)
+	if old != 1234 || root.Cred().FSUID != 1234 {
+		t.Fatalf("bogus setfsuid: old=%d fsuid=%d", old, root.Cred().FSUID)
+	}
+}
+
+func TestChildExitCodePropagates(t *testing.T) {
+	_, p := newHostProc(t)
+	reg := NewBinaryRegistry()
+	reg.Register("/bin/fail7", &Binary{Name: "fail7", Main: func(ctx *ExecCtx) int {
+		ctx.Proc.Exit(7)
+		return 0 // overridden by Exit
+	}})
+	p.SetRegistry(reg)
+	p.mount.FS.WriteFile(vfs.RootContext(), "/bin/fail7", []byte("ELF"), 0o755, 1000, 1000)
+	status, e := p.Exec([]string{"/bin/fail7"}, nil, nil, nil, nil)
+	if e != errno.OK || status != 7 {
+		t.Fatalf("status=%d e=%v", status, e)
+	}
+}
+
+func TestVirtualClockMonotone(t *testing.T) {
+	k, p := newHostProc(t)
+	v0 := k.VirtualNanos()
+	p.Getpid()
+	v1 := k.VirtualNanos()
+	if v1 <= v0 {
+		t.Fatalf("virtual clock did not advance: %d -> %d", v0, v1)
+	}
+	k.ResetVirtualTime()
+	if k.VirtualNanos() != 0 {
+		t.Fatal("reset failed")
+	}
+	// Zero cost model freezes the clock.
+	k.SetCostModel(CostModel{})
+	p.Getpid()
+	if k.VirtualNanos() != 0 {
+		t.Fatal("zero cost model still charges")
+	}
+}
+
+func TestTraceIncludesPathDetail(t *testing.T) {
+	k, p := newHostProc(t)
+	var last TraceEvent
+	k.Tracer = func(ev TraceEvent) { last = ev }
+	p.WriteFileAll("/tmp/traced", []byte("x"), 0o644)
+	p.Stat("/tmp/traced")
+	if !strings.Contains(last.Detail, "/tmp/traced") {
+		t.Fatalf("trace detail %q", last.Detail)
+	}
+}
+
+func TestGetdentsIncremental(t *testing.T) {
+	_, p := newHostProc(t)
+	for _, f := range []string{"/tmp/a", "/tmp/b", "/tmp/c"} {
+		p.WriteFileAll(f, []byte("x"), 0o644)
+	}
+	fdn, e := p.Open("/tmp", OFlags{})
+	if e != errno.OK {
+		t.Fatal(e)
+	}
+	ents, e := p.Getdents(fdn)
+	if e != errno.OK || len(ents) != 3 {
+		t.Fatalf("first getdents: %v %v", ents, e)
+	}
+	// Second call: exhausted.
+	ents, e = p.Getdents(fdn)
+	if e != errno.OK || len(ents) != 0 {
+		t.Fatalf("second getdents: %v %v", ents, e)
+	}
+	p.Close(fdn)
+}
+
+func TestUnameReportsArch(t *testing.T) {
+	_, p := newHostProc(t)
+	p.SetArch(sysarch.S390X)
+	_, _, machine, e := p.Uname()
+	if e != errno.OK || machine != "s390x" {
+		t.Fatalf("uname: %q %v", machine, e)
+	}
+}
+
+func TestLseek(t *testing.T) {
+	_, p := newHostProc(t)
+	p.WriteFileAll("/tmp/f", []byte("0123456789"), 0o644)
+	fdn, e := p.Open("/tmp/f", OFlags{})
+	if e != errno.OK {
+		t.Fatal(e)
+	}
+	defer p.Close(fdn)
+	if pos, e := p.Lseek(fdn, 4, SeekSet); e != errno.OK || pos != 4 {
+		t.Fatalf("seek set: %d %v", pos, e)
+	}
+	buf := make([]byte, 2)
+	p.Read(fdn, buf)
+	if string(buf) != "45" {
+		t.Fatalf("read after seek: %q", buf)
+	}
+	if pos, e := p.Lseek(fdn, -1, SeekEnd); e != errno.OK || pos != 9 {
+		t.Fatalf("seek end: %d %v", pos, e)
+	}
+	if pos, e := p.Lseek(fdn, 2, SeekCur); e != errno.OK || pos != 11 {
+		t.Fatalf("seek cur past end: %d %v", pos, e)
+	}
+	if _, e := p.Lseek(fdn, -100, SeekSet); e != errno.EINVAL {
+		t.Fatalf("negative seek: %v", e)
+	}
+	if _, e := p.Lseek(999, 0, SeekSet); e != errno.EBADF {
+		t.Fatalf("bad fd: %v", e)
+	}
+}
+
+func TestSeccompLogActionProceeds(t *testing.T) {
+	// SECCOMP_RET_LOG executes the syscall after logging — the gate must
+	// treat it as ALLOW.
+	_, p := newHostProc(t)
+	p.Prctl(PrSetNoNewPrivs, 1)
+	nr := sysarch.X8664.MustNumber("mkdir")
+	a := bpf.NewAssembler()
+	a.LoadAbsW(seccomp.OffNR)
+	a.JeqImm(uint32(nr), "log", "")
+	a.Ret(seccomp.RetAllow)
+	a.Label("log")
+	a.Ret(seccomp.RetLog)
+	f, err := seccomp.New("log-mkdir", nil, a.MustAssemble())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := p.SeccompInstall(f); e != errno.OK {
+		t.Fatal(e)
+	}
+	if e := p.Mkdir("/tmp/logged", 0o755); e != errno.OK {
+		t.Fatalf("logged mkdir must proceed: %v", e)
+	}
+	if _, e := p.Stat("/tmp/logged"); e != errno.OK {
+		t.Fatal("directory not actually created")
+	}
+}

@@ -1,0 +1,235 @@
+package simos
+
+import (
+	"repro/internal/errno"
+	"repro/internal/vfs"
+)
+
+// Hook types for the three emulation mechanisms the paper compares (§3, §6):
+//
+//   - Notifier: the SECCOMP_RET_USER_NOTIF supervisor, used by the
+//     ID-consistency extension (future work 2). One round trip per
+//     intercepted syscall.
+//
+//   - PtraceHook: the ptrace(2) analog (PRoot, ptrace-based fakeroot).
+//     Attaching a tracer costs two stop events on *every* syscall; hooked
+//     calls are emulated entirely in "user space" (the supervisor), which
+//     is where consistent emulators keep their ownership database.
+//
+//   - CHook: the LD_PRELOAD analog (fakeroot, fakechroot). Interception
+//     happens in libc wrappers, so it is invisible to statically linked
+//     binaries — the compatibility gap §6(3) calls out.
+
+// Notifier answers USER_NOTIF dispositions. The returned errno is
+// delivered to the caller (OK = fake success).
+type Notifier interface {
+	Notify(p *Proc, syscall string, args []uint64) errno.Errno
+}
+
+// NotifierFunc adapts a function to Notifier.
+type NotifierFunc func(p *Proc, syscall string, args []uint64) errno.Errno
+
+// Notify implements Notifier.
+func (f NotifierFunc) Notify(p *Proc, syscall string, args []uint64) errno.Errno {
+	return f(p, syscall, args)
+}
+
+// PtraceHook is a ptrace supervisor. Nil fields fall through to the
+// kernel; non-nil fields may claim the call (handled=true) and supply the
+// result. Observer, if set, sees every syscall (the per-call stop cost is
+// charged regardless).
+type PtraceHook struct {
+	Name string
+
+	// Observer is called at each syscall entry (after the stop cost is
+	// charged). For PRoot this is where unhooked calls get waved through.
+	Observer func(p *Proc, name string, args []uint64)
+
+	// Chown intercepts the chown family (path resolved, follow decoded).
+	Chown func(p *Proc, path string, uid, gid int, follow bool) (errno.Errno, bool)
+
+	// Mknod intercepts mknod/mknodat.
+	Mknod func(p *Proc, path string, mode uint32, dev vfs.Dev) (errno.Errno, bool)
+
+	// StatExit rewrites stat results at syscall exit — how a consistent
+	// emulator shows its recorded ownership back to the process.
+	StatExit func(p *Proc, path string, follow bool, st vfs.Stat, e errno.Errno) (vfs.Stat, errno.Errno)
+
+	// GetID intercepts get[e]uid/get[e]gid, returning the fake identity.
+	GetID func(p *Proc, name string) (int, bool)
+
+	// SetID intercepts setuid/setgid.
+	SetID func(p *Proc, name string, id int) (errno.Errno, bool)
+}
+
+// CHook is an LD_PRELOAD-style libc interposer: optional overrides for the
+// wrapper functions the consistent emulators hook. A nil field passes
+// through. Hooks receive the CLib so they can chain to the real syscall.
+type CHook struct {
+	Name string
+
+	Chown  func(c *CLib, path string, uid, gid int, follow bool) (errno.Errno, bool)
+	Fchown func(c *CLib, fdn int, uid, gid int) (errno.Errno, bool)
+	Stat   func(c *CLib, path string, follow bool) (vfs.Stat, errno.Errno, bool)
+	Mknod  func(c *CLib, path string, mode uint32, dev vfs.Dev) (errno.Errno, bool)
+	GetID  func(c *CLib, name string) (int, bool)
+	SetID  func(c *CLib, name string, args []int) (errno.Errno, bool)
+	Chmod  func(c *CLib, path string, mode uint32) (errno.Errno, bool)
+}
+
+// CLib is the "libc" a binary was linked against: a thin wrapper over the
+// process's syscalls that consults the preload chain first — unless the
+// binary is static, in which case Exec builds a CLib with no hooks and the
+// preload emulator silently loses (fakeroot's documented failure mode).
+type CLib struct {
+	P     *Proc
+	Hooks []*CHook // nil for static binaries
+}
+
+func (c *CLib) hit() {
+	c.P.k.counters.PreloadHits.Add(1)
+	c.P.k.vclock.charge(c.P.k.cost.PreloadIPC)
+}
+
+// Chown follows symlinks.
+func (c *CLib) Chown(path string, uid, gid int) errno.Errno {
+	for _, h := range c.Hooks {
+		if h.Chown != nil {
+			if e, handled := h.Chown(c, c.P.abs(path), uid, gid, true); handled {
+				c.hit()
+				return e
+			}
+		}
+	}
+	return c.P.Chown(path, uid, gid)
+}
+
+// Lchown does not follow.
+func (c *CLib) Lchown(path string, uid, gid int) errno.Errno {
+	for _, h := range c.Hooks {
+		if h.Chown != nil {
+			if e, handled := h.Chown(c, c.P.abs(path), uid, gid, false); handled {
+				c.hit()
+				return e
+			}
+		}
+	}
+	return c.P.Lchown(path, uid, gid)
+}
+
+// Fchown operates on a descriptor.
+func (c *CLib) Fchown(fdn int, uid, gid int) errno.Errno {
+	for _, h := range c.Hooks {
+		if h.Fchown != nil {
+			if e, handled := h.Fchown(c, fdn, uid, gid); handled {
+				c.hit()
+				return e
+			}
+		}
+	}
+	return c.P.Fchown(fdn, uid, gid)
+}
+
+// Stat follows symlinks.
+func (c *CLib) Stat(path string) (vfs.Stat, errno.Errno) {
+	for _, h := range c.Hooks {
+		if h.Stat != nil {
+			if st, e, handled := h.Stat(c, c.P.abs(path), true); handled {
+				c.hit()
+				return st, e
+			}
+		}
+	}
+	return c.P.Stat(path)
+}
+
+// Lstat does not follow.
+func (c *CLib) Lstat(path string) (vfs.Stat, errno.Errno) {
+	for _, h := range c.Hooks {
+		if h.Stat != nil {
+			if st, e, handled := h.Stat(c, c.P.abs(path), false); handled {
+				c.hit()
+				return st, e
+			}
+		}
+	}
+	return c.P.Lstat(path)
+}
+
+// Mknod creates nodes.
+func (c *CLib) Mknod(path string, mode uint32, dev vfs.Dev) errno.Errno {
+	for _, h := range c.Hooks {
+		if h.Mknod != nil {
+			if e, handled := h.Mknod(c, c.P.abs(path), mode, dev); handled {
+				c.hit()
+				return e
+			}
+		}
+	}
+	return c.P.Mknod(path, mode, dev)
+}
+
+// Chmod changes permissions.
+func (c *CLib) Chmod(path string, mode uint32) errno.Errno {
+	for _, h := range c.Hooks {
+		if h.Chmod != nil {
+			if e, handled := h.Chmod(c, c.P.abs(path), mode); handled {
+				c.hit()
+				return e
+			}
+		}
+	}
+	return c.P.Chmod(path, mode)
+}
+
+// Getuid consults identity hooks (fakeroot reports uid 0).
+func (c *CLib) Getuid() int {
+	for _, h := range c.Hooks {
+		if h.GetID != nil {
+			if v, handled := h.GetID(c, "getuid"); handled {
+				c.hit()
+				return v
+			}
+		}
+	}
+	return c.P.Getuid()
+}
+
+// Geteuid consults identity hooks.
+func (c *CLib) Geteuid() int {
+	for _, h := range c.Hooks {
+		if h.GetID != nil {
+			if v, handled := h.GetID(c, "geteuid"); handled {
+				c.hit()
+				return v
+			}
+		}
+	}
+	return c.P.Geteuid()
+}
+
+// Setuid consults identity hooks.
+func (c *CLib) Setuid(uid int) errno.Errno {
+	for _, h := range c.Hooks {
+		if h.SetID != nil {
+			if e, handled := h.SetID(c, "setuid", []int{uid}); handled {
+				c.hit()
+				return e
+			}
+		}
+	}
+	return c.P.Setuid(uid)
+}
+
+// Setresuid consults identity hooks.
+func (c *CLib) Setresuid(r, e, s int) errno.Errno {
+	for _, h := range c.Hooks {
+		if h.SetID != nil {
+			if er, handled := h.SetID(c, "setresuid", []int{r, e, s}); handled {
+				c.hit()
+				return er
+			}
+		}
+	}
+	return c.P.Setresuid(r, e, s)
+}

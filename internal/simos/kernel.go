@@ -1,0 +1,195 @@
+package simos
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/seccomp"
+	"repro/internal/vfs"
+)
+
+// Kernel is one simulated machine: the init user namespace, the process
+// table, a deterministic logical clock, and global syscall counters the
+// overhead experiments (E8) read.
+type Kernel struct {
+	mu     sync.Mutex
+	initNS *UserNS
+	nextNS int
+
+	nextPID int
+	procs   map[int]*Proc
+
+	clockTick atomic.Int64
+	baseTime  time.Time
+
+	// Tracer, when set, receives one event per syscall — the strace(1)
+	// analog. It must not call back into the kernel.
+	Tracer func(TraceEvent)
+
+	counters Counters
+	cost     CostModel
+	vclock   virtualClock
+}
+
+// Counters aggregates syscall accounting across all processes.
+type Counters struct {
+	Syscalls    atomic.Uint64 // syscalls entered
+	Filtered    atomic.Uint64 // syscalls evaluated by a seccomp chain
+	Faked       atomic.Uint64 // syscalls answered ERRNO(0) by a filter
+	PtraceStops atomic.Uint64 // ptrace stop events (2 per syscall when traced)
+	PreloadHits atomic.Uint64 // libc-level interceptions (preload analog)
+	NotifEvents atomic.Uint64 // USER_NOTIF round trips
+}
+
+// CounterSnapshot is a plain-value copy for reporting.
+type CounterSnapshot struct {
+	Syscalls, Filtered, Faked, PtraceStops, PreloadHits, NotifEvents uint64
+}
+
+// Snapshot copies the counters.
+func (k *Kernel) Snapshot() CounterSnapshot {
+	return CounterSnapshot{
+		Syscalls:    k.counters.Syscalls.Load(),
+		Filtered:    k.counters.Filtered.Load(),
+		Faked:       k.counters.Faked.Load(),
+		PtraceStops: k.counters.PtraceStops.Load(),
+		PreloadHits: k.counters.PreloadHits.Load(),
+		NotifEvents: k.counters.NotifEvents.Load(),
+	}
+}
+
+// ResetCounters zeroes the counters between experiment phases.
+func (k *Kernel) ResetCounters() {
+	k.counters.Syscalls.Store(0)
+	k.counters.Filtered.Store(0)
+	k.counters.Faked.Store(0)
+	k.counters.PtraceStops.Store(0)
+	k.counters.PreloadHits.Store(0)
+	k.counters.NotifEvents.Store(0)
+}
+
+// TraceEvent is one syscall trace record.
+type TraceEvent struct {
+	PID     int
+	Comm    string // binary name
+	Name    string // syscall name
+	Detail  string // formatted arguments, best effort
+	Errno   int    // 0 on success
+	Faked   bool   // answered by a seccomp ERRNO disposition
+	Handled string // "", "seccomp", "ptrace", "preload", "notif"
+}
+
+// NewKernel boots a simulated machine.
+func NewKernel() *Kernel {
+	return &Kernel{
+		initNS:  newInitNS(),
+		nextPID: 1,
+		procs:   map[int]*Proc{},
+		cost:    DefaultCostModel(),
+		// An arbitrary fixed epoch keeps runs reproducible.
+		baseTime: time.Date(2024, 5, 9, 0, 0, 0, 0, time.UTC),
+	}
+}
+
+// InitNS returns the init user namespace.
+func (k *Kernel) InitNS() *UserNS { return k.initNS }
+
+// Now advances and returns the logical clock: every call is a distinct,
+// monotonically later instant, so file mtimes order deterministically.
+func (k *Kernel) Now() time.Time {
+	t := k.clockTick.Add(1)
+	return k.baseTime.Add(time.Duration(t) * time.Microsecond)
+}
+
+func (k *Kernel) newNSName() string {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	k.nextNS++
+	return "user_ns_" + itoa(k.nextNS)
+}
+
+func (k *Kernel) takePID() int {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	pid := k.nextPID
+	k.nextPID++
+	return pid
+}
+
+func (k *Kernel) register(p *Proc) {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	k.procs[p.pid] = p
+}
+
+func (k *Kernel) unregister(pid int) {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	delete(k.procs, pid)
+}
+
+// Proc looks up a live process by PID.
+func (k *Kernel) Proc(pid int) (*Proc, bool) {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	p, ok := k.procs[pid]
+	return p, ok
+}
+
+// Mount pairs a filesystem with the user namespace owning its superblock.
+// The owner decides capability checks for operations on the mount: a
+// host-directory image store is owned by the init namespace (Charliecloud's
+// layout, and why chown EPERMs in the container), while a tmpfs mounted
+// *inside* a user namespace is owned by that namespace.
+type Mount struct {
+	FS    *vfs.FS
+	Owner *UserNS
+}
+
+// NewInitProc creates PID-1-style process in the init namespace with the
+// given identity, rooted on m.
+func (k *Kernel) NewInitProc(m Mount, uid, gid int) *Proc {
+	cred := &Cred{
+		NS:   k.initNS,
+		RUID: uid, EUID: uid, SUID: uid, FSUID: uid,
+		RGID: gid, EGID: gid, SGID: gid, FSGID: gid,
+	}
+	if uid == 0 {
+		cred.CapEffective = CapFull
+		cred.CapPermitted = CapFull
+	}
+	cred.CapBounding = CapFull
+	m.FS.SetClock(k.Now)
+	p := &Proc{
+		k: k, pid: k.takePID(), comm: "init",
+		cred: cred, arch: defaultArch,
+		mount: m, cwd: "/", umask: 0o022,
+		fds: map[int]*fd{}, nextFD: 3,
+	}
+	p.seccomp = &seccomp.Chain{}
+	k.register(p)
+	return p
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var b [20]byte
+	i := len(b)
+	neg := v < 0
+	if neg {
+		v = -v
+	}
+	for v > 0 {
+		i--
+		b[i] = byte('0' + v%10)
+		v /= 10
+	}
+	if neg {
+		i--
+		b[i] = '-'
+	}
+	return string(b[i:])
+}

@@ -1,0 +1,651 @@
+package simos
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/errno"
+	"repro/internal/sysarch"
+	"repro/internal/vfs"
+)
+
+// newHostProc boots a kernel and returns an unprivileged host process
+// (uid 1000) on a fresh init-namespace-owned filesystem.
+func newHostProc(t *testing.T) (*Kernel, *Proc) {
+	t.Helper()
+	k := NewKernel()
+	fs := vfs.New()
+	p := k.NewInitProc(Mount{FS: fs, Owner: k.InitNS()}, 1000, 1000)
+	// Give the user a writable world, as an image directory would be.
+	rc := vfs.RootContext()
+	for _, d := range []string{"/bin", "/etc", "/tmp", "/var"} {
+		fs.MkdirAll(rc, d, 0o755, 1000, 1000)
+	}
+	fs.Chmod(rc, "/", 0o777, true)
+	fs.Chown(rc, "/", 1000, 1000, true)
+	return k, p
+}
+
+// enterTypeIII performs the unprivileged container setup: new userns with
+// the single mapping container-0 -> host-1000.
+func enterTypeIII(t *testing.T, p *Proc) {
+	t.Helper()
+	if e := p.UnshareUser(); e != errno.OK {
+		t.Fatalf("unshare: %v", e)
+	}
+	if e := p.WriteUIDMap([]MapRange{{Inside: 0, Global: 1000, Count: 1}}); e != errno.OK {
+		t.Fatalf("uid_map: %v", e)
+	}
+	if e := p.DenySetgroups(); e != errno.OK {
+		t.Fatalf("setgroups deny: %v", e)
+	}
+	if e := p.WriteGIDMap([]MapRange{{Inside: 0, Global: 1000, Count: 1}}); e != errno.OK {
+		t.Fatalf("gid_map: %v", e)
+	}
+}
+
+func TestInitNSIdentityMapping(t *testing.T) {
+	k := NewKernel()
+	ns := k.InitNS()
+	for _, id := range []int{0, 1, 1000, 65534} {
+		g, ok := ns.UIDToGlobal(id)
+		if !ok || g != id {
+			t.Errorf("init ns uid %d -> %d ok=%v", id, g, ok)
+		}
+	}
+}
+
+func TestUnshareUserGrantsFullCapsInNewNS(t *testing.T) {
+	_, p := newHostProc(t)
+	if p.Cred().Capable(CapChown) {
+		t.Fatal("uid 1000 must not have CAP_CHOWN in init ns")
+	}
+	enterTypeIII(t, p)
+	if !p.Cred().Capable(CapChown) {
+		t.Fatal("container root must have CAP_CHOWN in its own ns")
+	}
+	if p.Geteuid() != 0 {
+		t.Fatalf("container euid view = %d, want 0", p.Geteuid())
+	}
+	// But not with respect to the init namespace.
+	if p.Cred().CapableIn(CapChown, p.Kernel().InitNS()) {
+		t.Fatal("container root must NOT have CAP_CHOWN in init ns")
+	}
+}
+
+func TestUIDMapWriteOnceAndUnprivilegedRules(t *testing.T) {
+	_, p := newHostProc(t)
+	if e := p.UnshareUser(); e != errno.OK {
+		t.Fatal(e)
+	}
+	// Mapping to someone else's uid is refused.
+	if e := p.WriteUIDMap([]MapRange{{Inside: 0, Global: 0, Count: 1}}); e != errno.EPERM {
+		t.Fatalf("mapping to root: %v", e)
+	}
+	// Multi-range unprivileged is refused.
+	if e := p.WriteUIDMap([]MapRange{{0, 1000, 1}, {1, 100000, 65536}}); e != errno.EPERM {
+		t.Fatalf("multi-range: %v", e)
+	}
+	if e := p.WriteUIDMap([]MapRange{{Inside: 0, Global: 1000, Count: 1}}); e != errno.OK {
+		t.Fatalf("valid map: %v", e)
+	}
+	// Write-once.
+	if e := p.WriteUIDMap([]MapRange{{Inside: 0, Global: 1000, Count: 1}}); e != errno.EPERM {
+		t.Fatalf("second write: %v", e)
+	}
+}
+
+func TestGIDMapRequiresSetgroupsDeny(t *testing.T) {
+	_, p := newHostProc(t)
+	if e := p.UnshareUser(); e != errno.OK {
+		t.Fatal(e)
+	}
+	p.WriteUIDMap([]MapRange{{Inside: 0, Global: 1000, Count: 1}})
+	if e := p.WriteGIDMap([]MapRange{{Inside: 0, Global: 1000, Count: 1}}); e != errno.EPERM {
+		t.Fatalf("gid_map without setgroups deny: %v", e)
+	}
+	p.DenySetgroups()
+	if e := p.WriteGIDMap([]MapRange{{Inside: 0, Global: 1000, Count: 1}}); e != errno.OK {
+		t.Fatalf("gid_map after deny: %v", e)
+	}
+	// And setgroups is now permanently refused (Type III's group limit).
+	if e := p.Setgroups([]int{0}); e != errno.EPERM {
+		t.Fatalf("setgroups in denied ns: %v", e)
+	}
+}
+
+func TestChownUnmappedIDFailsEINVAL(t *testing.T) {
+	// Fig. 1b: rpm's chown to a package user (sshd=74) in a single-mapping
+	// container is EINVAL.
+	_, p := newHostProc(t)
+	p.WriteFileAll("/tmp/f", []byte("x"), 0o644)
+	enterTypeIII(t, p)
+	if e := p.Chown("/tmp/f", 74, 74); e != errno.EINVAL {
+		t.Fatalf("chown to unmapped uid: %v, want EINVAL", e)
+	}
+}
+
+func TestChownMappedNoopSucceeds(t *testing.T) {
+	// chown 0:0 on a file the container owner already owns is a no-op and
+	// succeeds — why Alpine's apk (which skips redundant chowns anyway)
+	// and simple packages build fine.
+	_, p := newHostProc(t)
+	p.WriteFileAll("/tmp/f", []byte("x"), 0o644)
+	enterTypeIII(t, p)
+	if e := p.Chown("/tmp/f", 0, 0); e != errno.OK {
+		t.Fatalf("no-op chown: %v", e)
+	}
+	st, e := p.Stat("/tmp/f")
+	if e != errno.OK || st.UID != 0 || st.GID != 0 {
+		t.Fatalf("stat view: %+v %v", st, e)
+	}
+}
+
+func TestMknodDeviceEPERMInContainer(t *testing.T) {
+	_, p := newHostProc(t)
+	enterTypeIII(t, p)
+	if e := p.Mknod("/tmp/null", vfs.SIFCHR|0o666, vfs.Makedev(1, 3)); e != errno.EPERM {
+		t.Fatalf("device mknod in container: %v, want EPERM", e)
+	}
+	// FIFO is unprivileged and succeeds.
+	if e := p.Mknod("/tmp/fifo", vfs.SIFIFO|0o644, 0); e != errno.OK {
+		t.Fatalf("fifo mknod: %v", e)
+	}
+}
+
+func TestSetresuidUnmappedEINVAL(t *testing.T) {
+	// apt's drop to _apt (uid 100) in a single-mapping container.
+	_, p := newHostProc(t)
+	enterTypeIII(t, p)
+	if e := p.Setresuid(100, 100, 100); e != errno.EINVAL {
+		t.Fatalf("setresuid to unmapped: %v, want EINVAL", e)
+	}
+}
+
+func TestKexecLoadEPERMWithoutFilter(t *testing.T) {
+	_, p := newHostProc(t)
+	enterTypeIII(t, p)
+	if e := p.KexecLoad(); e != errno.EPERM {
+		t.Fatalf("kexec_load: %v, want EPERM", e)
+	}
+}
+
+// installRootEmu installs the paper's filter on p (after no_new_privs).
+func installRootEmu(t *testing.T, p *Proc) {
+	t.Helper()
+	if _, e := p.Prctl(PrSetNoNewPrivs, 1); e != errno.OK {
+		t.Fatalf("prctl: %v", e)
+	}
+	f := core.MustNewFilter(core.Config{})
+	if e := p.SeccompInstall(f); e != errno.OK {
+		t.Fatalf("seccomp install: %v", e)
+	}
+}
+
+func TestSeccompInstallRequiresNoNewPrivs(t *testing.T) {
+	_, p := newHostProc(t)
+	f := core.MustNewFilter(core.Config{})
+	if e := p.SeccompInstall(f); e != errno.EACCES {
+		t.Fatalf("install without no_new_privs: %v, want EACCES", e)
+	}
+}
+
+func TestRootEmulationFakesChown(t *testing.T) {
+	_, p := newHostProc(t)
+	p.WriteFileAll("/tmp/f", []byte("x"), 0o644)
+	enterTypeIII(t, p)
+	installRootEmu(t, p)
+	// The chown that failed EINVAL now "succeeds"...
+	if e := p.Chown("/tmp/f", 74, 74); e != errno.OK {
+		t.Fatalf("faked chown: %v", e)
+	}
+	// ...but nothing happened: stat still shows the original owner.
+	// Zero consistency, demonstrated.
+	st, _ := p.Stat("/tmp/f")
+	if st.UID != 0 || st.GID != 0 {
+		t.Fatalf("ownership changed under zero-consistency emulation: %+v", st)
+	}
+}
+
+func TestRootEmulationKexecSelfTest(t *testing.T) {
+	// §5 class 4: after installation, kexec_load returns success.
+	_, p := newHostProc(t)
+	enterTypeIII(t, p)
+	if e := p.KexecLoad(); e != errno.EPERM {
+		t.Fatalf("pre-install kexec: %v", e)
+	}
+	installRootEmu(t, p)
+	if e := p.KexecLoad(); e != errno.OK {
+		t.Fatalf("self-test: kexec under filter: %v, want OK", e)
+	}
+}
+
+func TestRootEmulationMknodDeviceFakedFIFOReal(t *testing.T) {
+	_, p := newHostProc(t)
+	enterTypeIII(t, p)
+	installRootEmu(t, p)
+	// Device: faked, so no node appears.
+	if e := p.Mknod("/tmp/null", vfs.SIFCHR|0o666, vfs.Makedev(1, 3)); e != errno.OK {
+		t.Fatalf("faked device mknod: %v", e)
+	}
+	if _, e := p.Lstat("/tmp/null"); e != errno.ENOENT {
+		t.Fatalf("device node must not exist: %v", e)
+	}
+	// FIFO: executed for real.
+	if e := p.Mknod("/tmp/fifo", vfs.SIFIFO|0o644, 0); e != errno.OK {
+		t.Fatalf("fifo mknod: %v", e)
+	}
+	st, e := p.Lstat("/tmp/fifo")
+	if e != errno.OK || st.Type != vfs.TypeFIFO {
+		t.Fatalf("fifo must exist: %+v %v", st, e)
+	}
+}
+
+func TestRootEmulationSetresuidFakedButInconsistent(t *testing.T) {
+	// §5's apt problem in miniature: the drop "succeeds", the verification
+	// sees it didn't happen.
+	_, p := newHostProc(t)
+	enterTypeIII(t, p)
+	installRootEmu(t, p)
+	if e := p.Setresuid(100, 100, 100); e != errno.OK {
+		t.Fatalf("faked setresuid: %v", e)
+	}
+	r, eu, s, _ := p.Getresuid()
+	if r != 0 || eu != 0 || s != 0 {
+		t.Fatalf("identity changed under fake: %d %d %d", r, eu, s)
+	}
+}
+
+func TestSeccompChainInheritedByExec(t *testing.T) {
+	_, p := newHostProc(t)
+	enterTypeIII(t, p)
+	installRootEmu(t, p)
+
+	reg := NewBinaryRegistry()
+	var sawFake bool
+	reg.Register("/bin/probe", &Binary{Name: "probe", Main: func(ctx *ExecCtx) int {
+		// The child inherits the filter: chown to an unmapped uid fakes OK.
+		if e := ctx.Proc.Chown("/tmp/f", 74, 74); e != errno.OK {
+			return 1
+		}
+		sawFake = true
+		return 0
+	}})
+	p.SetRegistry(reg)
+	p.WriteFileAll("/tmp/f", []byte("x"), 0o644)
+	p.mount.FS.WriteFile(vfs.RootContext(), "/bin/probe", []byte("ELF"), 0o755, 1000, 1000)
+
+	status, e := p.Exec([]string{"/bin/probe"}, nil, nil, nil, nil)
+	if e != errno.OK || status != 0 || !sawFake {
+		t.Fatalf("exec: status=%d e=%v sawFake=%v", status, e, sawFake)
+	}
+}
+
+func TestSeccompKillBecomesExitStatus(t *testing.T) {
+	_, p := newHostProc(t)
+	// A filter that kills on kexec_load.
+	f := core.MustNewFilter(core.Config{KillUnknownArch: true})
+	_ = f
+	// Simpler: build a kill-on-chown filter via core with FakeErrno? No:
+	// use KillUnknownArch by running a foreign-arch process.
+	p.Prctl(PrSetNoNewPrivs, 1)
+	if e := p.SeccompInstall(f); e != errno.OK {
+		t.Fatalf("install: %v", e)
+	}
+	reg := NewBinaryRegistry()
+	reg.Register("/bin/alien", &Binary{Name: "alien", Main: func(ctx *ExecCtx) int {
+		ctx.Proc.SetArch(nil) // never reached; arch swapped below
+		return 0
+	}})
+	// Instead of arch games, exercise the kill path directly through a
+	// process whose arch the filter refuses.
+	p.SetRegistry(reg)
+	p.mount.FS.WriteFile(vfs.RootContext(), "/bin/alien", []byte("ELF"), 0o755, 1000, 1000)
+
+	child := &Proc{
+		k: p.k, pid: p.k.takePID(), ppid: p.pid, comm: "alien",
+		cred: p.cred.clone(), arch: sysarch.X8664, mount: p.mount,
+		cwd: "/", umask: 0o022, seccomp: p.seccomp.Clone(),
+		fds: map[int]*fd{}, nextFD: 3,
+	}
+	// Unknown arch: hand-craft one by pointing at a table the filter
+	// doesn't know. Reuse ARM arch but feed an x86_64-only filter.
+	single := core.MustNewFilter(core.Config{
+		Arches:          []*sysarch.Arch{sysarch.X8664},
+		KillUnknownArch: true,
+	})
+	child.seccomp.Install(single)
+	child.arch = sysarch.ARM
+
+	status := runGuarded(&Binary{Name: "alien", Main: func(ctx *ExecCtx) int {
+		ctx.Proc.Getpid() // any syscall on the foreign arch triggers the kill
+		return 0
+	}}, &ExecCtx{Proc: child, C: &CLib{P: child}, Argv: []string{"alien"}})
+	if status != 128+31 {
+		t.Fatalf("kill status = %d, want 159", status)
+	}
+}
+
+func TestPreloadHookDynamicVsStatic(t *testing.T) {
+	// §6(3): LD_PRELOAD interposition works only for dynamically linked
+	// binaries.
+	k, p := newHostProc(t)
+	hookHits := 0
+	hook := &CHook{
+		Name: "fakeroot-preload",
+		Chown: func(c *CLib, path string, uid, gid int, follow bool) (errno.Errno, bool) {
+			hookHits++
+			return errno.OK, true
+		},
+	}
+	p.AddPreload(hook)
+	reg := NewBinaryRegistry()
+	reg.Register("/bin/dyn", &Binary{Name: "dyn", Main: func(ctx *ExecCtx) int {
+		if e := ctx.C.Chown("/tmp/f", 74, 74); e != errno.OK {
+			return 1
+		}
+		return 0
+	}})
+	reg.Register("/bin/static", &Binary{Name: "static", Static: true, Main: func(ctx *ExecCtx) int {
+		if e := ctx.C.Chown("/tmp/f", 74, 74); e != errno.OK {
+			return 1
+		}
+		return 0
+	}})
+	p.SetRegistry(reg)
+	rc := vfs.RootContext()
+	p.mount.FS.WriteFile(rc, "/bin/dyn", []byte("ELF"), 0o755, 1000, 1000)
+	p.mount.FS.WriteFile(rc, "/bin/static", []byte("ELF"), 0o755, 1000, 1000)
+	p.WriteFileAll("/tmp/f", []byte("x"), 0o644)
+
+	status, _ := p.Exec([]string{"/bin/dyn"}, nil, nil, nil, nil)
+	if status != 0 || hookHits != 1 {
+		t.Fatalf("dynamic: status=%d hits=%d", status, hookHits)
+	}
+	if k.Snapshot().PreloadHits != 1 {
+		t.Fatalf("preload counter %d", k.Snapshot().PreloadHits)
+	}
+	// Static binary bypasses the hook; the real chown fails (uid 1000 in
+	// init ns, no CAP_CHOWN).
+	status, _ = p.Exec([]string{"/bin/static"}, nil, nil, nil, nil)
+	if status != 1 || hookHits != 1 {
+		t.Fatalf("static: status=%d hits=%d (hook must not fire)", status, hookHits)
+	}
+}
+
+func TestPtraceHookInterceptsAndCharges(t *testing.T) {
+	k, p := newHostProc(t)
+	recorded := map[string][2]int{}
+	p.SetPtrace(&PtraceHook{
+		Name: "proot",
+		Chown: func(pp *Proc, path string, uid, gid int, follow bool) (errno.Errno, bool) {
+			recorded[path] = [2]int{uid, gid}
+			return errno.OK, true
+		},
+	})
+	p.WriteFileAll("/tmp/f", []byte("x"), 0o644)
+	if e := p.Chown("/tmp/f", 74, 74); e != errno.OK {
+		t.Fatalf("ptrace chown: %v", e)
+	}
+	if recorded["/tmp/f"] != [2]int{74, 74} {
+		t.Fatalf("supervisor record: %v", recorded)
+	}
+	if k.Snapshot().PtraceStops == 0 {
+		t.Fatal("ptrace stops not charged")
+	}
+}
+
+func TestPtraceObserverSeesEverySyscall(t *testing.T) {
+	k, p := newHostProc(t)
+	var names []string
+	p.SetPtrace(&PtraceHook{
+		Name:     "observer",
+		Observer: func(pp *Proc, name string, args []uint64) { names = append(names, name) },
+	})
+	p.Getpid()
+	p.Getuid()
+	p.Stat("/tmp")
+	if len(names) != 3 {
+		t.Fatalf("observer saw %v", names)
+	}
+	// Two stops per syscall.
+	if got := k.Snapshot().PtraceStops; got != 6 {
+		t.Fatalf("stops = %d, want 6", got)
+	}
+}
+
+func TestArchSyscallRouting(t *testing.T) {
+	// The same portable operation issues different syscalls per ABI —
+	// observable in the trace, and the reason the filter needs per-arch
+	// tables.
+	for _, tc := range []struct {
+		arch *sysarch.Arch
+		want string
+	}{
+		{sysarch.X8664, "chown"},
+		{sysarch.I386, "chown32"},
+		{sysarch.ARM, "chown32"},
+		{sysarch.ARM64, "fchownat"},
+		{sysarch.PPC64LE, "chown"},
+		{sysarch.S390X, "chown"},
+	} {
+		k, p := newHostProc(t)
+		p.SetArch(tc.arch)
+		var seen []string
+		k.Tracer = func(ev TraceEvent) { seen = append(seen, ev.Name) }
+		p.WriteFileAll("/tmp/f", []byte("x"), 0o644)
+		seen = nil
+		p.Chown("/tmp/f", 1000, 1000)
+		if len(seen) == 0 || seen[len(seen)-1] != tc.want {
+			t.Errorf("%s: chown routed to %v, want %s", tc.arch, seen, tc.want)
+		}
+	}
+}
+
+func TestFileDescriptorLifecycle(t *testing.T) {
+	_, p := newHostProc(t)
+	fdn, e := p.Open("/tmp/f", OFlags{Write: true, Create: true, Mode: 0o644})
+	if e != errno.OK {
+		t.Fatalf("open: %v", e)
+	}
+	if n, e := p.Write(fdn, []byte("hello")); e != errno.OK || n != 5 {
+		t.Fatalf("write: %d %v", n, e)
+	}
+	if e := p.Close(fdn); e != errno.OK {
+		t.Fatalf("close: %v", e)
+	}
+	if _, e := p.Read(fdn, make([]byte, 1)); e != errno.EBADF {
+		t.Fatalf("read closed fd: %v", e)
+	}
+	data, e := p.ReadFileAll("/tmp/f")
+	if e != errno.OK || string(data) != "hello" {
+		t.Fatalf("readback: %q %v", data, e)
+	}
+}
+
+func TestUmaskApplied(t *testing.T) {
+	_, p := newHostProc(t)
+	p.Umask(0o077)
+	p.WriteFileAll("/tmp/f", []byte("x"), 0o666)
+	st, _ := p.Stat("/tmp/f")
+	if st.Mode != 0o600 {
+		t.Fatalf("mode %o, want 600", st.Mode)
+	}
+}
+
+func TestCwdAndRelativePaths(t *testing.T) {
+	_, p := newHostProc(t)
+	if e := p.Chdir("/tmp"); e != errno.OK {
+		t.Fatalf("chdir: %v", e)
+	}
+	p.WriteFileAll("rel.txt", []byte("x"), 0o644)
+	if _, e := p.Stat("/tmp/rel.txt"); e != errno.OK {
+		t.Fatalf("relative write landed elsewhere: %v", e)
+	}
+	cwd, _ := p.Getcwd()
+	if cwd != "/tmp" {
+		t.Fatalf("cwd %q", cwd)
+	}
+}
+
+func TestExecPATHResolution(t *testing.T) {
+	_, p := newHostProc(t)
+	reg := NewBinaryRegistry()
+	reg.Register("/bin/busybox", &Binary{Name: "busybox", Static: true, Main: func(ctx *ExecCtx) int {
+		ctx.Stdout.Write([]byte("ok\n"))
+		return 0
+	}})
+	p.SetRegistry(reg)
+	rc := vfs.RootContext()
+	p.mount.FS.WriteFile(rc, "/bin/busybox", []byte("ELF"), 0o755, 1000, 1000)
+	p.mount.FS.Symlink(rc, "busybox", "/bin/echo2", 1000, 1000)
+
+	var out strings.Builder
+	status, e := p.Exec([]string{"echo2"}, map[string]string{"PATH": "/bin"}, nil, &out, nil)
+	if e != errno.OK || status != 0 || out.String() != "ok\n" {
+		t.Fatalf("exec via PATH+symlink: status=%d e=%v out=%q", status, e, out.String())
+	}
+}
+
+func TestExecMissingCommand(t *testing.T) {
+	_, p := newHostProc(t)
+	p.SetRegistry(NewBinaryRegistry())
+	if _, e := p.Exec([]string{"nonesuch"}, nil, nil, nil, nil); e != errno.ENOENT {
+		t.Fatalf("missing command: %v", e)
+	}
+}
+
+func TestCountersTrackFiltering(t *testing.T) {
+	k, p := newHostProc(t)
+	enterTypeIII(t, p)
+	installRootEmu(t, p)
+	k.ResetCounters()
+	p.WriteFileAll("/tmp/f", []byte("x"), 0o644) // several allowed syscalls
+	p.Chown("/tmp/f", 74, 74)                    // one faked
+	s := k.Snapshot()
+	if s.Syscalls == 0 || s.Filtered == 0 {
+		t.Fatalf("counters %+v", s)
+	}
+	if s.Faked != 1 {
+		t.Fatalf("faked = %d, want 1", s.Faked)
+	}
+}
+
+func TestSetuidRootInInitNS(t *testing.T) {
+	k := NewKernel()
+	fs := vfs.New()
+	root := k.NewInitProc(Mount{FS: fs, Owner: k.InitNS()}, 0, 0)
+	if e := root.Setuid(1234); e != errno.OK {
+		t.Fatalf("root setuid: %v", e)
+	}
+	if root.Getuid() != 1234 {
+		t.Fatalf("uid %d", root.Getuid())
+	}
+	// Caps dropped on full transition away from root.
+	if root.Cred().Capable(CapChown) {
+		t.Fatal("caps must drop when leaving uid 0")
+	}
+	// And now privilege is gone for good.
+	if e := root.Setuid(0); e != errno.EPERM {
+		t.Fatalf("regaining root: %v", e)
+	}
+}
+
+func TestSetresuidSwapUnprivileged(t *testing.T) {
+	_, p := newHostProc(t)
+	// Unprivileged process may swap among its r/e/s set.
+	if e := p.Setresuid(-1, 1000, -1); e != errno.OK {
+		t.Fatalf("no-op swap: %v", e)
+	}
+	if e := p.Setresuid(0, -1, -1); e != errno.EPERM {
+		t.Fatalf("stealing uid 0: %v", e)
+	}
+}
+
+func TestCapsetSubsetRules(t *testing.T) {
+	k := NewKernel()
+	fs := vfs.New()
+	root := k.NewInitProc(Mount{FS: fs, Owner: k.InitNS()}, 0, 0)
+	eff, perm, e := root.Capget()
+	if e != errno.OK || !eff.Has(CapChown) || !perm.Has(CapChown) {
+		t.Fatalf("capget: %v %v %v", eff, perm, e)
+	}
+	// Dropping is fine.
+	if e := root.Capset(0, perm); e != errno.OK {
+		t.Fatalf("drop effective: %v", e)
+	}
+	// Raising effective beyond permitted is not.
+	if e := root.Capset(perm, 0); e != errno.EPERM {
+		t.Fatalf("effective ⊄ permitted: %v", e)
+	}
+	// Growing permitted is not.
+	root.Capset(0, 0)
+	if e := root.Capset(0, CapFull); e != errno.EPERM {
+		t.Fatalf("regrow permitted: %v", e)
+	}
+}
+
+func TestTraceEventsEmitted(t *testing.T) {
+	k, p := newHostProc(t)
+	var evs []TraceEvent
+	k.Tracer = func(ev TraceEvent) { evs = append(evs, ev) }
+	enterTypeIII(t, p)
+	installRootEmu(t, p)
+	evs = nil
+	p.Chown("/bin", 74, 74)
+	if len(evs) != 1 {
+		t.Fatalf("events: %+v", evs)
+	}
+	if !evs[0].Faked || evs[0].Handled != "seccomp" || evs[0].Name != "chown" {
+		t.Fatalf("event: %+v", evs[0])
+	}
+}
+
+func TestXattrSecurityEPERMInContainer(t *testing.T) {
+	// The systemd/future-work case: setcap's setxattr fails in the
+	// container without the extended filter…
+	_, p := newHostProc(t)
+	p.WriteFileAll("/bin/ping", []byte("ELF"), 0o755)
+	enterTypeIII(t, p)
+	if e := p.Setxattr("/bin/ping", "security.capability", []byte{1}); e != errno.EPERM {
+		t.Fatalf("setxattr: %v, want EPERM", e)
+	}
+	// …and is faked to success with it.
+	p.Prctl(PrSetNoNewPrivs, 1)
+	f := core.MustNewFilter(core.Config{Variant: core.VariantExtended})
+	p.SeccompInstall(f)
+	if e := p.Setxattr("/bin/ping", "security.capability", []byte{1}); e != errno.OK {
+		t.Fatalf("faked setxattr: %v", e)
+	}
+	// Zero consistency: the attribute was not actually set.
+	if _, e := p.Getxattr("/bin/ping", "security.capability"); e != errno.ENODATA {
+		t.Fatalf("xattr must not exist: %v", e)
+	}
+}
+
+func TestUserNotifIDConsistency(t *testing.T) {
+	// Future work 2: identity syscalls routed to a supervisor that records
+	// them; getuid reflects recorded state via the supervisor's own logic.
+	_, p := newHostProc(t)
+	enterTypeIII(t, p)
+	p.Prctl(PrSetNoNewPrivs, 1)
+	f := core.MustNewFilter(core.Config{IDConsistency: true})
+	var lastSyscall string
+	p.SetNotifier(NotifierFunc(func(pp *Proc, name string, args []uint64) errno.Errno {
+		lastSyscall = name
+		return errno.OK
+	}))
+	p.SeccompInstall(f)
+	if e := p.Setresuid(100, 100, 100); e != errno.OK {
+		t.Fatalf("notif setresuid: %v", e)
+	}
+	if lastSyscall != "setresuid" {
+		t.Fatalf("notifier saw %q", lastSyscall)
+	}
+	// chown is still plain zero-consistency fake.
+	p.WriteFileAll("/tmp/f", []byte("x"), 0o644)
+	if e := p.Chown("/tmp/f", 74, 74); e != errno.OK {
+		t.Fatalf("chown: %v", e)
+	}
+}

@@ -1,0 +1,471 @@
+package simos
+
+import (
+	"repro/internal/errno"
+)
+
+// Identity syscalls — the paper's class 2 (19 syscalls). All take and
+// return namespace-local IDs, translating at the boundary; unmapped inputs
+// are EINVAL, exactly the failure apt's privilege drop hits in a
+// single-mapping Type III container.
+
+// idSysname picks the *32 variant where the ABI has one (what glibc does
+// on i386/arm).
+func (p *Proc) idSysname(generic string) string {
+	if p.arch.Has(generic + "32") {
+		return generic + "32"
+	}
+	return generic
+}
+
+// Getuid returns the real UID in the caller's namespace view.
+func (p *Proc) Getuid() int {
+	if v, handled := p.consultGetID("getuid"); handled {
+		return v
+	}
+	if ok, _ := p.enter(p.idSysname("getuid")); !ok {
+		return OverflowUID
+	}
+	p.trace("getuid", "", errno.OK, "")
+	return p.cred.NS.ViewUID(p.cred.RUID)
+}
+
+// Geteuid returns the effective UID view.
+func (p *Proc) Geteuid() int {
+	if v, handled := p.consultGetID("geteuid"); handled {
+		return v
+	}
+	if ok, _ := p.enter(p.idSysname("geteuid")); !ok {
+		return OverflowUID
+	}
+	p.trace("geteuid", "", errno.OK, "")
+	return p.cred.NS.ViewUID(p.cred.EUID)
+}
+
+// Getgid returns the real GID view.
+func (p *Proc) Getgid() int {
+	if v, handled := p.consultGetID("getgid"); handled {
+		return v
+	}
+	if ok, _ := p.enter(p.idSysname("getgid")); !ok {
+		return OverflowUID
+	}
+	p.trace("getgid", "", errno.OK, "")
+	return p.cred.NS.ViewGID(p.cred.RGID)
+}
+
+// Getegid returns the effective GID view.
+func (p *Proc) Getegid() int {
+	if v, handled := p.consultGetID("getegid"); handled {
+		return v
+	}
+	if ok, _ := p.enter(p.idSysname("getegid")); !ok {
+		return OverflowUID
+	}
+	p.trace("getegid", "", errno.OK, "")
+	return p.cred.NS.ViewGID(p.cred.EGID)
+}
+
+// consultGetID lets a ptrace supervisor (PRoot with fake-id mode) claim
+// get*id calls and substitute its own answer (typically 0: "you are root").
+func (p *Proc) consultGetID(name string) (int, bool) {
+	if p.ptrace != nil && p.ptrace.GetID != nil {
+		if v, handled := p.ptrace.GetID(p, name); handled {
+			p.k.counters.Syscalls.Add(1)
+			p.k.counters.PtraceStops.Add(2)
+			p.k.vclock.charge(p.k.cost.SyscallTrap + 2*p.k.cost.PtraceStop)
+			p.trace(name, "", errno.OK, "ptrace")
+			return v, true
+		}
+	}
+	return 0, false
+}
+
+// Getresuid returns the real/effective/saved UID views — apt's
+// verification call.
+func (p *Proc) Getresuid() (r, e, s int, err errno.Errno) {
+	if ok, e2 := p.enter("getresuid", 0, 0, 0); !ok {
+		return 0, 0, 0, e2
+	}
+	p.trace("getresuid", "", errno.OK, "")
+	ns := p.cred.NS
+	return ns.ViewUID(p.cred.RUID), ns.ViewUID(p.cred.EUID), ns.ViewUID(p.cred.SUID), errno.OK
+}
+
+// Getresgid returns the GID triple views.
+func (p *Proc) Getresgid() (r, e, s int, err errno.Errno) {
+	if ok, e2 := p.enter("getresgid", 0, 0, 0); !ok {
+		return 0, 0, 0, e2
+	}
+	p.trace("getresgid", "", errno.OK, "")
+	ns := p.cred.NS
+	return ns.ViewGID(p.cred.RGID), ns.ViewGID(p.cred.EGID), ns.ViewGID(p.cred.SGID), errno.OK
+}
+
+// Getgroups returns supplementary groups as namespace views.
+func (p *Proc) Getgroups() ([]int, errno.Errno) {
+	if ok, e := p.enter("getgroups", uint64(len(p.cred.Groups))); !ok {
+		return nil, e
+	}
+	p.trace("getgroups", "", errno.OK, "")
+	out := make([]int, len(p.cred.Groups))
+	for i, g := range p.cred.Groups {
+		out[i] = p.cred.NS.ViewGID(g)
+	}
+	return out, errno.OK
+}
+
+// Setuid implements setuid(2): with CAP_SETUID all four UIDs change;
+// otherwise uid must equal the real or saved UID and only the effective
+// (and fs) UID changes.
+func (p *Proc) Setuid(uid int) errno.Errno {
+	name := p.idSysname("setuid")
+	if e, handled := p.consultSetID(name, uid); handled {
+		return e
+	}
+	if ok, e := p.enter(name, u64(uid)); !ok {
+		return e
+	}
+	kuid, ok := p.cred.NS.UIDToGlobal(uid)
+	if !ok {
+		return p.trace(name, "", errno.EINVAL, "")
+	}
+	c := p.cred
+	if c.Capable(CapSetuid) {
+		c.RUID, c.EUID, c.SUID, c.FSUID = kuid, kuid, kuid, kuid
+		p.maybeDropCaps()
+	} else if kuid == c.RUID || kuid == c.SUID {
+		c.EUID, c.FSUID = kuid, kuid
+	} else {
+		return p.trace(name, "", errno.EPERM, "")
+	}
+	return p.trace(name, "", errno.OK, "")
+}
+
+// Setgid implements setgid(2) with the analogous rules.
+func (p *Proc) Setgid(gid int) errno.Errno {
+	name := p.idSysname("setgid")
+	if e, handled := p.consultSetID(name, gid); handled {
+		return e
+	}
+	if ok, e := p.enter(name, u64(gid)); !ok {
+		return e
+	}
+	kgid, ok := p.cred.NS.GIDToGlobal(gid)
+	if !ok {
+		return p.trace(name, "", errno.EINVAL, "")
+	}
+	c := p.cred
+	if c.Capable(CapSetgid) {
+		c.RGID, c.EGID, c.SGID, c.FSGID = kgid, kgid, kgid, kgid
+	} else if kgid == c.RGID || kgid == c.SGID {
+		c.EGID, c.FSGID = kgid, kgid
+	} else {
+		return p.trace(name, "", errno.EPERM, "")
+	}
+	return p.trace(name, "", errno.OK, "")
+}
+
+// Setresuid implements setresuid(2); -1 keeps a field. This is the exact
+// call apt's sandbox uses to become _apt.
+func (p *Proc) Setresuid(ruid, euid, suid int) errno.Errno {
+	name := p.idSysname("setresuid")
+	if ok, e := p.enter(name, u64(ruid), u64(euid), u64(suid)); !ok {
+		return e
+	}
+	c := p.cred
+	translate := func(v int) (int, errno.Errno) {
+		if v == -1 {
+			return -1, errno.OK
+		}
+		kv, ok := p.cred.NS.UIDToGlobal(v)
+		if !ok {
+			return 0, errno.EINVAL
+		}
+		return kv, errno.OK
+	}
+	kr, e := translate(ruid)
+	if e != errno.OK {
+		return p.trace(name, "", e, "")
+	}
+	ke, e := translate(euid)
+	if e != errno.OK {
+		return p.trace(name, "", e, "")
+	}
+	ks, e := translate(suid)
+	if e != errno.OK {
+		return p.trace(name, "", e, "")
+	}
+	if !c.Capable(CapSetuid) {
+		allowed := func(v int) bool {
+			return v == -1 || v == c.RUID || v == c.EUID || v == c.SUID
+		}
+		if !allowed(kr) || !allowed(ke) || !allowed(ks) {
+			return p.trace(name, "", errno.EPERM, "")
+		}
+	}
+	if kr != -1 {
+		c.RUID = kr
+	}
+	if ke != -1 {
+		c.EUID = ke
+		c.FSUID = ke
+	}
+	if ks != -1 {
+		c.SUID = ks
+	}
+	p.maybeDropCaps()
+	return p.trace(name, "", errno.OK, "")
+}
+
+// Setresgid implements setresgid(2).
+func (p *Proc) Setresgid(rgid, egid, sgid int) errno.Errno {
+	name := p.idSysname("setresgid")
+	if ok, e := p.enter(name, u64(rgid), u64(egid), u64(sgid)); !ok {
+		return e
+	}
+	c := p.cred
+	translate := func(v int) (int, errno.Errno) {
+		if v == -1 {
+			return -1, errno.OK
+		}
+		kv, ok := p.cred.NS.GIDToGlobal(v)
+		if !ok {
+			return 0, errno.EINVAL
+		}
+		return kv, errno.OK
+	}
+	kr, e := translate(rgid)
+	if e != errno.OK {
+		return p.trace(name, "", e, "")
+	}
+	ke, e := translate(egid)
+	if e != errno.OK {
+		return p.trace(name, "", e, "")
+	}
+	ks, e := translate(sgid)
+	if e != errno.OK {
+		return p.trace(name, "", e, "")
+	}
+	if !c.Capable(CapSetgid) {
+		allowed := func(v int) bool {
+			return v == -1 || v == c.RGID || v == c.EGID || v == c.SGID
+		}
+		if !allowed(kr) || !allowed(ke) || !allowed(ks) {
+			return p.trace(name, "", errno.EPERM, "")
+		}
+	}
+	if kr != -1 {
+		c.RGID = kr
+	}
+	if ke != -1 {
+		c.EGID = ke
+		c.FSGID = ke
+	}
+	if ks != -1 {
+		c.SGID = ks
+	}
+	return p.trace(name, "", errno.OK, "")
+}
+
+// Setreuid implements setreuid(2).
+func (p *Proc) Setreuid(ruid, euid int) errno.Errno {
+	name := p.idSysname("setreuid")
+	if ok, e := p.enter(name, u64(ruid), u64(euid)); !ok {
+		return e
+	}
+	// Delegate to the setresuid rules with suid unchanged, close enough
+	// to the kernel's (which also updates suid in some transitions).
+	c := p.cred
+	translate := func(v int) (int, bool) {
+		if v == -1 {
+			return -1, true
+		}
+		return p.cred.NS.UIDToGlobal(v)
+	}
+	kr, ok := translate(ruid)
+	if !ok {
+		return p.trace(name, "", errno.EINVAL, "")
+	}
+	ke, ok := translate(euid)
+	if !ok {
+		return p.trace(name, "", errno.EINVAL, "")
+	}
+	if !c.Capable(CapSetuid) {
+		allowed := func(v int) bool { return v == -1 || v == c.RUID || v == c.EUID || v == c.SUID }
+		if !allowed(kr) || !allowed(ke) {
+			return p.trace(name, "", errno.EPERM, "")
+		}
+	}
+	if kr != -1 {
+		c.RUID = kr
+	}
+	if ke != -1 {
+		c.EUID = ke
+		c.FSUID = ke
+	}
+	return p.trace(name, "", errno.OK, "")
+}
+
+// Setregid implements setregid(2).
+func (p *Proc) Setregid(rgid, egid int) errno.Errno {
+	name := p.idSysname("setregid")
+	if ok, e := p.enter(name, u64(rgid), u64(egid)); !ok {
+		return e
+	}
+	c := p.cred
+	translate := func(v int) (int, bool) {
+		if v == -1 {
+			return -1, true
+		}
+		return p.cred.NS.GIDToGlobal(v)
+	}
+	kr, ok := translate(rgid)
+	if !ok {
+		return p.trace(name, "", errno.EINVAL, "")
+	}
+	ke, ok := translate(egid)
+	if !ok {
+		return p.trace(name, "", errno.EINVAL, "")
+	}
+	if !c.Capable(CapSetgid) {
+		allowed := func(v int) bool { return v == -1 || v == c.RGID || v == c.EGID || v == c.SGID }
+		if !allowed(kr) || !allowed(ke) {
+			return p.trace(name, "", errno.EPERM, "")
+		}
+	}
+	if kr != -1 {
+		c.RGID = kr
+	}
+	if ke != -1 {
+		c.EGID = ke
+		c.FSGID = ke
+	}
+	return p.trace(name, "", errno.OK, "")
+}
+
+// Setfsuid implements setfsuid(2)'s odd contract: returns the previous
+// fsuid and never fails; invalid requests simply change nothing.
+func (p *Proc) Setfsuid(uid int) int {
+	name := p.idSysname("setfsuid")
+	old := p.cred.NS.ViewUID(p.cred.FSUID)
+	if ok, _ := p.enter(name, u64(uid)); !ok {
+		// Under the zero-consistency filter this path returns the faked
+		// success value 0 — which callers interpret as "previous fsuid
+		// was root". Harmless for build tools.
+		return 0
+	}
+	kuid, ok := p.cred.NS.UIDToGlobal(uid)
+	if !ok {
+		p.trace(name, "", errno.OK, "")
+		return old
+	}
+	c := p.cred
+	if c.Capable(CapSetuid) || kuid == c.RUID || kuid == c.EUID || kuid == c.SUID || kuid == c.FSUID {
+		c.FSUID = kuid
+	}
+	p.trace(name, "", errno.OK, "")
+	return old
+}
+
+// Setfsgid implements setfsgid(2).
+func (p *Proc) Setfsgid(gid int) int {
+	name := p.idSysname("setfsgid")
+	old := p.cred.NS.ViewGID(p.cred.FSGID)
+	if ok, _ := p.enter(name, u64(gid)); !ok {
+		return 0
+	}
+	kgid, ok := p.cred.NS.GIDToGlobal(gid)
+	if !ok {
+		p.trace(name, "", errno.OK, "")
+		return old
+	}
+	c := p.cred
+	if c.Capable(CapSetgid) || kgid == c.RGID || kgid == c.EGID || kgid == c.SGID || kgid == c.FSGID {
+		c.FSGID = kgid
+	}
+	p.trace(name, "", errno.OK, "")
+	return old
+}
+
+// Setgroups implements setgroups(2): CAP_SETGID required, and — the Type
+// III catch — refused outright in a namespace where setgroups was denied
+// to permit the unprivileged gid_map write.
+func (p *Proc) Setgroups(gids []int) errno.Errno {
+	name := p.idSysname("setgroups")
+	if ok, e := p.enter(name, uint64(len(gids))); !ok {
+		return e
+	}
+	if p.cred.NS.SetgroupsDenied() {
+		return p.trace(name, "", errno.EPERM, "")
+	}
+	if !p.cred.Capable(CapSetgid) {
+		return p.trace(name, "", errno.EPERM, "")
+	}
+	global := make([]int, len(gids))
+	for i, g := range gids {
+		kg, ok := p.cred.NS.GIDToGlobal(g)
+		if !ok {
+			return p.trace(name, "", errno.EINVAL, "")
+		}
+		global[i] = kg
+	}
+	p.cred.Groups = global
+	return p.trace(name, "", errno.OK, "")
+}
+
+// consultSetID lets a ptrace supervisor claim set*id calls (PRoot fakes
+// them in user space).
+func (p *Proc) consultSetID(name string, id int) (errno.Errno, bool) {
+	if p.ptrace != nil && p.ptrace.SetID != nil {
+		if e, handled := p.ptrace.SetID(p, name, id); handled {
+			p.k.counters.Syscalls.Add(1)
+			p.k.counters.PtraceStops.Add(2)
+			p.k.vclock.charge(p.k.cost.SyscallTrap + 2*p.k.cost.PtraceStop)
+			p.trace(name, "", e, "ptrace")
+			return e, true
+		}
+	}
+	return errno.OK, false
+}
+
+// maybeDropCaps clears effective/permitted capabilities when all three
+// UIDs become nonzero *in the namespace view*, the kernel's
+// cap_emulate_setxuid rule. Without this, "su nobody" would retain root's
+// powers.
+func (p *Proc) maybeDropCaps() {
+	c := p.cred
+	ns := c.NS
+	if ns.ViewUID(c.RUID) != 0 && ns.ViewUID(c.EUID) != 0 && ns.ViewUID(c.SUID) != 0 {
+		c.CapEffective = 0
+		c.CapPermitted = 0
+	}
+}
+
+// Capget returns the capability sets.
+func (p *Proc) Capget() (effective, permitted CapSet, e errno.Errno) {
+	if ok, e2 := p.enter("capget", 0, 0); !ok {
+		return 0, 0, e2
+	}
+	p.trace("capget", "", errno.OK, "")
+	return p.cred.CapEffective, p.cred.CapPermitted, errno.OK
+}
+
+// Capset replaces the capability sets: effective must be a subset of the
+// new permitted, and permitted cannot grow beyond the old permitted
+// (without CAP_SETPCAP games, which the workloads don't play).
+func (p *Proc) Capset(effective, permitted CapSet) errno.Errno {
+	if ok, e := p.enter("capset", 0, 0); !ok {
+		return e
+	}
+	c := p.cred
+	if permitted&^c.CapPermitted != 0 {
+		return p.trace("capset", "", errno.EPERM, "")
+	}
+	if effective&^permitted != 0 {
+		return p.trace("capset", "", errno.EPERM, "")
+	}
+	c.CapPermitted = permitted
+	c.CapEffective = effective
+	return p.trace("capset", "", errno.OK, "")
+}

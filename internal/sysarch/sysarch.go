@@ -1,0 +1,146 @@
+// Package sysarch holds the per-architecture system-call tables that
+// Charliecloud's root-emulation filter is generated from. The paper (§5)
+// notes that the source has "a table listing the numbers for each syscall on
+// each of the six supported architectures"; this package is that table,
+// covering x86_64, i386, arm, arm64, ppc64le and s390x.
+//
+// Two facts from the paper are load-bearing and encoded here:
+//
+//   - Syscall numbers vary per architecture, and a seccomp filter sees
+//     numbers, not names (§4), so the filter generator must consult this
+//     table for the target architecture.
+//
+//   - Some syscalls do not exist everywhere — "arm64 lacks chown(2),
+//     relying on user-space code to translate its calls to fchownat(2)
+//     instead" (§5 fn. 7). Lookup therefore reports absence rather than
+//     inventing numbers, and the generator emits rules only for syscalls the
+//     architecture actually has.
+package sysarch
+
+import (
+	"fmt"
+	"sort"
+)
+
+// AUDIT_ARCH_* values as the kernel reports them in seccomp_data.arch.
+// Composed from the ELF machine number plus the 64-bit and little-endian
+// flag bits (include/uapi/linux/audit.h).
+const (
+	auditArch64Bit = 0x80000000
+	auditArchLE    = 0x40000000
+
+	AuditArchX8664   = auditArch64Bit | auditArchLE | 62  // EM_X86_64
+	AuditArchI386    = auditArchLE | 3                    // EM_386
+	AuditArchARM     = auditArchLE | 40                   // EM_ARM
+	AuditArchAARCH64 = auditArch64Bit | auditArchLE | 183 // EM_AARCH64
+	AuditArchPPC64LE = auditArch64Bit | auditArchLE | 21  // EM_PPC64
+	AuditArchS390X   = auditArch64Bit | 22                // EM_S390, big-endian
+)
+
+// Arch describes one CPU architecture's syscall ABI.
+type Arch struct {
+	Name      string // canonical short name, e.g. "x86_64"
+	AuditArch uint32 // value of seccomp_data.arch
+	Bits      int    // pointer width: 32 or 64
+	BigEndian bool   // byte order of the ABI
+
+	byName map[string]int
+	byNr   map[int]string
+}
+
+// Number returns the syscall number for name, or ok=false when the
+// architecture does not implement that syscall (e.g. chown on arm64).
+func (a *Arch) Number(name string) (nr int, ok bool) {
+	nr, ok = a.byName[name]
+	return
+}
+
+// MustNumber is Number for syscalls the caller has already confirmed exist;
+// it panics on absence, indicating a bug in a generator table.
+func (a *Arch) MustNumber(name string) int {
+	nr, ok := a.byName[name]
+	if !ok {
+		panic(fmt.Sprintf("sysarch: %s has no syscall %q", a.Name, name))
+	}
+	return nr
+}
+
+// SyscallName translates a syscall number back to its name, or a
+// "sys_<nr>" placeholder for numbers outside the table (the sim kernel
+// prints these in strace output rather than failing).
+func (a *Arch) SyscallName(nr int) string {
+	if name, ok := a.byNr[nr]; ok {
+		return name
+	}
+	return fmt.Sprintf("sys_%d", nr)
+}
+
+// Has reports whether the architecture implements the named syscall.
+func (a *Arch) Has(name string) bool {
+	_, ok := a.byName[name]
+	return ok
+}
+
+// Names returns all syscall names in the table, sorted, mainly for
+// inventory tests.
+func (a *Arch) Names() []string {
+	out := make([]string, 0, len(a.byName))
+	for n := range a.byName {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func (a *Arch) String() string { return a.Name }
+
+func newArch(name string, audit uint32, bits int, be bool, table map[string]int) *Arch {
+	a := &Arch{
+		Name: name, AuditArch: audit, Bits: bits, BigEndian: be,
+		byName: table, byNr: make(map[int]string, len(table)),
+	}
+	for n, nr := range table {
+		if prev, dup := a.byNr[nr]; dup {
+			panic(fmt.Sprintf("sysarch: %s: syscall number %d assigned to both %q and %q", name, nr, prev, n))
+		}
+		a.byNr[nr] = n
+	}
+	return a
+}
+
+// The six supported architectures. X8664 doubles as the default ABI of the
+// simulated kernel.
+var (
+	X8664   = newArch("x86_64", AuditArchX8664, 64, false, x8664Table)
+	I386    = newArch("i386", AuditArchI386, 32, false, i386Table)
+	ARM     = newArch("arm", AuditArchARM, 32, false, armTable)
+	ARM64   = newArch("arm64", AuditArchAARCH64, 64, false, arm64Table)
+	PPC64LE = newArch("ppc64le", AuditArchPPC64LE, 64, false, ppc64leTable)
+	S390X   = newArch("s390x", AuditArchS390X, 64, true, s390xTable)
+)
+
+// All lists every supported architecture, in the order Charliecloud's table
+// documents them.
+func All() []*Arch {
+	return []*Arch{X8664, I386, ARM, ARM64, PPC64LE, S390X}
+}
+
+// ByName resolves an architecture by its canonical name.
+func ByName(name string) (*Arch, bool) {
+	for _, a := range All() {
+		if a.Name == name {
+			return a, true
+		}
+	}
+	return nil, false
+}
+
+// ByAuditArch resolves an architecture from a seccomp_data.arch value.
+func ByAuditArch(audit uint32) (*Arch, bool) {
+	for _, a := range All() {
+		if a.AuditArch == audit {
+			return a, true
+		}
+	}
+	return nil, false
+}

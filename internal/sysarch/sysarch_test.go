@@ -1,0 +1,198 @@
+package sysarch
+
+import "testing"
+
+func TestSixArchitectures(t *testing.T) {
+	all := All()
+	if len(all) != 6 {
+		t.Fatalf("paper supports 6 architectures, table has %d", len(all))
+	}
+	names := map[string]bool{}
+	for _, a := range all {
+		names[a.Name] = true
+	}
+	for _, want := range []string{"x86_64", "i386", "arm", "arm64", "ppc64le", "s390x"} {
+		if !names[want] {
+			t.Errorf("missing architecture %s", want)
+		}
+	}
+}
+
+func TestAuditArchValues(t *testing.T) {
+	// Values from include/uapi/linux/audit.h.
+	cases := []struct {
+		arch *Arch
+		want uint32
+	}{
+		{X8664, 0xc000003e},
+		{I386, 0x40000003},
+		{ARM, 0x40000028},
+		{ARM64, 0xc00000b7},
+		{PPC64LE, 0xc0000015},
+		{S390X, 0x80000016},
+	}
+	for _, c := range cases {
+		if c.arch.AuditArch != c.want {
+			t.Errorf("%s: audit arch %#x, want %#x", c.arch, c.arch.AuditArch, c.want)
+		}
+	}
+}
+
+func TestEndiannessAndBits(t *testing.T) {
+	if !S390X.BigEndian {
+		t.Error("s390x must be big-endian")
+	}
+	for _, a := range []*Arch{X8664, I386, ARM, ARM64, PPC64LE} {
+		if a.BigEndian {
+			t.Errorf("%s must be little-endian", a)
+		}
+	}
+	for _, a := range []*Arch{I386, ARM} {
+		if a.Bits != 32 {
+			t.Errorf("%s must be 32-bit", a)
+		}
+	}
+	for _, a := range []*Arch{X8664, ARM64, PPC64LE, S390X} {
+		if a.Bits != 64 {
+			t.Errorf("%s must be 64-bit", a)
+		}
+	}
+}
+
+func TestKnownSyscallNumbers(t *testing.T) {
+	// Spot checks against the kernel's unistd tables.
+	cases := []struct {
+		arch *Arch
+		name string
+		want int
+	}{
+		{X8664, "chown", 92},
+		{X8664, "fchownat", 260},
+		{X8664, "mknod", 133},
+		{X8664, "mknodat", 259},
+		{X8664, "kexec_load", 246},
+		{X8664, "capset", 126},
+		{X8664, "setresuid", 117},
+		{I386, "chown32", 212},
+		{I386, "setuid32", 213},
+		{I386, "mknod", 14},
+		{I386, "kexec_load", 283},
+		{ARM, "fchownat", 325},
+		{ARM, "kexec_load", 347},
+		{ARM64, "fchownat", 54},
+		{ARM64, "mknodat", 33},
+		{ARM64, "capset", 91},
+		{ARM64, "kexec_load", 104},
+		{PPC64LE, "chown", 181},
+		{PPC64LE, "kexec_load", 268},
+		{S390X, "chown", 212},
+		{S390X, "kexec_load", 277},
+	}
+	for _, c := range cases {
+		nr, ok := c.arch.Number(c.name)
+		if !ok {
+			t.Errorf("%s: missing %s", c.arch, c.name)
+			continue
+		}
+		if nr != c.want {
+			t.Errorf("%s: %s = %d, want %d", c.arch, c.name, nr, c.want)
+		}
+	}
+}
+
+func TestArm64LacksLegacySyscalls(t *testing.T) {
+	// §5 footnote 7: "arm64 lacks chown(2), relying on user-space code to
+	// translate its calls to fchownat(2) instead."
+	for _, name := range []string{"chown", "lchown", "mknod", "open", "mkdir", "chown32"} {
+		if ARM64.Has(name) {
+			t.Errorf("arm64 must not implement %s", name)
+		}
+	}
+	for _, name := range []string{"fchownat", "fchown", "mknodat", "openat", "mkdirat"} {
+		if !ARM64.Has(name) {
+			t.Errorf("arm64 must implement %s", name)
+		}
+	}
+}
+
+func TestLegacy32BitVariantsOnlyOn32BitABIs(t *testing.T) {
+	for _, a := range []*Arch{I386, ARM} {
+		for _, name := range []string{"chown32", "setuid32", "setgroups32", "setfsgid32"} {
+			if !a.Has(name) {
+				t.Errorf("%s must implement %s", a, name)
+			}
+		}
+	}
+	for _, a := range []*Arch{X8664, ARM64, PPC64LE, S390X} {
+		for _, name := range []string{"chown32", "setuid32"} {
+			if a.Has(name) {
+				t.Errorf("%s must not implement %s", a, name)
+			}
+		}
+	}
+}
+
+func TestNumberNameRoundTrip(t *testing.T) {
+	for _, a := range All() {
+		for _, name := range a.Names() {
+			nr, ok := a.Number(name)
+			if !ok {
+				t.Fatalf("%s: Names() returned unknown %s", a, name)
+			}
+			if got := a.SyscallName(nr); got != name {
+				t.Errorf("%s: round trip %s -> %d -> %s", a, name, nr, got)
+			}
+		}
+	}
+}
+
+func TestSyscallNameUnknown(t *testing.T) {
+	if got := X8664.SyscallName(99999); got != "sys_99999" {
+		t.Errorf("unknown syscall rendered %q", got)
+	}
+}
+
+func TestMustNumberPanicsOnAbsent(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustNumber on absent syscall must panic")
+		}
+	}()
+	ARM64.MustNumber("chown")
+}
+
+func TestByName(t *testing.T) {
+	a, ok := ByName("s390x")
+	if !ok || a != S390X {
+		t.Fatal("ByName(s390x) failed")
+	}
+	if _, ok := ByName("mips"); ok {
+		t.Fatal("ByName(mips) must fail")
+	}
+}
+
+func TestByAuditArch(t *testing.T) {
+	for _, a := range All() {
+		got, ok := ByAuditArch(a.AuditArch)
+		if !ok || got != a {
+			t.Errorf("ByAuditArch(%#x) = %v, want %s", a.AuditArch, got, a)
+		}
+	}
+	if _, ok := ByAuditArch(0xdeadbeef); ok {
+		t.Fatal("unknown audit arch must not resolve")
+	}
+}
+
+func TestEveryArchHasCoreWorkloadSyscalls(t *testing.T) {
+	// The simulated package managers need these everywhere (modulo the
+	// legacy/at split, both covered).
+	for _, a := range All() {
+		for _, name := range []string{"read", "write", "close", "execve",
+			"fchown", "fchownat", "setuid", "setgid", "setgroups",
+			"setresuid", "capset", "mknodat", "kexec_load", "prctl", "seccomp"} {
+			if !a.Has(name) {
+				t.Errorf("%s: missing workload syscall %s", a, name)
+			}
+		}
+	}
+}

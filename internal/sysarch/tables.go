@@ -1,0 +1,211 @@
+package sysarch
+
+// Syscall number tables. Each table covers (a) the 29 syscalls the paper's
+// filter intercepts (§5: 7 ownership + 19 identity/capability + 2 mknod +
+// kexec_load) where the architecture implements them, and (b) the common
+// syscalls the simulated workloads issue (file I/O, metadata, process
+// management), so that strace-style traces and per-arch filter tests read
+// like real ones. Numbers follow the kernel's per-arch unistd tables.
+//
+// Architectural quirks preserved deliberately:
+//   - 32-bit legacy ABIs (i386, arm, s390 heritage) carry *32-suffixed
+//     variants of the identity syscalls; 64-bit ABIs do not.
+//   - arm64 has no chown/lchown/mknod/open/mkdir etc.: only the *at forms.
+//   - s390x keeps the s390 numbering where the 32-bit-uid variants replaced
+//     the 16-bit ones at their old slots, so there are no *32 names.
+
+var x8664Table = map[string]int{
+	// common
+	"read": 0, "write": 1, "open": 2, "close": 3, "stat": 4, "fstat": 5,
+	"lstat": 6, "lseek": 8, "mmap": 9, "ioctl": 16, "access": 21, "pipe": 22,
+	"dup": 32, "getpid": 39, "socket": 41, "connect": 42, "sendto": 44,
+	"recvfrom": 45, "clone": 56, "fork": 57, "execve": 59, "exit": 60,
+	"wait4": 61, "kill": 62, "uname": 63, "fcntl": 72, "getcwd": 79,
+	"chdir": 80, "rename": 82, "mkdir": 83, "rmdir": 84, "creat": 85,
+	"link": 86, "unlink": 87, "symlink": 88, "readlink": 89, "chmod": 90,
+	"fchmod": 91, "umask": 95, "getuid": 102, "getgid": 104, "geteuid": 107,
+	"getegid": 108, "getppid": 110, "getgroups": 115, "getresuid": 118,
+	"getresgid": 120, "capget": 125, "utime": 132, "pivot_root": 155,
+	"prctl": 157, "chroot": 161, "mount": 165, "umount2": 166, "gettid": 186,
+	"setxattr": 188, "lsetxattr": 189, "fsetxattr": 190, "getxattr": 191,
+	"lgetxattr": 192, "fgetxattr": 193, "listxattr": 194, "removexattr": 197,
+	"exit_group": 231, "openat": 257, "mkdirat": 258, "futimesat": 261,
+	"newfstatat": 262, "unlinkat": 263, "renameat": 264, "linkat": 265,
+	"symlinkat": 266, "readlinkat": 267, "fchmodat": 268, "faccessat": 269,
+	"unshare": 272, "utimensat": 280, "seccomp": 317,
+	// filtered: ownership (x86_64 has 4 of the 7; no 16-bit legacy forms)
+	"chown": 92, "fchown": 93, "lchown": 94, "fchownat": 260,
+	// filtered: identity & capabilities
+	"setuid": 105, "setgid": 106, "setreuid": 113, "setregid": 114,
+	"setgroups": 116, "setresuid": 117, "setresgid": 119, "setfsuid": 122,
+	"setfsgid": 123, "capset": 126,
+	// filtered: mknod family
+	"mknod": 133, "mknodat": 259,
+	// filtered: self-test
+	"kexec_load": 246,
+}
+
+var i386Table = map[string]int{
+	// common
+	"exit": 1, "fork": 2, "read": 3, "write": 4, "open": 5, "close": 6,
+	"creat": 8, "link": 9, "unlink": 10, "execve": 11, "chdir": 12,
+	"chmod": 15, "lseek": 19, "mount": 21, "access": 33, "kill": 37,
+	"rename": 38, "mkdir": 39, "rmdir": 40, "dup": 41, "pipe": 42,
+	"ioctl": 54, "fcntl": 55, "umask": 60, "chroot": 61, "getppid": 64,
+	"symlink": 83, "readlink": 85, "fchmod": 94, "socketcall": 102,
+	"stat": 106, "lstat": 107, "fstat": 108, "uname": 122, "clone": 120,
+	"fchdir": 133, "umount2": 52, "getpid": 20, "getcwd": 183,
+	"pivot_root": 217, "prctl": 172, "getuid": 199, "getgid": 200,
+	"geteuid": 201, "getegid": 202, "getgroups": 205, "getresuid": 209,
+	"getresgid": 211, "capget": 184, "exit_group": 252, "utimensat": 320,
+	"setxattr": 226, "lsetxattr": 227, "fsetxattr": 228, "getxattr": 229,
+	"lgetxattr": 230, "fgetxattr": 231, "listxattr": 232, "removexattr": 235,
+	"openat": 295, "mkdirat": 296, "futimesat": 299, "newfstatat": 300,
+	"unlinkat": 301, "renameat": 302, "linkat": 303, "symlinkat": 304,
+	"readlinkat": 305, "fchmodat": 306, "faccessat": 307, "unshare": 310,
+	"wait4": 114, "seccomp": 354,
+	// filtered: ownership — 16-bit legacy forms plus 32-bit variants (7)
+	"lchown": 16, "fchown": 95, "chown": 182,
+	"lchown32": 198, "fchown32": 207, "chown32": 212, "fchownat": 298,
+	// filtered: identity & capabilities — legacy + *32 (19 with capset)
+	"setuid": 23, "setgid": 46, "setreuid": 70, "setregid": 71,
+	"setgroups": 81, "setfsuid": 138, "setfsgid": 139, "setresuid": 164,
+	"setresgid":  170,
+	"setreuid32": 203, "setregid32": 204, "setgroups32": 206,
+	"setresuid32": 208, "setresgid32": 210, "setuid32": 213, "setgid32": 214,
+	"setfsuid32": 215, "setfsgid32": 216,
+	"capset": 185,
+	// filtered: mknod family
+	"mknod": 14, "mknodat": 297,
+	// filtered: self-test
+	"kexec_load": 283,
+}
+
+var armTable = map[string]int{
+	// common (EABI)
+	"exit": 1, "fork": 2, "read": 3, "write": 4, "open": 5, "close": 6,
+	"creat": 8, "link": 9, "unlink": 10, "execve": 11, "chdir": 12,
+	"chmod": 15, "lseek": 19, "getpid": 20, "mount": 21, "access": 33,
+	"kill": 37, "rename": 38, "mkdir": 39, "rmdir": 40, "dup": 41,
+	"pipe": 42, "ioctl": 54, "fcntl": 55, "umask": 60, "chroot": 61,
+	"getppid": 64, "symlink": 83, "readlink": 85, "fchmod": 94,
+	"stat": 106, "lstat": 107, "fstat": 108, "clone": 120, "uname": 122,
+	"fchdir": 133, "getcwd": 183, "umount2": 52, "pivot_root": 218,
+	"prctl": 172, "getuid": 199, "getgid": 200, "geteuid": 201,
+	"getegid": 202, "getgroups": 205, "getresuid": 209, "getresgid": 211,
+	"capget": 184, "exit_group": 248, "wait4": 114, "utimensat": 348,
+	"setxattr": 226, "lsetxattr": 227, "fsetxattr": 228, "getxattr": 229,
+	"lgetxattr": 230, "fgetxattr": 231, "listxattr": 232, "removexattr": 235,
+	"openat": 322, "mkdirat": 323, "futimesat": 326, "newfstatat": 327,
+	"unlinkat": 328, "renameat": 329, "linkat": 330, "symlinkat": 331,
+	"readlinkat": 332, "fchmodat": 333, "faccessat": 334, "unshare": 337,
+	"seccomp": 383,
+	// filtered: ownership (7)
+	"lchown": 16, "fchown": 95, "chown": 182,
+	"lchown32": 198, "fchown32": 207, "chown32": 212, "fchownat": 325,
+	// filtered: identity & capabilities (19)
+	"setuid": 23, "setgid": 46, "setreuid": 70, "setregid": 71,
+	"setgroups": 81, "setfsuid": 138, "setfsgid": 139, "setresuid": 164,
+	"setresgid":  170,
+	"setreuid32": 203, "setregid32": 204, "setgroups32": 206,
+	"setresuid32": 208, "setresgid32": 210, "setuid32": 213, "setgid32": 214,
+	"setfsuid32": 215, "setfsgid32": 216,
+	"capset": 185,
+	// filtered: mknod family
+	"mknod": 14, "mknodat": 324,
+	// filtered: self-test
+	"kexec_load": 347,
+}
+
+// arm64 uses the generic unistd table: the legacy non-at syscalls simply do
+// not exist. This is the architecture the paper's footnote 7 calls out.
+var arm64Table = map[string]int{
+	// common
+	"setxattr": 5, "lsetxattr": 6, "fsetxattr": 7, "getxattr": 8,
+	"lgetxattr": 9, "fgetxattr": 10, "listxattr": 11, "removexattr": 14,
+	"getcwd": 17, "dup": 23, "fcntl": 25, "ioctl": 29, "mkdirat": 34,
+	"unlinkat": 35, "symlinkat": 36, "linkat": 37, "renameat": 38,
+	"umount2": 39, "mount": 40, "pivot_root": 41, "faccessat": 48,
+	"chdir": 49, "fchdir": 50, "chroot": 51, "fchmod": 52, "fchmodat": 53,
+	"openat": 56, "close": 57, "pipe2": 59, "read": 63, "write": 64,
+	"newfstatat": 79, "fstat": 80, "utimensat": 88, "exit": 93,
+	"exit_group": 94, "kill": 129, "uname": 160, "umask": 166, "prctl": 167,
+	"getpid": 172, "getppid": 173, "getuid": 174, "geteuid": 175,
+	"getgid": 176, "getegid": 177, "gettid": 178, "socket": 198,
+	"connect": 203, "sendto": 206, "recvfrom": 207, "clone": 220,
+	"execve": 221, "wait4": 260, "seccomp": 277, "unshare": 97,
+	"getgroups": 158, "getresuid": 148, "getresgid": 150, "capget": 90,
+	// filtered: ownership (only the modern forms exist: 2 of 7)
+	"fchownat": 54, "fchown": 55,
+	// filtered: identity & capabilities (no *32 variants: 10)
+	"capset": 91, "setregid": 143, "setgid": 144, "setreuid": 145,
+	"setuid": 146, "setresuid": 147, "setresgid": 149, "setfsuid": 151,
+	"setfsgid": 152, "setgroups": 159,
+	// filtered: mknod family (mknodat only)
+	"mknodat": 33,
+	// filtered: self-test
+	"kexec_load": 104,
+}
+
+var ppc64leTable = map[string]int{
+	// common
+	"exit": 1, "fork": 2, "read": 3, "write": 4, "open": 5, "close": 6,
+	"creat": 8, "link": 9, "unlink": 10, "execve": 11, "chdir": 12,
+	"chmod": 15, "lseek": 19, "getpid": 20, "mount": 21, "access": 33,
+	"kill": 37, "rename": 38, "mkdir": 39, "rmdir": 40, "dup": 41,
+	"pipe": 42, "ioctl": 54, "fcntl": 55, "umask": 60, "chroot": 61,
+	"getppid": 64, "symlink": 83, "readlink": 85, "fchmod": 94,
+	"stat": 106, "lstat": 107, "fstat": 108, "wait4": 114, "clone": 120,
+	"uname": 122, "fchdir": 133, "getcwd": 182, "umount2": 52,
+	"pivot_root": 203, "prctl": 171, "getuid": 24, "getgid": 47,
+	"geteuid": 49, "getegid": 50, "getgroups": 80, "getresuid": 165,
+	"getresgid": 170, "capget": 183, "exit_group": 234, "utimensat": 304,
+	"setxattr": 209, "lsetxattr": 210, "fsetxattr": 211, "getxattr": 212,
+	"lgetxattr": 213, "fgetxattr": 214, "listxattr": 215, "removexattr": 218,
+	"openat": 286, "mkdirat": 287, "futimesat": 290, "newfstatat": 291,
+	"unlinkat": 292, "renameat": 293, "linkat": 294, "symlinkat": 295,
+	"readlinkat": 296, "fchmodat": 297, "faccessat": 298, "unshare": 282,
+	"seccomp": 358,
+	// filtered: ownership (no *32 variants on ppc: 4 of 7)
+	"lchown": 16, "fchown": 95, "chown": 181, "fchownat": 289,
+	// filtered: identity & capabilities (10)
+	"setuid": 23, "setgid": 46, "setreuid": 70, "setregid": 71,
+	"setgroups": 81, "setfsuid": 138, "setfsgid": 139, "setresuid": 164,
+	"setresgid": 169, "capset": 184,
+	// filtered: mknod family
+	"mknod": 14, "mknodat": 288,
+	// filtered: self-test
+	"kexec_load": 268,
+}
+
+var s390xTable = map[string]int{
+	// common
+	"exit": 1, "fork": 2, "read": 3, "write": 4, "open": 5, "close": 6,
+	"creat": 8, "link": 9, "unlink": 10, "execve": 11, "chdir": 12,
+	"chmod": 15, "lseek": 19, "getpid": 20, "mount": 21, "access": 33,
+	"kill": 37, "rename": 38, "mkdir": 39, "rmdir": 40, "dup": 41,
+	"pipe": 42, "ioctl": 54, "fcntl": 55, "umask": 60, "chroot": 61,
+	"getppid": 64, "symlink": 83, "readlink": 85, "fchmod": 94,
+	"stat": 106, "lstat": 107, "fstat": 108, "wait4": 114, "clone": 120,
+	"uname": 122, "fchdir": 133, "getcwd": 183, "umount2": 52,
+	"pivot_root": 217, "prctl": 172, "getuid": 199, "getgid": 200,
+	"geteuid": 201, "getegid": 202, "getgroups": 205, "getresuid": 209,
+	"getresgid": 211, "capget": 184, "exit_group": 248, "utimensat": 315,
+	"setxattr": 224, "lsetxattr": 225, "fsetxattr": 226, "getxattr": 227,
+	"lgetxattr": 228, "fgetxattr": 229, "listxattr": 230, "removexattr": 233,
+	"openat": 288, "mkdirat": 289, "futimesat": 292, "newfstatat": 293,
+	"unlinkat": 294, "renameat": 295, "linkat": 296, "symlinkat": 297,
+	"readlinkat": 298, "fchmodat": 299, "faccessat": 300, "unshare": 303,
+	"seccomp": 348,
+	// filtered: ownership — s390x kept the 32-bit-uid slots under the plain
+	// names (4 of 7)
+	"lchown": 198, "fchown": 207, "chown": 212, "fchownat": 291,
+	// filtered: identity & capabilities (10)
+	"setreuid": 203, "setregid": 204, "setgroups": 206, "setresuid": 208,
+	"setresgid": 210, "setuid": 213, "setgid": 214, "setfsuid": 215,
+	"setfsgid": 216, "capset": 185,
+	// filtered: mknod family
+	"mknod": 14, "mknodat": 290,
+	// filtered: self-test
+	"kexec_load": 277,
+}

@@ -1,0 +1,309 @@
+// Package tarutil packs simulated filesystems into tar layers and applies
+// tar layers back onto filesystems, with OCI-style whiteout handling. It is
+// the layer format of internal/image (FROM pulls, layer commits) and the
+// payload format of apk/deb packages in internal/pkgmgr.
+//
+// Unpacking is where root emulation earns its keep in real builders:
+// extracting as the kernel (RootContext) preserves recorded ownership the
+// way a privileged tar would, while extracting as a process (the package
+// managers' path) goes through chown and fails or lies accordingly.
+package tarutil
+
+import (
+	"archive/tar"
+	"bytes"
+	"fmt"
+	"io"
+	"path"
+	"sort"
+	"strings"
+
+	"repro/internal/errno"
+	"repro/internal/vfs"
+)
+
+// WhiteoutPrefix marks a deleted file in a layer (OCI image spec).
+const WhiteoutPrefix = ".wh."
+
+// WhiteoutOpaque marks a directory whose lower contents are hidden.
+const WhiteoutOpaque = ".wh..wh..opq"
+
+// Entry is one file captured from or destined for a filesystem.
+type Entry struct {
+	Path   string // absolute, clean
+	Stat   vfs.Stat
+	Data   []byte // regular files
+	Target string // symlinks
+	Xattrs map[string]string
+}
+
+// Snapshot walks the filesystem and returns all entries sorted by path,
+// directories first on ties — a deterministic serialisation used for layer
+// digests and diffing.
+func Snapshot(fs *vfs.FS) ([]Entry, error) {
+	rc := vfs.RootContext()
+	var out []Entry
+	var walk func(dir string) error
+	walk = func(dir string) error {
+		ents, e := fs.ReadDir(rc, dir)
+		if e != errno.OK {
+			return fmt.Errorf("tarutil: readdir %s: %v", dir, e)
+		}
+		for _, de := range ents {
+			p := path.Join(dir, de.Name)
+			st, e := fs.Stat(rc, p, false)
+			if e != errno.OK {
+				return fmt.Errorf("tarutil: stat %s: %v", p, e)
+			}
+			ent := Entry{Path: p, Stat: st}
+			switch st.Type {
+			case vfs.TypeRegular:
+				data, e := fs.ReadFile(rc, p)
+				if e != errno.OK {
+					return fmt.Errorf("tarutil: read %s: %v", p, e)
+				}
+				ent.Data = data
+			case vfs.TypeSymlink:
+				t, e := fs.Readlink(rc, p)
+				if e != errno.OK {
+					return fmt.Errorf("tarutil: readlink %s: %v", p, e)
+				}
+				ent.Target = t
+			}
+			if names, e := fs.ListXattr(rc, p, false); e == errno.OK && len(names) > 0 {
+				ent.Xattrs = map[string]string{}
+				for _, n := range names {
+					if v, e := fs.GetXattr(rc, p, n, false); e == errno.OK {
+						ent.Xattrs[n] = string(v)
+					}
+				}
+			}
+			out = append(out, ent)
+			if st.Type == vfs.TypeDir {
+				if err := walk(p); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+	if err := walk("/"); err != nil {
+		return nil, err
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
+	return out, nil
+}
+
+// Pack serialises entries into a tar stream.
+func Pack(entries []Entry) ([]byte, error) {
+	var buf bytes.Buffer
+	tw := tar.NewWriter(&buf)
+	for _, ent := range entries {
+		hdr := &tar.Header{
+			Name:    strings.TrimPrefix(ent.Path, "/"),
+			Mode:    int64(ent.Stat.Mode),
+			Uid:     ent.Stat.UID,
+			Gid:     ent.Stat.GID,
+			ModTime: ent.Stat.Mtime,
+		}
+		if len(ent.Xattrs) > 0 {
+			hdr.PAXRecords = map[string]string{}
+			for k, v := range ent.Xattrs {
+				hdr.PAXRecords["SCHILY.xattr."+k] = v
+			}
+		}
+		switch ent.Stat.Type {
+		case vfs.TypeDir:
+			hdr.Typeflag = tar.TypeDir
+			hdr.Name += "/"
+		case vfs.TypeRegular:
+			hdr.Typeflag = tar.TypeReg
+			hdr.Size = int64(len(ent.Data))
+		case vfs.TypeSymlink:
+			hdr.Typeflag = tar.TypeSymlink
+			hdr.Linkname = ent.Target
+		case vfs.TypeCharDev:
+			hdr.Typeflag = tar.TypeChar
+			hdr.Devmajor = int64(ent.Stat.Rdev.Major())
+			hdr.Devminor = int64(ent.Stat.Rdev.Minor())
+		case vfs.TypeBlockDev:
+			hdr.Typeflag = tar.TypeBlock
+			hdr.Devmajor = int64(ent.Stat.Rdev.Major())
+			hdr.Devminor = int64(ent.Stat.Rdev.Minor())
+		case vfs.TypeFIFO:
+			hdr.Typeflag = tar.TypeFifo
+		case vfs.TypeSocket:
+			// tar has no socket type; skip, as GNU tar does.
+			continue
+		}
+		if err := tw.WriteHeader(hdr); err != nil {
+			return nil, fmt.Errorf("tarutil: header %s: %w", ent.Path, err)
+		}
+		if ent.Stat.Type == vfs.TypeRegular {
+			if _, err := tw.Write(ent.Data); err != nil {
+				return nil, fmt.Errorf("tarutil: body %s: %w", ent.Path, err)
+			}
+		}
+	}
+	if err := tw.Close(); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// PackFS is Snapshot followed by Pack.
+func PackFS(fs *vfs.FS) ([]byte, error) {
+	ents, err := Snapshot(fs)
+	if err != nil {
+		return nil, err
+	}
+	return Pack(ents)
+}
+
+// Unpack applies a tar layer onto fs as the kernel (privileged): ownership,
+// modes, device nodes and xattrs land exactly as recorded, and whiteouts
+// delete. This is the image-store path — equivalent to unpacking as root.
+func Unpack(fs *vfs.FS, layer []byte) error {
+	rc := vfs.RootContext()
+	tr := tar.NewReader(bytes.NewReader(layer))
+	for {
+		hdr, err := tr.Next()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return fmt.Errorf("tarutil: %w", err)
+		}
+		name := "/" + strings.Trim(hdr.Name, "/")
+		base := path.Base(name)
+		dir := path.Dir(name)
+
+		if base == WhiteoutOpaque {
+			// Remove everything under dir, keep dir itself.
+			ents, e := fs.ReadDir(rc, dir)
+			if e == errno.OK {
+				for _, de := range ents {
+					removeAll(fs, path.Join(dir, de.Name))
+				}
+			}
+			continue
+		}
+		if strings.HasPrefix(base, WhiteoutPrefix) {
+			removeAll(fs, path.Join(dir, strings.TrimPrefix(base, WhiteoutPrefix)))
+			continue
+		}
+
+		// Replace any existing non-directory entry.
+		if st, e := fs.Stat(rc, name, false); e == errno.OK {
+			if !(st.Type == vfs.TypeDir && hdr.Typeflag == tar.TypeDir) {
+				removeAll(fs, name)
+			}
+		}
+		fs.MkdirAll(rc, dir, 0o755, 0, 0)
+
+		mode := uint32(hdr.Mode) & 0o7777
+		switch hdr.Typeflag {
+		case tar.TypeDir:
+			if e := fs.Mkdir(rc, name, mode, hdr.Uid, hdr.Gid); e != errno.OK && e != errno.EEXIST {
+				return fmt.Errorf("tarutil: mkdir %s: %v", name, e)
+			}
+			if e := fs.Chown(rc, name, hdr.Uid, hdr.Gid, false); e != errno.OK {
+				return fmt.Errorf("tarutil: chown %s: %v", name, e)
+			}
+			fs.Chmod(rc, name, mode, false)
+		case tar.TypeReg:
+			data, err := io.ReadAll(tr)
+			if err != nil {
+				return fmt.Errorf("tarutil: read %s: %w", name, err)
+			}
+			if e := fs.WriteFile(rc, name, data, mode, hdr.Uid, hdr.Gid); e != errno.OK {
+				return fmt.Errorf("tarutil: write %s: %v", name, e)
+			}
+			fs.Chown(rc, name, hdr.Uid, hdr.Gid, false)
+			fs.Chmod(rc, name, mode, false)
+		case tar.TypeSymlink:
+			if e := fs.Symlink(rc, hdr.Linkname, name, hdr.Uid, hdr.Gid); e != errno.OK {
+				return fmt.Errorf("tarutil: symlink %s: %v", name, e)
+			}
+		case tar.TypeLink:
+			if e := fs.Link(rc, "/"+strings.Trim(hdr.Linkname, "/"), name); e != errno.OK {
+				return fmt.Errorf("tarutil: link %s: %v", name, e)
+			}
+		case tar.TypeChar, tar.TypeBlock:
+			typ := vfs.TypeCharDev
+			if hdr.Typeflag == tar.TypeBlock {
+				typ = vfs.TypeBlockDev
+			}
+			dev := vfs.Makedev(uint32(hdr.Devmajor), uint32(hdr.Devminor))
+			if e := fs.Mknod(rc, name, typ, mode, dev, hdr.Uid, hdr.Gid); e != errno.OK {
+				return fmt.Errorf("tarutil: mknod %s: %v", name, e)
+			}
+		case tar.TypeFifo:
+			if e := fs.Mknod(rc, name, vfs.TypeFIFO, mode, 0, hdr.Uid, hdr.Gid); e != errno.OK {
+				return fmt.Errorf("tarutil: mkfifo %s: %v", name, e)
+			}
+		}
+		for k, v := range hdr.PAXRecords {
+			if attr, ok := strings.CutPrefix(k, "SCHILY.xattr."); ok {
+				fs.SetXattr(rc, name, attr, []byte(v), false)
+			}
+		}
+	}
+}
+
+func removeAll(fs *vfs.FS, p string) {
+	rc := vfs.RootContext()
+	st, e := fs.Stat(rc, p, false)
+	if e != errno.OK {
+		return
+	}
+	if st.Type == vfs.TypeDir {
+		if ents, e := fs.ReadDir(rc, p); e == errno.OK {
+			for _, de := range ents {
+				removeAll(fs, path.Join(p, de.Name))
+			}
+		}
+		fs.Rmdir(rc, p)
+		return
+	}
+	fs.Unlink(rc, p)
+}
+
+// Diff computes the layer entries present in upper but not lower (changed
+// or added), plus whiteout entries for paths deleted from lower — the
+// commit step of a layered build.
+func Diff(lower, upper []Entry) []Entry {
+	lowerByPath := make(map[string]*Entry, len(lower))
+	for i := range lower {
+		lowerByPath[lower[i].Path] = &lower[i]
+	}
+	upperPaths := make(map[string]bool, len(upper))
+	var out []Entry
+	for _, u := range upper {
+		upperPaths[u.Path] = true
+		l, ok := lowerByPath[u.Path]
+		if !ok || !sameEntry(*l, u) {
+			out = append(out, u)
+		}
+	}
+	for _, l := range lower {
+		if !upperPaths[l.Path] {
+			dir, base := path.Split(l.Path)
+			out = append(out, Entry{
+				Path: path.Join(dir, WhiteoutPrefix+base),
+				Stat: vfs.Stat{Type: vfs.TypeRegular, Mode: 0},
+			})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
+	return out
+}
+
+func sameEntry(a, b Entry) bool {
+	if a.Stat.Type != b.Stat.Type || a.Stat.Mode != b.Stat.Mode ||
+		a.Stat.UID != b.Stat.UID || a.Stat.GID != b.Stat.GID ||
+		a.Target != b.Target || a.Stat.Rdev != b.Stat.Rdev {
+		return false
+	}
+	return bytes.Equal(a.Data, b.Data)
+}

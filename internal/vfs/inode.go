@@ -1,0 +1,312 @@
+// Package vfs is an in-memory POSIX filesystem with full metadata: owners,
+// permission bits, device numbers, extended attributes, hard links and
+// symlinks. It is the filesystem the simulated kernel (internal/simos)
+// mounts for container image roots, and the object tar/cpio layers are
+// unpacked into.
+//
+// Ownership is stored as *global* (kernel) IDs; user-namespace translation
+// happens in the caller. Permission decisions take an explicit
+// AccessContext so the namespace-aware capability logic stays in simos and
+// this package remains independently testable.
+package vfs
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/errno"
+)
+
+// FileType enumerates the POSIX file types.
+type FileType int
+
+const (
+	TypeRegular FileType = iota
+	TypeDir
+	TypeSymlink
+	TypeCharDev
+	TypeBlockDev
+	TypeFIFO
+	TypeSocket
+)
+
+func (t FileType) String() string {
+	switch t {
+	case TypeRegular:
+		return "regular"
+	case TypeDir:
+		return "directory"
+	case TypeSymlink:
+		return "symlink"
+	case TypeCharDev:
+		return "character device"
+	case TypeBlockDev:
+		return "block device"
+	case TypeFIFO:
+		return "fifo"
+	case TypeSocket:
+		return "socket"
+	}
+	return "unknown"
+}
+
+// S_IF* constants in their Linux on-disk encodings; tar/cpio and the mknod
+// mode argument use these.
+const (
+	SIFMT   = 0xf000
+	SIFIFO  = 0x1000
+	SIFCHR  = 0x2000
+	SIFDIR  = 0x4000
+	SIFBLK  = 0x6000
+	SIFREG  = 0x8000
+	SIFLNK  = 0xa000
+	SIFSOCK = 0xc000
+
+	SISUID = 0o4000
+	SISGID = 0o2000
+	SISVTX = 0o1000
+)
+
+// TypeFromMode decodes the S_IFMT bits of a mode word; a zero type field
+// means regular, matching mknod(2).
+func TypeFromMode(mode uint32) (FileType, bool) {
+	switch mode & SIFMT {
+	case 0, SIFREG:
+		return TypeRegular, true
+	case SIFDIR:
+		return TypeDir, true
+	case SIFLNK:
+		return TypeSymlink, true
+	case SIFCHR:
+		return TypeCharDev, true
+	case SIFBLK:
+		return TypeBlockDev, true
+	case SIFIFO:
+		return TypeFIFO, true
+	case SIFSOCK:
+		return TypeSocket, true
+	}
+	return TypeRegular, false
+}
+
+// ModeBits encodes a FileType back into S_IFMT bits.
+func (t FileType) ModeBits() uint32 {
+	switch t {
+	case TypeRegular:
+		return SIFREG
+	case TypeDir:
+		return SIFDIR
+	case TypeSymlink:
+		return SIFLNK
+	case TypeCharDev:
+		return SIFCHR
+	case TypeBlockDev:
+		return SIFBLK
+	case TypeFIFO:
+		return SIFIFO
+	case TypeSocket:
+		return SIFSOCK
+	}
+	return 0
+}
+
+// Dev packs a device number; Makedev/Major/Minor follow the modern Linux
+// 64-bit encoding.
+type Dev uint64
+
+// Makedev builds a Dev from major/minor.
+func Makedev(major, minor uint32) Dev {
+	return Dev(uint64(major)<<32 | uint64(minor))
+}
+
+// Major extracts the major number.
+func (d Dev) Major() uint32 { return uint32(d >> 32) }
+
+// Minor extracts the minor number.
+func (d Dev) Minor() uint32 { return uint32(d) }
+
+// Ino is an inode number, unique within one FS.
+type Ino uint64
+
+// inode is the internal representation. All access goes through FS methods
+// under the FS lock.
+type inode struct {
+	ino   Ino
+	typ   FileType
+	mode  uint32 // permission bits incl. suid/sgid/sticky; no type bits
+	uid   int    // global (kernel) owner
+	gid   int
+	nlink int
+	size  int64
+	mtime time.Time
+
+	data     []byte            // regular file contents
+	target   string            // symlink target
+	dev      Dev               // device number for Char/Block
+	xattrs   map[string][]byte // extended attributes
+	children map[string]*inode // directory entries
+}
+
+func (n *inode) isDir() bool { return n.typ == TypeDir }
+
+// Stat is the caller-visible metadata snapshot, the struct stat analog.
+type Stat struct {
+	Ino   Ino
+	Type  FileType
+	Mode  uint32 // permission bits
+	UID   int    // global; simos maps to the caller's namespace view
+	GID   int
+	Nlink int
+	Size  int64
+	Rdev  Dev
+	Mtime time.Time
+}
+
+// FullMode returns type bits | permission bits, the tar/cpio encoding.
+func (s Stat) FullMode() uint32 { return s.Type.ModeBits() | s.Mode }
+
+// AccessContext carries the identity facts a permission check needs,
+// pre-resolved by the caller: effective filesystem IDs (global), the
+// supplementary groups, and whether the caller holds each relevant
+// capability *with respect to this filesystem* (i.e. in the user namespace
+// owning the superblock). simos computes these from Cred + UserNS.
+type AccessContext struct {
+	UID    int
+	GID    int
+	Groups []int
+
+	CapDACOverride   bool // bypass rwx checks (read/write/search)
+	CapDACReadSearch bool // bypass read/search checks
+	CapFowner        bool // bypass owner checks (chmod, utimes, sticky)
+	CapChown         bool // change file owners/groups freely
+	CapMknod         bool // create device nodes
+	CapFsetid        bool // keep setgid bit on chown/chmod by non-member
+	CapSetfcap       bool // write security.* xattrs
+}
+
+func (ac *AccessContext) inGroup(gid int) bool {
+	if ac.GID == gid {
+		return true
+	}
+	for _, g := range ac.Groups {
+		if g == gid {
+			return true
+		}
+	}
+	return false
+}
+
+// Root access context: everything allowed. Used by image unpackers that
+// act as "the kernel" rather than as a process.
+func RootContext() *AccessContext {
+	return &AccessContext{
+		CapDACOverride: true, CapDACReadSearch: true, CapFowner: true,
+		CapChown: true, CapMknod: true, CapFsetid: true, CapSetfcap: true,
+	}
+}
+
+// FS is one mounted filesystem instance.
+type FS struct {
+	mu      sync.RWMutex
+	root    *inode
+	nextIno Ino
+	clock   func() time.Time
+
+	// readonly models MS_RDONLY remounts (bind-mounting the image root
+	// read-only is Charliecloud's default at *run* time; build mounts rw).
+	readonly bool
+}
+
+// New creates an empty filesystem whose root directory is owned by uid/gid
+// with mode 0755.
+func New() *FS {
+	fs := &FS{nextIno: 1, clock: time.Now}
+	fs.root = &inode{
+		ino: fs.takeIno(), typ: TypeDir, mode: 0o755, nlink: 2,
+		children: map[string]*inode{}, mtime: fs.clock(),
+	}
+	return fs
+}
+
+// SetClock replaces the timestamp source, letting the simulated kernel
+// supply its deterministic logical clock.
+func (fs *FS) SetClock(clock func() time.Time) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	fs.clock = clock
+}
+
+// SetReadonly toggles EROFS behaviour for all mutating operations.
+func (fs *FS) SetReadonly(ro bool) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	fs.readonly = ro
+}
+
+func (fs *FS) takeIno() Ino {
+	ino := fs.nextIno
+	fs.nextIno++
+	return ino
+}
+
+// DirEntry is one readdir result.
+type DirEntry struct {
+	Name string
+	Type FileType
+	Ino  Ino
+}
+
+func sortedEntries(n *inode) []DirEntry {
+	out := make([]DirEntry, 0, len(n.children))
+	for name, child := range n.children {
+		out = append(out, DirEntry{Name: name, Type: child.typ, Ino: child.ino})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// check* helpers implement the POSIX rwx decision with capability
+// overrides, as fs/namei.c's generic_permission does.
+
+func checkRead(ac *AccessContext, n *inode) errno.Errno {
+	if ac.CapDACOverride || ac.CapDACReadSearch {
+		return errno.OK
+	}
+	return checkModeBit(ac, n, 4)
+}
+
+func checkWrite(ac *AccessContext, n *inode) errno.Errno {
+	if ac.CapDACOverride {
+		return errno.OK
+	}
+	return checkModeBit(ac, n, 2)
+}
+
+func checkExec(ac *AccessContext, n *inode) errno.Errno {
+	// CAP_DAC_OVERRIDE grants execute only if some x bit is set (or it's
+	// a directory); search on directories is granted by either cap.
+	if n.isDir() && (ac.CapDACOverride || ac.CapDACReadSearch) {
+		return errno.OK
+	}
+	if !n.isDir() && ac.CapDACOverride && n.mode&0o111 != 0 {
+		return errno.OK
+	}
+	return checkModeBit(ac, n, 1)
+}
+
+func checkModeBit(ac *AccessContext, n *inode, bit uint32) errno.Errno {
+	var shift uint
+	switch {
+	case ac.UID == n.uid:
+		shift = 6
+	case ac.inGroup(n.gid):
+		shift = 3
+	default:
+		shift = 0
+	}
+	if n.mode>>shift&bit != 0 {
+		return errno.OK
+	}
+	return errno.EACCES
+}

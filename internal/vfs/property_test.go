@@ -1,0 +1,186 @@
+package vfs
+
+import (
+	"fmt"
+	"math/rand"
+	"path"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/errno"
+)
+
+// Property tests on the filesystem invariants the higher layers lean on.
+
+// TestQuickWriteReadIdentity: any content written is read back verbatim.
+func TestQuickWriteReadIdentity(t *testing.T) {
+	fs := New()
+	rc := RootContext()
+	i := 0
+	f := func(data []byte) bool {
+		i++
+		p := fmt.Sprintf("/f%d", i)
+		if e := fs.WriteFile(rc, p, data, 0o644, 0, 0); e != errno.OK {
+			return false
+		}
+		got, e := fs.ReadFile(rc, p)
+		if e != errno.OK || len(got) != len(data) {
+			return false
+		}
+		for j := range got {
+			if got[j] != data[j] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickPermissionMonotone: if an unprivileged context can read a file,
+// a capability-holding context can too (permissions only ever widen with
+// capabilities).
+func TestQuickPermissionMonotone(t *testing.T) {
+	f := func(mode uint16, ownerUID, callerUID uint8) bool {
+		fs := New()
+		rc := RootContext()
+		m := uint32(mode) & 0o777
+		fs.WriteFile(rc, "/f", []byte("x"), m, int(ownerUID), 0)
+		plain := &AccessContext{UID: int(callerUID)}
+		capd := &AccessContext{UID: int(callerUID), CapDACOverride: true, CapDACReadSearch: true}
+		_, ePlain := fs.ReadFile(plain, "/f")
+		_, eCapd := fs.ReadFile(capd, "/f")
+		if ePlain == errno.OK && eCapd != errno.OK {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickNlinkInvariant: after an arbitrary interleaving of link/unlink
+// operations, every reachable file's nlink equals the number of paths that
+// reach it.
+func TestQuickNlinkInvariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		fs := New()
+		rc := RootContext()
+		fs.WriteFile(rc, "/base", []byte("x"), 0o644, 0, 0)
+		names := map[string]bool{"/base": true}
+		for op := 0; op < 60; op++ {
+			switch rng.Intn(2) {
+			case 0: // link from a random live name
+				var from string
+				for n := range names {
+					from = n
+					break
+				}
+				to := fmt.Sprintf("/l%d", op)
+				if fs.Link(rc, from, to) == errno.OK {
+					names[to] = true
+				}
+			case 1: // unlink a random live name (keep at least one)
+				if len(names) <= 1 {
+					continue
+				}
+				var victim string
+				for n := range names {
+					victim = n
+					break
+				}
+				if fs.Unlink(rc, victim) == errno.OK {
+					delete(names, victim)
+				}
+			}
+		}
+		for n := range names {
+			st, e := fs.Stat(rc, n, false)
+			if e != errno.OK {
+				t.Fatalf("trial %d: stat %s: %v", trial, n, e)
+			}
+			if st.Nlink != len(names) {
+				t.Fatalf("trial %d: nlink %d, want %d", trial, st.Nlink, len(names))
+			}
+		}
+	}
+}
+
+// TestQuickRenameConservation: renaming never loses content.
+func TestQuickRenameConservation(t *testing.T) {
+	fs := New()
+	rc := RootContext()
+	fs.MkdirAll(rc, "/a/b", 0o755, 0, 0)
+	fs.MkdirAll(rc, "/c", 0o755, 0, 0)
+	content := []byte("conserved")
+	fs.WriteFile(rc, "/a/b/f", content, 0o644, 0, 0)
+	cur := "/a/b/f"
+	targets := []string{"/c/f", "/a/f", "/top", "/a/b/f"}
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 100; i++ {
+		next := targets[rng.Intn(len(targets))]
+		if next == cur {
+			continue
+		}
+		if e := fs.Rename(rc, cur, next); e != errno.OK {
+			t.Fatalf("rename %s -> %s: %v", cur, next, e)
+		}
+		cur = next
+		got, e := fs.ReadFile(rc, cur)
+		if e != errno.OK || string(got) != string(content) {
+			t.Fatalf("content lost at %s: %q %v", cur, got, e)
+		}
+	}
+}
+
+// TestDeepTree: a 100-deep directory chain resolves and deletes cleanly
+// (path resolution is iterative, not stack-bound).
+func TestDeepTree(t *testing.T) {
+	fs := New()
+	rc := RootContext()
+	p := ""
+	for i := 0; i < 100; i++ {
+		p = path.Join(p, fmt.Sprintf("d%d", i))
+		if e := fs.Mkdir(rc, "/"+p, 0o755, 0, 0); e != errno.OK {
+			t.Fatalf("mkdir depth %d: %v", i, e)
+		}
+	}
+	leaf := "/" + path.Join(p, "leaf")
+	if e := fs.WriteFile(rc, leaf, []byte("deep"), 0o644, 0, 0); e != errno.OK {
+		t.Fatalf("write: %v", e)
+	}
+	if _, e := fs.ReadFile(rc, leaf); e != errno.OK {
+		t.Fatalf("read: %v", e)
+	}
+	// And ".." climbs back out.
+	up := leaf
+	for i := 0; i < 101; i++ {
+		up = path.Dir(up)
+	}
+	if up != "/" {
+		t.Fatalf("dir climb ended at %q", up)
+	}
+}
+
+// TestSymlinkAtDepthLimit: 39 chained symlinks resolve; 41 ELOOP.
+func TestSymlinkAtDepthLimit(t *testing.T) {
+	fs := New()
+	rc := RootContext()
+	fs.WriteFile(rc, "/target", []byte("x"), 0o644, 0, 0)
+	prev := "/target"
+	for i := 0; i < 45; i++ {
+		name := fmt.Sprintf("/s%d", i)
+		fs.Symlink(rc, prev, name, 0, 0)
+		prev = name
+	}
+	if _, e := fs.Stat(rc, "/s38", true); e != errno.OK {
+		t.Fatalf("39 links deep: %v", e)
+	}
+	if _, e := fs.Stat(rc, "/s44", true); e != errno.ELOOP {
+		t.Fatalf("45 links deep: %v, want ELOOP", e)
+	}
+}

@@ -1,0 +1,608 @@
+package vfs
+
+import (
+	"testing"
+
+	"repro/internal/errno"
+)
+
+// ctxFor builds an unprivileged access context for uid/gid.
+func ctxFor(uid, gid int, groups ...int) *AccessContext {
+	return &AccessContext{UID: uid, GID: gid, Groups: groups}
+}
+
+// newPopulated builds a small tree as root:
+//
+//	/etc (0755)              root:root
+//	/etc/passwd (0644)       root:root
+//	/home/alice (0700)       1000:1000
+//	/tmp (1777 sticky)       root:root
+//	/bin/sh -> busybox       root:root
+//	/bin/busybox (0755)      root:root
+func newPopulated(t *testing.T) *FS {
+	t.Helper()
+	fs := New()
+	rc := RootContext()
+	must := func(e errno.Errno) {
+		t.Helper()
+		if e != errno.OK {
+			t.Fatalf("setup: %v", e)
+		}
+	}
+	must(fs.Mkdir(rc, "/etc", 0o755, 0, 0))
+	must(fs.WriteFile(rc, "/etc/passwd", []byte("root:x:0:0::/root:/bin/sh\n"), 0o644, 0, 0))
+	must(fs.Mkdir(rc, "/home", 0o755, 0, 0))
+	must(fs.Mkdir(rc, "/home/alice", 0o700, 1000, 1000))
+	must(fs.Mkdir(rc, "/tmp", 0o777|SISVTX, 0, 0))
+	must(fs.Mkdir(rc, "/bin", 0o755, 0, 0))
+	must(fs.WriteFile(rc, "/bin/busybox", []byte("#!bin"), 0o755, 0, 0))
+	must(fs.Symlink(rc, "busybox", "/bin/sh", 0, 0))
+	return fs
+}
+
+func TestStatBasics(t *testing.T) {
+	fs := newPopulated(t)
+	st, e := fs.Stat(RootContext(), "/etc/passwd", true)
+	if e != errno.OK {
+		t.Fatalf("stat: %v", e)
+	}
+	if st.Type != TypeRegular || st.Mode != 0o644 || st.UID != 0 || st.Size == 0 {
+		t.Fatalf("stat %+v", st)
+	}
+	if _, e := fs.Stat(RootContext(), "/nope", true); e != errno.ENOENT {
+		t.Fatalf("missing file: %v", e)
+	}
+	if _, e := fs.Stat(RootContext(), "/etc/passwd/x", true); e != errno.ENOTDIR {
+		t.Fatalf("file as dir: %v", e)
+	}
+}
+
+func TestLstatVsStatOnSymlink(t *testing.T) {
+	fs := newPopulated(t)
+	rc := RootContext()
+	l, e := fs.Stat(rc, "/bin/sh", false)
+	if e != errno.OK || l.Type != TypeSymlink {
+		t.Fatalf("lstat: %+v %v", l, e)
+	}
+	s, e := fs.Stat(rc, "/bin/sh", true)
+	if e != errno.OK || s.Type != TypeRegular {
+		t.Fatalf("stat follows: %+v %v", s, e)
+	}
+}
+
+func TestSymlinkChains(t *testing.T) {
+	fs := newPopulated(t)
+	rc := RootContext()
+	fs.Symlink(rc, "/bin/sh", "/bin/sh2", 0, 0)
+	fs.Symlink(rc, "sh2", "/bin/sh3", 0, 0)
+	st, e := fs.Stat(rc, "/bin/sh3", true)
+	if e != errno.OK || st.Type != TypeRegular {
+		t.Fatalf("chained symlink: %+v %v", st, e)
+	}
+}
+
+func TestSymlinkLoopELOOP(t *testing.T) {
+	fs := New()
+	rc := RootContext()
+	fs.Symlink(rc, "/b", "/a", 0, 0)
+	fs.Symlink(rc, "/a", "/b", 0, 0)
+	if _, e := fs.Stat(rc, "/a", true); e != errno.ELOOP {
+		t.Fatalf("loop: %v", e)
+	}
+}
+
+func TestSymlinkIntoDirectory(t *testing.T) {
+	fs := newPopulated(t)
+	rc := RootContext()
+	fs.Symlink(rc, "/etc", "/link-etc", 0, 0)
+	st, e := fs.Stat(rc, "/link-etc/passwd", true)
+	if e != errno.OK || st.Type != TypeRegular {
+		t.Fatalf("symlinked dir traversal: %v", e)
+	}
+}
+
+func TestDotDotStaysInRoot(t *testing.T) {
+	fs := newPopulated(t)
+	st, e := fs.Stat(RootContext(), "/../../../etc/passwd", true)
+	if e != errno.OK || st.Type != TypeRegular {
+		t.Fatalf("dotdot at root: %v", e)
+	}
+}
+
+func TestPermissionDeniedTraversal(t *testing.T) {
+	fs := newPopulated(t)
+	bob := ctxFor(1001, 1001)
+	// /home/alice is 0700 alice.
+	if _, e := fs.Stat(bob, "/home/alice/file", true); e != errno.EACCES {
+		t.Fatalf("bob crossing alice's 0700 dir: %v", e)
+	}
+	// alice herself passes (to ENOENT, which proves traversal succeeded).
+	alice := ctxFor(1000, 1000)
+	if _, e := fs.Stat(alice, "/home/alice/file", true); e != errno.ENOENT {
+		t.Fatalf("alice in own dir: %v", e)
+	}
+}
+
+func TestGroupPermission(t *testing.T) {
+	fs := New()
+	rc := RootContext()
+	fs.Mkdir(rc, "/shared", 0o070, 0, 42)
+	member := ctxFor(1000, 1000, 42)
+	outsider := ctxFor(1001, 1001)
+	if _, e := fs.ReadDir(member, "/shared"); e != errno.OK {
+		t.Fatalf("group member read: %v", e)
+	}
+	if _, e := fs.ReadDir(outsider, "/shared"); e != errno.EACCES {
+		t.Fatalf("outsider read: %v", e)
+	}
+}
+
+func TestOtherBitsApplyWhenNotOwnerOrGroup(t *testing.T) {
+	fs := New()
+	rc := RootContext()
+	// 0604: owner rw, group none, other r. A group member gets the group
+	// bits (none), not the other bits — the POSIX first-match rule.
+	fs.WriteFile(rc, "/f", []byte("x"), 0o604, 0, 42)
+	member := ctxFor(1000, 42)
+	if _, e := fs.ReadFile(member, "/f"); e != errno.EACCES {
+		t.Fatalf("group member must be denied by group bits: %v", e)
+	}
+	outsider := ctxFor(1001, 7)
+	if _, e := fs.ReadFile(outsider, "/f"); e != errno.OK {
+		t.Fatalf("other must read via other bits: %v", e)
+	}
+}
+
+func TestWriteFileAndReadBack(t *testing.T) {
+	fs := newPopulated(t)
+	alice := ctxFor(1000, 1000)
+	if e := fs.WriteFile(alice, "/home/alice/note", []byte("hi"), 0o644, 1000, 1000); e != errno.OK {
+		t.Fatalf("write: %v", e)
+	}
+	data, e := fs.ReadFile(alice, "/home/alice/note")
+	if e != errno.OK || string(data) != "hi" {
+		t.Fatalf("read back: %q %v", data, e)
+	}
+}
+
+func TestWriteDeniedWithoutPermission(t *testing.T) {
+	fs := newPopulated(t)
+	bob := ctxFor(1001, 1001)
+	if e := fs.WriteFile(bob, "/etc/evil", []byte("x"), 0o644, 1001, 1001); e != errno.EACCES {
+		t.Fatalf("write into 0755 root dir by bob: %v", e)
+	}
+	if e := fs.WriteFile(bob, "/etc/passwd", []byte("x"), 0o644, 1001, 1001); e != errno.EACCES {
+		t.Fatalf("overwrite 0644 root file by bob: %v", e)
+	}
+}
+
+func TestChownRequiresCapability(t *testing.T) {
+	fs := newPopulated(t)
+	alice := ctxFor(1000, 1000)
+	fs.WriteFile(RootContext(), "/home/alice/own", []byte("x"), 0o644, 1000, 1000)
+	// Owner without CAP_CHOWN cannot give the file away.
+	if e := fs.Chown(alice, "/home/alice/own", 0, -1, true); e != errno.EPERM {
+		t.Fatalf("chown away without cap: %v", e)
+	}
+	// Non-owner without cap cannot chown at all, even as a no-op.
+	bob := ctxFor(1001, 1001)
+	if e := fs.Chown(bob, "/etc/passwd", 0, 0, true); e != errno.EPERM {
+		t.Fatalf("no-op chown by non-owner: %v", e)
+	}
+	// CAP_CHOWN changes anything.
+	capd := &AccessContext{UID: 1000, GID: 1000, CapChown: true, CapDACOverride: true}
+	if e := fs.Chown(capd, "/home/alice/own", 2000, 2000, true); e != errno.OK {
+		t.Fatalf("capable chown: %v", e)
+	}
+	st, _ := fs.Stat(RootContext(), "/home/alice/own", true)
+	if st.UID != 2000 || st.GID != 2000 {
+		t.Fatalf("chown did not apply: %+v", st)
+	}
+}
+
+func TestChownGroupToOwnGroup(t *testing.T) {
+	fs := New()
+	rc := RootContext()
+	fs.WriteFile(rc, "/f", []byte("x"), 0o644, 1000, 1000)
+	alice := ctxFor(1000, 1000, 42)
+	// Owner may chgrp to a group they belong to.
+	if e := fs.Chown(alice, "/f", -1, 42, true); e != errno.OK {
+		t.Fatalf("chgrp to own group: %v", e)
+	}
+	// But not to an arbitrary one.
+	if e := fs.Chown(alice, "/f", -1, 999, true); e != errno.EPERM {
+		t.Fatalf("chgrp to foreign group: %v", e)
+	}
+}
+
+func TestChownClearsSetuidBits(t *testing.T) {
+	fs := New()
+	rc := RootContext()
+	fs.WriteFile(rc, "/sbin-su", []byte("x"), 0o644, 0, 0)
+	fs.Chmod(rc, "/sbin-su", 0o4755, true)
+	capd := &AccessContext{UID: 0, GID: 0, CapChown: true, CapDACOverride: true}
+	if e := fs.Chown(capd, "/sbin-su", 10, 10, true); e != errno.OK {
+		t.Fatalf("chown: %v", e)
+	}
+	st, _ := fs.Stat(rc, "/sbin-su", true)
+	if st.Mode&SISUID != 0 {
+		t.Fatalf("setuid bit must be cleared by chown: %o", st.Mode)
+	}
+}
+
+func TestChmodOwnerOrFowner(t *testing.T) {
+	fs := newPopulated(t)
+	alice := ctxFor(1000, 1000)
+	bob := ctxFor(1001, 1001)
+	fs.WriteFile(RootContext(), "/home/alice/f", []byte("x"), 0o600, 1000, 1000)
+	if e := fs.Chmod(alice, "/home/alice/f", 0o640, true); e != errno.OK {
+		t.Fatalf("owner chmod: %v", e)
+	}
+	// bob can't even reach it (alice's dir is 0700) — test via a file he
+	// can reach but doesn't own.
+	if e := fs.Chmod(bob, "/etc/passwd", 0o666, true); e != errno.EPERM {
+		t.Fatalf("non-owner chmod: %v", e)
+	}
+	fowner := &AccessContext{UID: 1001, GID: 1001, CapFowner: true, CapDACOverride: true}
+	if e := fs.Chmod(fowner, "/etc/passwd", 0o600, true); e != errno.OK {
+		t.Fatalf("CAP_FOWNER chmod: %v", e)
+	}
+}
+
+func TestMknodDeviceRequiresCapability(t *testing.T) {
+	fs := New()
+	plain := ctxFor(1000, 1000)
+	fs.Mkdir(RootContext(), "/dev", 0o777, 0, 0)
+	if e := fs.Mknod(plain, "/dev/null0", TypeCharDev, 0o666, Makedev(1, 3), 1000, 1000); e != errno.EPERM {
+		t.Fatalf("unprivileged device mknod: %v", e)
+	}
+	// FIFOs and sockets are unprivileged.
+	if e := fs.Mknod(plain, "/dev/fifo", TypeFIFO, 0o644, 0, 1000, 1000); e != errno.OK {
+		t.Fatalf("fifo mknod: %v", e)
+	}
+	if e := fs.Mknod(plain, "/dev/sock", TypeSocket, 0o644, 0, 1000, 1000); e != errno.OK {
+		t.Fatalf("socket mknod: %v", e)
+	}
+	capd := &AccessContext{UID: 0, GID: 0, CapMknod: true, CapDACOverride: true}
+	if e := fs.Mknod(capd, "/dev/null", TypeCharDev, 0o666, Makedev(1, 3), 0, 0); e != errno.OK {
+		t.Fatalf("capable device mknod: %v", e)
+	}
+	st, _ := fs.Stat(RootContext(), "/dev/null", true)
+	if st.Type != TypeCharDev || st.Rdev.Major() != 1 || st.Rdev.Minor() != 3 {
+		t.Fatalf("device node %+v", st)
+	}
+}
+
+func TestStickyBitDeletion(t *testing.T) {
+	fs := newPopulated(t)
+	alice := ctxFor(1000, 1000)
+	bob := ctxFor(1001, 1001)
+	fs.WriteFile(alice, "/tmp/alice.txt", []byte("x"), 0o644, 1000, 1000)
+	// /tmp is 1777: bob may create but not delete alice's file.
+	if e := fs.Unlink(bob, "/tmp/alice.txt"); e != errno.EPERM {
+		t.Fatalf("sticky deletion by bob: %v", e)
+	}
+	if e := fs.Unlink(alice, "/tmp/alice.txt"); e != errno.OK {
+		t.Fatalf("sticky deletion by owner: %v", e)
+	}
+}
+
+func TestUnlinkRmdirErrors(t *testing.T) {
+	fs := newPopulated(t)
+	rc := RootContext()
+	if e := fs.Unlink(rc, "/etc"); e != errno.EISDIR {
+		t.Fatalf("unlink dir: %v", e)
+	}
+	if e := fs.Rmdir(rc, "/etc/passwd"); e != errno.ENOTDIR {
+		t.Fatalf("rmdir file: %v", e)
+	}
+	if e := fs.Rmdir(rc, "/etc"); e != errno.ENOTEMPTY {
+		t.Fatalf("rmdir non-empty: %v", e)
+	}
+	fs.Unlink(rc, "/etc/passwd")
+	if e := fs.Rmdir(rc, "/etc"); e != errno.OK {
+		t.Fatalf("rmdir empty: %v", e)
+	}
+}
+
+func TestHardLinks(t *testing.T) {
+	fs := newPopulated(t)
+	rc := RootContext()
+	if e := fs.Link(rc, "/etc/passwd", "/etc/passwd2"); e != errno.OK {
+		t.Fatalf("link: %v", e)
+	}
+	st1, _ := fs.Stat(rc, "/etc/passwd", true)
+	st2, _ := fs.Stat(rc, "/etc/passwd2", true)
+	if st1.Ino != st2.Ino || st1.Nlink != 2 {
+		t.Fatalf("hard link identity: %+v %+v", st1, st2)
+	}
+	if e := fs.Link(rc, "/etc", "/etc2"); e != errno.EPERM {
+		t.Fatalf("hard link to dir: %v", e)
+	}
+	fs.Unlink(rc, "/etc/passwd")
+	st2, _ = fs.Stat(rc, "/etc/passwd2", true)
+	if st2.Nlink != 1 {
+		t.Fatalf("nlink after unlink: %d", st2.Nlink)
+	}
+}
+
+func TestRename(t *testing.T) {
+	fs := newPopulated(t)
+	rc := RootContext()
+	if e := fs.Rename(rc, "/etc/passwd", "/etc/passwd.bak"); e != errno.OK {
+		t.Fatalf("rename: %v", e)
+	}
+	if fs.Exists(rc, "/etc/passwd") {
+		t.Fatal("old name still present")
+	}
+	// Replacing an existing file.
+	fs.WriteFile(rc, "/etc/new", []byte("n"), 0o644, 0, 0)
+	if e := fs.Rename(rc, "/etc/new", "/etc/passwd.bak"); e != errno.OK {
+		t.Fatalf("rename replace: %v", e)
+	}
+	data, _ := fs.ReadFile(rc, "/etc/passwd.bak")
+	if string(data) != "n" {
+		t.Fatalf("replacement content %q", data)
+	}
+	// Directory onto non-empty directory fails.
+	fs.Mkdir(rc, "/d1", 0o755, 0, 0)
+	fs.Mkdir(rc, "/d2", 0o755, 0, 0)
+	fs.WriteFile(rc, "/d2/x", []byte("x"), 0o644, 0, 0)
+	if e := fs.Rename(rc, "/d1", "/d2"); e != errno.ENOTEMPTY {
+		t.Fatalf("rename dir onto non-empty: %v", e)
+	}
+}
+
+func TestSetgidDirectoryInheritance(t *testing.T) {
+	fs := New()
+	rc := RootContext()
+	fs.Mkdir(rc, "/proj", 0o2775, 0, 0)
+	fs.Chown(rc, "/proj", 0, 42, true)
+	// chown cleared nothing on the dir; re-apply sgid for the test.
+	fs.Chmod(rc, "/proj", 0o2775, true)
+	member := ctxFor(1000, 1000, 42)
+	if e := fs.WriteFile(member, "/proj/f", []byte("x"), 0o644, 1000, 1000); e != errno.OK {
+		t.Fatalf("write: %v", e)
+	}
+	st, _ := fs.Stat(rc, "/proj/f", true)
+	if st.GID != 42 {
+		t.Fatalf("sgid dir must assign group 42, got %d", st.GID)
+	}
+	if e := fs.Mkdir(member, "/proj/sub", 0o755, 1000, 1000); e != errno.OK {
+		t.Fatalf("mkdir: %v", e)
+	}
+	sub, _ := fs.Stat(rc, "/proj/sub", true)
+	if sub.GID != 42 || sub.Mode&SISGID == 0 {
+		t.Fatalf("sgid subdir: %+v", sub)
+	}
+}
+
+func TestXattrUserNamespace(t *testing.T) {
+	fs := New()
+	rc := RootContext()
+	fs.WriteFile(rc, "/f", []byte("x"), 0o644, 1000, 1000)
+	alice := ctxFor(1000, 1000)
+	if e := fs.SetXattr(alice, "/f", "user.note", []byte("v"), true); e != errno.OK {
+		t.Fatalf("user xattr: %v", e)
+	}
+	v, e := fs.GetXattr(alice, "/f", "user.note", true)
+	if e != errno.OK || string(v) != "v" {
+		t.Fatalf("get xattr: %q %v", v, e)
+	}
+	names, _ := fs.ListXattr(alice, "/f", true)
+	if len(names) != 1 || names[0] != "user.note" {
+		t.Fatalf("list xattr: %v", names)
+	}
+	if e := fs.RemoveXattr(alice, "/f", "user.note", true); e != errno.OK {
+		t.Fatalf("remove xattr: %v", e)
+	}
+	if _, e := fs.GetXattr(alice, "/f", "user.note", true); e != errno.ENODATA {
+		t.Fatalf("xattr after remove: %v", e)
+	}
+}
+
+func TestXattrSecurityRequiresCapability(t *testing.T) {
+	// The future-work case (§6): setcap writes security.capability, EPERM
+	// for an unprivileged user namespace.
+	fs := New()
+	rc := RootContext()
+	fs.WriteFile(rc, "/bin-ping", []byte("x"), 0o755, 1000, 1000)
+	alice := ctxFor(1000, 1000)
+	if e := fs.SetXattr(alice, "/bin-ping", "security.capability", []byte{1}, true); e != errno.EPERM {
+		t.Fatalf("security xattr without cap: %v", e)
+	}
+	capd := &AccessContext{UID: 0, CapSetfcap: true, CapDACOverride: true}
+	if e := fs.SetXattr(capd, "/bin-ping", "security.capability", []byte{1}, true); e != errno.OK {
+		t.Fatalf("security xattr with cap: %v", e)
+	}
+}
+
+func TestReadonlyFS(t *testing.T) {
+	fs := newPopulated(t)
+	fs.SetReadonly(true)
+	rc := RootContext()
+	if e := fs.WriteFile(rc, "/x", []byte("x"), 0o644, 0, 0); e != errno.EROFS {
+		t.Fatalf("write on ro fs: %v", e)
+	}
+	if e := fs.Unlink(rc, "/etc/passwd"); e != errno.EROFS {
+		t.Fatalf("unlink on ro fs: %v", e)
+	}
+	if e := fs.Chown(rc, "/etc/passwd", 1, 1, true); e != errno.EROFS {
+		t.Fatalf("chown on ro fs: %v", e)
+	}
+	if _, e := fs.ReadFile(rc, "/etc/passwd"); e != errno.OK {
+		t.Fatalf("read on ro fs: %v", e)
+	}
+	fs.SetReadonly(false)
+	if e := fs.WriteFile(rc, "/x", []byte("x"), 0o644, 0, 0); e != errno.OK {
+		t.Fatalf("write after rw remount: %v", e)
+	}
+}
+
+func TestHandleIO(t *testing.T) {
+	fs := New()
+	rc := RootContext()
+	h, e := fs.Open(rc, "/f", OpenFlags{Write: true, Create: true, Mode: 0o644})
+	if e != errno.OK {
+		t.Fatalf("open create: %v", e)
+	}
+	if _, e := h.WriteAt([]byte("hello world"), 0); e != errno.OK {
+		t.Fatalf("write: %v", e)
+	}
+	if _, e := h.WriteAt([]byte("WORLD"), 6); e != errno.OK {
+		t.Fatalf("overwrite: %v", e)
+	}
+	buf := make([]byte, 32)
+	n, e := h.ReadAt(buf, 0)
+	if e != errno.OK || string(buf[:n]) != "hello WORLD" {
+		t.Fatalf("read: %q %v", buf[:n], e)
+	}
+	// Sparse write grows with zeros.
+	h.WriteAt([]byte("z"), 20)
+	if h.Size() != 21 {
+		t.Fatalf("size %d", h.Size())
+	}
+	h.Truncate(5)
+	n, _ = h.ReadAt(buf, 0)
+	if string(buf[:n]) != "hello" {
+		t.Fatalf("after truncate: %q", buf[:n])
+	}
+}
+
+func TestHandleSurvivesUnlink(t *testing.T) {
+	fs := New()
+	rc := RootContext()
+	fs.WriteFile(rc, "/f", []byte("data"), 0o644, 0, 0)
+	h, e := fs.Open(rc, "/f", OpenFlags{})
+	if e != errno.OK {
+		t.Fatalf("open: %v", e)
+	}
+	fs.Unlink(rc, "/f")
+	buf := make([]byte, 4)
+	n, e := h.ReadAt(buf, 0)
+	if e != errno.OK || string(buf[:n]) != "data" {
+		t.Fatalf("read after unlink: %q %v", buf[:n], e)
+	}
+}
+
+func TestOpenExclusive(t *testing.T) {
+	fs := New()
+	rc := RootContext()
+	fs.WriteFile(rc, "/f", []byte("x"), 0o644, 0, 0)
+	if _, e := fs.Open(rc, "/f", OpenFlags{Write: true, Create: true, Excl: true}); e != errno.EEXIST {
+		t.Fatalf("O_EXCL on existing: %v", e)
+	}
+}
+
+func TestOpenTruncate(t *testing.T) {
+	fs := New()
+	rc := RootContext()
+	fs.WriteFile(rc, "/f", []byte("old content"), 0o644, 0, 0)
+	h, e := fs.Open(rc, "/f", OpenFlags{Write: true, Truncate: true})
+	if e != errno.OK {
+		t.Fatalf("open trunc: %v", e)
+	}
+	if h.Size() != 0 {
+		t.Fatalf("size after O_TRUNC: %d", h.Size())
+	}
+}
+
+func TestReadDirSorted(t *testing.T) {
+	fs := New()
+	rc := RootContext()
+	for _, n := range []string{"/c", "/a", "/b"} {
+		fs.WriteFile(rc, n, []byte("x"), 0o644, 0, 0)
+	}
+	ents, e := fs.ReadDir(rc, "/")
+	if e != errno.OK || len(ents) != 3 {
+		t.Fatalf("readdir: %v %v", ents, e)
+	}
+	if ents[0].Name != "a" || ents[1].Name != "b" || ents[2].Name != "c" {
+		t.Fatalf("order: %v", ents)
+	}
+}
+
+func TestAccessMask(t *testing.T) {
+	fs := New()
+	rc := RootContext()
+	fs.WriteFile(rc, "/f", []byte("x"), 0o640, 1000, 42)
+	alice := ctxFor(1000, 1000)
+	if e := fs.Access(alice, "/f", 6); e != errno.OK {
+		t.Fatalf("owner rw: %v", e)
+	}
+	if e := fs.Access(alice, "/f", 1); e != errno.EACCES {
+		t.Fatalf("owner x on non-exec: %v", e)
+	}
+	member := ctxFor(2000, 42)
+	if e := fs.Access(member, "/f", 4); e != errno.OK {
+		t.Fatalf("group r: %v", e)
+	}
+	if e := fs.Access(member, "/f", 2); e != errno.EACCES {
+		t.Fatalf("group w: %v", e)
+	}
+}
+
+func TestTypeFromModeRoundTrip(t *testing.T) {
+	for _, typ := range []FileType{TypeRegular, TypeDir, TypeSymlink,
+		TypeCharDev, TypeBlockDev, TypeFIFO, TypeSocket} {
+		got, ok := TypeFromMode(typ.ModeBits() | 0o644)
+		if !ok || got != typ {
+			t.Errorf("%v: round trip got %v ok=%v", typ, got, ok)
+		}
+	}
+	if typ, ok := TypeFromMode(0o644); !ok || typ != TypeRegular {
+		t.Error("bare mode must decode as regular")
+	}
+}
+
+func TestMakedevRoundTrip(t *testing.T) {
+	d := Makedev(259, 65535)
+	if d.Major() != 259 || d.Minor() != 65535 {
+		t.Fatalf("dev %v %v", d.Major(), d.Minor())
+	}
+}
+
+func TestMkdirAll(t *testing.T) {
+	fs := New()
+	rc := RootContext()
+	if e := fs.MkdirAll(rc, "/a/b/c/d", 0o755, 0, 0); e != errno.OK {
+		t.Fatalf("mkdirall: %v", e)
+	}
+	if !fs.Exists(rc, "/a/b/c/d") {
+		t.Fatal("path missing")
+	}
+	// Idempotent.
+	if e := fs.MkdirAll(rc, "/a/b/c/d", 0o755, 0, 0); e != errno.OK {
+		t.Fatalf("mkdirall twice: %v", e)
+	}
+}
+
+func TestNameTooLong(t *testing.T) {
+	fs := New()
+	long := make([]byte, 300)
+	for i := range long {
+		long[i] = 'a'
+	}
+	if _, e := fs.Stat(RootContext(), "/"+string(long), true); e != errno.ENAMETOOLONG {
+		t.Fatalf("long name: %v", e)
+	}
+}
+
+func TestRenameIntoOwnSubtreeEINVAL(t *testing.T) {
+	fs := New()
+	rc := RootContext()
+	fs.MkdirAll(rc, "/a/b/c", 0o755, 0, 0)
+	if e := fs.Rename(rc, "/a", "/a/b/c/a2"); e != errno.EINVAL {
+		t.Fatalf("rename dir into own subtree: %v, want EINVAL", e)
+	}
+	// Lexical-prefix false positive guard: /ab is NOT inside /a.
+	fs.MkdirAll(rc, "/ab", 0o755, 0, 0)
+	fs.WriteFile(rc, "/a/f", []byte("x"), 0o644, 0, 0)
+	if e := fs.Rename(rc, "/a/f", "/ab/f"); e != errno.OK {
+		t.Fatalf("rename into sibling with shared prefix: %v", e)
+	}
+	// Renaming a path onto itself is a no-op success.
+	if e := fs.Rename(rc, "/ab", "/ab"); e != errno.OK {
+		t.Fatalf("self-rename: %v", e)
+	}
+}

@@ -1,0 +1,125 @@
+package vfs
+
+import (
+	"sort"
+	"strings"
+
+	"repro/internal/errno"
+)
+
+// Extended attributes. The namespace rules matter to the paper's future
+// work (§6): setcap(8) writes security.capability, which in an unprivileged
+// user namespace fails EPERM — the reason systemd-adjacent packages break
+// and the extended filter variant exists.
+
+// xattrPermission checks whether ac may set or remove attribute name on n.
+func xattrPermission(ac *AccessContext, n *inode, name string) errno.Errno {
+	switch {
+	case strings.HasPrefix(name, "user."):
+		// user.* follows file permissions, on regular files and dirs only.
+		if n.typ != TypeRegular && n.typ != TypeDir {
+			return errno.EPERM
+		}
+		return checkWrite(ac, n)
+	case strings.HasPrefix(name, "security."):
+		// security.capability and friends require CAP_SETFCAP /
+		// CAP_SYS_ADMIN in the *superblock's* namespace; ac carries that
+		// pre-resolved.
+		if !ac.CapSetfcap {
+			return errno.EPERM
+		}
+		return errno.OK
+	case strings.HasPrefix(name, "trusted."):
+		if !ac.CapSetfcap {
+			return errno.EPERM
+		}
+		return errno.OK
+	case strings.HasPrefix(name, "system."):
+		return errno.EOPNOTSUPP
+	}
+	return errno.EOPNOTSUPP
+}
+
+// SetXattr sets an extended attribute.
+func (fs *FS) SetXattr(ac *AccessContext, path, name string, value []byte, follow bool) errno.Errno {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if fs.readonly {
+		return errno.EROFS
+	}
+	n, e := fs.lookup(ac, path, follow)
+	if e != errno.OK {
+		return e
+	}
+	if e := xattrPermission(ac, n, name); e != errno.OK {
+		return e
+	}
+	if n.xattrs == nil {
+		n.xattrs = map[string][]byte{}
+	}
+	v := make([]byte, len(value))
+	copy(v, value)
+	n.xattrs[name] = v
+	n.mtime = fs.clock()
+	return errno.OK
+}
+
+// GetXattr reads an extended attribute.
+func (fs *FS) GetXattr(ac *AccessContext, path, name string, follow bool) ([]byte, errno.Errno) {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	n, e := fs.lookup(ac, path, follow)
+	if e != errno.OK {
+		return nil, e
+	}
+	if strings.HasPrefix(name, "user.") {
+		if e := checkRead(ac, n); e != errno.OK {
+			return nil, e
+		}
+	}
+	v, ok := n.xattrs[name]
+	if !ok {
+		return nil, errno.ENODATA
+	}
+	out := make([]byte, len(v))
+	copy(out, v)
+	return out, errno.OK
+}
+
+// ListXattr lists attribute names, sorted.
+func (fs *FS) ListXattr(ac *AccessContext, path string, follow bool) ([]string, errno.Errno) {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	n, e := fs.lookup(ac, path, follow)
+	if e != errno.OK {
+		return nil, e
+	}
+	out := make([]string, 0, len(n.xattrs))
+	for name := range n.xattrs {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out, errno.OK
+}
+
+// RemoveXattr deletes an attribute.
+func (fs *FS) RemoveXattr(ac *AccessContext, path, name string, follow bool) errno.Errno {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if fs.readonly {
+		return errno.EROFS
+	}
+	n, e := fs.lookup(ac, path, follow)
+	if e != errno.OK {
+		return e
+	}
+	if e := xattrPermission(ac, n, name); e != errno.OK {
+		return e
+	}
+	if _, ok := n.xattrs[name]; !ok {
+		return errno.ENODATA
+	}
+	delete(n.xattrs, name)
+	n.mtime = fs.clock()
+	return errno.OK
+}
