@@ -1,0 +1,22 @@
+# Tier-1 gate (see ROADMAP.md): the module must build, vet clean and pass
+# every test from a clean checkout.
+.PHONY: check build test vet bench experiments
+
+check: vet test
+
+build:
+	go build ./...
+
+vet:
+	go vet ./...
+
+test:
+	go test ./...
+
+# One pass over every benchmark, including the E8/E15 build matrix.
+bench:
+	go test -bench=. -benchtime=1x -run='^$$' .
+
+# The full paper reproduction report (E1–E16).
+experiments:
+	go run ./cmd/experiments

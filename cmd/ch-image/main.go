@@ -157,12 +157,14 @@ func cmdBuild(args []string) int {
 	}
 	res, err := build.Build(string(text), opts)
 	if err != nil {
+		fmt.Fprintf(os.Stderr, "ch-image: %v\n", err)
 		return 1
 	}
 	if *rebuild {
 		fmt.Println("--- rebuilding with warm cache ---")
 		res, err = build.Build(string(text), opts)
 		if err != nil {
+			fmt.Fprintf(os.Stderr, "ch-image: %v\n", err)
 			return 1
 		}
 		fmt.Printf("cache hits: %d\n", res.CacheHits)

@@ -1,0 +1,10 @@
+package main
+
+import "testing"
+
+// Smoke test: the full E1–E16 reproduction report must pass. main calls
+// os.Exit(1) when any experiment's shape deviates, which fails the test
+// binary.
+func TestAllExperimentsReproduce(t *testing.T) {
+	main()
+}

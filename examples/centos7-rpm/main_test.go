@@ -1,0 +1,10 @@
+package main
+
+import "testing"
+
+// Smoke test: the example must run end to end against the in-memory
+// world. A failure inside main exits the test binary non-zero, which the
+// test runner reports as a failure.
+func TestExampleRuns(t *testing.T) {
+	main()
+}

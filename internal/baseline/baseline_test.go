@@ -250,3 +250,35 @@ func TestFakechrootDoesNotHelpSyscalls(t *testing.T) {
 		t.Fatal("chown must still fail under fakechroot")
 	}
 }
+
+func TestPRootIDFamiliesIndependent(t *testing.T) {
+	// The supervisor keeps separate uid and gid triples: faking a gid
+	// drop must not disturb the faked uid view (and partial setres*
+	// calls keep the -1 fields).
+	_, p := hostProc(t)
+	NewPRoot().Attach(p)
+	if e := p.Setresuid(100, 100, 100); e != errno.OK {
+		t.Fatalf("setresuid: %v", e)
+	}
+	if e := p.Setresgid(65534, 65534, 65534); e != errno.OK {
+		t.Fatalf("setresgid: %v", e)
+	}
+	if r, eu, s, _ := p.Getresuid(); r != 100 || eu != 100 || s != 100 {
+		t.Fatalf("uid triple clobbered by setresgid: %d/%d/%d", r, eu, s)
+	}
+	if r, _, _, _ := p.Getresgid(); r != 65534 {
+		t.Fatalf("gid triple not faked: %d", r)
+	}
+	// setreuid(-1, 42) updates the effective field only (getresuid's
+	// single-value hook reports a collapsed triple, so observe through
+	// the field-specific getters).
+	if e := p.Setreuid(-1, 42); e != errno.OK {
+		t.Fatalf("setreuid: %v", e)
+	}
+	if got := p.Getuid(); got != 100 {
+		t.Fatalf("real uid clobbered by partial setreuid: %d", got)
+	}
+	if got := p.Geteuid(); got != 42 {
+		t.Fatalf("effective uid not updated: %d", got)
+	}
+}

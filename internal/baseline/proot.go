@@ -1,6 +1,7 @@
 package baseline
 
 import (
+	"strings"
 	"sync"
 
 	"repro/internal/errno"
@@ -15,12 +16,13 @@ import (
 type PRoot struct {
 	mu     sync.Mutex
 	owners map[string]ownerRecord
-	ids    map[int][3]int
+	uids   map[int][3]int // per-PID faked r/e/s uid
+	gids   map[int][3]int // per-PID faked r/e/s gid
 }
 
 // NewPRoot creates an empty supervisor.
 func NewPRoot() *PRoot {
-	return &PRoot{owners: map[string]ownerRecord{}, ids: map[int][3]int{}}
+	return &PRoot{owners: map[string]ownerRecord{}, uids: map[int][3]int{}, gids: map[int][3]int{}}
 }
 
 // Records returns the ownership-database size (E9 metric).
@@ -93,20 +95,39 @@ func (pr *PRoot) Hook() *simos.PtraceHook {
 		},
 		GetID: func(p *simos.Proc, name string) (int, bool) {
 			pr.mu.Lock()
-			ids, ok := pr.ids[p.PID()]
+			family := pr.uids
+			if strings.Contains(name, "gid") {
+				family = pr.gids
+			}
+			ids, ok := family[p.PID()]
 			pr.mu.Unlock()
 			if ok {
-				if name == "getuid" {
+				if name == "getuid" || name == "getgid" {
 					return ids[0], true
 				}
 				return ids[1], true
 			}
 			return 0, true
 		},
-		SetID: func(p *simos.Proc, name string, id int) (errno.Errno, bool) {
+		SetID: func(p *simos.Proc, name string, args []int) (errno.Errno, bool) {
 			pr.mu.Lock()
-			pr.ids[p.PID()] = [3]int{id, id, id}
-			pr.mu.Unlock()
+			defer pr.mu.Unlock()
+			family := pr.uids
+			if strings.Contains(name, "gid") {
+				family = pr.gids
+			}
+			cur := family[p.PID()]
+			switch len(args) {
+			case 1: // setuid/setgid as (fake) root assumes all three
+				cur = [3]int{args[0], args[0], args[0]}
+			default: // setre*/setres* forms: -1 keeps a field
+				for i, v := range args {
+					if i < 3 && v != -1 {
+						cur[i] = v
+					}
+				}
+			}
+			family[p.PID()] = cur
 			return errno.OK, true
 		},
 	}

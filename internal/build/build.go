@@ -1,0 +1,653 @@
+// Package build is the Dockerfile build executor — the ch-image analog
+// that connects every other layer of the reproduction: it parses with
+// internal/dockerfile, boots one simos.Kernel per build, enters a fully
+// unprivileged Type III container (internal/container) on a rootfs
+// flattened from the image store, installs the selected root-emulation
+// mechanism (internal/rootemu: the paper's seccomp filter, or the
+// fakeroot/proot baselines), runs RUN instructions through internal/shell
+// and the distribution package managers (internal/pkgmgr), and commits
+// each instruction's filesystem delta as a content-addressed layer
+// (internal/tarutil → internal/image).
+//
+// The layering mirrors the paper's §4 architecture:
+//
+//	dockerfile → build → rootemu → simos/vfs → image
+//
+// Because the builder is unprivileged, the rootfs is re-owned to the
+// invoking user before entry (Charliecloud's unpack behaviour); inside
+// the container that user is root in a single-ID Type III mapping, and
+// whether privileged package installs succeed depends entirely on the
+// Force mode — the paper's Figures 1 and 2 in executable form.
+package build
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"repro/internal/baseline"
+	"repro/internal/container"
+	"repro/internal/core"
+	"repro/internal/dockerfile"
+	"repro/internal/errno"
+	"repro/internal/image"
+	"repro/internal/pkgmgr"
+	"repro/internal/rootemu"
+	"repro/internal/simos"
+	"repro/internal/tarutil"
+	"repro/internal/vfs"
+)
+
+// ForceMode selects the root-emulation mechanism installed on the build
+// container, ch-image's --force flag.
+type ForceMode int
+
+const (
+	// ForceNone runs with no emulation: privileged syscalls fail as the
+	// kernel dictates (Fig. 1).
+	ForceNone ForceMode = iota
+	// ForceSeccomp installs the paper's zero-consistency seccomp filter
+	// (Fig. 2).
+	ForceSeccomp
+	// ForceFakeroot attaches the LD_PRELOAD fakeroot baseline (§3.1).
+	ForceFakeroot
+	// ForceProot attaches the ptrace PRoot baseline (§3.2).
+	ForceProot
+)
+
+func (m ForceMode) String() string {
+	switch m {
+	case ForceSeccomp:
+		return "seccomp"
+	case ForceFakeroot:
+		return "fakeroot"
+	case ForceProot:
+		return "proot"
+	}
+	return "none"
+}
+
+// Options configures one build.
+type Options struct {
+	// Tag names the result image in the store ("name:tag").
+	Tag string
+
+	// Force selects the root-emulation mechanism.
+	Force ForceMode
+
+	// Store resolves FROM references and receives the result image.
+	Store *image.Store
+
+	// World supplies the distribution toolchains and repositories.
+	World *pkgmgr.World
+
+	// Cache, when non-nil, enables the per-instruction build cache;
+	// share one across builds for warm rebuilds.
+	Cache *Cache
+
+	// Context holds the build-context files COPY/ADD resolve against.
+	Context map[string][]byte
+
+	// BuildArgs overrides ARG defaults.
+	BuildArgs map[string]string
+
+	// Output receives the build transcript (instruction lines plus the
+	// stdout/stderr of every RUN). Nil discards.
+	Output io.Writer
+
+	// DisableAptWorkaround turns off the §5 RUN rewriting that injects
+	// -o APT::Sandbox::User=root into apt command lines under seccomp.
+	DisableAptWorkaround bool
+
+	// FilterConfig parameterises the seccomp filter (variant, dispatch
+	// strategy, architectures). Zero value is the paper's filter.
+	// Ignored unless Force is ForceSeccomp.
+	FilterConfig core.Config
+
+	// Tracer, when set, receives one event per simulated syscall.
+	Tracer func(simos.TraceEvent)
+}
+
+// Result reports what a build did.
+type Result struct {
+	// Image is the built image (also tagged into Options.Store on
+	// success).
+	Image *image.Image
+
+	// CacheHits counts instructions replayed from the cache.
+	CacheHits int
+
+	// ModifiedRuns counts RUN instructions rewritten by the apt
+	// workaround (the Fig. 2 "modified N RUN instructions" report).
+	ModifiedRuns int
+
+	// FakerootRecords is the consistent-emulation state size after the
+	// build: ownership records kept by the fakeroot or proot baseline.
+	// Always zero for the seccomp method (E9).
+	FakerootRecords int
+
+	// Counters snapshots the kernel's syscall accounting.
+	Counters simos.CounterSnapshot
+
+	// VirtualNanos is the modeled time the build charged (the E8/E15
+	// metric; see simos.CostModel).
+	VirtualNanos int64
+}
+
+// buildUID is the invoking (unprivileged) user every build runs as.
+const buildUID = 1000
+
+// Build executes Dockerfile text under opts. The returned Result is
+// never nil: on failure it still carries the counters and modeled time
+// accrued up to the failing instruction.
+func Build(text string, opt Options) (*Result, error) {
+	b := &builder{opt: opt, out: opt.Output, res: &Result{}}
+	if b.out == nil {
+		b.out = io.Discard
+	}
+	err := b.run(text)
+	if b.k != nil {
+		b.res.Counters = b.k.Snapshot()
+		b.res.VirtualNanos = b.k.VirtualNanos()
+	}
+	if b.fr != nil {
+		b.res.FakerootRecords = b.fr.Records()
+	}
+	if b.pr != nil {
+		b.res.FakerootRecords = b.pr.Records()
+	}
+	return b.res, err
+}
+
+// builder is the per-build state machine.
+type builder struct {
+	opt Options
+	out io.Writer
+	res *Result
+
+	k  *simos.Kernel
+	p  *simos.Proc
+	fs *vfs.FS
+
+	cur   *image.Image    // accumulating result image
+	prev  []tarutil.Entry // snapshot after the last committed step
+	vars  map[string]string
+	env   map[string]string
+	shell []string
+
+	fr *baseline.Fakeroot
+	pr *baseline.PRoot
+
+	chainKey string // content-addressed key of everything built so far
+}
+
+func (b *builder) run(text string) error {
+	f, err := dockerfile.Parse(text)
+	if err != nil {
+		return err
+	}
+	b.vars = map[string]string{}
+	b.env = map[string]string{}
+	b.shell = []string{"/bin/sh", "-c"}
+
+	for i, ins := range f.Instructions {
+		fmt.Fprintf(b.out, "%3d %s %s\n", i+1, ins.Cmd, ins.Raw)
+		if b.p == nil && ins.Cmd != "FROM" && ins.Cmd != "ARG" {
+			return fmt.Errorf("build: line %d: %s before FROM", ins.Line, ins.Cmd)
+		}
+		var err error
+		switch ins.Cmd {
+		case "FROM":
+			err = b.stepFrom(ins)
+		case "RUN":
+			err = b.stepRun(ins)
+		case "COPY", "ADD":
+			err = b.stepCopy(ins)
+		case "ENV":
+			err = b.stepEnv(ins)
+		case "ARG":
+			err = b.stepArg(ins)
+		case "WORKDIR":
+			err = b.stepWorkdir(ins)
+		case "USER":
+			b.cur.Config.User = b.expand(ins.Raw)
+		case "LABEL":
+			err = b.stepLabel(ins)
+		case "CMD":
+			b.cur.Config.Cmd = b.commandWords(ins)
+		case "ENTRYPOINT":
+			b.cur.Config.Entrypoint = b.commandWords(ins)
+		case "SHELL":
+			if len(ins.ExecForm) == 0 {
+				return fmt.Errorf("build: line %d: SHELL requires exec form", ins.Line)
+			}
+			b.shell = ins.ExecForm
+			b.chainKey = chain(b.chainKey, "SHELL\x00"+strings.Join(b.shell, "\x00"))
+		case "EXPOSE", "VOLUME", "STOPSIGNAL", "HEALTHCHECK", "ONBUILD", "MAINTAINER":
+			// Accepted for compatibility; no effect on the simulated image.
+		default:
+			return fmt.Errorf("build: line %d: unsupported instruction %s", ins.Line, ins.Cmd)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	if b.p == nil {
+		return fmt.Errorf("build: no FROM instruction")
+	}
+	b.cur.Config.Env = envList(b.env)
+	b.res.Image = b.cur
+	if b.opt.Tag != "" && b.opt.Store != nil {
+		b.opt.Store.Put(b.cur)
+	}
+	fmt.Fprintf(b.out, "grown in %d instructions: %s\n", len(f.Instructions), b.cur.Name)
+	if b.opt.Force == ForceSeccomp {
+		fmt.Fprintf(b.out, "--force=seccomp: modified %d RUN instructions\n", b.res.ModifiedRuns)
+	}
+	return nil
+}
+
+// stepFrom resolves the base image, boots the kernel, enters the Type III
+// container and installs the requested root emulation.
+func (b *builder) stepFrom(ins dockerfile.Instruction) error {
+	if b.p != nil {
+		return fmt.Errorf("build: line %d: multi-stage builds are not supported", ins.Line)
+	}
+	ref := b.expand(ins.Raw)
+	// "FROM image AS name": the stage name is irrelevant without stages.
+	if i := strings.Index(strings.ToUpper(ref), " AS "); i >= 0 {
+		ref = strings.TrimSpace(ref[:i])
+	}
+	if b.opt.Store == nil {
+		return fmt.Errorf("build: no image store configured")
+	}
+	base, ok := b.opt.Store.Get(ref)
+	if !ok {
+		return fmt.Errorf("build: base image %q not in storage", ref)
+	}
+	if b.opt.World == nil {
+		return fmt.Errorf("build: no package world configured")
+	}
+	distro := base.Config.Distro()
+	reg, err := b.opt.World.Toolchain(distro)
+	if err != nil {
+		return fmt.Errorf("build: line %d: %w", ins.Line, err)
+	}
+
+	// Unprivileged unpack: flatten the layers, then re-own everything to
+	// the invoking user — exactly what ch-image's storage directory
+	// holds, and why the container needs emulation to chown at all.
+	fs, err := base.Flatten()
+	if err != nil {
+		return fmt.Errorf("build: flatten %s: %w", ref, err)
+	}
+	fs.ChownAll(buildUID, buildUID)
+
+	k := simos.NewKernel()
+	k.Tracer = b.opt.Tracer
+	p := k.NewInitProc(simos.Mount{FS: vfs.New(), Owner: k.InitNS()}, buildUID, buildUID)
+	if err := container.Enter(p, container.Options{Type: container.TypeIII, RootFS: fs}); err != nil {
+		return fmt.Errorf("build: container setup: %w", err)
+	}
+	p.SetRegistry(reg)
+
+	switch b.opt.Force {
+	case ForceNone:
+	case ForceSeccomp:
+		if _, err := rootemu.Install(p, b.opt.FilterConfig); err != nil {
+			return fmt.Errorf("build: %w", err)
+		}
+	case ForceFakeroot:
+		b.fr = rootemu.AttachFakeroot(p)
+	case ForceProot:
+		b.pr = rootemu.AttachPRoot(p)
+	default:
+		return fmt.Errorf("build: unknown force mode %d", int(b.opt.Force))
+	}
+
+	b.k, b.p, b.fs = k, p, fs
+	name := b.opt.Tag
+	if name == "" {
+		name = ref + "+build"
+	}
+	b.cur = base.Clone(name)
+	for _, kv := range b.cur.Config.Env {
+		if key, v, ok := strings.Cut(kv, "="); ok {
+			b.env[key] = v
+		}
+	}
+	prev, err := tarutil.Snapshot(fs)
+	if err != nil {
+		return fmt.Errorf("build: snapshot: %w", err)
+	}
+	b.prev = prev
+	b.chainKey = chainStart(base, distro, b.opt)
+	return nil
+}
+
+// stepRun executes one RUN instruction inside the container, applying the
+// §5 apt workaround when the zero-consistency filter is active.
+func (b *builder) stepRun(ins dockerfile.Instruction) error {
+	var argv []string
+	modified := 0
+	rewrite := b.opt.Force == ForceSeccomp && !b.opt.DisableAptWorkaround
+	desc := "RUN\x00"
+	if len(ins.ExecForm) > 0 {
+		argv = append([]string{}, ins.ExecForm...)
+		// The §5 workaround applies to exec form too: apt invoked
+		// directly still verifies its privilege drop.
+		if rewrite && len(argv) > 0 && aptCommand(argv[0]) && !hasSandboxOption(argv) {
+			argv = append(argv[:1:1], append([]string{"-o", "APT::Sandbox::User=root"}, argv[1:]...)...)
+			modified = 1
+		}
+		desc += strings.Join(argv, "\x00")
+	} else {
+		line := ins.Raw
+		if rewrite {
+			line, modified = core.RewriteAptCommand(line)
+		}
+		argv = append(append([]string{}, b.shell...), line)
+		desc += line
+	}
+	key := b.advance(desc)
+	hit, err := b.replay(key, "RUN")
+	if err != nil {
+		return fmt.Errorf("build: line %d: %w", ins.Line, err)
+	}
+	if hit {
+		return nil
+	}
+
+	status, e := b.p.Exec(argv, b.runEnv(), nil, b.out, b.out)
+	if e != errno.OK {
+		return fmt.Errorf("build: line %d: RUN: exec: %s", ins.Line, e.Message())
+	}
+	if status != 0 {
+		return fmt.Errorf("build: line %d: RUN exited with status %d", ins.Line, status)
+	}
+	b.res.ModifiedRuns += modified
+	layer, err := b.commit()
+	if err != nil {
+		return err
+	}
+	b.record(key, layer, modified)
+	return nil
+}
+
+// stepCopy materialises COPY/ADD sources from the build context.
+func (b *builder) stepCopy(ins dockerfile.Instruction) error {
+	words := splitFlagless(b.expand(ins.Raw))
+	if len(words) < 2 {
+		return fmt.Errorf("build: line %d: %s needs source and destination", ins.Line, ins.Cmd)
+	}
+	srcs, dst := words[:len(words)-1], words[len(words)-1]
+
+	desc := ins.Cmd + "\x00" + dst
+	for _, s := range srcs {
+		data, ok := b.opt.Context[s]
+		if !ok {
+			return fmt.Errorf("build: line %d: %s: %q not in build context", ins.Line, ins.Cmd, s)
+		}
+		desc += "\x00" + s + "\x00" + image.Digest(data)
+	}
+	key := b.advance(desc)
+	hit, err := b.replay(key, ins.Cmd)
+	if err != nil {
+		return fmt.Errorf("build: line %d: %w", ins.Line, err)
+	}
+	if hit {
+		return nil
+	}
+
+	dstIsDir := dst == "." || strings.HasSuffix(dst, "/") || len(srcs) > 1 || b.isDir(dst)
+	for _, s := range srcs {
+		target := dst
+		if dstIsDir {
+			target = strings.TrimSuffix(dst, "/") + "/" + baseName(s)
+		}
+		target = b.abs(target)
+		b.mkParents(target)
+		if e := b.p.WriteFileAll(target, b.opt.Context[s], 0o644); e != errno.OK {
+			return fmt.Errorf("build: line %d: %s %s: %s", ins.Line, ins.Cmd, target, e.Message())
+		}
+	}
+	layer, err := b.commit()
+	if err != nil {
+		return err
+	}
+	b.record(key, layer, 0)
+	return nil
+}
+
+func (b *builder) stepEnv(ins dockerfile.Instruction) error {
+	kvs, err := dockerfile.KeyValues(ins.Raw)
+	if err != nil {
+		return fmt.Errorf("build: line %d: %w", ins.Line, err)
+	}
+	for _, k := range sortedKeys(kvs) {
+		v := b.expand(kvs[k])
+		b.env[k] = v
+		b.vars[k] = v
+	}
+	b.chainKey = chain(b.chainKey, "ENV\x00"+ins.Raw)
+	return nil
+}
+
+func (b *builder) stepArg(ins dockerfile.Instruction) error {
+	kvs, err := dockerfile.KeyValues(ins.Raw)
+	if err != nil {
+		return fmt.Errorf("build: line %d: %w", ins.Line, err)
+	}
+	for _, k := range sortedKeys(kvs) {
+		v := kvs[k]
+		if o, ok := b.opt.BuildArgs[k]; ok {
+			v = o
+		}
+		b.vars[k] = b.expand(v)
+	}
+	b.chainKey = chain(b.chainKey, "ARG\x00"+ins.Raw+"\x00"+fmt.Sprint(b.opt.BuildArgs))
+	return nil
+}
+
+func (b *builder) stepWorkdir(ins dockerfile.Instruction) error {
+	dir := b.abs(b.expand(ins.Raw))
+	b.mkParents(dir + "/.")
+	if e := b.p.Chdir(dir); e != errno.OK {
+		return fmt.Errorf("build: line %d: WORKDIR %s: %s", ins.Line, dir, e.Message())
+	}
+	b.cur.Config.WorkingDir = dir
+	b.chainKey = chain(b.chainKey, "WORKDIR\x00"+dir)
+	_, err := b.commit() // the created directories belong to a layer
+	return err
+}
+
+func (b *builder) stepLabel(ins dockerfile.Instruction) error {
+	kvs, err := dockerfile.KeyValues(ins.Raw)
+	if err != nil {
+		return fmt.Errorf("build: line %d: %w", ins.Line, err)
+	}
+	if b.cur.Config.Labels == nil {
+		b.cur.Config.Labels = map[string]string{}
+	}
+	for k, v := range kvs {
+		b.cur.Config.Labels[k] = b.expand(v)
+	}
+	b.chainKey = chain(b.chainKey, "LABEL\x00"+ins.Raw)
+	return nil
+}
+
+// commandWords renders CMD/ENTRYPOINT into argv form.
+func (b *builder) commandWords(ins dockerfile.Instruction) []string {
+	if len(ins.ExecForm) > 0 {
+		return ins.ExecForm
+	}
+	return append(append([]string{}, b.shell...), ins.Raw)
+}
+
+// commit snapshots the rootfs, diffs it against the previous snapshot and
+// appends any delta as a new layer. It returns the packed layer bytes
+// (nil when the step changed nothing).
+func (b *builder) commit() ([]byte, error) {
+	upper, err := tarutil.Snapshot(b.fs)
+	if err != nil {
+		return nil, fmt.Errorf("build: snapshot: %w", err)
+	}
+	diff := tarutil.Diff(b.prev, upper)
+	b.prev = upper
+	if len(diff) == 0 {
+		return nil, nil
+	}
+	data, err := tarutil.Pack(diff)
+	if err != nil {
+		return nil, fmt.Errorf("build: pack layer: %w", err)
+	}
+	b.cur.Layers = append(b.cur.Layers, image.Layer{Digest: image.Digest(data), Data: data})
+	return data, nil
+}
+
+// replay applies a cached step if present: the stored layer is unpacked
+// onto the rootfs and appended to the image without executing anything.
+// A layer that fails to unpack is an error, not a miss — by then the
+// rootfs may hold a partial apply, and re-executing on it would bake the
+// damage into a fresh layer.
+func (b *builder) replay(key, cmd string) (bool, error) {
+	if b.opt.Cache == nil {
+		return false, nil
+	}
+	ent, ok := b.opt.Cache.get(key)
+	if !ok {
+		return false, nil
+	}
+	fmt.Fprintf(b.out, "    (cached)\n")
+	if len(ent.layer) > 0 {
+		if err := tarutil.Unpack(b.fs, ent.layer); err != nil {
+			return false, fmt.Errorf("%s: corrupt cache layer: %w", cmd, err)
+		}
+		b.cur.Layers = append(b.cur.Layers, image.Layer{Digest: image.Digest(ent.layer), Data: ent.layer})
+		upper, err := tarutil.Snapshot(b.fs)
+		if err != nil {
+			return false, fmt.Errorf("%s: snapshot after cached layer: %w", cmd, err)
+		}
+		b.prev = upper
+	}
+	b.res.ModifiedRuns += ent.modified
+	b.res.CacheHits++
+	return true, nil
+}
+
+// record stores a finished step in the cache.
+func (b *builder) record(key string, layer []byte, modified int) {
+	if b.opt.Cache != nil {
+		b.opt.Cache.put(key, cacheEntry{layer: layer, modified: modified})
+	}
+}
+
+// advance folds a step descriptor into the running chain key and returns
+// the step's cache key.
+func (b *builder) advance(desc string) string {
+	b.chainKey = chain(b.chainKey, desc)
+	return b.chainKey
+}
+
+// runEnv builds the environment RUN children see: image ENV plus ARGs.
+func (b *builder) runEnv() map[string]string {
+	env := map[string]string{}
+	for k, v := range b.vars {
+		env[k] = v
+	}
+	for k, v := range b.env {
+		env[k] = v
+	}
+	if env["PATH"] == "" {
+		env["PATH"] = "/usr/local/sbin:/usr/local/bin:/usr/sbin:/usr/bin:/sbin:/bin"
+	}
+	return env
+}
+
+func (b *builder) expand(s string) string { return dockerfile.Expand(s, b.vars) }
+
+// abs resolves a destination against the current working directory.
+func (b *builder) abs(p string) string {
+	if strings.HasPrefix(p, "/") {
+		return p
+	}
+	cwd, _ := b.p.Getcwd()
+	if cwd == "/" || cwd == "" {
+		return "/" + strings.TrimPrefix(p, "./")
+	}
+	return cwd + "/" + strings.TrimPrefix(p, "./")
+}
+
+func (b *builder) isDir(p string) bool {
+	st, e := b.p.Stat(b.abs(p))
+	return e == errno.OK && st.Type == vfs.TypeDir
+}
+
+// mkParents creates missing ancestors of path (the final component is not
+// created).
+func (b *builder) mkParents(path string) {
+	comps := strings.Split(strings.Trim(path, "/"), "/")
+	cur := ""
+	for _, c := range comps[:len(comps)-1] {
+		if c == "" {
+			continue
+		}
+		cur += "/" + c
+		b.p.Mkdir(cur, 0o755)
+	}
+}
+
+// aptCommand reports whether an exec-form argv[0] invokes apt/apt-get.
+func aptCommand(word string) bool {
+	base := baseName(word)
+	return base == "apt" || base == "apt-get"
+}
+
+// hasSandboxOption reports whether an apt argv already configures the
+// sandbox user (never inject twice).
+func hasSandboxOption(argv []string) bool {
+	for _, a := range argv {
+		if strings.Contains(a, "APT::Sandbox::User") {
+			return true
+		}
+	}
+	return false
+}
+
+func baseName(p string) string {
+	if i := strings.LastIndexByte(p, '/'); i >= 0 {
+		return p[i+1:]
+	}
+	return p
+}
+
+// splitFlagless splits on whitespace, dropping --flags (e.g. --chown=,
+// which the simulation has no use for: the builder is unprivileged).
+func splitFlagless(s string) []string {
+	var out []string
+	for _, w := range strings.Fields(s) {
+		if strings.HasPrefix(w, "--") {
+			continue
+		}
+		out = append(out, w)
+	}
+	return out
+}
+
+func sortedKeys(m map[string]string) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func envList(m map[string]string) []string {
+	out := make([]string, 0, len(m))
+	for _, k := range sortedKeys(m) {
+		out = append(out, k+"="+m[k])
+	}
+	return out
+}

@@ -1,0 +1,111 @@
+package build
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"strings"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/image"
+)
+
+// Cache is the per-instruction build cache. Keys are content-addressed
+// chains: each instruction's key folds in the full prefix of the build —
+// base image, force mode, filter configuration, the apt-workaround flag,
+// every earlier instruction and the digests of COPY sources — so editing
+// a mid-Dockerfile step invalidates that step and everything after it,
+// while leaving earlier steps warm.
+//
+// A hit replays the recorded filesystem layer instead of executing the
+// instruction; the expensive RUNs (package installs under emulation) are
+// skipped entirely on warm rebuilds.
+type Cache struct {
+	mu      sync.Mutex
+	entries map[string]cacheEntry
+	hits    int
+	misses  int
+}
+
+// cacheEntry is one completed instruction: the packed layer it produced
+// (nil if it changed nothing) and the apt-workaround rewrites it counted.
+type cacheEntry struct {
+	layer    []byte
+	modified int
+}
+
+// NewCache creates an empty instruction cache.
+func NewCache() *Cache {
+	return &Cache{entries: map[string]cacheEntry{}}
+}
+
+// Stats reports lifetime hit/miss totals across all builds sharing the
+// cache.
+func (c *Cache) Stats() (hits, misses int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}
+
+// Len reports the number of cached instructions.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+func (c *Cache) get(key string) (cacheEntry, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ent, ok := c.entries[key]
+	if ok {
+		c.hits++
+	} else {
+		c.misses++
+	}
+	return ent, ok
+}
+
+func (c *Cache) put(key string, ent cacheEntry) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.entries[key] = ent
+}
+
+// chain folds a step descriptor into a running content-addressed key.
+func chain(prev, desc string) string {
+	h := sha256.Sum256([]byte(prev + "\x1f" + desc))
+	return hex.EncodeToString(h[:])
+}
+
+// chainStart seeds the key chain with everything that shapes a build
+// before its first instruction runs: the base image's identity *and
+// content* (its layer digests — retagging different bytes under the same
+// name must not replay stale layers), plus every option that changes
+// execution.
+func chainStart(base *image.Image, distro string, opt Options) string {
+	parts := []string{
+		"base=" + base.Name,
+		"distro=" + distro,
+		"force=" + opt.Force.String(),
+		fmt.Sprintf("apt-workaround-disabled=%v", opt.DisableAptWorkaround),
+		"filter=" + filterKey(opt.FilterConfig),
+	}
+	for _, l := range base.Layers {
+		parts = append(parts, "layer="+l.Digest)
+	}
+	return chain("", strings.Join(parts, "\x1f"))
+}
+
+// filterKey renders a filter configuration deterministically (the struct
+// holds arch pointers, so %v would not be stable).
+func filterKey(cfg core.Config) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s/%s/errno=%d/idnotif=%v/killarch=%v",
+		cfg.Variant, cfg.Strategy, cfg.FakeErrno, cfg.IDConsistency, cfg.KillUnknownArch)
+	for _, a := range cfg.Arches {
+		b.WriteString("/" + a.Name)
+	}
+	return b.String()
+}

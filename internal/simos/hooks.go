@@ -55,11 +55,14 @@ type PtraceHook struct {
 	// emulator shows its recorded ownership back to the process.
 	StatExit func(p *Proc, path string, follow bool, st vfs.Stat, e errno.Errno) (vfs.Stat, errno.Errno)
 
-	// GetID intercepts get[e]uid/get[e]gid, returning the fake identity.
+	// GetID intercepts get[e]uid/get[e]gid and the getres* triples,
+	// returning the fake identity.
 	GetID func(p *Proc, name string) (int, bool)
 
-	// SetID intercepts setuid/setgid.
-	SetID func(p *Proc, name string, id int) (errno.Errno, bool)
+	// SetID intercepts the set*id family. args carries the syscall's id
+	// arguments verbatim ([uid], [r,e] or [r,e,s]; -1 means keep), the
+	// same shape CHook.SetID receives.
+	SetID func(p *Proc, name string, args []int) (errno.Errno, bool)
 }
 
 // CHook is an LD_PRELOAD-style libc interposer: optional overrides for the

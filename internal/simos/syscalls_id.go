@@ -82,8 +82,12 @@ func (p *Proc) consultGetID(name string) (int, bool) {
 }
 
 // Getresuid returns the real/effective/saved UID views — apt's
-// verification call.
+// verification call. A ptrace supervisor with fake-id mode (PRoot) may
+// claim it, keeping the triple consistent with earlier faked set*id.
 func (p *Proc) Getresuid() (r, e, s int, err errno.Errno) {
+	if v, ok := p.consultGetID("getresuid"); ok {
+		return v, v, v, errno.OK
+	}
 	if ok, e2 := p.enter("getresuid", 0, 0, 0); !ok {
 		return 0, 0, 0, e2
 	}
@@ -94,6 +98,9 @@ func (p *Proc) Getresuid() (r, e, s int, err errno.Errno) {
 
 // Getresgid returns the GID triple views.
 func (p *Proc) Getresgid() (r, e, s int, err errno.Errno) {
+	if v, ok := p.consultGetID("getresgid"); ok {
+		return v, v, v, errno.OK
+	}
 	if ok, e2 := p.enter("getresgid", 0, 0, 0); !ok {
 		return 0, 0, 0, e2
 	}
@@ -120,7 +127,7 @@ func (p *Proc) Getgroups() ([]int, errno.Errno) {
 // (and fs) UID changes.
 func (p *Proc) Setuid(uid int) errno.Errno {
 	name := p.idSysname("setuid")
-	if e, handled := p.consultSetID(name, uid); handled {
+	if e, handled := p.consultSetID(name, []int{uid}); handled {
 		return e
 	}
 	if ok, e := p.enter(name, u64(uid)); !ok {
@@ -145,7 +152,7 @@ func (p *Proc) Setuid(uid int) errno.Errno {
 // Setgid implements setgid(2) with the analogous rules.
 func (p *Proc) Setgid(gid int) errno.Errno {
 	name := p.idSysname("setgid")
-	if e, handled := p.consultSetID(name, gid); handled {
+	if e, handled := p.consultSetID(name, []int{gid}); handled {
 		return e
 	}
 	if ok, e := p.enter(name, u64(gid)); !ok {
@@ -167,9 +174,13 @@ func (p *Proc) Setgid(gid int) errno.Errno {
 }
 
 // Setresuid implements setresuid(2); -1 keeps a field. This is the exact
-// call apt's sandbox uses to become _apt.
+// call apt's sandbox uses to become _apt. A ptrace supervisor (PRoot)
+// may claim it and fake the drop in user space.
 func (p *Proc) Setresuid(ruid, euid, suid int) errno.Errno {
 	name := p.idSysname("setresuid")
+	if e, handled := p.consultSetID(name, []int{ruid, euid, suid}); handled {
+		return e
+	}
 	if ok, e := p.enter(name, u64(ruid), u64(euid), u64(suid)); !ok {
 		return e
 	}
@@ -221,6 +232,9 @@ func (p *Proc) Setresuid(ruid, euid, suid int) errno.Errno {
 // Setresgid implements setresgid(2).
 func (p *Proc) Setresgid(rgid, egid, sgid int) errno.Errno {
 	name := p.idSysname("setresgid")
+	if e, handled := p.consultSetID(name, []int{rgid, egid, sgid}); handled {
+		return e
+	}
 	if ok, e := p.enter(name, u64(rgid), u64(egid), u64(sgid)); !ok {
 		return e
 	}
@@ -271,6 +285,9 @@ func (p *Proc) Setresgid(rgid, egid, sgid int) errno.Errno {
 // Setreuid implements setreuid(2).
 func (p *Proc) Setreuid(ruid, euid int) errno.Errno {
 	name := p.idSysname("setreuid")
+	if e, handled := p.consultSetID(name, []int{ruid, euid}); handled {
+		return e
+	}
 	if ok, e := p.enter(name, u64(ruid), u64(euid)); !ok {
 		return e
 	}
@@ -310,6 +327,9 @@ func (p *Proc) Setreuid(ruid, euid int) errno.Errno {
 // Setregid implements setregid(2).
 func (p *Proc) Setregid(rgid, egid int) errno.Errno {
 	name := p.idSysname("setregid")
+	if e, handled := p.consultSetID(name, []int{rgid, egid}); handled {
+		return e
+	}
 	if ok, e := p.enter(name, u64(rgid), u64(egid)); !ok {
 		return e
 	}
@@ -416,9 +436,9 @@ func (p *Proc) Setgroups(gids []int) errno.Errno {
 
 // consultSetID lets a ptrace supervisor claim set*id calls (PRoot fakes
 // them in user space).
-func (p *Proc) consultSetID(name string, id int) (errno.Errno, bool) {
+func (p *Proc) consultSetID(name string, args []int) (errno.Errno, bool) {
 	if p.ptrace != nil && p.ptrace.SetID != nil {
-		if e, handled := p.ptrace.SetID(p, name, id); handled {
+		if e, handled := p.ptrace.SetID(p, name, args); handled {
 			p.k.counters.Syscalls.Add(1)
 			p.k.counters.PtraceStops.Add(2)
 			p.k.vclock.charge(p.k.cost.SyscallTrap + 2*p.k.cost.PtraceStop)
