@@ -13,9 +13,15 @@ vet:
 test:
 	go test ./...
 
-# One pass over every benchmark, including the E8/E15 build matrix.
+# One pass over every benchmark, including the E8/E15 build matrix. The
+# raw output (benchstat input format) lands in BENCH_layercommit.txt and a
+# parsed JSON record in BENCH_layercommit.json, so the perf trajectory of
+# the commit pipeline is recorded run over run (CI uploads both).
+# (No pipe into tee: that would mask go test's exit status.)
 bench:
-	go test -bench=. -benchtime=1x -run='^$$' .
+	go test -bench=. -benchtime=1x -run='^$$' . > BENCH_layercommit.txt; \
+		status=$$?; cat BENCH_layercommit.txt; exit $$status
+	go run ./cmd/benchjson < BENCH_layercommit.txt > BENCH_layercommit.json
 
 # The full paper reproduction report (E1–E16).
 experiments:

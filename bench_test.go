@@ -22,6 +22,7 @@
 package repro
 
 import (
+	"fmt"
 	"testing"
 
 	"repro/internal/baseline"
@@ -274,35 +275,73 @@ func BenchmarkDataMarshal(b *testing.B) {
 	}
 }
 
-// The builder's per-instruction commit: snapshot + diff + pack on a
-// realistic tree.
+// The builder's per-instruction commit on a realistic tree: each iteration
+// mutates one file, then commits the delta as a packed layer. "full" is
+// the reference pipeline (whole-tree snapshot + full diff, the pre-PR
+// behaviour); "incremental" is the production pipeline (dirty-subtree walk
+// via vfs generation tracking), which costs O(changes).
 func BenchmarkLayerCommit(b *testing.B) {
-	world := pkgmgr.NewWorld()
-	img, err := world.BaseImage(pkgmgr.DistroCentOS7, "centos:7")
-	if err != nil {
-		b.Fatal(err)
-	}
-	fs, err := img.Flatten()
-	if err != nil {
-		b.Fatal(err)
-	}
-	lower, err := tarutil.Snapshot(fs)
-	if err != nil {
-		b.Fatal(err)
-	}
-	rc := vfs.RootContext()
-	fs.WriteFile(rc, "/etc/changed", []byte("delta"), 0o644, 0, 0)
-	b.ReportAllocs()
-	for i := 0; i < b.N; i++ {
-		upper, err := tarutil.Snapshot(fs)
+	flatten := func(b *testing.B) *vfs.FS {
+		b.Helper()
+		world := pkgmgr.NewWorld()
+		img, err := world.BaseImage(pkgmgr.DistroCentOS7, "centos:7")
 		if err != nil {
 			b.Fatal(err)
 		}
-		diff := tarutil.Diff(lower, upper)
-		if _, err := tarutil.Pack(diff); err != nil {
+		fs, err := img.Flatten()
+		if err != nil {
 			b.Fatal(err)
 		}
+		return fs
 	}
+	b.Run("full", func(b *testing.B) {
+		fs := flatten(b)
+		lower, err := tarutil.Snapshot(fs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rc := vfs.RootContext()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			fs.WriteFile(rc, "/etc/changed", []byte(fmt.Sprintf("delta-%d", i)), 0o644, 0, 0)
+			upper, err := tarutil.Snapshot(fs)
+			if err != nil {
+				b.Fatal(err)
+			}
+			diff := tarutil.Diff(lower, upper)
+			if len(diff) == 0 {
+				b.Fatal("empty diff")
+			}
+			if _, err := tarutil.Pack(diff); err != nil {
+				b.Fatal(err)
+			}
+			lower = upper
+		}
+	})
+	b.Run("incremental", func(b *testing.B) {
+		fs := flatten(b)
+		snap, err := tarutil.NewSnapshotter(fs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rc := vfs.RootContext()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			fs.WriteFile(rc, "/etc/changed", []byte(fmt.Sprintf("delta-%d", i)), 0o644, 0, 0)
+			diff, err := snap.Advance(fs)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(diff) == 0 {
+				b.Fatal("empty diff")
+			}
+			if _, err := tarutil.Pack(diff); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 // E9 rendered as a measurement: state kept per method after the yum

@@ -1,0 +1,113 @@
+// Command benchjson converts `go test -bench` text output (the benchstat
+// input format) into JSON, one object per benchmark with every reported
+// metric — the machine-readable record `make bench` commits to
+// BENCH_layercommit.json so the perf trajectory of the commit pipeline is
+// tracked across PRs.
+//
+// Usage: go test -bench=. ... | benchjson > bench.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark line.
+type Result struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+// Report is the full parsed run.
+type Report struct {
+	Goos    string   `json:"goos,omitempty"`
+	Goarch  string   `json:"goarch,omitempty"`
+	Pkg     string   `json:"pkg,omitempty"`
+	CPU     string   `json:"cpu,omitempty"`
+	Results []Result `json:"results"`
+}
+
+func main() {
+	rep, err := parse(os.Stdin)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func parse(r io.Reader) (*Report, error) {
+	rep := &Report{Results: []Result{}}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		for key, dst := range map[string]*string{
+			"goos:": &rep.Goos, "goarch:": &rep.Goarch,
+			"pkg:": &rep.Pkg, "cpu:": &rep.CPU,
+		} {
+			if v, ok := strings.CutPrefix(line, key); ok {
+				*dst = strings.TrimSpace(v)
+			}
+		}
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		res, ok := parseLine(line)
+		if ok {
+			rep.Results = append(rep.Results, res)
+		}
+	}
+	return rep, sc.Err()
+}
+
+// parseLine parses "BenchmarkName-8  20  133199 ns/op  5.0 vns/op ...":
+// a name, an iteration count, then value/unit pairs.
+func parseLine(line string) (Result, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || len(fields)%2 != 0 {
+		return Result{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Result{}, false
+	}
+	res := Result{
+		Name:       strings.TrimSuffix(fields[0], "-"+lastDashField(fields[0])),
+		Iterations: iters,
+		Metrics:    map[string]float64{},
+	}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Result{}, false
+		}
+		res.Metrics[fields[i+1]] = v
+	}
+	return res, true
+}
+
+// lastDashField returns the GOMAXPROCS suffix ("8" in "Name-8") if the
+// name carries one, else an impossible value so nothing is trimmed.
+func lastDashField(name string) string {
+	i := strings.LastIndexByte(name, '-')
+	if i < 0 {
+		return "\x00"
+	}
+	suffix := name[i+1:]
+	if _, err := strconv.Atoi(suffix); err != nil {
+		return "\x00"
+	}
+	return suffix
+}

@@ -1,0 +1,55 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: repro
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkLayerCommit/full-8         	      20	     28328 ns/op	   41074 B/op	     139 allocs/op
+BenchmarkLayerCommit/incremental-8  	      20	      5731 ns/op	    5388 B/op	      55 allocs/op
+BenchmarkBuildMatrix/apk-sl/none    	      20	    834143 ns/op	      6600 vns/op	  362421 B/op	    3946 allocs/op
+PASS
+ok  	repro	0.148s
+`
+
+func TestParseBenchOutput(t *testing.T) {
+	rep, err := parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Goos != "linux" || rep.Goarch != "amd64" || rep.Pkg != "repro" {
+		t.Fatalf("header: %+v", rep)
+	}
+	if len(rep.Results) != 3 {
+		t.Fatalf("results: %d", len(rep.Results))
+	}
+	r := rep.Results[1]
+	if r.Name != "BenchmarkLayerCommit/incremental" || r.Iterations != 20 {
+		t.Fatalf("result: %+v", r)
+	}
+	if r.Metrics["ns/op"] != 5731 || r.Metrics["allocs/op"] != 55 {
+		t.Fatalf("metrics: %+v", r.Metrics)
+	}
+	// Custom metrics (the cost model's vns/op) survive.
+	if rep.Results[2].Metrics["vns/op"] != 6600 {
+		t.Fatalf("vns metric: %+v", rep.Results[2].Metrics)
+	}
+	// The GOMAXPROCS suffix is stripped only when numeric.
+	if rep.Results[2].Name != "BenchmarkBuildMatrix/apk-sl/none" {
+		t.Fatalf("name: %q", rep.Results[2].Name)
+	}
+}
+
+func TestParseIgnoresGarbage(t *testing.T) {
+	rep, err := parse(strings.NewReader("PASS\nok repro 0.1s\nBenchmarkBad x y\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Results) != 0 {
+		t.Fatalf("garbage parsed: %+v", rep.Results)
+	}
+}

@@ -170,8 +170,8 @@ type builder struct {
 	p  *simos.Proc
 	fs *vfs.FS
 
-	cur   *image.Image    // accumulating result image
-	prev  []tarutil.Entry // snapshot after the last committed step
+	cur   *image.Image        // accumulating result image
+	snap  *tarutil.Snapshotter // rootfs state as of the last committed step
 	vars  map[string]string
 	env   map[string]string
 	shell []string
@@ -277,8 +277,9 @@ func (b *builder) stepFrom(ins dockerfile.Instruction) error {
 
 	// Unprivileged unpack: flatten the layers, then re-own everything to
 	// the invoking user — exactly what ch-image's storage directory
-	// holds, and why the container needs emulation to chown at all.
-	fs, err := base.Flatten()
+	// holds, and why the container needs emulation to chown at all. The
+	// store memoises the unpacked chain; we get a private clone.
+	fs, err := b.opt.Store.Flatten(base)
 	if err != nil {
 		return fmt.Errorf("build: flatten %s: %w", ref, err)
 	}
@@ -317,11 +318,11 @@ func (b *builder) stepFrom(ins dockerfile.Instruction) error {
 			b.env[key] = v
 		}
 	}
-	prev, err := tarutil.Snapshot(fs)
+	snap, err := tarutil.NewSnapshotter(fs)
 	if err != nil {
 		return fmt.Errorf("build: snapshot: %w", err)
 	}
-	b.prev = prev
+	b.snap = snap
 	b.chainKey = chainStart(base, distro, b.opt)
 	return nil
 }
@@ -485,16 +486,16 @@ func (b *builder) commandWords(ins dockerfile.Instruction) []string {
 	return append(append([]string{}, b.shell...), ins.Raw)
 }
 
-// commit snapshots the rootfs, diffs it against the previous snapshot and
-// appends any delta as a new layer. It returns the packed layer bytes
-// (nil when the step changed nothing).
+// commit collects the rootfs changes since the last committed step and
+// appends any delta as a new layer. The snapshotter walks only dirty
+// subtrees (vfs generation tracking), so an instruction that touched three
+// files pays for three files, not the whole tree. It returns the packed
+// layer bytes (nil when the step changed nothing).
 func (b *builder) commit() ([]byte, error) {
-	upper, err := tarutil.Snapshot(b.fs)
+	diff, err := b.snap.Advance(b.fs)
 	if err != nil {
 		return nil, fmt.Errorf("build: snapshot: %w", err)
 	}
-	diff := tarutil.Diff(b.prev, upper)
-	b.prev = upper
 	if len(diff) == 0 {
 		return nil, nil
 	}
@@ -521,15 +522,12 @@ func (b *builder) replay(key, cmd string) (bool, error) {
 	}
 	fmt.Fprintf(b.out, "    (cached)\n")
 	if len(ent.layer) > 0 {
-		if err := tarutil.Unpack(b.fs, ent.layer); err != nil {
+		// ApplyLayer unpacks and reconciles the tracked snapshot in one
+		// O(layer) pass — no full re-walk of the tree it just changed.
+		if err := b.snap.ApplyLayer(b.fs, ent.layer); err != nil {
 			return false, fmt.Errorf("%s: corrupt cache layer: %w", cmd, err)
 		}
 		b.cur.Layers = append(b.cur.Layers, image.Layer{Digest: image.Digest(ent.layer), Data: ent.layer})
-		upper, err := tarutil.Snapshot(b.fs)
-		if err != nil {
-			return false, fmt.Errorf("%s: snapshot after cached layer: %w", cmd, err)
-		}
-		b.prev = upper
 	}
 	b.res.ModifiedRuns += ent.modified
 	b.res.CacheHits++

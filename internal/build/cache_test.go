@@ -52,6 +52,13 @@ func TestCacheSecondBuildAllHits(t *testing.T) {
 	if len(second.Image.Layers) != len(first.Image.Layers) {
 		t.Errorf("layer counts differ: %d != %d", len(second.Image.Layers), len(first.Image.Layers))
 	}
+	// Replayed layers are the recorded bytes: digests match exactly.
+	for i := range first.Image.Layers {
+		if second.Image.Layers[i].Digest != first.Image.Layers[i].Digest {
+			t.Errorf("layer %d digest drifted on replay: %s != %s",
+				i, second.Image.Layers[i].Digest, first.Image.Layers[i].Digest)
+		}
+	}
 	// The replayed image carries identical content.
 	fs, _ := second.Image.Flatten()
 	rc := vfs.RootContext()

@@ -82,6 +82,7 @@ func (img *Image) Flatten() (*vfs.FS, error) {
 // CommitLayer diffs fs against the image's current flattened state and, if
 // anything changed, appends the diff as a new layer on a derived image
 // named newName. The returned bool reports whether a layer was added.
+// Store.CommitLayer does the same with the base snapshot cached.
 func (img *Image) CommitLayer(newName string, fs *vfs.FS) (*Image, bool, error) {
 	baseFS, err := img.Flatten()
 	if err != nil {
@@ -91,6 +92,11 @@ func (img *Image) CommitLayer(newName string, fs *vfs.FS) (*Image, bool, error) 
 	if err != nil {
 		return nil, false, err
 	}
+	return img.commitAgainst(newName, lower, fs)
+}
+
+// commitAgainst diffs fs against a known lower snapshot of img.
+func (img *Image) commitAgainst(newName string, lower []tarutil.Entry, fs *vfs.FS) (*Image, bool, error) {
 	upper, err := tarutil.Snapshot(fs)
 	if err != nil {
 		return nil, false, err
@@ -108,17 +114,91 @@ func (img *Image) CommitLayer(newName string, fs *vfs.FS) (*Image, bool, error) 
 	return out, true, nil
 }
 
+// ChainDigest identifies a layer chain: the digest of the ordered layer
+// digests. Two images with equal chain digests flatten identically.
+func ChainDigest(layers []Layer) string {
+	var b strings.Builder
+	for _, l := range layers {
+		b.WriteString(l.Digest)
+		b.WriteByte('\n')
+	}
+	return Digest([]byte(b.String()))
+}
+
 // Store is a tag→image map plus a content-addressed blob store, the
-// ch-image storage-directory analog.
+// ch-image storage-directory analog. It also memoises flattened layer
+// chains: layers are immutable and content-addressed, so a chain unpacks
+// to the same tree forever and the unpacking work is paid once per chain,
+// not once per build.
 type Store struct {
 	mu     sync.RWMutex
 	images map[string]*Image
 	blobs  map[string][]byte
+
+	flattens map[string]*vfs.FS        // chain digest → pristine flattened tree
+	lowers   map[string][]tarutil.Entry // chain digest → snapshot of that tree
 }
 
 // NewStore creates an empty store.
 func NewStore() *Store {
-	return &Store{images: map[string]*Image{}, blobs: map[string][]byte{}}
+	return &Store{
+		images:   map[string]*Image{},
+		blobs:    map[string][]byte{},
+		flattens: map[string]*vfs.FS{},
+		lowers:   map[string][]tarutil.Entry{},
+	}
+}
+
+// Flatten returns a filesystem holding img's flattened layers, like
+// Image.Flatten, but the unpacked tree for each distinct layer chain is
+// built once and cached; callers receive an independent deep clone they
+// may mutate freely. The cached tree is snapshotted once at fill time,
+// which both serves Store.CommitLayer and warms the per-file content
+// digests every clone inherits.
+func (s *Store) Flatten(img *Image) (*vfs.FS, error) {
+	fs, _, err := s.flattened(img)
+	if err != nil {
+		return nil, err
+	}
+	return fs.Clone(), nil
+}
+
+// flattened returns the cached pristine tree and lower snapshot for img's
+// chain, filling the cache on miss.
+func (s *Store) flattened(img *Image) (*vfs.FS, []tarutil.Entry, error) {
+	key := ChainDigest(img.Layers)
+	s.mu.RLock()
+	fs, ok := s.flattens[key]
+	lower := s.lowers[key]
+	s.mu.RUnlock()
+	if ok {
+		return fs, lower, nil
+	}
+	fs, err := img.Flatten()
+	if err != nil {
+		return nil, nil, err
+	}
+	lower, err = tarutil.Snapshot(fs)
+	if err != nil {
+		return nil, nil, err
+	}
+	s.mu.Lock()
+	s.flattens[key] = fs
+	s.lowers[key] = lower
+	s.mu.Unlock()
+	return fs, lower, nil
+}
+
+// CommitLayer is Image.CommitLayer using the store's flatten cache: the
+// base image's lower snapshot is computed once per layer chain, so each
+// commit costs one walk of fs instead of an unpack plus two full
+// snapshots.
+func (s *Store) CommitLayer(newName string, img *Image, fs *vfs.FS) (*Image, bool, error) {
+	_, lower, err := s.flattened(img)
+	if err != nil {
+		return nil, false, err
+	}
+	return img.commitAgainst(newName, lower, fs)
 }
 
 // Put tags an image, registering its layer blobs.

@@ -71,6 +71,99 @@ func TestCommitLayerAddsDiff(t *testing.T) {
 	}
 }
 
+// TestStoreFlattenCache: repeated flattens of the same chain reuse the
+// cached tree, and every caller gets an independent copy.
+func TestStoreFlattenCache(t *testing.T) {
+	s := NewStore()
+	img, _ := FromFS("test:1", baseFS(t), Config{})
+	rc := vfs.RootContext()
+
+	a, err := s.Flatten(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := s.Flatten(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Mutating one flatten must not leak into the other or into a third.
+	a.WriteFile(rc, "/etc/dirty", []byte("x"), 0o644, 0, 0)
+	a.ChownAll(1000, 1000)
+	if b.Exists(rc, "/etc/dirty") {
+		t.Fatal("flatten cache leaked a mutation between callers")
+	}
+	c, err := s.Flatten(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Exists(rc, "/etc/dirty") {
+		t.Fatal("flatten cache poisoned by a caller's mutation")
+	}
+	if st, e := c.Stat(rc, "/bin/sh", true); e != errno.OK || st.UID != 0 {
+		t.Fatalf("cached flatten ownership: %+v %v", st, e)
+	}
+}
+
+// TestStoreCommitLayer: the cached-lower commit path produces the same
+// image a plain CommitLayer does.
+func TestStoreCommitLayer(t *testing.T) {
+	s := NewStore()
+	img, _ := FromFS("test:1", baseFS(t), Config{})
+	rc := vfs.RootContext()
+
+	mutate := func() *vfs.FS {
+		fs, err := s.Flatten(img)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fs.WriteFile(rc, "/etc/new", []byte("new"), 0o644, 0, 0)
+		fs.Unlink(rc, "/etc/os-release")
+		return fs
+	}
+	viaStore, addedS, err := s.CommitLayer("test:2", img, mutate())
+	if err != nil || !addedS {
+		t.Fatalf("store commit: added=%v err=%v", addedS, err)
+	}
+	plain, addedP, err := img.CommitLayer("test:2", mutate())
+	if err != nil || !addedP {
+		t.Fatalf("plain commit: added=%v err=%v", addedP, err)
+	}
+	if len(viaStore.Layers) != len(plain.Layers) {
+		t.Fatalf("layer counts differ: %d vs %d", len(viaStore.Layers), len(plain.Layers))
+	}
+	// Same diff content (digests include mtimes, so compare entry paths).
+	fsS, _ := viaStore.Flatten()
+	fsP, _ := plain.Flatten()
+	if fsS.Exists(rc, "/etc/os-release") || fsP.Exists(rc, "/etc/os-release") {
+		t.Fatal("deletion lost in a commit path")
+	}
+	if !fsS.Exists(rc, "/etc/new") || !fsP.Exists(rc, "/etc/new") {
+		t.Fatal("addition lost in a commit path")
+	}
+	// No-op commit through the cache adds nothing.
+	fs, _ := s.Flatten(img)
+	if _, added, err := s.CommitLayer("test:3", img, fs); err != nil || added {
+		t.Fatalf("no-op store commit: added=%v err=%v", added, err)
+	}
+}
+
+func TestChainDigestDistinguishesChains(t *testing.T) {
+	img, _ := FromFS("test:1", baseFS(t), Config{})
+	fs, _ := img.Flatten()
+	vfsRC := vfs.RootContext()
+	fs.WriteFile(vfsRC, "/etc/new", []byte("x"), 0o644, 0, 0)
+	derived, _, err := img.CommitLayer("test:2", fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ChainDigest(img.Layers) == ChainDigest(derived.Layers) {
+		t.Fatal("different chains share a chain digest")
+	}
+	if ChainDigest(img.Layers) != ChainDigest(img.Clone("other").Layers) {
+		t.Fatal("identical chains got different chain digests")
+	}
+}
+
 func TestLayerDeletionPropagates(t *testing.T) {
 	img, _ := FromFS("test:1", baseFS(t), Config{})
 	fs, _ := img.Flatten()

@@ -1,0 +1,366 @@
+package tarutil
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"path"
+	"testing"
+
+	"repro/internal/errno"
+	"repro/internal/vfs"
+)
+
+// Property: across randomized mutation sequences, the incremental commit
+// pipeline (Snapshotter.Advance) produces byte-identical packed layers to
+// the full-walk reference pipeline (Snapshot + Diff), and applying those
+// layers to a replica reproduces the source filesystem.
+
+// mutator applies random create/write/append/chown/chmod/mkdir/symlink/
+// link/setxattr/unlink/rmdir/rename operations, tracking live paths.
+type mutator struct {
+	rng   *rand.Rand
+	fs    *vfs.FS
+	rc    *vfs.AccessContext
+	dirs  []string // always contains "/"
+	files []string
+	seq   int
+}
+
+func newMutator(seed int64, fs *vfs.FS) *mutator {
+	return &mutator{rng: rand.New(rand.NewSource(seed)), fs: fs,
+		rc: vfs.RootContext(), dirs: []string{"/"}}
+}
+
+func (m *mutator) pickDir() string  { return m.dirs[m.rng.Intn(len(m.dirs))] }
+func (m *mutator) pickFile() string { return m.files[m.rng.Intn(len(m.files))] }
+
+func (m *mutator) fresh(dir, prefix string) string {
+	m.seq++
+	return path.Join(dir, fmt.Sprintf("%s%d", prefix, m.seq))
+}
+
+func (m *mutator) dropPath(p string) {
+	keep := func(paths []string) []string {
+		out := paths[:0]
+		for _, q := range paths {
+			if q != p && !isUnder(q, p) {
+				out = append(out, q)
+			}
+		}
+		return out
+	}
+	m.files = keep(m.files)
+	m.dirs = keep(m.dirs)
+}
+
+func isUnder(p, dir string) bool {
+	return len(p) > len(dir) && p[:len(dir)] == dir && (dir == "/" || p[len(dir)] == '/')
+}
+
+func (m *mutator) step() {
+	switch m.rng.Intn(14) {
+	case 0, 1: // create a file
+		p := m.fresh(m.pickDir(), "f")
+		data := make([]byte, m.rng.Intn(64))
+		m.rng.Read(data)
+		if m.fs.WriteFile(m.rc, p, data, 0o644, m.rng.Intn(3), 0) == errno.OK {
+			m.files = append(m.files, p)
+		}
+	case 2: // overwrite
+		if len(m.files) == 0 {
+			return
+		}
+		data := make([]byte, m.rng.Intn(64))
+		m.rng.Read(data)
+		m.fs.WriteFile(m.rc, m.pickFile(), data, 0o644, 0, 0)
+	case 3: // append
+		if len(m.files) == 0 {
+			return
+		}
+		m.fs.AppendFile(m.rc, m.pickFile(), []byte("+"), 0o644, 0, 0)
+	case 4: // chown
+		if len(m.files) == 0 {
+			return
+		}
+		m.fs.Chown(m.rc, m.pickFile(), m.rng.Intn(100), m.rng.Intn(100), false)
+	case 5: // chmod a directory
+		m.fs.Chmod(m.rc, m.pickDir(), 0o700+uint32(m.rng.Intn(0o100)), false)
+	case 6: // mkdir
+		p := m.fresh(m.pickDir(), "d")
+		if m.fs.Mkdir(m.rc, p, 0o755, 0, 0) == errno.OK {
+			m.dirs = append(m.dirs, p)
+		}
+	case 7: // symlink to a random file
+		if len(m.files) == 0 {
+			return
+		}
+		m.fs.Symlink(m.rc, m.pickFile(), m.fresh(m.pickDir(), "s"), 0, 0)
+	case 8: // hard link
+		if len(m.files) == 0 {
+			return
+		}
+		p := m.fresh(m.pickDir(), "l")
+		if m.fs.Link(m.rc, m.pickFile(), p) == errno.OK {
+			m.files = append(m.files, p)
+		}
+	case 9: // set or change an xattr
+		if len(m.files) == 0 {
+			return
+		}
+		m.fs.SetXattr(m.rc, m.pickFile(), "user.k",
+			[]byte{byte(m.rng.Intn(4))}, false)
+	case 10: // unlink a file or remove a whole directory
+		if m.rng.Intn(2) == 0 && len(m.files) > 0 {
+			p := m.pickFile()
+			if m.fs.Unlink(m.rc, p) == errno.OK {
+				m.dropPath(p)
+			}
+			return
+		}
+		if len(m.dirs) > 1 {
+			p := m.dirs[1+m.rng.Intn(len(m.dirs)-1)]
+			removeAll(m.fs, p)
+			if !m.fs.Exists(m.rc, p) {
+				m.dropPath(p)
+			}
+		}
+	case 11: // rename a file into a random directory
+		if len(m.files) == 0 {
+			return
+		}
+		from := m.pickFile()
+		to := m.fresh(m.pickDir(), "r")
+		if m.fs.Rename(m.rc, from, to) == errno.OK {
+			m.dropPath(from)
+			m.files = append(m.files, to)
+		}
+	case 12: // replace a whole directory with a file at the same path
+		if len(m.dirs) <= 1 {
+			return
+		}
+		p := m.dirs[1+m.rng.Intn(len(m.dirs)-1)]
+		removeAll(m.fs, p)
+		if m.fs.Exists(m.rc, p) {
+			return
+		}
+		m.dropPath(p)
+		if m.fs.WriteFile(m.rc, p, []byte("was a dir"), 0o644, 0, 0) == errno.OK {
+			m.files = append(m.files, p)
+		}
+	case 13: // replace a file with a directory at the same path
+		if len(m.files) == 0 {
+			return
+		}
+		p := m.pickFile()
+		if m.fs.Unlink(m.rc, p) != errno.OK {
+			return
+		}
+		m.dropPath(p)
+		if m.fs.Mkdir(m.rc, p, 0o755, 0, 0) == errno.OK {
+			m.dirs = append(m.dirs, p)
+		}
+	}
+}
+
+func TestIncrementalMatchesFullWalkReference(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		fs := vfs.New()
+		m := newMutator(seed, fs)
+		// A starting population so early deletes have something to hit.
+		for i := 0; i < 30; i++ {
+			m.step()
+		}
+
+		snap, err := NewSnapshotter(fs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prevRef, err := Snapshot(fs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// A replica of the committed state that only ever sees the packed
+		// layers the incremental pipeline emits.
+		replica := vfs.New()
+		full, err := Pack(prevRef)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := Unpack(replica, full); err != nil {
+			t.Fatal(err)
+		}
+
+		for batch := 0; batch < 10; batch++ {
+			for i := 0; i < 8; i++ {
+				m.step()
+			}
+			// Reference pipeline: full walk + full diff.
+			cur, err := Snapshot(fs)
+			if err != nil {
+				t.Fatalf("seed %d batch %d: %v", seed, batch, err)
+			}
+			refDiff := Diff(prevRef, cur)
+			prevRef = cur
+			refLayer, err := Pack(refDiff)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Incremental pipeline: dirty-subtree walk.
+			incDiff, err := snap.Advance(fs)
+			if err != nil {
+				t.Fatalf("seed %d batch %d: %v", seed, batch, err)
+			}
+			incLayer, err := Pack(incDiff)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(refLayer, incLayer) {
+				t.Fatalf("seed %d batch %d: layers differ\nref: %v\ninc: %v",
+					seed, batch, paths(refDiff), paths(incDiff))
+			}
+			if err := Unpack(replica, incLayer); err != nil {
+				t.Fatalf("seed %d batch %d: apply: %v", seed, batch, err)
+			}
+		}
+
+		// The replica, built purely from incremental layers, matches the
+		// source tree entry for entry (modulo mtimes, which unpacking
+		// re-stamps).
+		want, _ := Snapshot(fs)
+		got, _ := Snapshot(replica)
+		if len(want) != len(got) {
+			t.Fatalf("seed %d: replica has %d entries, want %d\n%v\n%v",
+				seed, len(got), len(want), paths(got), paths(want))
+		}
+		for i := range want {
+			if want[i].Path != got[i].Path || !sameEntry(want[i], got[i]) {
+				t.Fatalf("seed %d: replica diverges at %s vs %s",
+					seed, got[i].Path, want[i].Path)
+			}
+		}
+
+		// And the tracked state agrees with a fresh full walk.
+		if snap.Len() != len(want) {
+			t.Fatalf("seed %d: snapshotter tracks %d entries, want %d",
+				seed, snap.Len(), len(want))
+		}
+	}
+}
+
+// TestApplyLayerKeepsStateConsistent drives the cached-replay path: a
+// snapshotter that applies packed layers (rather than observing live
+// mutations) stays byte-for-byte in sync with the filesystem.
+func TestApplyLayerKeepsStateConsistent(t *testing.T) {
+	for seed := int64(100); seed < 110; seed++ {
+		src := vfs.New()
+		m := newMutator(seed, src)
+		for i := 0; i < 30; i++ {
+			m.step()
+		}
+		srcSnap, err := NewSnapshotter(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The replica mirrors src's starting state and replays layers.
+		replica := src.Clone()
+		repSnap, err := NewSnapshotter(replica)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		for batch := 0; batch < 6; batch++ {
+			for i := 0; i < 8; i++ {
+				m.step()
+			}
+			layerEnts, err := srcSnap.Advance(src)
+			if err != nil {
+				t.Fatal(err)
+			}
+			layer, err := Pack(layerEnts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := repSnap.ApplyLayer(replica, layer); err != nil {
+				t.Fatalf("seed %d batch %d: %v", seed, batch, err)
+			}
+			// The replay left no untracked changes behind.
+			extra, err := repSnap.Advance(replica)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(extra) != 0 {
+				t.Fatalf("seed %d batch %d: replay left untracked diff %v",
+					seed, batch, paths(extra))
+			}
+		}
+		want, _ := Snapshot(src)
+		got, _ := Snapshot(replica)
+		if len(want) != len(got) {
+			t.Fatalf("seed %d: replica %d entries, want %d", seed, len(got), len(want))
+		}
+		for i := range want {
+			if want[i].Path != got[i].Path || !sameEntry(want[i], got[i]) {
+				t.Fatalf("seed %d: replica diverges at %s", seed, want[i].Path)
+			}
+		}
+	}
+}
+
+// TestAdvanceDirReplacedByFile pins the trickiest reconciliation case: a
+// directory subtree replaced by a regular file at the same path must emit
+// the file entry plus whiteouts for the orphaned children, exactly as the
+// full-walk reference does — and the layer must round-trip through Unpack.
+func TestAdvanceDirReplacedByFile(t *testing.T) {
+	rc := vfs.RootContext()
+	fs := vfs.New()
+	fs.MkdirAll(rc, "/d/sub", 0o755, 0, 0)
+	fs.WriteFile(rc, "/d/f", []byte("x"), 0o644, 0, 0)
+	fs.WriteFile(rc, "/d/sub/g", []byte("y"), 0o644, 0, 0)
+	fs.WriteFile(rc, "/keep", []byte("z"), 0o644, 0, 0)
+
+	snap, err := NewSnapshotter(fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev, _ := Snapshot(fs)
+	replica := fs.Clone()
+
+	removeAll(fs, "/d")
+	if e := fs.WriteFile(rc, "/d", []byte("now a file"), 0o644, 0, 0); e != errno.OK {
+		t.Fatal(e)
+	}
+
+	incDiff, err := snap.Advance(fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cur, _ := Snapshot(fs)
+	refDiff := Diff(prev, cur)
+	incLayer, _ := Pack(incDiff)
+	refLayer, _ := Pack(refDiff)
+	if !bytes.Equal(incLayer, refLayer) {
+		t.Fatalf("layers differ\nref: %v\ninc: %v", paths(refDiff), paths(incDiff))
+	}
+	if err := Unpack(replica, incLayer); err != nil {
+		t.Fatal(err)
+	}
+	if data, e := replica.ReadFile(rc, "/d"); e != errno.OK || string(data) != "now a file" {
+		t.Fatalf("replacement file: %q %v", data, e)
+	}
+	if replica.Exists(rc, "/d/sub/g") {
+		t.Fatal("orphaned child survived")
+	}
+	// The tracked state stayed consistent: the next commit is clean.
+	if extra, _ := snap.Advance(fs); len(extra) != 0 {
+		t.Fatalf("state left dirty: %v", paths(extra))
+	}
+}
+
+func paths(ents []Entry) []string {
+	out := make([]string, len(ents))
+	for i := range ents {
+		out[i] = ents[i].Path
+	}
+	return out
+}

@@ -12,6 +12,8 @@ package tarutil
 import (
 	"archive/tar"
 	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
 	"fmt"
 	"io"
 	"path"
@@ -35,69 +37,76 @@ type Entry struct {
 	Data   []byte // regular files
 	Target string // symlinks
 	Xattrs map[string]string
+	Digest string // hex sha256 of Data; "" when not computed
 }
 
-// Snapshot walks the filesystem and returns all entries sorted by path,
-// directories first on ties — a deterministic serialisation used for layer
-// digests and diffing.
+// entryFromNode renders a vfs walk node as an Entry. Node data is shared
+// with the filesystem, so callers that retain the entry must pass
+// copyData.
+func entryFromNode(n *vfs.Node, copyData bool) Entry {
+	ent := Entry{Path: n.Path, Stat: n.Stat, Data: n.Data, Target: n.Target, Digest: n.Digest}
+	if copyData && n.Data != nil {
+		ent.Data = append([]byte(nil), n.Data...)
+	}
+	if len(n.Xattrs) > 0 {
+		ent.Xattrs = make(map[string]string, len(n.Xattrs))
+		for k, v := range n.Xattrs {
+			ent.Xattrs[k] = string(v)
+		}
+	}
+	return ent
+}
+
+// pathLess is the canonical entry order: parents before children, siblings
+// by name — the order a depth-first walk with sorted directory listings
+// produces. It differs from plain string order only for names containing
+// bytes below '/'.
+func pathLess(a, b string) bool {
+	for i := 0; i < len(a) && i < len(b); i++ {
+		ca, cb := a[i], b[i]
+		if ca == cb {
+			continue
+		}
+		if ca == '/' {
+			return true
+		}
+		if cb == '/' {
+			return false
+		}
+		return ca < cb
+	}
+	return len(a) < len(b)
+}
+
+// Snapshot walks the filesystem and returns all entries in canonical order
+// (see pathLess) — the full-walk reference serialisation used for layer
+// digests and as the oracle the incremental Snapshotter is tested against.
+// The walk emits entries already ordered, so no sort pass is needed.
 func Snapshot(fs *vfs.FS) ([]Entry, error) {
-	rc := vfs.RootContext()
 	var out []Entry
-	var walk func(dir string) error
-	walk = func(dir string) error {
-		ents, e := fs.ReadDir(rc, dir)
-		if e != errno.OK {
-			return fmt.Errorf("tarutil: readdir %s: %v", dir, e)
+	_, err := fs.WalkSince(0, func(n *vfs.Node) error {
+		if n.Path == "/" {
+			return nil // the root directory itself is never an entry
 		}
-		for _, de := range ents {
-			p := path.Join(dir, de.Name)
-			st, e := fs.Stat(rc, p, false)
-			if e != errno.OK {
-				return fmt.Errorf("tarutil: stat %s: %v", p, e)
-			}
-			ent := Entry{Path: p, Stat: st}
-			switch st.Type {
-			case vfs.TypeRegular:
-				data, e := fs.ReadFile(rc, p)
-				if e != errno.OK {
-					return fmt.Errorf("tarutil: read %s: %v", p, e)
-				}
-				ent.Data = data
-			case vfs.TypeSymlink:
-				t, e := fs.Readlink(rc, p)
-				if e != errno.OK {
-					return fmt.Errorf("tarutil: readlink %s: %v", p, e)
-				}
-				ent.Target = t
-			}
-			if names, e := fs.ListXattr(rc, p, false); e == errno.OK && len(names) > 0 {
-				ent.Xattrs = map[string]string{}
-				for _, n := range names {
-					if v, e := fs.GetXattr(rc, p, n, false); e == errno.OK {
-						ent.Xattrs[n] = string(v)
-					}
-				}
-			}
-			out = append(out, ent)
-			if st.Type == vfs.TypeDir {
-				if err := walk(p); err != nil {
-					return err
-				}
-			}
-		}
+		out = append(out, entryFromNode(n, true))
 		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("tarutil: %w", err)
 	}
-	if err := walk("/"); err != nil {
-		return nil, err
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
 	return out, nil
 }
 
-// Pack serialises entries into a tar stream.
+// Pack serialises entries into a tar stream. The buffer is pre-sized from
+// the entry sizes (512-byte header + 512-padded body each) so the encoder
+// never re-grows it.
 func Pack(entries []Entry) ([]byte, error) {
-	var buf bytes.Buffer
-	tw := tar.NewWriter(&buf)
+	size := 2 * 512 // archive terminator
+	for i := range entries {
+		size += 512 + (len(entries[i].Data)+511)&^511
+	}
+	buf := bytes.NewBuffer(make([]byte, 0, size))
+	tw := tar.NewWriter(buf)
 	for _, ent := range entries {
 		hdr := &tar.Header{
 			Name:    strings.TrimPrefix(ent.Path, "/"),
@@ -271,7 +280,10 @@ func removeAll(fs *vfs.FS, p string) {
 
 // Diff computes the layer entries present in upper but not lower (changed
 // or added), plus whiteout entries for paths deleted from lower — the
-// commit step of a layered build.
+// commit step of a layered build. A deleted directory yields a single
+// whiteout for the directory itself; its descendants are implied (Unpack
+// removes recursively), matching how real layered builders keep delete
+// layers small.
 func Diff(lower, upper []Entry) []Entry {
 	lowerByPath := make(map[string]*Entry, len(lower))
 	for i := range lower {
@@ -286,24 +298,70 @@ func Diff(lower, upper []Entry) []Entry {
 			out = append(out, u)
 		}
 	}
+	deleted := make(map[string]bool)
 	for _, l := range lower {
 		if !upperPaths[l.Path] {
-			dir, base := path.Split(l.Path)
-			out = append(out, Entry{
-				Path: path.Join(dir, WhiteoutPrefix+base),
-				Stat: vfs.Stat{Type: vfs.TypeRegular, Mode: 0},
-			})
+			deleted[l.Path] = true
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
+	for _, l := range lower {
+		if deleted[l.Path] && !deleted[path.Dir(l.Path)] {
+			out = append(out, whiteoutFor(l.Path))
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return pathLess(out[i].Path, out[j].Path) })
 	return out
 }
 
+// whiteoutFor builds the whiteout entry deleting p.
+func whiteoutFor(p string) Entry {
+	dir, base := path.Split(p)
+	return Entry{
+		Path: path.Join(dir, WhiteoutPrefix+base),
+		Stat: vfs.Stat{Type: vfs.TypeRegular, Mode: 0},
+	}
+}
+
+// sameEntry reports whether two entries serialise identically (modulo
+// mtime, which layer diffs deliberately ignore). Content is compared by
+// digest when both sides carry one — the cached-digest fast path that lets
+// Diff skip re-reading unchanged file bytes.
 func sameEntry(a, b Entry) bool {
 	if a.Stat.Type != b.Stat.Type || a.Stat.Mode != b.Stat.Mode ||
 		a.Stat.UID != b.Stat.UID || a.Stat.GID != b.Stat.GID ||
 		a.Target != b.Target || a.Stat.Rdev != b.Stat.Rdev {
 		return false
 	}
-	return bytes.Equal(a.Data, b.Data)
+	if !sameXattrs(a.Xattrs, b.Xattrs) {
+		return false
+	}
+	if a.Stat.Type != vfs.TypeRegular {
+		return true
+	}
+	if a.Digest == "" && b.Digest == "" {
+		return bytes.Equal(a.Data, b.Data)
+	}
+	return dataDigest(a) == dataDigest(b)
+}
+
+func sameXattrs(a, b map[string]string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		if bv, ok := b[k]; !ok || bv != v {
+			return false
+		}
+	}
+	return true
+}
+
+// dataDigest returns the entry's content digest, computing it from Data
+// when the entry was built by hand rather than by a snapshot walk.
+func dataDigest(e Entry) string {
+	if e.Digest != "" {
+		return e.Digest
+	}
+	sum := sha256.Sum256(e.Data)
+	return hex.EncodeToString(sum[:])
 }

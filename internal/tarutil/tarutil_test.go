@@ -195,6 +195,76 @@ func TestDiffOwnershipChangeDetected(t *testing.T) {
 	}
 }
 
+// Regression: an instruction that only changes an extended attribute (the
+// setcap pattern) must commit a non-empty layer.
+func TestDiffXattrOnlyChange(t *testing.T) {
+	rc := vfs.RootContext()
+	mk := func() *vfs.FS {
+		fs := vfs.New()
+		fs.WriteFile(rc, "/bin", []byte("ELF"), 0o755, 0, 0)
+		return fs
+	}
+	a := mk()
+	la, _ := Snapshot(a)
+	b := mk()
+	b.SetXattr(rc, "/bin", "security.capability", []byte{0x01}, false)
+	lb, _ := Snapshot(b)
+	diff := Diff(la, lb)
+	if len(diff) != 1 || diff[0].Path != "/bin" {
+		t.Fatalf("xattr-only change: %+v", diff)
+	}
+	// And removing the xattr is a change too.
+	if diff := Diff(lb, la); len(diff) != 1 {
+		t.Fatalf("xattr removal: %+v", diff)
+	}
+	// The committed layer round-trips the attribute.
+	layer, err := Pack(diff)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := mk()
+	dst.SetXattr(rc, "/bin", "security.capability", []byte{0x01}, false)
+	if err := Unpack(dst, layer); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Regression: deleting a directory emits exactly one whiteout (for the
+// topmost deleted path), not a whiteout per descendant — and that single
+// whiteout still removes the whole subtree when the layer is applied.
+func TestDiffDeletedDirSingleWhiteout(t *testing.T) {
+	rc := vfs.RootContext()
+	base := vfs.New()
+	base.MkdirAll(rc, "/gone/sub", 0o755, 0, 0)
+	base.WriteFile(rc, "/gone/f", []byte("x"), 0o644, 0, 0)
+	base.WriteFile(rc, "/gone/sub/g", []byte("y"), 0o644, 0, 0)
+	base.WriteFile(rc, "/keep", []byte("z"), 0o644, 0, 0)
+	lower, _ := Snapshot(base)
+
+	upper := vfs.New()
+	upper.WriteFile(rc, "/keep", []byte("z"), 0o644, 0, 0)
+	up, _ := Snapshot(upper)
+
+	diff := Diff(lower, up)
+	if len(diff) != 1 || diff[0].Path != "/"+WhiteoutPrefix+"gone" {
+		t.Fatalf("deleted dir diff: %+v", diff)
+	}
+	// Round trip: applying the layer onto the base yields the upper state.
+	layer, err := Pack(diff)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Unpack(base, layer); err != nil {
+		t.Fatal(err)
+	}
+	if base.Exists(rc, "/gone") || base.Exists(rc, "/gone/sub/g") {
+		t.Fatal("whiteout did not remove the deleted directory tree")
+	}
+	if !base.Exists(rc, "/keep") {
+		t.Fatal("whiteout removed an unrelated file")
+	}
+}
+
 func TestUnpackCreatesMissingParents(t *testing.T) {
 	fs := vfs.New()
 	layer, _ := Pack([]Entry{{

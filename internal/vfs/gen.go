@@ -1,0 +1,210 @@
+package vfs
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"sort"
+)
+
+// Change tracking. Every mutating operation bumps a filesystem-wide
+// generation counter and stamps the affected inode with it; the stamp
+// propagates up every parent chain (an inode can have several parents via
+// hard links), so a directory's generation is the newest generation in its
+// subtree. A subtree whose root carries an old generation is provably
+// untouched, which is what lets WalkSince prune whole clean subtrees and
+// the tarutil commit pipeline cost O(changes) instead of O(tree).
+//
+// Regular files additionally cache a content digest, invalidated by data
+// writes, so diffing two snapshots never re-reads unchanged file bytes.
+
+// bumpGen takes the next generation. Callers hold fs.mu.
+func (fs *FS) bumpGen() uint64 {
+	fs.gen++
+	return fs.gen
+}
+
+// touch records a metadata or namespace change on n. Callers hold fs.mu.
+func (fs *FS) touch(n *inode) {
+	markDirty(n, fs.bumpGen())
+}
+
+// touchData records a content change on n, invalidating the cached digest.
+// Callers hold fs.mu.
+func (fs *FS) touchData(n *inode) {
+	n.digestOK = false
+	fs.touch(n)
+}
+
+// markDirty stamps n and its ancestors with generation g. Generations are
+// monotonic, so the propagation stops as soon as it meets a chain already
+// stamped this generation.
+func markDirty(n *inode, g uint64) {
+	if n.gen >= g {
+		return
+	}
+	n.gen = g
+	for _, p := range n.parents {
+		markDirty(p, g)
+	}
+}
+
+// stampSubtree force-stamps every inode under n with generation g — the
+// rename/ChownAll path, where a whole subtree's serialised form changes at
+// once even though most inodes were not individually mutated.
+func stampSubtree(n *inode, g uint64) {
+	if n.gen < g {
+		n.gen = g
+	}
+	for _, c := range n.children {
+		stampSubtree(c, g)
+	}
+}
+
+// dropParent removes one occurrence of p from n's parent list.
+func (n *inode) dropParent(p *inode) {
+	for i, q := range n.parents {
+		if q == p {
+			n.parents[i] = n.parents[len(n.parents)-1]
+			n.parents = n.parents[:len(n.parents)-1]
+			return
+		}
+	}
+}
+
+// Generation returns the current change generation. It advances on every
+// mutating operation; two equal readings bracket a provably unchanged
+// filesystem.
+func (fs *FS) Generation() uint64 {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	return fs.gen
+}
+
+// Node is one filesystem object as presented to a WalkSince visitor: the
+// full serialisable state plus the directory listing an incremental
+// consumer needs for deletion detection. Data is the inode's own slice —
+// valid only during the visit; copy it to retain.
+type Node struct {
+	Path     string
+	Stat     Stat
+	Data     []byte            // regular files; shared, do not retain or modify
+	Target   string            // symlinks
+	Xattrs   map[string][]byte // copy; nil when none
+	Digest   string            // hex sha256 of Data (regular files only)
+	Children []string          // sorted child names (directories only)
+}
+
+// WalkSince visits every node whose generation is newer than since, parents
+// before children and siblings in name order, pruning any directory whose
+// whole subtree is clean. since == 0 visits everything, including the root
+// directory itself (path "/"). It returns the generation the walk observed:
+// a later WalkSince from that value sees exactly the changes made between
+// the two calls.
+//
+// The walk holds the filesystem lock throughout (it may fill digest
+// caches), so visitors must not call back into the FS.
+func (fs *FS) WalkSince(since uint64, visit func(*Node) error) (uint64, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if err := fs.walkDirty(fs.root, "/", since, visit); err != nil {
+		return 0, err
+	}
+	return fs.gen, nil
+}
+
+func (fs *FS) walkDirty(n *inode, path string, since uint64, visit func(*Node) error) error {
+	if n.gen <= since {
+		return nil
+	}
+	node := exportNode(n, path)
+	if err := visit(node); err != nil {
+		return err
+	}
+	for _, name := range node.Children {
+		child := n.children[name]
+		cp := path + "/" + name
+		if path == "/" {
+			cp = "/" + name
+		}
+		if err := fs.walkDirty(child, cp, since, visit); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// exportNode renders an inode for a visitor, filling the digest cache on
+// demand. Callers hold fs.mu.
+func exportNode(n *inode, path string) *Node {
+	node := &Node{Path: path, Stat: statOf(n)}
+	switch n.typ {
+	case TypeRegular:
+		if !n.digestOK {
+			sum := sha256.Sum256(n.data)
+			n.digest = hex.EncodeToString(sum[:])
+			n.digestOK = true
+		}
+		node.Data = n.data
+		node.Digest = n.digest
+	case TypeSymlink:
+		node.Target = n.target
+	case TypeDir:
+		node.Children = make([]string, 0, len(n.children))
+		for name := range n.children {
+			node.Children = append(node.Children, name)
+		}
+		sort.Strings(node.Children)
+	}
+	if len(n.xattrs) > 0 {
+		node.Xattrs = make(map[string][]byte, len(n.xattrs))
+		for k, v := range n.xattrs {
+			node.Xattrs[k] = append([]byte(nil), v...)
+		}
+	}
+	return node
+}
+
+// Clone returns a deep copy: an independent tree with identical metadata,
+// contents, inode numbers, hard-link structure and generation state. Cached
+// content digests carry over, so snapshotting a clone of an already
+// snapshotted filesystem re-hashes nothing. It is the image store's
+// flatten-cache primitive — unpacking a layer chain once and cloning is
+// much cheaper than re-parsing the tar stream per build.
+func (fs *FS) Clone() *FS {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	seen := map[*inode]*inode{}
+	var cp func(n *inode) *inode
+	cp = func(n *inode) *inode {
+		if d, ok := seen[n]; ok {
+			return d
+		}
+		d := &inode{
+			ino: n.ino, typ: n.typ, mode: n.mode, uid: n.uid, gid: n.gid,
+			nlink: n.nlink, size: n.size, mtime: n.mtime, target: n.target,
+			dev: n.dev, gen: n.gen, digest: n.digest, digestOK: n.digestOK,
+		}
+		seen[n] = d
+		if n.data != nil {
+			d.data = append([]byte(nil), n.data...)
+		}
+		if n.xattrs != nil {
+			d.xattrs = make(map[string][]byte, len(n.xattrs))
+			for k, v := range n.xattrs {
+				d.xattrs[k] = append([]byte(nil), v...)
+			}
+		}
+		if n.children != nil {
+			d.children = make(map[string]*inode, len(n.children))
+			for name, c := range n.children {
+				cc := cp(c)
+				d.children[name] = cc
+				cc.parents = append(cc.parents, d)
+			}
+		}
+		return d
+	}
+	out := &FS{nextIno: fs.nextIno, gen: fs.gen, clock: fs.clock, readonly: fs.readonly}
+	out.root = cp(fs.root)
+	return out
+}

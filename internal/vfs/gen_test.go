@@ -1,0 +1,194 @@
+package vfs
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/errno"
+)
+
+// visited runs WalkSince and returns the visited paths.
+func visited(t *testing.T, fs *FS, since uint64) []string {
+	t.Helper()
+	var out []string
+	if _, err := fs.WalkSince(since, func(n *Node) error {
+		out = append(out, n.Path)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestGenerationAdvancesOnMutation(t *testing.T) {
+	fs := New()
+	rc := RootContext()
+	g0 := fs.Generation()
+	fs.MkdirAll(rc, "/etc", 0o755, 0, 0)
+	if fs.Generation() <= g0 {
+		t.Fatal("mkdir did not advance the generation")
+	}
+	g1 := fs.Generation()
+	fs.Stat(rc, "/etc", true)
+	fs.ReadDir(rc, "/")
+	fs.Exists(rc, "/etc")
+	if fs.Generation() != g1 {
+		t.Fatal("read-only operations advanced the generation")
+	}
+}
+
+func TestWalkSincePrunesCleanSubtrees(t *testing.T) {
+	fs := New()
+	rc := RootContext()
+	fs.MkdirAll(rc, "/clean/deep", 0o755, 0, 0)
+	fs.WriteFile(rc, "/clean/deep/f", []byte("x"), 0o644, 0, 0)
+	fs.MkdirAll(rc, "/dirty", 0o755, 0, 0)
+	since := fs.Generation()
+
+	fs.WriteFile(rc, "/dirty/new", []byte("y"), 0o644, 0, 0)
+	got := visited(t, fs, since)
+	want := []string{"/", "/dirty", "/dirty/new"}
+	if strings.Join(got, " ") != strings.Join(want, " ") {
+		t.Fatalf("dirty walk visited %v, want %v", got, want)
+	}
+
+	// Nothing changed since the walk: the next incremental walk is empty.
+	since = fs.Generation()
+	if got := visited(t, fs, since); len(got) != 0 {
+		t.Fatalf("clean walk visited %v", got)
+	}
+}
+
+func TestWalkSinceFullWalkOrder(t *testing.T) {
+	fs := New()
+	rc := RootContext()
+	fs.MkdirAll(rc, "/b/sub", 0o755, 0, 0)
+	fs.WriteFile(rc, "/b/sub/f", []byte("x"), 0o644, 0, 0)
+	fs.WriteFile(rc, "/a", []byte("x"), 0o644, 0, 0)
+	got := visited(t, fs, 0)
+	want := []string{"/", "/a", "/b", "/b/sub", "/b/sub/f"}
+	if strings.Join(got, " ") != strings.Join(want, " ") {
+		t.Fatalf("full walk visited %v, want %v", got, want)
+	}
+}
+
+func TestHardLinkDirtiesEveryPath(t *testing.T) {
+	fs := New()
+	rc := RootContext()
+	fs.MkdirAll(rc, "/a", 0o755, 0, 0)
+	fs.MkdirAll(rc, "/b", 0o755, 0, 0)
+	fs.WriteFile(rc, "/a/f", []byte("v1"), 0o644, 0, 0)
+	fs.Link(rc, "/a/f", "/b/g")
+	since := fs.Generation()
+
+	fs.WriteFile(rc, "/a/f", []byte("v2"), 0o644, 0, 0)
+	got := strings.Join(visited(t, fs, since), " ")
+	if !strings.Contains(got, "/a/f") || !strings.Contains(got, "/b/g") {
+		t.Fatalf("hard-link write visited only %q", got)
+	}
+}
+
+func TestUnlinkDirtiesParent(t *testing.T) {
+	fs := New()
+	rc := RootContext()
+	fs.MkdirAll(rc, "/d", 0o755, 0, 0)
+	fs.WriteFile(rc, "/d/f", []byte("x"), 0o644, 0, 0)
+	since := fs.Generation()
+	fs.Unlink(rc, "/d/f")
+	got := visited(t, fs, since)
+	want := []string{"/", "/d"}
+	if strings.Join(got, " ") != strings.Join(want, " ") {
+		t.Fatalf("unlink visited %v, want %v", got, want)
+	}
+}
+
+func TestRenameStampsMovedSubtree(t *testing.T) {
+	fs := New()
+	rc := RootContext()
+	fs.MkdirAll(rc, "/src/tree", 0o755, 0, 0)
+	fs.WriteFile(rc, "/src/tree/f", []byte("x"), 0o644, 0, 0)
+	fs.MkdirAll(rc, "/dst", 0o755, 0, 0)
+	since := fs.Generation()
+	if e := fs.Rename(rc, "/src/tree", "/dst/tree"); e != errno.OK {
+		t.Fatal(e)
+	}
+	got := strings.Join(visited(t, fs, since), " ")
+	for _, p := range []string{"/src", "/dst", "/dst/tree", "/dst/tree/f"} {
+		if !strings.Contains(got, p) {
+			t.Fatalf("rename walk %q misses %s", got, p)
+		}
+	}
+}
+
+func TestDigestCachedAndInvalidated(t *testing.T) {
+	fs := New()
+	rc := RootContext()
+	fs.WriteFile(rc, "/f", []byte("v1"), 0o644, 0, 0)
+	digestOf := func() string {
+		var d string
+		fs.WalkSince(0, func(n *Node) error {
+			if n.Path == "/f" {
+				d = n.Digest
+			}
+			return nil
+		})
+		return d
+	}
+	d1 := digestOf()
+	if d1 == "" {
+		t.Fatal("no digest for regular file")
+	}
+	if d2 := digestOf(); d2 != d1 {
+		t.Fatalf("digest unstable: %s vs %s", d1, d2)
+	}
+	// Metadata-only change keeps the digest; a data write changes it.
+	fs.Chmod(rc, "/f", 0o600, false)
+	if d3 := digestOf(); d3 != d1 {
+		t.Fatal("chmod changed the content digest")
+	}
+	fs.WriteFile(rc, "/f", []byte("v2"), 0o644, 0, 0)
+	if d4 := digestOf(); d4 == d1 {
+		t.Fatal("write did not change the content digest")
+	}
+}
+
+func TestCloneIsIndependent(t *testing.T) {
+	fs := New()
+	rc := RootContext()
+	fs.MkdirAll(rc, "/d", 0o755, 0, 0)
+	fs.WriteFile(rc, "/d/f", []byte("orig"), 0o644, 7, 7)
+	fs.Link(rc, "/d/f", "/d/g")
+	fs.SetXattr(rc, "/d/f", "security.capability", []byte{1}, false)
+
+	cl := fs.Clone()
+	if cl.Generation() != fs.Generation() {
+		t.Fatal("clone lost the generation counter")
+	}
+
+	// Hard links survive cloning: writing through one clone path shows up
+	// at the other clone path, but never in the original.
+	if e := cl.WriteFile(rc, "/d/f", []byte("edit"), 0o644, 7, 7); e != errno.OK {
+		t.Fatal(e)
+	}
+	if got, _ := cl.ReadFile(rc, "/d/g"); string(got) != "edit" {
+		t.Fatalf("clone broke hard links: %q", got)
+	}
+	if got, _ := fs.ReadFile(rc, "/d/f"); string(got) != "orig" {
+		t.Fatalf("clone write leaked into original: %q", got)
+	}
+	// And the reverse direction.
+	fs.SetXattr(rc, "/d/f", "security.capability", []byte{9}, false)
+	v, _ := cl.GetXattr(rc, "/d/f", "security.capability", false)
+	if len(v) != 1 || v[0] != 1 {
+		t.Fatalf("original xattr write leaked into clone: %v", v)
+	}
+
+	// The clone's change tracking works: only its own edits are dirty.
+	since := fs.Generation()
+	cl.WriteFile(rc, "/d/new", []byte("x"), 0o644, 0, 0)
+	var cnt int
+	cl.WalkSince(since, func(*Node) error { cnt++; return nil })
+	if cnt == 0 {
+		t.Fatal("clone mutations invisible to WalkSince")
+	}
+}

@@ -71,6 +71,7 @@ func (fs *FS) Open(ac *AccessContext, path string, flags OpenFlags) (*Handle, er
 			n.data = nil
 			n.size = 0
 			n.mtime = fs.clock()
+			fs.touchData(n)
 		}
 	}
 	return &Handle{fs: fs, n: n, writable: flags.Write}, errno.OK
@@ -107,6 +108,7 @@ func (h *Handle) WriteAt(p []byte, off int64) (int, errno.Errno) {
 		h.n.size = end
 	}
 	h.n.mtime = h.fs.clock()
+	h.fs.touchData(h.n)
 	return len(p), errno.OK
 }
 
@@ -126,6 +128,7 @@ func (h *Handle) Truncate(size int64) errno.Errno {
 	}
 	h.n.size = size
 	h.n.mtime = h.fs.clock()
+	h.fs.touchData(h.n)
 	return errno.OK
 }
 
@@ -179,5 +182,6 @@ func (h *Handle) SetXattr(ac *AccessContext, name string, value []byte) errno.Er
 	v := make([]byte, len(value))
 	copy(v, value)
 	h.n.xattrs[name] = v
+	h.fs.touch(h.n)
 	return errno.OK
 }

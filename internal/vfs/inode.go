@@ -146,6 +146,14 @@ type inode struct {
 	dev      Dev               // device number for Char/Block
 	xattrs   map[string][]byte // extended attributes
 	children map[string]*inode // directory entries
+
+	// Change tracking (see gen.go): the newest generation in this inode's
+	// subtree, the directories currently holding a dirent for it, and the
+	// cached content digest for regular files.
+	gen      uint64
+	parents  []*inode
+	digest   string
+	digestOK bool
 }
 
 func (n *inode) isDir() bool { return n.typ == TypeDir }
@@ -212,6 +220,7 @@ type FS struct {
 	root    *inode
 	nextIno Ino
 	clock   func() time.Time
+	gen     uint64 // monotonic change generation (see gen.go)
 
 	// readonly models MS_RDONLY remounts (bind-mounting the image root
 	// read-only is Charliecloud's default at *run* time; build mounts rw).
@@ -221,10 +230,10 @@ type FS struct {
 // New creates an empty filesystem whose root directory is owned by uid/gid
 // with mode 0755.
 func New() *FS {
-	fs := &FS{nextIno: 1, clock: time.Now}
+	fs := &FS{nextIno: 1, clock: time.Now, gen: 1}
 	fs.root = &inode{
 		ino: fs.takeIno(), typ: TypeDir, mode: 0o755, nlink: 2,
-		children: map[string]*inode{}, mtime: fs.clock(),
+		children: map[string]*inode{}, mtime: fs.clock(), gen: 1,
 	}
 	return fs
 }

@@ -23,6 +23,7 @@ func (fs *FS) ChownAll(uid, gid int) {
 		}
 	}
 	walk(fs.root)
+	stampSubtree(fs.root, fs.bumpGen())
 }
 
 // Stat returns metadata for path. follow selects stat vs lstat semantics.
@@ -107,10 +108,12 @@ func (fs *FS) attach(parent *inode, base string, n *inode, gid int) {
 		n.gid = gid
 	}
 	parent.children[base] = n
+	n.parents = append(n.parents, parent)
 	if n.isDir() {
 		parent.nlink++
 	}
 	parent.mtime = fs.clock()
+	fs.touch(n)
 }
 
 // Mkdir creates a directory owned by uid/gid.
@@ -217,7 +220,9 @@ func (fs *FS) Link(ac *AccessContext, oldpath, newpath string) errno.Errno {
 	}
 	old.nlink++
 	parent.children[base] = old
+	old.parents = append(old.parents, parent)
 	parent.mtime = fs.clock()
+	fs.touch(old)
 	return errno.OK
 }
 
@@ -257,7 +262,9 @@ func (fs *FS) Unlink(ac *AccessContext, path string) errno.Errno {
 	}
 	r.node.nlink--
 	delete(r.parent.children, r.base)
+	r.node.dropParent(r.parent)
 	r.parent.mtime = fs.clock()
+	fs.touch(r.parent)
 	return errno.OK
 }
 
@@ -291,8 +298,10 @@ func (fs *FS) Rmdir(ac *AccessContext, path string) errno.Errno {
 		return e
 	}
 	delete(r.parent.children, r.base)
+	r.node.dropParent(r.parent)
 	r.parent.nlink--
 	r.parent.mtime = fs.clock()
+	fs.touch(r.parent)
 	return errno.OK
 }
 
@@ -352,15 +361,24 @@ func (fs *FS) Rename(ac *AccessContext, oldpath, newpath string) errno.Errno {
 			return e
 		}
 		delete(nr.parent.children, nr.base)
+		nr.node.dropParent(nr.parent)
 	}
 	delete(or.parent.children, or.base)
+	or.node.dropParent(or.parent)
 	nr.parent.children[nr.base] = or.node
+	or.node.parents = append(or.node.parents, nr.parent)
 	if or.node.isDir() && or.parent != nr.parent {
 		or.parent.nlink--
 		nr.parent.nlink++
 	}
 	or.parent.mtime = fs.clock()
 	nr.parent.mtime = fs.clock()
+	// Every path under the moved node changed: stamp the whole subtree,
+	// then propagate from both affected directories.
+	g := fs.bumpGen()
+	stampSubtree(or.node, g)
+	markDirty(or.parent, g)
+	markDirty(nr.parent, g)
 	return errno.OK
 }
 
@@ -389,6 +407,7 @@ func (fs *FS) chmodInode(ac *AccessContext, n *inode, mode uint32) errno.Errno {
 	}
 	n.mode = mode
 	n.mtime = fs.clock()
+	fs.touch(n)
 	return errno.OK
 }
 
@@ -439,6 +458,7 @@ func (fs *FS) chownInode(ac *AccessContext, n *inode, uid, gid int) errno.Errno 
 		n.mode &^= SISUID | SISGID
 	}
 	n.mtime = fs.clock()
+	fs.touch(n)
 	return errno.OK
 }
 
@@ -459,6 +479,7 @@ func (fs *FS) Utimens(ac *AccessContext, path string, mtime int64, follow bool) 
 		}
 	}
 	n.mtime = fs.clock()
+	fs.touch(n)
 	_ = mtime // logical clock governs; argument kept for ABI fidelity
 	return errno.OK
 }
@@ -540,6 +561,7 @@ func (fs *FS) WriteFile(ac *AccessContext, path string, data []byte, mode uint32
 	copy(n.data, data)
 	n.size = int64(len(data))
 	n.mtime = fs.clock()
+	fs.touchData(n)
 	return errno.OK
 }
 
@@ -570,5 +592,6 @@ func (fs *FS) AppendFile(ac *AccessContext, path string, data []byte, mode uint3
 	n.data = append(n.data, data...)
 	n.size = int64(len(n.data))
 	n.mtime = fs.clock()
+	fs.touchData(n)
 	return errno.OK
 }

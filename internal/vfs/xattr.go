@@ -61,6 +61,7 @@ func (fs *FS) SetXattr(ac *AccessContext, path, name string, value []byte, follo
 	copy(v, value)
 	n.xattrs[name] = v
 	n.mtime = fs.clock()
+	fs.touch(n)
 	return errno.OK
 }
 
@@ -121,5 +122,6 @@ func (fs *FS) RemoveXattr(ac *AccessContext, path, name string, follow bool) err
 	}
 	delete(n.xattrs, name)
 	n.mtime = fs.clock()
+	fs.touch(n)
 	return errno.OK
 }
