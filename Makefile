@@ -1,6 +1,6 @@
 # Tier-1 gate (see ROADMAP.md): the module must build, vet clean and pass
 # every test from a clean checkout.
-.PHONY: check build test vet bench experiments
+.PHONY: check build test vet race bench experiments
 
 check: vet test
 
@@ -13,15 +13,27 @@ vet:
 test:
 	go test ./...
 
+# The concurrency gate: the pool, the shared caches and the registry must
+# be race-clean with the detector on.
+race:
+	go test -race ./...
+
 # One pass over every benchmark, including the E8/E15 build matrix. The
 # raw output (benchstat input format) lands in BENCH_layercommit.txt and a
 # parsed JSON record in BENCH_layercommit.json, so the perf trajectory of
 # the commit pipeline is recorded run over run (CI uploads both).
 # (No pipe into tee: that would mask go test's exit status.)
+# BenchmarkBuildParallel gets its own multi-sample run recorded in
+# BENCH_parallel.{txt,json}: the pool's scaling claim (a cold 16-build
+# pool completes in far less than 16× a single build) is checked against
+# those numbers.
 bench:
-	go test -bench=. -benchtime=1x -run='^$$' . > BENCH_layercommit.txt; \
+	go test -bench=. -skip=BenchmarkBuildParallel -benchtime=1x -run='^$$' . > BENCH_layercommit.txt; \
 		status=$$?; cat BENCH_layercommit.txt; exit $$status
 	go run ./cmd/benchjson < BENCH_layercommit.txt > BENCH_layercommit.json
+	go test -bench=BenchmarkBuildParallel -benchtime=5x -run='^$$' . > BENCH_parallel.txt; \
+		status=$$?; cat BENCH_parallel.txt; exit $$status
+	go run ./cmd/benchjson < BENCH_parallel.txt > BENCH_parallel.json
 
 # The full paper reproduction report (E1–E16).
 experiments:

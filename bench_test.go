@@ -392,6 +392,73 @@ func BenchmarkBuildCached(b *testing.B) {
 	}
 }
 
+// The parallel build farm (PR 3 headline): N identical yum builds run
+// through build.Pool, every builder with its own kernel and VFS but all
+// sharing one image.Store and one instruction Cache.
+//
+//   - cold: fresh store and cache each iteration. Single-flight means one
+//     builder pays each RUN and each flatten; the other N−1 wait and
+//     replay, so wall time grows far slower than N× the single build.
+//   - warm: the cache is prewarmed once; every builder replays everything.
+//
+// The acceptance bar recorded in BENCH_parallel.json: cold/builders=16
+// completes in well under 16× cold/builders=1.
+func BenchmarkBuildParallel(b *testing.B) {
+	const text = "FROM centos:7\nRUN yum install -y openssh\n"
+	mkJobs := func(n int, s *image.Store, w *pkgmgr.World, c *build.Cache) []build.Job {
+		jobs := make([]build.Job, n)
+		for i := range jobs {
+			jobs[i] = build.Job{
+				Dockerfile: text,
+				Options: build.Options{
+					Tag: fmt.Sprintf("par:%d", i), Force: build.ForceSeccomp,
+					Store: s, World: w, Cache: c,
+				},
+			}
+		}
+		return jobs
+	}
+	freshFixtures := func(b *testing.B) (*image.Store, *pkgmgr.World) {
+		b.Helper()
+		world := pkgmgr.NewWorld()
+		store := image.NewStore()
+		img, err := world.BaseImage(pkgmgr.DistroCentOS7, "centos:7")
+		if err != nil {
+			b.Fatal(err)
+		}
+		store.Put(img)
+		return store, world
+	}
+	for _, n := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("cold/builders=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				store, world := freshFixtures(b)
+				cache := build.NewCache()
+				b.StartTimer()
+				if _, err := (&build.Pool{Workers: n}).Run(mkJobs(n, store, world, cache)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("warm/builders=%d", n), func(b *testing.B) {
+			store, world := freshFixtures(b)
+			cache := build.NewCache()
+			if _, err := (&build.Pool{Workers: 1}).Run(mkJobs(1, store, world, cache)); err != nil {
+				b.Fatal(err) // warm the shared cache
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := (&build.Pool{Workers: n}).Run(mkJobs(n, store, world, cache)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // Filter-variant ablation over a passing workload: the full Charliecloud
 // filter vs the extended one (the Enroot variant cannot build this
 // workload at all — its failure is asserted in the build tests).

@@ -5,9 +5,13 @@
 //
 // Usage:
 //
-//	ch-image build -t TAG [-f DOCKERFILE] [--force=none|seccomp|fakeroot|proot] CONTEXT
+//	ch-image build -t TAG[,TAG...] [-f DOCKERFILE] [--force=none|seccomp|fakeroot|proot] [--jobs N] CONTEXT
 //	ch-image list
 //
+// With a comma-separated tag list, one build per tag runs through
+// build.Pool with up to --jobs concurrent builders, all sharing the image
+// store and one instruction cache — the shared steps execute once and
+// replay everywhere else.
 // The simulated world ships base images alpine:3.19, centos:7 and
 // debian:12 with their package repositories.
 package main
@@ -42,7 +46,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: ch-image build -t TAG [-f DOCKERFILE] [--force=MODE] CONTEXT")
+	fmt.Fprintln(os.Stderr, "usage: ch-image build -t TAG[,TAG...] [-f DOCKERFILE] [--force=MODE] [--jobs N] CONTEXT")
 	fmt.Fprintln(os.Stderr, "       ch-image list")
 }
 
@@ -64,17 +68,26 @@ func seededStore(w *pkgmgr.World) (*image.Store, error) {
 
 func cmdBuild(args []string) int {
 	fs := flag.NewFlagSet("build", flag.ExitOnError)
-	tag := fs.String("t", "", "image tag")
+	tag := fs.String("t", "", "image tag, or a comma-separated list for a pooled multi-tag build")
 	file := fs.String("f", "", "Dockerfile path (default CONTEXT/Dockerfile)")
 	force := fs.String("force", "seccomp", "root emulation: none, seccomp, fakeroot, proot")
 	noWorkaround := fs.Bool("no-apt-workaround", false, "disable the apt sandbox RUN rewriting")
 	rebuild := fs.Bool("rebuild", false, "build twice to demonstrate the instruction cache")
 	pushTo := fs.String("push", "", "after a successful build, push the image to this registry URL")
 	strace := fs.String("strace", "", "trace syscalls: 'faked' (emulated only) or 'all'")
+	jobs := fs.Int("jobs", 1, "concurrent builders for a multi-tag build")
 	fs.Parse(args)
 	if *tag == "" {
 		fmt.Fprintln(os.Stderr, "ch-image: -t TAG is required")
 		return 2
+	}
+	tags := strings.Split(*tag, ",")
+	for i, tg := range tags {
+		tags[i] = strings.TrimSpace(tg)
+		if tags[i] == "" {
+			fmt.Fprintf(os.Stderr, "ch-image: empty tag in -t %q\n", *tag)
+			return 2
+		}
 	}
 	ctxDir := "."
 	if fs.NArg() > 0 {
@@ -126,11 +139,11 @@ func cmdBuild(args []string) int {
 		return 2
 	}
 	opts := build.Options{
-		Tag: *tag, Force: mode, Store: store, World: world,
+		Tag: tags[0], Force: mode, Store: store, World: world,
 		Context: context, Output: os.Stdout,
 		DisableAptWorkaround: *noWorkaround,
 	}
-	if *rebuild {
+	if *rebuild || len(tags) > 1 {
 		opts.Cache = build.NewCache()
 	}
 	switch *strace {
@@ -155,6 +168,13 @@ func cmdBuild(args []string) int {
 		fmt.Fprintf(os.Stderr, "ch-image: unknown -strace mode %q\n", *strace)
 		return 2
 	}
+	if len(tags) > 1 {
+		if *strace != "" {
+			fmt.Fprintln(os.Stderr, "ch-image: -strace does not combine with a multi-tag build")
+			return 2
+		}
+		return cmdBuildPool(string(text), tags, *jobs, opts, *rebuild, *pushTo)
+	}
 	res, err := build.Build(string(text), opts)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "ch-image: %v\n", err)
@@ -175,6 +195,58 @@ func cmdBuild(args []string) int {
 			return 1
 		}
 		fmt.Printf("pushed %s to %s\n", res.Image.Name, *pushTo)
+	}
+	return 0
+}
+
+// cmdBuildPool runs the same Dockerfile once per tag through build.Pool:
+// up to jobs builds in flight, all sharing the store and one instruction
+// cache, so shared steps execute once and replay under every other tag.
+func cmdBuildPool(text string, tags []string, jobs int, opts build.Options, rebuild bool, pushTo string) int {
+	mkJobs := func() []build.Job {
+		js := make([]build.Job, len(tags))
+		for i, tg := range tags {
+			o := opts
+			o.Tag = tg
+			o.Output = nil // captured per job, printed in submission order
+			js[i] = build.Job{Name: o.Tag, Dockerfile: text, Options: o}
+		}
+		return js
+	}
+	run := func() ([]build.JobResult, bool) {
+		results, err := (&build.Pool{Workers: jobs}).Run(mkJobs())
+		for _, r := range results {
+			fmt.Printf("=== %s ===\n", r.Name)
+			fmt.Print(r.Transcript)
+			if r.Err != nil {
+				fmt.Fprintf(os.Stderr, "ch-image: %s: %v\n", r.Name, r.Err)
+			} else {
+				fmt.Printf("cache hits: %d\n", r.Result.CacheHits)
+			}
+		}
+		return results, err == nil
+	}
+	results, ok := run()
+	if !ok {
+		return 1
+	}
+	if rebuild {
+		fmt.Println("--- rebuilding with warm cache ---")
+		if results, ok = run(); !ok {
+			return 1
+		}
+	}
+	hits, misses := opts.Cache.Stats()
+	fmt.Printf("pool: %d builds, %d workers, cache %d hits / %d misses\n",
+		len(tags), jobs, hits, misses)
+	if pushTo != "" {
+		for _, r := range results {
+			if err := image.Push(pushTo, r.Result.Image); err != nil {
+				fmt.Fprintf(os.Stderr, "ch-image: push: %v\n", err)
+				return 1
+			}
+			fmt.Printf("pushed %s to %s\n", r.Result.Image.Name, pushTo)
+		}
 	}
 	return 0
 }

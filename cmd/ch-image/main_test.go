@@ -52,6 +52,34 @@ func TestCLIRebuildWithCache(t *testing.T) {
 	}
 }
 
+func TestCLIMultiTagPool(t *testing.T) {
+	dir := writeContext(t, "FROM alpine:3.19\nRUN apk add sl\n", nil)
+	if code := cmdBuild([]string{"-t", "a:1,b:1,c:1", "--jobs", "3", dir}); code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+}
+
+func TestCLIMultiTagPoolFailure(t *testing.T) {
+	dir := writeContext(t, "FROM centos:7\nRUN yum install -y openssh\n", nil)
+	if code := cmdBuild([]string{"-t", "a:1,b:1", "--jobs", "2", "--force", "none", dir}); code != 1 {
+		t.Fatalf("exit %d, want 1", code)
+	}
+}
+
+func TestCLIEmptyTagElementRejected(t *testing.T) {
+	dir := writeContext(t, "FROM alpine:3.19\nRUN apk add sl\n", nil)
+	if code := cmdBuild([]string{"-t", "a:1,", dir}); code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+}
+
+func TestCLIMultiTagStraceRejected(t *testing.T) {
+	dir := writeContext(t, "FROM alpine:3.19\nRUN apk add sl\n", nil)
+	if code := cmdBuild([]string{"-t", "a:1,b:1", "-strace", "all", dir}); code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+}
+
 func TestCLIMissingTag(t *testing.T) {
 	if code := cmdBuild([]string{}); code != 2 {
 		t.Fatalf("exit %d, want 2", code)

@@ -315,6 +315,51 @@ func main() {
 			fmt.Sprintf("linear=%d insns, tree=%d insns", len(progLin), len(progTree)))
 	}
 
+	// E17 (parallel build farm): the whole E15 matrix submitted to one
+	// build.Pool — every job shares one store and one instruction cache —
+	// must reproduce exactly the serial pass/fail shapes, and the shared
+	// flatten cache must fill once per distro chain however many builders
+	// raced on it.
+	{
+		w, s := fixtures()
+		cache := build.NewCache()
+		workloads := []struct {
+			key, text string
+			failNone  bool
+		}{
+			{"apk", "FROM alpine:3.19\nRUN apk add sl\n", false},
+			{"yum", "FROM centos:7\nRUN yum install -y openssh\n", true},
+			{"apt", "FROM debian:12\nRUN apt-get install -y curl\n", true},
+		}
+		modes := []build.ForceMode{build.ForceNone, build.ForceSeccomp, build.ForceFakeroot, build.ForceProot}
+		var jobs []build.Job
+		wantFail := map[string]bool{}
+		for _, wl := range workloads {
+			for _, m := range modes {
+				name := wl.key + "/" + m.String()
+				wantFail[name] = wl.failNone && m == build.ForceNone
+				jobs = append(jobs, build.Job{
+					Name:       name,
+					Dockerfile: wl.text,
+					Options: build.Options{
+						Tag: "pool-" + wl.key + "-" + m.String(), Force: m,
+						Store: s, World: w, Cache: cache,
+					},
+				})
+			}
+		}
+		results, _ := (&build.Pool{Workers: 4}).Run(jobs)
+		shapesOK := true
+		for _, r := range results {
+			if (r.Err != nil) != wantFail[r.Name] {
+				shapesOK = false
+			}
+		}
+		check("E17", "pool: 12-job matrix matches serial shapes, 3 flatten fills",
+			shapesOK && s.FlattenFills() == len(workloads),
+			fmt.Sprintf("jobs=%d fills=%d", len(results), s.FlattenFills()))
+	}
+
 	fmt.Println(strings.Repeat("=", 100))
 	if failures > 0 {
 		fmt.Printf("%d experiment(s) FAILED\n", failures)

@@ -359,6 +359,14 @@ func (b *builder) stepRun(ins dockerfile.Instruction) error {
 	if hit {
 		return nil
 	}
+	// This builder owns the in-flight fill for key from here on: builders
+	// sharing the cache block on it, so every failure path must abandon.
+	recorded := false
+	defer func() {
+		if !recorded {
+			b.abandon(key)
+		}
+	}()
 
 	status, e := b.p.Exec(argv, b.runEnv(), nil, b.out, b.out)
 	if e != errno.OK {
@@ -373,6 +381,7 @@ func (b *builder) stepRun(ins dockerfile.Instruction) error {
 		return err
 	}
 	b.record(key, layer, modified)
+	recorded = true
 	return nil
 }
 
@@ -400,6 +409,13 @@ func (b *builder) stepCopy(ins dockerfile.Instruction) error {
 	if hit {
 		return nil
 	}
+	// Fill owned (see stepRun): abandon on any failure path.
+	recorded := false
+	defer func() {
+		if !recorded {
+			b.abandon(key)
+		}
+	}()
 
 	dstIsDir := dst == "." || strings.HasSuffix(dst, "/") || len(srcs) > 1 || b.isDir(dst)
 	for _, s := range srcs {
@@ -418,6 +434,7 @@ func (b *builder) stepCopy(ins dockerfile.Instruction) error {
 		return err
 	}
 	b.record(key, layer, 0)
+	recorded = true
 	return nil
 }
 
@@ -512,32 +529,51 @@ func (b *builder) commit() ([]byte, error) {
 // A layer that fails to unpack is an error, not a miss — by then the
 // rootfs may hold a partial apply, and re-executing on it would bake the
 // damage into a fresh layer.
+//
+// Under a shared cache (build.Pool) a miss may find the same step already
+// executing in another builder; replay then blocks until that builder
+// records its result and replays it like any other hit. On a true miss
+// the builder owns the fill: it must end the step with record (success)
+// or abandon (failure) so waiting builders are released.
 func (b *builder) replay(key, cmd string) (bool, error) {
 	if b.opt.Cache == nil {
 		return false, nil
 	}
-	ent, ok := b.opt.Cache.get(key)
-	if !ok {
+	ent, hit, _ := b.opt.Cache.getOrBegin(key)
+	if !hit {
 		return false, nil
 	}
 	fmt.Fprintf(b.out, "    (cached)\n")
 	if len(ent.layer) > 0 {
+		// The handed-out layer is private: the image under construction
+		// escapes to the caller as Result.Image, and mutations there must
+		// not reach the shared cache entry.
+		layer := append([]byte(nil), ent.layer...)
 		// ApplyLayer unpacks and reconciles the tracked snapshot in one
 		// O(layer) pass — no full re-walk of the tree it just changed.
-		if err := b.snap.ApplyLayer(b.fs, ent.layer); err != nil {
+		if err := b.snap.ApplyLayer(b.fs, layer); err != nil {
 			return false, fmt.Errorf("%s: corrupt cache layer: %w", cmd, err)
 		}
-		b.cur.Layers = append(b.cur.Layers, image.Layer{Digest: image.Digest(ent.layer), Data: ent.layer})
+		b.cur.Layers = append(b.cur.Layers, image.Layer{Digest: image.Digest(layer), Data: layer})
 	}
 	b.res.ModifiedRuns += ent.modified
 	b.res.CacheHits++
 	return true, nil
 }
 
-// record stores a finished step in the cache.
+// record stores a finished step in the cache, releasing any builders
+// blocked on the in-flight fill.
 func (b *builder) record(key string, layer []byte, modified int) {
 	if b.opt.Cache != nil {
-		b.opt.Cache.put(key, cacheEntry{layer: layer, modified: modified})
+		b.opt.Cache.complete(key, cacheEntry{layer: layer, modified: modified})
+	}
+}
+
+// abandon gives up a fill after the step failed, waking blocked builders
+// so one of them can execute the step instead.
+func (b *builder) abandon(key string) {
+	if b.opt.Cache != nil {
+		b.opt.Cache.abandon(key)
 	}
 }
 

@@ -21,11 +21,28 @@ import (
 // A hit replays the recorded filesystem layer instead of executing the
 // instruction; the expensive RUNs (package installs under emulation) are
 // skipped entirely on warm rebuilds.
+//
+// The cache is safe for concurrent builders (build.Pool) and deduplicates
+// in-flight work: when two builders miss on the same key at the same
+// time, exactly one executes the instruction; the other blocks until the
+// result is recorded and then replays it as an ordinary hit, so the
+// expensive step runs once however many builders race on it.
 type Cache struct {
 	mu      sync.Mutex
 	entries map[string]cacheEntry
+	flights map[string]*stepFlight
 	hits    int
 	misses  int
+}
+
+// stepFlight is one instruction being executed by some builder right now.
+// Waiters block on done; the outcome field is written before the channel
+// closes. An abandoned fill (the builder's step failed) wakes waiters with
+// filled=false and they retry — one of them becomes the new filler.
+type stepFlight struct {
+	done   chan struct{}
+	ent    cacheEntry
+	filled bool
 }
 
 // cacheEntry is one completed instruction: the packed layer it produced
@@ -37,11 +54,14 @@ type cacheEntry struct {
 
 // NewCache creates an empty instruction cache.
 func NewCache() *Cache {
-	return &Cache{entries: map[string]cacheEntry{}}
+	return &Cache{entries: map[string]cacheEntry{}, flights: map[string]*stepFlight{}}
 }
 
 // Stats reports lifetime hit/miss totals across all builds sharing the
-// cache.
+// cache. Every replay — direct or after waiting out another builder's
+// in-flight execution — counts one hit; every fill counts one miss, so
+// hits+misses equals the cacheable steps attempted and hits equals the
+// sum of Result.CacheHits across the sharing builds.
 func (c *Cache) Stats() (hits, misses int) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -55,22 +75,70 @@ func (c *Cache) Len() int {
 	return len(c.entries)
 }
 
-func (c *Cache) get(key string) (cacheEntry, bool) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	ent, ok := c.entries[key]
-	if ok {
-		c.hits++
-	} else {
+// getOrBegin is the single entry point for a builder reaching a cacheable
+// step. Outcomes:
+//
+//	hit  == true:  ent is the recorded step; replay it.
+//	fill == true:  the caller owns the execution and MUST finish with
+//	               either complete (success) or abandon (failure).
+//
+// A caller that finds the key in flight blocks until the filler finishes;
+// a completed fill returns as a hit, an abandoned one loops and contends
+// to become the next filler.
+func (c *Cache) getOrBegin(key string) (ent cacheEntry, hit, fill bool) {
+	for {
+		c.mu.Lock()
+		if ent, ok := c.entries[key]; ok {
+			c.hits++
+			c.mu.Unlock()
+			return ent, true, false
+		}
+		if f, inflight := c.flights[key]; inflight {
+			c.mu.Unlock()
+			<-f.done
+			if f.filled {
+				c.mu.Lock()
+				c.hits++
+				c.mu.Unlock()
+				return f.ent, true, false
+			}
+			continue // abandoned: contend for the fill
+		}
+		c.flights[key] = &stepFlight{done: make(chan struct{})}
 		c.misses++
+		c.mu.Unlock()
+		return cacheEntry{}, false, true
 	}
-	return ent, ok
 }
 
-func (c *Cache) put(key string, ent cacheEntry) {
+// complete records a finished step and releases any builders waiting on
+// it. The layer bytes are copied in: entries are shared across builds and
+// must stay immutable however callers treat the slices they recorded.
+func (c *Cache) complete(key string, ent cacheEntry) {
+	if ent.layer != nil {
+		ent.layer = append([]byte(nil), ent.layer...)
+	}
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	c.entries[key] = ent
+	f := c.flights[key]
+	delete(c.flights, key)
+	c.mu.Unlock()
+	if f != nil {
+		f.ent, f.filled = ent, true
+		close(f.done)
+	}
+}
+
+// abandon gives up a fill obtained from getOrBegin — the step failed, so
+// there is nothing to record. Waiters wake and retry.
+func (c *Cache) abandon(key string) {
+	c.mu.Lock()
+	f := c.flights[key]
+	delete(c.flights, key)
+	c.mu.Unlock()
+	if f != nil {
+		close(f.done)
+	}
 }
 
 // chain folds a step descriptor into a running content-addressed key.

@@ -1,0 +1,144 @@
+// The parallel build farm. The paper's argument is that seccomp root
+// emulation makes unprivileged builds cheap enough to run everywhere at
+// once; Pool is the "at once": N independent Dockerfile builds, each with
+// its own simos kernel and VFS, all sharing one instruction Cache and one
+// image.Store. The shared layers are single-flight (Cache.getOrBegin,
+// Store.flattened), so identical work submitted N times executes once and
+// replays N−1 times — the pool's wall time approaches the cost of the
+// distinct work, not the submitted work.
+package build
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// Job is one build submitted to a Pool.
+type Job struct {
+	// Name identifies the job in its JobResult; defaults to Options.Tag,
+	// then to "job-<index>".
+	Name string
+
+	// Dockerfile is the build text.
+	Dockerfile string
+
+	// Options configures the build. Store, World and Cache are typically
+	// shared across the pool's jobs — that sharing is the point — but any
+	// job may override them. A nil Output is replaced with a private
+	// buffer whose contents land in JobResult.Transcript.
+	Options Options
+}
+
+// JobResult is the outcome of one pooled build, in submission order.
+type JobResult struct {
+	// Name echoes the job identity.
+	Name string
+
+	// Result is the build's result; non-nil even on failure (it carries
+	// the counters accrued up to the failing instruction). Nil only when
+	// the job was skipped by fail-fast.
+	Result *Result
+
+	// Err is the build error, nil on success. Skipped jobs report
+	// ErrSkipped.
+	Err error
+
+	// Transcript is the captured build output when the job's Options.
+	// Output was nil; empty otherwise (the caller's writer received it).
+	Transcript string
+}
+
+// ErrSkipped marks jobs a fail-fast pool never started.
+var ErrSkipped = errors.New("build: job skipped: pool failing fast")
+
+// Pool runs batches of builds with bounded concurrency.
+type Pool struct {
+	// Workers bounds concurrent builds; <= 0 means one worker per job.
+	Workers int
+
+	// FailFast stops dispatching queued jobs after the first failure;
+	// in-flight builds run to completion. Already-queued unstarted jobs
+	// report ErrSkipped. When false (collect-all), every job runs and
+	// the aggregate error joins every failure.
+	FailFast bool
+}
+
+// Run executes jobs and returns one JobResult per job, in submission
+// order, plus the aggregate error (errors.Join of the per-job failures).
+// Results are complete even when the error is non-nil — the caller
+// decides what a partial batch is worth.
+func (p *Pool) Run(jobs []Job) ([]JobResult, error) {
+	results := make([]JobResult, len(jobs))
+	if len(jobs) == 0 {
+		return results, nil
+	}
+	workers := p.Workers
+	if workers <= 0 || workers > len(jobs) {
+		workers = len(jobs)
+	}
+
+	var (
+		wg      sync.WaitGroup
+		mu      sync.Mutex // guards failed
+		failed  bool
+		indices = make(chan int)
+	)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range indices {
+				job := jobs[i]
+				name := job.Name
+				if name == "" {
+					name = job.Options.Tag
+				}
+				if name == "" {
+					name = fmt.Sprintf("job-%d", i)
+				}
+				if p.FailFast {
+					mu.Lock()
+					bail := failed
+					mu.Unlock()
+					if bail {
+						results[i] = JobResult{Name: name, Err: ErrSkipped}
+						continue
+					}
+				}
+				var buf *bytes.Buffer
+				opt := job.Options
+				if opt.Output == nil {
+					buf = &bytes.Buffer{}
+					opt.Output = buf
+				}
+				res, err := Build(job.Dockerfile, opt)
+				r := JobResult{Name: name, Result: res, Err: err}
+				if buf != nil {
+					r.Transcript = buf.String()
+				}
+				results[i] = r
+				if err != nil {
+					mu.Lock()
+					failed = true
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	for i := range jobs {
+		indices <- i
+	}
+	close(indices)
+	wg.Wait()
+
+	var errs []error
+	for _, r := range results {
+		if r.Err != nil {
+			name := r.Name
+			errs = append(errs, fmt.Errorf("%s: %w", name, r.Err))
+		}
+	}
+	return results, errors.Join(errs...)
+}

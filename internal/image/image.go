@@ -137,6 +137,22 @@ type Store struct {
 
 	flattens map[string]*vfs.FS        // chain digest → pristine flattened tree
 	lowers   map[string][]tarutil.Entry // chain digest → snapshot of that tree
+
+	// Single-flight state for flatten-cache fills: concurrent misses on
+	// one chain must unpack+snapshot once, not clobber each other.
+	flightMu sync.Mutex
+	flights  map[string]*flattenFlight
+	fills    int // completed fills, for tests and stats
+}
+
+// flattenFlight is one in-progress flatten-cache fill. Waiters block on
+// done and then read the result fields, which the filler writes before
+// closing the channel.
+type flattenFlight struct {
+	done  chan struct{}
+	fs    *vfs.FS
+	lower []tarutil.Entry
+	err   error
 }
 
 // NewStore creates an empty store.
@@ -146,6 +162,7 @@ func NewStore() *Store {
 		blobs:    map[string][]byte{},
 		flattens: map[string]*vfs.FS{},
 		lowers:   map[string][]tarutil.Entry{},
+		flights:  map[string]*flattenFlight{},
 	}
 }
 
@@ -164,7 +181,10 @@ func (s *Store) Flatten(img *Image) (*vfs.FS, error) {
 }
 
 // flattened returns the cached pristine tree and lower snapshot for img's
-// chain, filling the cache on miss.
+// chain, filling the cache on miss. Fills are single-flight: of N
+// concurrent misses on one chain, exactly one goroutine pays the
+// unpack+snapshot (O(tree)); the rest block until it publishes and then
+// share the result. A failed fill is not cached — the next caller retries.
 func (s *Store) flattened(img *Image) (*vfs.FS, []tarutil.Entry, error) {
 	key := ChainDigest(img.Layers)
 	s.mu.RLock()
@@ -174,19 +194,75 @@ func (s *Store) flattened(img *Image) (*vfs.FS, []tarutil.Entry, error) {
 	if ok {
 		return fs, lower, nil
 	}
-	fs, err := img.Flatten()
-	if err != nil {
-		return nil, nil, err
+
+	s.flightMu.Lock()
+	// Re-check under the flight lock: a fill may have completed between
+	// the miss above and here.
+	s.mu.RLock()
+	fs, ok = s.flattens[key]
+	lower = s.lowers[key]
+	s.mu.RUnlock()
+	if ok {
+		s.flightMu.Unlock()
+		return fs, lower, nil
 	}
-	lower, err = tarutil.Snapshot(fs)
-	if err != nil {
-		return nil, nil, err
+	if f, inflight := s.flights[key]; inflight {
+		s.flightMu.Unlock()
+		<-f.done
+		return f.fs, f.lower, f.err
 	}
-	s.mu.Lock()
-	s.flattens[key] = fs
-	s.lowers[key] = lower
-	s.mu.Unlock()
-	return fs, lower, nil
+	f := &flattenFlight{done: make(chan struct{})}
+	s.flights[key] = f
+	s.flightMu.Unlock()
+
+	f.fs, f.err = s.flattenPristine(img)
+	if f.err == nil {
+		f.lower, f.err = tarutil.Snapshot(f.fs)
+	}
+	if f.err != nil {
+		f.fs, f.lower = nil, nil
+	} else {
+		s.mu.Lock()
+		s.flattens[key] = f.fs
+		s.lowers[key] = f.lower
+		s.mu.Unlock()
+	}
+	s.flightMu.Lock()
+	delete(s.flights, key)
+	if f.err == nil {
+		s.fills++
+	}
+	s.flightMu.Unlock()
+	close(f.done)
+	return f.fs, f.lower, f.err
+}
+
+// flattenPristine is Image.Flatten reading each layer from the store's
+// write-once blobs when registered there (falling back to the Image's own
+// bytes for unregistered layers). The cache under a ChainDigest must hold
+// the tree those digests name; an Image whose Data a caller scribbled on
+// after Put cannot poison it.
+func (s *Store) flattenPristine(img *Image) (*vfs.FS, error) {
+	fs := vfs.New()
+	for i, l := range img.Layers {
+		data, ok := s.blobView(l.Digest)
+		if !ok {
+			data = l.Data
+		}
+		if err := tarutil.Unpack(fs, data); err != nil {
+			return nil, fmt.Errorf("image %s: layer %d: %w", img.Name, i, err)
+		}
+	}
+	return fs, nil
+}
+
+// FlattenFills reports how many flatten-cache fills have completed — under
+// correct single-flight behaviour, one per distinct layer chain however
+// many builders raced on it.
+func (s *Store) FlattenFills() int {
+	s.flightMu.Lock()
+	defer s.flightMu.Unlock()
+	return s.fills
 }
 
 // CommitLayer is Image.CommitLayer using the store's flatten cache: the
@@ -201,12 +277,18 @@ func (s *Store) CommitLayer(newName string, img *Image, fs *vfs.FS) (*Image, boo
 	return img.commitAgainst(newName, lower, fs)
 }
 
-// Put tags an image, registering its layer blobs.
+// Put tags an image, registering its layer blobs. Blob bytes are copied
+// on the way in and write-once thereafter: the store is content-addressed,
+// so the first bytes recorded under a digest are the bytes that digest
+// names, however callers later treat the Image they handed over.
 func (s *Store) Put(img *Image) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	for _, l := range img.Layers {
-		s.blobs[l.Digest] = l.Data
+		if _, ok := s.blobs[l.Digest]; ok {
+			continue
+		}
+		s.blobs[l.Digest] = append([]byte(nil), l.Data...)
 	}
 	s.images[img.Name] = img
 }
@@ -227,12 +309,46 @@ func (s *Store) Delete(name string) {
 	delete(s.images, name)
 }
 
-// Blob fetches a blob by digest.
+// Blob fetches a blob by digest. The returned slice is the caller's to
+// keep: it is a copy, so mutating it cannot corrupt the store.
 func (s *Store) Blob(digest string) ([]byte, bool) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	b, ok := s.blobs[digest]
+	if !ok {
+		return nil, false
+	}
+	return append([]byte(nil), b...), true
+}
+
+// putBlob stores one content-addressed blob (the registry's PUT side).
+// The bytes are copied in, like Put.
+func (s *Store) putBlob(digest string, data []byte) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.blobs[digest]; ok {
+		return
+	}
+	s.blobs[digest] = append([]byte(nil), data...)
+}
+
+// blobView returns the store's own slice without copying — the registry's
+// hot serve path, where the bytes are only streamed to a ResponseWriter.
+// Blobs are write-once, so sharing the slice internally is safe; anything
+// that might outlive or mutate goes through Blob.
+func (s *Store) blobView(digest string) ([]byte, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	b, ok := s.blobs[digest]
 	return b, ok
+}
+
+// hasBlob reports blob presence without copying.
+func (s *Store) hasBlob(digest string) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	_, ok := s.blobs[digest]
+	return ok
 }
 
 // Tags lists image names, sorted.

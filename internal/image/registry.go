@@ -86,7 +86,9 @@ func (r *Registry) handle(w http.ResponseWriter, req *http.Request) {
 		digest := path[i+len("/blobs/"):]
 		switch req.Method {
 		case http.MethodGet:
-			blob, ok := r.store.Blob(digest)
+			// blobView, not Blob: the bytes go straight to the wire, so
+			// the hot serve path skips the defensive copy.
+			blob, ok := r.store.blobView(digest)
 			if !ok {
 				http.Error(w, "blob unknown", http.StatusNotFound)
 				return
@@ -94,7 +96,7 @@ func (r *Registry) handle(w http.ResponseWriter, req *http.Request) {
 			w.Header().Set("Content-Type", "application/octet-stream")
 			w.Write(blob)
 		case http.MethodHead:
-			if _, ok := r.store.Blob(digest); !ok {
+			if !r.store.hasBlob(digest) {
 				http.Error(w, "blob unknown", http.StatusNotFound)
 				return
 			}
@@ -109,9 +111,7 @@ func (r *Registry) handle(w http.ResponseWriter, req *http.Request) {
 				http.Error(w, "digest mismatch", http.StatusBadRequest)
 				return
 			}
-			r.store.mu.Lock()
-			r.store.blobs[digest] = data
-			r.store.mu.Unlock()
+			r.store.putBlob(digest, data)
 			w.WriteHeader(http.StatusCreated)
 		default:
 			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
@@ -163,9 +163,7 @@ func (r *Registry) serveManifest(w http.ResponseWriter, name, tag string) {
 		return
 	}
 	cfgDigest := Digest(cfgBytes)
-	r.store.mu.Lock()
-	r.store.blobs[cfgDigest] = cfgBytes
-	r.store.mu.Unlock()
+	r.store.putBlob(cfgDigest, cfgBytes)
 	m := manifest{SchemaVersion: 2, Config: descRef{Digest: cfgDigest, Size: len(cfgBytes)}}
 	for _, l := range img.Layers {
 		m.Layers = append(m.Layers, descRef{Digest: l.Digest, Size: len(l.Data)})
