@@ -1,6 +1,6 @@
 # Tier-1 gate (see ROADMAP.md): the module must build, vet clean and pass
 # every test from a clean checkout.
-.PHONY: check build test vet race bench experiments
+.PHONY: check build test vet race bench experiments lint-docs
 
 check: vet test
 
@@ -26,15 +26,25 @@ race:
 # BenchmarkBuildParallel gets its own multi-sample run recorded in
 # BENCH_parallel.{txt,json}: the pool's scaling claim (a cold 16-build
 # pool completes in far less than 16× a single build) is checked against
-# those numbers.
+# those numbers. BenchmarkBuildMultiStage likewise lands in
+# BENCH_multistage.{txt,json}: the stage-DAG schedule (stage-jobs=2 vs the
+# serial schedule, plus the warm replay) stays recorded run over run.
 bench:
-	go test -bench=. -skip=BenchmarkBuildParallel -benchtime=1x -run='^$$' . > BENCH_layercommit.txt; \
+	go test -bench=. -skip='BenchmarkBuildParallel|BenchmarkBuildMultiStage' -benchtime=1x -run='^$$' . > BENCH_layercommit.txt; \
 		status=$$?; cat BENCH_layercommit.txt; exit $$status
 	go run ./cmd/benchjson < BENCH_layercommit.txt > BENCH_layercommit.json
 	go test -bench=BenchmarkBuildParallel -benchtime=5x -run='^$$' . > BENCH_parallel.txt; \
 		status=$$?; cat BENCH_parallel.txt; exit $$status
 	go run ./cmd/benchjson < BENCH_parallel.txt > BENCH_parallel.json
+	go test -bench=BenchmarkBuildMultiStage -benchtime=5x -run='^$$' . > BENCH_multistage.txt; \
+		status=$$?; cat BENCH_multistage.txt; exit $$status
+	go run ./cmd/benchjson < BENCH_multistage.txt > BENCH_multistage.json
 
-# The full paper reproduction report (E1–E16).
+# Documentation gate: every relative link in the Markdown docs must
+# resolve and every ```go example must be gofmt-clean (cmd/doccheck).
+lint-docs:
+	go run ./cmd/doccheck README.md ROADMAP.md CHANGES.md docs/*.md
+
+# The full paper reproduction report (E1–E18).
 experiments:
 	go run ./cmd/experiments

@@ -459,6 +459,84 @@ func BenchmarkBuildParallel(b *testing.B) {
 	}
 }
 
+// Multi-stage builds (PR 4 headline): a builder-pattern Dockerfile — two
+// independent build stages feeding a slim final stage via COPY --from —
+// scheduled as a stage DAG on the pool.
+//
+//   - cold/stage-jobs=1: fresh store and cache, stages serialised.
+//   - cold/stage-jobs=2: the two independent stages run concurrently; the
+//     DAG schedule should beat the serial one by roughly the cheaper
+//     stage's wall time.
+//   - warm: the shared cache is prewarmed; every stage replays.
+//
+// Recorded in BENCH_multistage.{txt,json} by make bench (uploaded from CI).
+func BenchmarkBuildMultiStage(b *testing.B) {
+	const text = `FROM centos:7 AS build
+RUN yum install -y openssh
+RUN mkdir -p /opt && echo solver > /opt/solver
+
+FROM alpine:3.19 AS assets
+RUN apk add sl
+RUN mkdir -p /srv && echo data > /srv/assets
+
+FROM alpine:3.19
+COPY --from=build /opt/solver /app/solver
+COPY --from=assets /srv/assets /app/assets
+`
+	freshFixtures := func(b *testing.B) (*image.Store, *pkgmgr.World) {
+		b.Helper()
+		world := pkgmgr.NewWorld()
+		store := image.NewStore()
+		for _, d := range []struct{ distro, name string }{
+			{pkgmgr.DistroCentOS7, "centos:7"},
+			{pkgmgr.DistroAlpine, "alpine:3.19"},
+		} {
+			img, err := world.BaseImage(d.distro, d.name)
+			if err != nil {
+				b.Fatal(err)
+			}
+			store.Put(img)
+		}
+		return store, world
+	}
+	opt := func(s *image.Store, w *pkgmgr.World, c *build.Cache, jobs int) build.Options {
+		return build.Options{
+			Tag: "multi:1", Force: build.ForceSeccomp,
+			Store: s, World: w, Cache: c, StageJobs: jobs,
+		}
+	}
+	for _, jobs := range []int{1, 2} {
+		b.Run(fmt.Sprintf("cold/stage-jobs=%d", jobs), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				store, world := freshFixtures(b)
+				cache := build.NewCache()
+				b.StartTimer()
+				res, err := build.Build(text, opt(store, world, cache, jobs))
+				if err != nil || res.StagesBuilt != 3 {
+					b.Fatalf("stages=%d err=%v", res.StagesBuilt, err)
+				}
+			}
+		})
+	}
+	b.Run("warm", func(b *testing.B) {
+		store, world := freshFixtures(b)
+		cache := build.NewCache()
+		if _, err := build.Build(text, opt(store, world, cache, 2)); err != nil {
+			b.Fatal(err) // warm the shared cache
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			res, err := build.Build(text, opt(store, world, cache, 2))
+			if err != nil || res.CacheHits == 0 {
+				b.Fatalf("hits=%d err=%v", res.CacheHits, err)
+			}
+		}
+	})
+}
+
 // Filter-variant ablation over a passing workload: the full Charliecloud
 // filter vs the extended one (the Enroot variant cannot build this
 // workload at all — its failure is asserted in the build tests).

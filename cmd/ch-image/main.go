@@ -12,6 +12,11 @@
 // build.Pool with up to --jobs concurrent builders, all sharing the image
 // store and one instruction cache — the shared steps execute once and
 // replay everywhere else.
+//
+// Multi-stage Dockerfiles (FROM ... AS name, COPY --from=stage) build
+// through the stage DAG driver: independent stages run concurrently (also
+// bounded by --jobs), unreferenced stages are pruned, and only the final
+// stage is tagged. See docs/dockerfile-dialect.md for the full dialect.
 // The simulated world ships base images alpine:3.19, centos:7 and
 // debian:12 with their package repositories.
 package main
@@ -75,7 +80,7 @@ func cmdBuild(args []string) int {
 	rebuild := fs.Bool("rebuild", false, "build twice to demonstrate the instruction cache")
 	pushTo := fs.String("push", "", "after a successful build, push the image to this registry URL")
 	strace := fs.String("strace", "", "trace syscalls: 'faked' (emulated only) or 'all'")
-	jobs := fs.Int("jobs", 1, "concurrent builders for a multi-tag build")
+	jobs := fs.Int("jobs", 1, "concurrent builders for a multi-tag build and concurrent stages for a multi-stage build")
 	fs.Parse(args)
 	if *tag == "" {
 		fmt.Fprintln(os.Stderr, "ch-image: -t TAG is required")
@@ -142,6 +147,7 @@ func cmdBuild(args []string) int {
 		Tag: tags[0], Force: mode, Store: store, World: world,
 		Context: context, Output: os.Stdout,
 		DisableAptWorkaround: *noWorkaround,
+		StageJobs:            *jobs,
 	}
 	if *rebuild || len(tags) > 1 {
 		opts.Cache = build.NewCache()

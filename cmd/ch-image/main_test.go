@@ -52,6 +52,25 @@ func TestCLIRebuildWithCache(t *testing.T) {
 	}
 }
 
+func TestCLIMultiStage(t *testing.T) {
+	dir := writeContext(t, `FROM centos:7 AS build
+RUN yum install -y openssh
+RUN mkdir -p /opt && echo artifact > /opt/out
+FROM alpine:3.19
+COPY --from=build /opt/out /app/out
+`, nil)
+	if code := cmdBuild([]string{"-t", "slim:1", "--jobs", "2", dir}); code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+}
+
+func TestCLIMultiStageForwardReferenceRejected(t *testing.T) {
+	dir := writeContext(t, "FROM a\nCOPY --from=later /x /y\nFROM b AS later\n", nil)
+	if code := cmdBuild([]string{"-t", "x", dir}); code != 1 {
+		t.Fatalf("exit %d, want 1", code)
+	}
+}
+
 func TestCLIMultiTagPool(t *testing.T) {
 	dir := writeContext(t, "FROM alpine:3.19\nRUN apk add sl\n", nil)
 	if code := cmdBuild([]string{"-t", "a:1,b:1,c:1", "--jobs", "3", dir}); code != 0 {

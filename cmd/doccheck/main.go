@@ -1,0 +1,125 @@
+// doccheck is the documentation linter behind make lint-docs. For every
+// Markdown file named on the command line it verifies that
+//
+//   - every relative link target ([text](path), images included) exists on
+//     disk, resolved against the file's directory (external schemes and
+//     pure #fragment anchors are skipped), and
+//   - every fenced ```go example is gofmt-clean: it must parse (go/format
+//     accepts whole files as well as declaration or statement fragments)
+//     and be byte-identical to its formatted form.
+//
+// Problems are printed one per line as file:line: message and the exit
+// status is 1 if any were found, so CI can gate on it.
+package main
+
+import (
+	"fmt"
+	"go/format"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: doccheck FILE.md ...")
+		os.Exit(2)
+	}
+	problems := 0
+	for _, path := range os.Args[1:] {
+		for _, p := range checkFile(path) {
+			fmt.Println(p)
+			problems++
+		}
+	}
+	if problems > 0 {
+		fmt.Fprintf(os.Stderr, "doccheck: %d problem(s)\n", problems)
+		os.Exit(1)
+	}
+}
+
+// linkRE matches inline Markdown links and images; the first group is the
+// target. Targets with spaces or titles are out of scope for these docs.
+var linkRE = regexp.MustCompile(`!?\[[^\]]*\]\(([^()\s]+)\)`)
+
+// checkFile lints one Markdown file and returns its problems.
+func checkFile(path string) []string {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return []string{fmt.Sprintf("%s: %v", path, err)}
+	}
+	var problems []string
+	report := func(line int, msg string) {
+		problems = append(problems, fmt.Sprintf("%s:%d: %s", path, line, msg))
+	}
+
+	lines := strings.Split(string(data), "\n")
+	inFence := false // inside any fenced code block
+	goStart := 0     // 1-based line of the opening ```go fence, 0 outside
+	var goBlock []string
+	for i, line := range lines {
+		trimmed := strings.TrimSpace(line)
+		if strings.HasPrefix(trimmed, "```") {
+			if inFence {
+				if goStart > 0 {
+					checkGoBlock(report, goStart, strings.Join(goBlock, "\n"))
+					goStart, goBlock = 0, nil
+				}
+				inFence = false
+			} else {
+				inFence = true
+				if strings.TrimPrefix(trimmed, "```") == "go" {
+					goStart = i + 1
+				}
+			}
+			continue
+		}
+		if inFence {
+			if goStart > 0 {
+				goBlock = append(goBlock, line)
+			}
+			continue
+		}
+		for _, m := range linkRE.FindAllStringSubmatch(line, -1) {
+			checkLink(report, i+1, filepath.Dir(path), m[1])
+		}
+	}
+	if inFence {
+		report(len(lines), "unterminated code fence")
+	}
+	return problems
+}
+
+// checkLink verifies one link target. Relative targets must exist on disk;
+// anything with a scheme, and pure in-page anchors, are skipped.
+func checkLink(report func(int, string), line int, dir, target string) {
+	if strings.Contains(target, "://") || strings.HasPrefix(target, "mailto:") ||
+		strings.HasPrefix(target, "#") {
+		return
+	}
+	target, _, _ = strings.Cut(target, "#") // strip the fragment
+	if target == "" {
+		return
+	}
+	resolved := target
+	if !filepath.IsAbs(target) {
+		resolved = filepath.Join(dir, target)
+	}
+	if _, err := os.Stat(resolved); err != nil {
+		report(line, fmt.Sprintf("dead link: %s (%s does not exist)", target, resolved))
+	}
+}
+
+// checkGoBlock verifies one ```go example is gofmt-clean. go/format
+// accepts full files and declaration/statement fragments alike.
+func checkGoBlock(report func(int, string), line int, src string) {
+	formatted, err := format.Source([]byte(src))
+	if err != nil {
+		report(line, fmt.Sprintf("go example does not parse: %v", err))
+		return
+	}
+	if strings.TrimRight(string(formatted), "\n") != strings.TrimRight(src, "\n") {
+		report(line, "go example is not gofmt'd")
+	}
+}

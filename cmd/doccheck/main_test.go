@@ -1,0 +1,78 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func write(t *testing.T, dir, name, content string) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestCleanFile(t *testing.T) {
+	dir := t.TempDir()
+	write(t, dir, "target.md", "# target\n")
+	path := write(t, dir, "doc.md", `# Doc
+
+A [relative link](target.md) and an [external one](https://example.com/x)
+and an [anchor](#doc) and [with fragment](target.md#target).
+
+`+"```go\nx := 1\nif x > 0 {\n\tx--\n}\n```\n")
+	if probs := checkFile(path); len(probs) != 0 {
+		t.Fatalf("problems: %v", probs)
+	}
+}
+
+func TestDeadLink(t *testing.T) {
+	dir := t.TempDir()
+	path := write(t, dir, "doc.md", "see [missing](nope/missing.md)\n")
+	probs := checkFile(path)
+	if len(probs) != 1 || !strings.Contains(probs[0], "dead link") {
+		t.Fatalf("problems: %v", probs)
+	}
+	if !strings.Contains(probs[0], "doc.md:1:") {
+		t.Fatalf("missing file:line: %v", probs)
+	}
+}
+
+func TestUnformattedGoExample(t *testing.T) {
+	dir := t.TempDir()
+	path := write(t, dir, "doc.md", "```go\nx   :=    1\n```\n")
+	probs := checkFile(path)
+	if len(probs) != 1 || !strings.Contains(probs[0], "not gofmt'd") {
+		t.Fatalf("problems: %v", probs)
+	}
+}
+
+func TestUnparsableGoExample(t *testing.T) {
+	dir := t.TempDir()
+	path := write(t, dir, "doc.md", "```go\nfunc {{{\n```\n")
+	probs := checkFile(path)
+	if len(probs) != 1 || !strings.Contains(probs[0], "does not parse") {
+		t.Fatalf("problems: %v", probs)
+	}
+}
+
+func TestNonGoFencesIgnored(t *testing.T) {
+	dir := t.TempDir()
+	path := write(t, dir, "doc.md", "```\nnot go   at all [dead](nope.md)\n```\n")
+	if probs := checkFile(path); len(probs) != 0 {
+		t.Fatalf("problems: %v", probs)
+	}
+}
+
+func TestUnterminatedFence(t *testing.T) {
+	dir := t.TempDir()
+	path := write(t, dir, "doc.md", "```go\nx := 1\n")
+	probs := checkFile(path)
+	if len(probs) == 0 || !strings.Contains(probs[len(probs)-1], "unterminated") {
+		t.Fatalf("problems: %v", probs)
+	}
+}

@@ -360,6 +360,42 @@ func main() {
 			fmt.Sprintf("jobs=%d fills=%d", len(results), s.FlattenFills()))
 	}
 
+	// E18 (multi-stage builder pattern): a build stage does the privileged
+	// package install under seccomp, a slim runtime stage copies only the
+	// artifact out of it, and an unreferenced debug stage is pruned. The
+	// runtime image must carry the artifact byte-for-byte without any of
+	// the build stage's rootfs.
+	{
+		w, s := fixtures()
+		text := `FROM centos:7 AS build
+RUN yum install -y openssh
+RUN mkdir -p /opt && echo solver-bin > /opt/solver && chmod 755 /opt/solver
+
+FROM alpine:3.19 AS debug
+RUN apk add sl
+
+FROM alpine:3.19
+COPY --from=build /opt/solver /app/solver
+CMD ["/app/solver"]
+`
+		res, _, err := runBuild(text, build.Options{World: w, Store: s, Force: build.ForceSeccomp})
+		ok := err == nil && res.StagesBuilt == 2 && res.StagesSkipped == 1
+		var artifact []byte
+		if ok {
+			if fs, ferr := res.Image.Flatten(); ferr == nil {
+				rc := vfs.RootContext()
+				artifact, _ = fs.ReadFile(rc, "/app/solver")
+				// Slim: nothing of the centos build stage leaks through.
+				ok = string(artifact) == "solver-bin\n" && !fs.Exists(rc, "/etc/centos-release")
+			} else {
+				ok = false
+			}
+		}
+		check("E18", "multi-stage: slim runtime gets artifact, debug pruned", ok,
+			fmt.Sprintf("built=%d skipped=%d artifact=%q", res.StagesBuilt, res.StagesSkipped,
+				strings.TrimSpace(string(artifact))))
+	}
+
 	fmt.Println(strings.Repeat("=", 100))
 	if failures > 0 {
 		fmt.Printf("%d experiment(s) FAILED\n", failures)

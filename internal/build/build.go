@@ -11,7 +11,12 @@
 //
 // The layering mirrors the paper's §4 architecture:
 //
-//	dockerfile → build → rootemu → simos/vfs → image
+//	dockerfile → stage DAG → pool → build → rootemu → simos/vfs → image
+//
+// Multi-stage Dockerfiles route through the BuildStages driver (see
+// stages.go): reachable stages are scheduled in dependency order on
+// build.Pool, COPY --from materialises files from earlier stages'
+// flattened trees, and only the final stage is tagged.
 //
 // Because the builder is unprivileged, the rootfs is re-owned to the
 // invoking user before entry (Charliecloud's unpack behaviour); inside
@@ -23,6 +28,7 @@ package build
 import (
 	"fmt"
 	"io"
+	"path"
 	"sort"
 	"strings"
 
@@ -56,6 +62,7 @@ const (
 	ForceProot
 )
 
+// String renders the mode as its ch-image --force flag value.
 func (m ForceMode) String() string {
 	switch m {
 	case ForceSeccomp:
@@ -100,6 +107,11 @@ type Options struct {
 	// -o APT::Sandbox::User=root into apt command lines under seccomp.
 	DisableAptWorkaround bool
 
+	// StageJobs bounds how many independent stages of a multi-stage build
+	// run concurrently on the stage pool; <= 0 runs every ready stage at
+	// once. Ignored for single-stage builds.
+	StageJobs int
+
 	// FilterConfig parameterises the seccomp filter (variant, dispatch
 	// strategy, architectures). Zero value is the paper's filter.
 	// Ignored unless Force is ForceSeccomp.
@@ -133,20 +145,58 @@ type Result struct {
 	// VirtualNanos is the modeled time the build charged (the E8/E15
 	// metric; see simos.CostModel).
 	VirtualNanos int64
+
+	// StagesBuilt counts the stages a multi-stage build executed
+	// (including cache-replayed ones). Zero for single-stage builds.
+	StagesBuilt int
+
+	// StagesSkipped counts the unreferenced stages a multi-stage build
+	// pruned without executing. Zero for single-stage builds.
+	StagesSkipped int
 }
 
 // buildUID is the invoking (unprivileged) user every build runs as.
 const buildUID = 1000
 
-// Build executes Dockerfile text under opts. The returned Result is
-// never nil: on failure it still carries the counters and modeled time
-// accrued up to the failing instruction.
+// Build executes Dockerfile text under opts. Multi-stage Dockerfiles are
+// routed through the BuildStages driver, which schedules independent
+// stages concurrently on a stage pool and prunes unreferenced ones. The
+// returned Result is never nil: on failure it still carries the counters
+// and modeled time accrued up to the failing instruction.
 func Build(text string, opt Options) (*Result, error) {
-	b := &builder{opt: opt, out: opt.Output, res: &Result{}}
+	f, err := dockerfile.Parse(text)
+	if err != nil {
+		return &Result{}, err
+	}
+	if len(f.Stages) == 0 {
+		// Parseable but FROM-less: an ARG-only Dockerfile.
+		return &Result{}, fmt.Errorf("build: no FROM instruction")
+	}
+	if len(f.Stages) > 1 {
+		return buildStages(f, opt)
+	}
+	res, _, err := buildOneStage(f, 0, nil, opt)
+	return res, err
+}
+
+// buildOneStage executes one stage of f (for a single-stage file, the
+// whole build): the global ARGs, the stage's FROM and its body. imgs holds
+// the completed earlier stage images, indexed by stage; it may be nil when
+// f has a single stage. It returns the stage's Result and image.
+func buildOneStage(f *dockerfile.File, stage int, imgs []*image.Image, opt Options) (*Result, *image.Image, error) {
+	b := &builder{
+		opt: opt, out: opt.Output, res: &Result{},
+		file: f, stageIdx: stage, stageImgs: imgs,
+	}
 	if b.out == nil {
 		b.out = io.Discard
 	}
-	err := b.run(text)
+	st := f.Stages[stage]
+	ins := make([]dockerfile.Instruction, 0, len(f.GlobalArgs)+1+len(st.Body))
+	ins = append(ins, f.GlobalArgs...)
+	ins = append(ins, st.From)
+	ins = append(ins, st.Body...)
+	err := b.run(ins)
 	if b.k != nil {
 		b.res.Counters = b.k.Snapshot()
 		b.res.VirtualNanos = b.k.VirtualNanos()
@@ -157,20 +207,25 @@ func Build(text string, opt Options) (*Result, error) {
 	if b.pr != nil {
 		b.res.FakerootRecords = b.pr.Records()
 	}
-	return b.res, err
+	return b.res, b.cur, err
 }
 
-// builder is the per-build state machine.
+// builder is the per-stage build state machine (per-build for single-stage
+// files).
 type builder struct {
 	opt Options
 	out io.Writer
 	res *Result
 
+	file      *dockerfile.File // the whole parsed Dockerfile
+	stageIdx  int              // which of file.Stages this builder executes
+	stageImgs []*image.Image   // completed earlier stage images, nil for plain builds
+
 	k  *simos.Kernel
 	p  *simos.Proc
 	fs *vfs.FS
 
-	cur   *image.Image        // accumulating result image
+	cur   *image.Image         // accumulating result image
 	snap  *tarutil.Snapshotter // rootfs state as of the last committed step
 	vars  map[string]string
 	env   map[string]string
@@ -182,16 +237,13 @@ type builder struct {
 	chainKey string // content-addressed key of everything built so far
 }
 
-func (b *builder) run(text string) error {
-	f, err := dockerfile.Parse(text)
-	if err != nil {
-		return err
-	}
+// run executes the stage's instruction sequence.
+func (b *builder) run(instructions []dockerfile.Instruction) error {
 	b.vars = map[string]string{}
 	b.env = map[string]string{}
 	b.shell = []string{"/bin/sh", "-c"}
 
-	for i, ins := range f.Instructions {
+	for i, ins := range instructions {
 		fmt.Fprintf(b.out, "%3d %s %s\n", i+1, ins.Cmd, ins.Raw)
 		if b.p == nil && ins.Cmd != "FROM" && ins.Cmd != "ARG" {
 			return fmt.Errorf("build: line %d: %s before FROM", ins.Line, ins.Cmd)
@@ -241,30 +293,40 @@ func (b *builder) run(text string) error {
 	if b.opt.Tag != "" && b.opt.Store != nil {
 		b.opt.Store.Put(b.cur)
 	}
-	fmt.Fprintf(b.out, "grown in %d instructions: %s\n", len(f.Instructions), b.cur.Name)
+	fmt.Fprintf(b.out, "grown in %d instructions: %s\n", len(instructions), b.cur.Name)
 	if b.opt.Force == ForceSeccomp {
 		fmt.Fprintf(b.out, "--force=seccomp: modified %d RUN instructions\n", b.res.ModifiedRuns)
 	}
 	return nil
 }
 
-// stepFrom resolves the base image, boots the kernel, enters the Type III
-// container and installs the requested root emulation.
+// stepFrom resolves the base image — an earlier stage's built image or a
+// store reference — boots the kernel, enters the Type III container and
+// installs the requested root emulation.
 func (b *builder) stepFrom(ins dockerfile.Instruction) error {
 	if b.p != nil {
-		return fmt.Errorf("build: line %d: multi-stage builds are not supported", ins.Line)
+		// Cannot happen through Build/BuildStages: the parser splits on
+		// every FROM, so each stage body holds none.
+		return fmt.Errorf("build: line %d: second FROM in one stage", ins.Line)
 	}
-	ref := b.expand(ins.Raw)
-	// "FROM image AS name": the stage name is irrelevant without stages.
-	if i := strings.Index(strings.ToUpper(ref), " AS "); i >= 0 {
-		ref = strings.TrimSpace(ref[:i])
-	}
-	if b.opt.Store == nil {
-		return fmt.Errorf("build: no image store configured")
-	}
-	base, ok := b.opt.Store.Get(ref)
-	if !ok {
-		return fmt.Errorf("build: base image %q not in storage", ref)
+	st := b.file.Stages[b.stageIdx]
+	ref := b.expand(st.Base)
+	var base *image.Image
+	if st.BaseStage >= 0 {
+		base = b.stageImage(st.BaseStage)
+		if base == nil {
+			return fmt.Errorf("build: line %d: stage %q not built yet (internal scheduling error)",
+				ins.Line, st.Base)
+		}
+	} else {
+		if b.opt.Store == nil {
+			return fmt.Errorf("build: no image store configured")
+		}
+		var ok bool
+		base, ok = b.opt.Store.Get(ref)
+		if !ok {
+			return fmt.Errorf("build: base image %q not in storage", ref)
+		}
 	}
 	if b.opt.World == nil {
 		return fmt.Errorf("build: no package world configured")
@@ -310,7 +372,13 @@ func (b *builder) stepFrom(ins dockerfile.Instruction) error {
 	b.k, b.p, b.fs = k, p, fs
 	name := b.opt.Tag
 	if name == "" {
-		name = ref + "+build"
+		if b.stageImgs != nil {
+			// Intermediate stage of a multi-stage build: a deterministic
+			// internal name (never tagged into the store).
+			name = "stage-" + stageLabel(st)
+		} else {
+			name = ref + "+build"
+		}
 	}
 	b.cur = base.Clone(name)
 	for _, kv := range b.cur.Config.Env {
@@ -385,8 +453,13 @@ func (b *builder) stepRun(ins dockerfile.Instruction) error {
 	return nil
 }
 
-// stepCopy materialises COPY/ADD sources from the build context.
+// stepCopy materialises COPY/ADD sources from the build context, or — for
+// COPY --from — from an earlier stage's (or external image's) flattened
+// tree.
 func (b *builder) stepCopy(ins dockerfile.Instruction) error {
+	if ins.From != "" {
+		return b.stepCopyFrom(ins)
+	}
 	words := splitFlagless(b.expand(ins.Raw))
 	if len(words) < 2 {
 		return fmt.Errorf("build: line %d: %s needs source and destination", ins.Line, ins.Cmd)
@@ -435,6 +508,179 @@ func (b *builder) stepCopy(ins dockerfile.Instruction) error {
 	}
 	b.record(key, layer, 0)
 	recorded = true
+	return nil
+}
+
+// stageImage returns the built image of stage idx, nil when unavailable.
+func (b *builder) stageImage(idx int) *image.Image {
+	if b.stageImgs == nil || idx < 0 || idx >= len(b.stageImgs) {
+		return nil
+	}
+	return b.stageImgs[idx]
+}
+
+// copySource resolves a COPY --from reference to its source image: an
+// earlier stage's built image, or an external image from the store.
+func (b *builder) copySource(ins dockerfile.Instruction) (*image.Image, error) {
+	if ins.FromStage >= 0 {
+		img := b.stageImage(ins.FromStage)
+		if img == nil {
+			return nil, fmt.Errorf("stage %q not built yet (internal scheduling error)", ins.From)
+		}
+		return img, nil
+	}
+	if b.opt.Store == nil {
+		return nil, fmt.Errorf("no image store configured")
+	}
+	ref := b.expand(ins.From)
+	img, ok := b.opt.Store.Get(ref)
+	if !ok {
+		return nil, fmt.Errorf("--from image %q not in storage", ref)
+	}
+	return img, nil
+}
+
+// stepCopyFrom materialises COPY --from=<stage|image> sources from the
+// source's flattened tree, read through the store's per-chain snapshot
+// memoisation: read-only shared entries, no re-walk of the source VFS. The
+// cache key folds in the source image's chain digest, so editing an
+// earlier stage invalidates every dependent COPY --from replay even when
+// this stage's own text is unchanged.
+func (b *builder) stepCopyFrom(ins dockerfile.Instruction) error {
+	words := splitFlagless(b.expand(ins.Raw))
+	if len(words) < 2 {
+		return fmt.Errorf("build: line %d: COPY needs source and destination", ins.Line)
+	}
+	srcs, dst := words[:len(words)-1], words[len(words)-1]
+	src, err := b.copySource(ins)
+	if err != nil {
+		return fmt.Errorf("build: line %d: COPY: %w", ins.Line, err)
+	}
+
+	// The key needs only the source's chain digest; a warm replay must
+	// not pay (or memoise) the source tree's flatten at all.
+	desc := "COPY\x00from=" + image.ChainDigest(src.Layers) + "\x00" + dst
+	for _, s := range srcs {
+		desc += "\x00" + s
+	}
+	key := b.advance(desc)
+	hit, err := b.replay(key, "COPY")
+	if err != nil {
+		return fmt.Errorf("build: line %d: %w", ins.Line, err)
+	}
+	if hit {
+		return nil
+	}
+	// Fill owned (see stepRun): abandon on any failure path.
+	recorded := false
+	defer func() {
+		if !recorded {
+			b.abandon(key)
+		}
+	}()
+
+	entries, err := b.opt.Store.FlattenedEntries(src)
+	if err != nil {
+		return fmt.Errorf("build: line %d: COPY --from=%s: %w", ins.Line, ins.From, err)
+	}
+	for _, s := range srcs {
+		if err := b.copyTree(entries, s, dst, len(srcs) > 1, ins); err != nil {
+			return err
+		}
+	}
+	layer, err := b.commit()
+	if err != nil {
+		return err
+	}
+	b.record(key, layer, 0)
+	recorded = true
+	return nil
+}
+
+// copyTree copies one --from source path — a file, symlink or directory —
+// into the rootfs. A directory source copies its contents under dst, as
+// Docker does; the directory itself is not copied.
+func (b *builder) copyTree(entries []tarutil.Entry, src, dst string, multi bool, ins dockerfile.Instruction) error {
+	sp := path.Clean("/" + src)
+	root := findEntry(entries, sp)
+	if root == nil {
+		return fmt.Errorf("build: line %d: COPY --from=%s: %q not found in source image",
+			ins.Line, ins.From, src)
+	}
+	if root.Stat.Type == vfs.TypeDir {
+		base := b.abs(strings.TrimSuffix(dst, "/"))
+		b.mkParents(base) // ancestors only: a fresh base must get the source mode
+		if !b.isDir(base) {
+			if errn := b.p.Mkdir(base, root.Stat.Mode); errn != errno.OK {
+				return fmt.Errorf("build: line %d: COPY mkdir %s: %s", ins.Line, base, errn.Message())
+			}
+		}
+		prefix := sp + "/"
+		if sp == "/" {
+			prefix = "/"
+		}
+		for i := range entries {
+			e := &entries[i]
+			if e.Path == sp || !strings.HasPrefix(e.Path, prefix) {
+				continue
+			}
+			target := base + "/" + strings.TrimPrefix(e.Path, prefix)
+			if err := b.copyEntry(e, target, ins); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	target := dst
+	if dst == "." || strings.HasSuffix(dst, "/") || multi || b.isDir(dst) {
+		target = strings.TrimSuffix(dst, "/") + "/" + baseName(sp)
+	}
+	target = b.abs(target)
+	b.mkParents(target)
+	return b.copyEntry(root, target, ins)
+}
+
+// copyEntry writes one source entry at target through the container
+// process, so — exactly like a COPY from the build context — the copied
+// tree belongs to the unprivileged build user while bytes and permission
+// bits are preserved.
+func (b *builder) copyEntry(e *tarutil.Entry, target string, ins dockerfile.Instruction) error {
+	switch e.Stat.Type {
+	case vfs.TypeDir:
+		if !b.isDir(target) {
+			if errn := b.p.Mkdir(target, e.Stat.Mode); errn != errno.OK {
+				return fmt.Errorf("build: line %d: COPY mkdir %s: %s", ins.Line, target, errn.Message())
+			}
+		}
+	case vfs.TypeSymlink:
+		b.p.Unlink(target) // replace any existing link target
+		if errn := b.p.Symlink(e.Target, target); errn != errno.OK {
+			return fmt.Errorf("build: line %d: COPY symlink %s: %s", ins.Line, target, errn.Message())
+		}
+	case vfs.TypeRegular:
+		// Entries are shared read-only across every consumer of the
+		// flatten memoisation; the write must not retain them.
+		data := append([]byte(nil), e.Data...)
+		if errn := b.p.WriteFileAll(target, data, e.Stat.Mode); errn != errno.OK {
+			return fmt.Errorf("build: line %d: COPY write %s: %s", ins.Line, target, errn.Message())
+		}
+		b.p.Chmod(target, e.Stat.Mode) // an existing file keeps its old mode on write
+	default:
+		// Device nodes and FIFOs are skipped: the copy runs as the
+		// unprivileged build user, which cannot mknod them.
+	}
+	return nil
+}
+
+// findEntry locates path in a canonical snapshot (entries sorted parents
+// before children). The scan is linear: source trees are small and the
+// snapshot itself was already paid for by the flatten memoisation.
+func findEntry(entries []tarutil.Entry, p string) *tarutil.Entry {
+	for i := range entries {
+		if entries[i].Path == p {
+			return &entries[i]
+		}
+	}
 	return nil
 }
 

@@ -14,9 +14,11 @@ import (
 // Cache is the per-instruction build cache. Keys are content-addressed
 // chains: each instruction's key folds in the full prefix of the build —
 // base image, force mode, filter configuration, the apt-workaround flag,
-// every earlier instruction and the digests of COPY sources — so editing
-// a mid-Dockerfile step invalidates that step and everything after it,
-// while leaving earlier steps warm.
+// every earlier instruction, the digests of COPY sources and the chain
+// digest of a COPY --from source image — so editing a mid-Dockerfile step
+// invalidates that step and everything after it (editing an earlier stage
+// invalidates its dependents' COPY --from steps), while leaving earlier
+// steps warm.
 //
 // A hit replays the recorded filesystem layer instead of executing the
 // instruction; the expensive RUNs (package installs under emulation) are

@@ -29,6 +29,10 @@ type Job struct {
 	// job may override them. A nil Output is replaced with a private
 	// buffer whose contents land in JobResult.Transcript.
 	Options Options
+
+	// stage, when set by the multi-stage driver, makes this job execute
+	// one stage of an already-parsed Dockerfile instead of Dockerfile.
+	stage *stageJob
 }
 
 // JobResult is the outcome of one pooled build, in submission order.
@@ -113,7 +117,13 @@ func (p *Pool) Run(jobs []Job) ([]JobResult, error) {
 					buf = &bytes.Buffer{}
 					opt.Output = buf
 				}
-				res, err := Build(job.Dockerfile, opt)
+				var res *Result
+				var err error
+				if job.stage != nil {
+					res, _, err = buildOneStage(job.stage.file, job.stage.idx, job.stage.imgs, opt)
+				} else {
+					res, err = Build(job.Dockerfile, opt)
+				}
 				r := JobResult{Name: name, Result: res, Err: err}
 				if buf != nil {
 					r.Transcript = buf.String()

@@ -1,14 +1,25 @@
-// Package dockerfile parses Dockerfiles into instruction lists, covering
-// the subset ch-image supports plus the instructions the experiments use:
-// FROM, RUN (shell and exec form), COPY, ADD, ENV, ARG, WORKDIR, USER,
-// LABEL, CMD, ENTRYPOINT, SHELL, EXPOSE, VOLUME, STOPSIGNAL, COMMENT
-// handling, line continuations, and ARG/ENV variable expansion at build
-// time (performed by the builder, not the parser).
+// Package dockerfile parses Dockerfiles into stage-structured instruction
+// lists, covering the subset ch-image supports plus the instructions the
+// experiments use: FROM (including multi-stage `FROM ref AS name`), RUN
+// (shell and exec form), COPY (including `COPY --from=stage`), ADD, ENV,
+// ARG, WORKDIR, USER, LABEL, CMD, ENTRYPOINT, SHELL, EXPOSE, VOLUME,
+// STOPSIGNAL, comment handling, line continuations, and ARG/ENV variable
+// expansion at build time (performed by the builder, not the parser).
+//
+// A parsed File carries both the flat instruction list and the stage
+// structure: one Stage per FROM, each with its own instruction body, plus
+// a validated stage-reference DAG. Stage references (a FROM naming an
+// earlier stage, or COPY --from by name or index) may only point backward;
+// forward and self references are rejected at parse time with line
+// numbers, which also makes reference cycles impossible by construction.
+// The complete dialect, including known divergences from Docker/BuildKit,
+// is documented in docs/dockerfile-dialect.md.
 package dockerfile
 
 import (
 	"encoding/json"
 	"fmt"
+	"strconv"
 	"strings"
 )
 
@@ -24,11 +35,48 @@ type Instruction struct {
 	ExecForm []string
 	// Line is the 1-based source line of the instruction start.
 	Line int
+	// From is the value of a COPY --from= flag, "" when absent.
+	From string
+	// FromStage is the index of the stage a COPY --from references, -1
+	// when the instruction has no --from or it names an external image.
+	FromStage int
+}
+
+// Stage is one FROM block of a (possibly multi-stage) Dockerfile: the FROM
+// instruction itself plus every instruction up to the next FROM.
+type Stage struct {
+	// Index is the stage's 0-based position in the Dockerfile.
+	Index int
+	// Name is the lower-cased `AS name`, "" for anonymous stages.
+	Name string
+	// Base is the FROM reference with any AS clause stripped, unexpanded.
+	Base string
+	// BaseStage is the index of the earlier stage Base names, or -1 when
+	// Base is an external image reference.
+	BaseStage int
+	// Line is the 1-based source line of the FROM.
+	Line int
+	// From is the stage's FROM instruction.
+	From Instruction
+	// Body holds the stage's instructions after FROM, in order.
+	Body []Instruction
+	// Deps lists the indices of earlier stages this stage reads — its FROM
+	// base and every COPY --from source — sorted and deduplicated. The
+	// per-stage Deps slices together form the stage DAG.
+	Deps []int
 }
 
 // File is a parsed Dockerfile.
 type File struct {
+	// Instructions is the flat instruction list, in source order
+	// (GlobalArgs and every stage's FROM and body included).
 	Instructions []Instruction
+	// GlobalArgs holds the ARG instructions before the first FROM.
+	GlobalArgs []Instruction
+	// Stages holds one entry per FROM, in source order. The last stage is
+	// the build target; stages it does not transitively reference are
+	// unreachable (see Reachable) and builders prune them.
+	Stages []Stage
 }
 
 // ParseError reports a syntax error with its line.
@@ -37,6 +85,7 @@ type ParseError struct {
 	Reason string
 }
 
+// Error renders the error as "dockerfile: line N: reason".
 func (e *ParseError) Error() string {
 	return fmt.Sprintf("dockerfile: line %d: %s", e.Line, e.Reason)
 }
@@ -85,7 +134,7 @@ func Parse(text string) (*File, error) {
 		if !knownInstructions[cmd] {
 			return nil, &ParseError{Line: startLine, Reason: fmt.Sprintf("unknown instruction %q", word)}
 		}
-		ins := Instruction{Cmd: cmd, Raw: strings.TrimSpace(rest), Line: startLine}
+		ins := Instruction{Cmd: cmd, Raw: strings.TrimSpace(rest), Line: startLine, FromStage: -1}
 		if ins.Raw == "" && cmd != "HEALTHCHECK" {
 			return nil, &ParseError{Line: startLine, Reason: cmd + " requires arguments"}
 		}
@@ -113,7 +162,255 @@ func Parse(text string) (*File, error) {
 		}
 		break
 	}
+	if err := f.structure(); err != nil {
+		return nil, err
+	}
 	return &f, nil
+}
+
+// structure splits the flat instruction list into GlobalArgs and Stages,
+// parses FROM AS clauses and COPY --from flags, and validates the stage
+// reference DAG: names may not be reused, references resolve only to
+// earlier stages, and forward or self references are errors. Because every
+// edge points backward, the resulting DAG cannot contain cycles.
+func (f *File) structure() error {
+	// Pass 1: split into stages and collect names.
+	names := map[string]int{}
+	for i := range f.Instructions {
+		ins := &f.Instructions[i]
+		if ins.Cmd != "FROM" {
+			if len(f.Stages) == 0 {
+				f.GlobalArgs = append(f.GlobalArgs, *ins)
+				continue
+			}
+			st := &f.Stages[len(f.Stages)-1]
+			st.Body = append(st.Body, *ins)
+			continue
+		}
+		st := Stage{Index: len(f.Stages), BaseStage: -1, Line: ins.Line, From: *ins}
+		base, name, err := parseFromClause(ins.Raw, ins.Line)
+		if err != nil {
+			return err
+		}
+		st.Base, st.Name = base, name
+		if name != "" {
+			if prev, dup := names[name]; dup {
+				return &ParseError{Line: ins.Line, Reason: fmt.Sprintf(
+					"stage name %q already used by stage %d", name, prev)}
+			}
+			names[name] = st.Index
+		}
+		f.Stages = append(f.Stages, st)
+	}
+
+	// Pass 2: resolve stage references and build the DAG. Bodies hold
+	// copies of the flat instructions, so resolution is written to both.
+	for i := range f.Stages {
+		st := &f.Stages[i]
+		if idx, ok := names[strings.ToLower(st.Base)]; ok {
+			if idx >= st.Index {
+				return &ParseError{Line: st.Line, Reason: fmt.Sprintf(
+					"FROM %s: forward reference to stage %d (stages may only reference earlier stages)",
+					st.Base, idx)}
+			}
+			st.BaseStage = idx
+		}
+		for j := range st.Body {
+			ins := &st.Body[j]
+			if err := parseCopyFrom(ins, st.Index, len(f.Stages), names); err != nil {
+				return err
+			}
+		}
+		st.Deps = stageDeps(st)
+	}
+
+	// Mirror the resolved From/FromStage fields back onto the flat list so
+	// both views of the file agree (bodies hold copies).
+	syncFlat(f)
+	return nil
+}
+
+// syncFlat copies each stage body's resolved From/FromStage back onto the
+// corresponding flat Instructions entries, matched by source line.
+func syncFlat(f *File) {
+	byLine := map[int]*Instruction{}
+	for i := range f.Instructions {
+		byLine[f.Instructions[i].Line] = &f.Instructions[i]
+	}
+	for i := range f.Stages {
+		for j := range f.Stages[i].Body {
+			b := &f.Stages[i].Body[j]
+			if flat, ok := byLine[b.Line]; ok {
+				flat.From, flat.FromStage = b.From, b.FromStage
+			}
+		}
+	}
+}
+
+// parseFromClause splits "ref [AS name]", validating the stage name and
+// rejecting flags (e.g. --platform, which the simulation cannot honor).
+func parseFromClause(raw string, line int) (base, name string, err error) {
+	fields := strings.Fields(raw)
+	for _, w := range fields {
+		if strings.HasPrefix(w, "--") {
+			return "", "", &ParseError{Line: line, Reason: "unsupported FROM flag " + w}
+		}
+	}
+	switch {
+	case len(fields) == 1:
+		return fields[0], "", nil
+	case len(fields) == 3 && strings.EqualFold(fields[1], "AS"):
+		name = strings.ToLower(fields[2])
+		if !validStageName(name) {
+			return "", "", &ParseError{Line: line, Reason: fmt.Sprintf("invalid stage name %q", fields[2])}
+		}
+		return fields[0], name, nil
+	default:
+		return "", "", &ParseError{Line: line, Reason: "malformed FROM: want FROM <ref> [AS <name>]"}
+	}
+}
+
+// parseCopyFrom extracts and resolves a COPY --from= flag. Only the
+// leading --flags of COPY/ADD are inspected (Docker's flag position), so
+// shell text in other instructions — or a COPY source that merely looks
+// like a flag — is never misparsed. References by index or by the name of
+// a stage must point strictly backward; an unknown name is an external
+// image reference resolved at build time. ADD does not accept --from (as
+// in Docker).
+func parseCopyFrom(ins *Instruction, stageIdx, nStages int, names map[string]int) error {
+	if ins.Cmd != "COPY" && ins.Cmd != "ADD" {
+		return nil
+	}
+	var from string
+	inFlags := true
+	for _, w := range strings.Fields(ins.Raw) {
+		if !strings.HasPrefix(w, "--") {
+			inFlags = false // flags precede arguments
+			continue
+		}
+		if !strings.HasPrefix(w, "--from=") {
+			continue
+		}
+		if !inFlags {
+			// Docker treats a misplaced flag as a literal path and fails;
+			// silently copying from the context instead would be worse.
+			return &ParseError{Line: ins.Line, Reason: "--from must precede the source arguments"}
+		}
+		if ins.Cmd != "COPY" {
+			return &ParseError{Line: ins.Line, Reason: ins.Cmd + " does not support --from"}
+		}
+		if from != "" {
+			return &ParseError{Line: ins.Line, Reason: "duplicate --from flag"}
+		}
+		from = strings.TrimPrefix(w, "--from=")
+		if from == "" {
+			return &ParseError{Line: ins.Line, Reason: "--from requires a stage name, index or image reference"}
+		}
+	}
+	if from == "" {
+		return nil
+	}
+	ins.From = from
+	if idx, err := strconv.Atoi(from); err == nil {
+		if idx < 0 || idx >= nStages {
+			return &ParseError{Line: ins.Line, Reason: fmt.Sprintf(
+				"COPY --from=%d: stage index out of range (%d stages)", idx, nStages)}
+		}
+		if idx >= stageIdx {
+			return &ParseError{Line: ins.Line, Reason: fmt.Sprintf(
+				"COPY --from=%d: forward or self reference (this is stage %d)", idx, stageIdx)}
+		}
+		ins.FromStage = idx
+		return nil
+	}
+	if idx, ok := names[strings.ToLower(from)]; ok {
+		if idx >= stageIdx {
+			return &ParseError{Line: ins.Line, Reason: fmt.Sprintf(
+				"COPY --from=%s: forward or self reference to stage %d (this is stage %d)",
+				from, idx, stageIdx)}
+		}
+		ins.FromStage = idx
+	}
+	return nil
+}
+
+// stageDeps collects the earlier stages st reads: its FROM base plus every
+// COPY --from source, sorted and deduplicated.
+func stageDeps(st *Stage) []int {
+	seen := map[int]bool{}
+	if st.BaseStage >= 0 {
+		seen[st.BaseStage] = true
+	}
+	for _, ins := range st.Body {
+		if ins.FromStage >= 0 {
+			seen[ins.FromStage] = true
+		}
+	}
+	if len(seen) == 0 {
+		return nil
+	}
+	out := make([]int, 0, len(seen))
+	for i := range seen {
+		out = append(out, i)
+	}
+	for i := 1; i < len(out); i++ { // insertion sort; deps are tiny
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// validStageName reports whether name is a legal stage name
+// ([a-zA-Z][a-zA-Z0-9_.-]*, already lower-cased by the caller).
+func validStageName(name string) bool {
+	if name == "" || !(name[0] >= 'a' && name[0] <= 'z') {
+		return false
+	}
+	for i := 1; i < len(name); i++ {
+		c := name[i]
+		if !(c >= 'a' && c <= 'z' || c >= '0' && c <= '9' || c == '_' || c == '.' || c == '-') {
+			return false
+		}
+	}
+	return true
+}
+
+// StageIndex resolves a stage reference — a name (case-insensitive) or a
+// decimal index — to a stage index.
+func (f *File) StageIndex(ref string) (int, bool) {
+	if idx, err := strconv.Atoi(ref); err == nil {
+		return idx, idx >= 0 && idx < len(f.Stages)
+	}
+	want := strings.ToLower(ref)
+	for i := range f.Stages {
+		if f.Stages[i].Name == want && want != "" {
+			return i, true
+		}
+	}
+	return 0, false
+}
+
+// Reachable reports, per stage, whether the final stage transitively
+// depends on it (the final stage itself included). Builders skip
+// unreachable stages entirely — they are parsed and validated but never
+// executed.
+func (f *File) Reachable() []bool {
+	seen := make([]bool, len(f.Stages))
+	var visit func(int)
+	visit = func(i int) {
+		if seen[i] {
+			return
+		}
+		seen[i] = true
+		for _, d := range f.Stages[i].Deps {
+			visit(d)
+		}
+	}
+	if len(f.Stages) > 0 {
+		visit(len(f.Stages) - 1)
+	}
+	return seen
 }
 
 // KeyValues parses "K=V K2=V2" or legacy "K V" argument forms (ENV, LABEL,

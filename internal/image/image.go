@@ -135,7 +135,7 @@ type Store struct {
 	images map[string]*Image
 	blobs  map[string][]byte
 
-	flattens map[string]*vfs.FS        // chain digest → pristine flattened tree
+	flattens map[string]*vfs.FS         // chain digest → pristine flattened tree
 	lowers   map[string][]tarutil.Entry // chain digest → snapshot of that tree
 
 	// Single-flight state for flatten-cache fills: concurrent misses on
@@ -254,6 +254,21 @@ func (s *Store) flattenPristine(img *Image) (*vfs.FS, error) {
 		}
 	}
 	return fs, nil
+}
+
+// FlattenedEntries returns the canonical serialised snapshot (sorted
+// tarutil entries, parents before children) of img's flattened tree, from
+// the same per-chain memoisation Flatten uses — so reading a built stage's
+// tree for COPY --from costs no re-walk once any consumer has flattened
+// the chain. The returned slice and everything it references are shared
+// across callers and must be treated as read-only; copy Entry.Data before
+// retaining or mutating it.
+func (s *Store) FlattenedEntries(img *Image) ([]tarutil.Entry, error) {
+	_, lower, err := s.flattened(img)
+	if err != nil {
+		return nil, err
+	}
+	return lower, nil
 }
 
 // FlattenFills reports how many flatten-cache fills have completed — under
