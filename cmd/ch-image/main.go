@@ -5,7 +5,9 @@
 //
 // Usage:
 //
-//	ch-image build -t TAG[,TAG...] [-f DOCKERFILE] [--force=none|seccomp|fakeroot|proot] [--jobs N] CONTEXT
+//	ch-image build -t TAG[,TAG...] [-f DOCKERFILE] [--force=none|seccomp|fakeroot|proot]
+//	               [--jobs N] [--target STAGE] [--cache-dir DIR] CONTEXT
+//	ch-image cache --cache-dir DIR ls|gc [TAG...]|reset
 //	ch-image list
 //
 // With a comma-separated tag list, one build per tag runs through
@@ -16,9 +18,17 @@
 // Multi-stage Dockerfiles (FROM ... AS name, COPY --from=stage) build
 // through the stage DAG driver: independent stages run concurrently (also
 // bounded by --jobs), unreferenced stages are pruned, and only the final
-// stage is tagged. See docs/dockerfile-dialect.md for the full dialect.
+// stage is tagged; --target STAGE stops the build at a named stage and
+// tags that instead. See docs/dockerfile-dialect.md for the full dialect.
 // The simulated world ships base images alpine:3.19, centos:7 and
 // debian:12 with their package repositories.
+//
+// --cache-dir DIR makes the build cache persistent (internal/cas): layer
+// blobs, instruction-cache entries, tags and flatten-chain snapshots are
+// written through to DIR, and the next ch-image invocation against the
+// same DIR replays warm — "instructions executed: 0". The cache
+// subcommands inspect (ls), garbage-collect (gc, optionally dropping the
+// listed tags first) and wipe (reset) such a directory.
 package main
 
 import (
@@ -29,6 +39,7 @@ import (
 	"strings"
 
 	"repro/internal/build"
+	"repro/internal/cas"
 	"repro/internal/image"
 	"repro/internal/pkgmgr"
 	"repro/internal/simos"
@@ -42,6 +53,8 @@ func main() {
 	switch os.Args[1] {
 	case "build":
 		os.Exit(cmdBuild(os.Args[2:]))
+	case "cache":
+		os.Exit(cmdCache(os.Args[2:]))
 	case "list":
 		os.Exit(cmdList())
 	default:
@@ -51,18 +64,40 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: ch-image build -t TAG[,TAG...] [-f DOCKERFILE] [--force=MODE] [--jobs N] CONTEXT")
+	fmt.Fprintln(os.Stderr, "usage: ch-image build -t TAG[,TAG...] [-f DOCKERFILE] [--force=MODE] [--jobs N] [--target STAGE] [--cache-dir DIR] CONTEXT")
+	fmt.Fprintln(os.Stderr, "       ch-image cache --cache-dir DIR ls|gc [TAG...]|reset")
 	fmt.Fprintln(os.Stderr, "       ch-image list")
 }
 
-func seededStore(w *pkgmgr.World) (*image.Store, error) {
+// openCacheDir opens the persistent store, reporting fsck findings the
+// way fsck(8) would: loudly, but without failing the run.
+func openCacheDir(dir string) (*cas.Dir, error) {
+	d, rep, err := cas.Open(dir)
+	if err != nil {
+		return nil, err
+	}
+	if rep.Quarantined() {
+		fmt.Fprintf(os.Stderr,
+			"ch-image: cache-dir %s: quarantined %d corrupt blob(s) and %d journal line(s), dropped %d record(s); affected steps will re-execute\n",
+			dir, rep.BlobsQuarantined, rep.JournalQuarantined, rep.RecordsDropped)
+	}
+	return d, nil
+}
+
+// seededStore builds the store of base images. With a cache dir the
+// backing is attached before seeding, so base blobs and tags persist and
+// later invocations can verify against them.
+func seededStore(w *pkgmgr.World, d *cas.Dir) (*image.Store, error) {
 	s := image.NewStore()
-	for _, d := range []struct{ distro, name string }{
+	if d != nil {
+		s.SetBacking(d)
+	}
+	for _, db := range []struct{ distro, name string }{
 		{pkgmgr.DistroAlpine, "alpine:3.19"},
 		{pkgmgr.DistroCentOS7, "centos:7"},
 		{pkgmgr.DistroDebian, "debian:12"},
 	} {
-		img, err := w.BaseImage(d.distro, d.name)
+		img, err := w.BaseImage(db.distro, db.name)
 		if err != nil {
 			return nil, err
 		}
@@ -81,9 +116,15 @@ func cmdBuild(args []string) int {
 	pushTo := fs.String("push", "", "after a successful build, push the image to this registry URL")
 	strace := fs.String("strace", "", "trace syscalls: 'faked' (emulated only) or 'all'")
 	jobs := fs.Int("jobs", 1, "concurrent builders for a multi-tag build and concurrent stages for a multi-stage build")
+	target := fs.String("target", "", "stop the build at this stage (name or index) and tag it")
+	cacheDir := fs.String("cache-dir", "", "persistent build-cache directory; warm rebuilds survive across invocations")
 	fs.Parse(args)
 	if *tag == "" {
 		fmt.Fprintln(os.Stderr, "ch-image: -t TAG is required")
+		return 2
+	}
+	if *jobs < 1 {
+		fmt.Fprintf(os.Stderr, "ch-image: --jobs %d: must be at least 1\n", *jobs)
 		return 2
 	}
 	tags := strings.Split(*tag, ",")
@@ -137,8 +178,17 @@ func cmdBuild(args []string) int {
 		}
 	}
 
+	var dir *cas.Dir
+	if *cacheDir != "" {
+		var err error
+		if dir, err = openCacheDir(*cacheDir); err != nil {
+			fmt.Fprintf(os.Stderr, "ch-image: %v\n", err)
+			return 2
+		}
+		defer dir.Close()
+	}
 	world := pkgmgr.NewWorld()
-	store, err := seededStore(world)
+	store, err := seededStore(world, dir)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "ch-image: %v\n", err)
 		return 2
@@ -148,8 +198,11 @@ func cmdBuild(args []string) int {
 		Context: context, Output: os.Stdout,
 		DisableAptWorkaround: *noWorkaround,
 		StageJobs:            *jobs,
+		TargetStage:          *target,
 	}
-	if *rebuild || len(tags) > 1 {
+	if dir != nil {
+		opts.Cache = build.NewPersistentCache(dir)
+	} else if *rebuild || len(tags) > 1 {
 		opts.Cache = build.NewCache()
 	}
 	switch *strace {
@@ -179,7 +232,9 @@ func cmdBuild(args []string) int {
 			fmt.Fprintln(os.Stderr, "ch-image: -strace does not combine with a multi-tag build")
 			return 2
 		}
-		return cmdBuildPool(string(text), tags, *jobs, opts, *rebuild, *pushTo)
+		code := cmdBuildPool(string(text), tags, *jobs, opts, *rebuild, *pushTo)
+		warnPersistence(opts.Cache, store)
+		return code
 	}
 	res, err := build.Build(string(text), opts)
 	if err != nil {
@@ -195,6 +250,12 @@ func cmdBuild(args []string) int {
 		}
 		fmt.Printf("cache hits: %d\n", res.CacheHits)
 	}
+	if opts.Cache != nil {
+		// The `make cache-smoke` assertion line: a second invocation
+		// against the same --cache-dir must report 0 executed.
+		fmt.Printf("instructions executed: %d (cache hits %d)\n", res.Executed, res.CacheHits)
+	}
+	warnPersistence(opts.Cache, store)
 	if *pushTo != "" {
 		if err := image.Push(*pushTo, res.Image); err != nil {
 			fmt.Fprintf(os.Stderr, "ch-image: push: %v\n", err)
@@ -203,6 +264,20 @@ func cmdBuild(args []string) int {
 		fmt.Printf("pushed %s to %s\n", res.Image.Name, *pushTo)
 	}
 	return 0
+}
+
+// warnPersistence surfaces degraded --cache-dir write-through on stderr:
+// the build succeeded, but the on-disk cache is colder than it should be
+// and the next invocation will re-execute what failed to persist.
+func warnPersistence(cache *build.Cache, store *image.Store) {
+	if cache != nil {
+		if err := cache.PersistErr(); err != nil {
+			fmt.Fprintf(os.Stderr, "ch-image: warning: cache persistence degraded: %v\n", err)
+		}
+	}
+	if err := store.BackingErr(); err != nil {
+		fmt.Fprintf(os.Stderr, "ch-image: warning: store persistence degraded: %v\n", err)
+	}
 }
 
 // cmdBuildPool runs the same Dockerfile once per tag through build.Pool:
@@ -257,9 +332,75 @@ func cmdBuildPool(text string, tags []string, jobs int, opts build.Options, rebu
 	return 0
 }
 
+// cmdCache inspects and maintains a persistent cache directory:
+//
+//	ls            list tags, cached instructions, chains and blob usage
+//	gc [TAG...]   drop the listed tags, then collect everything no
+//	              remaining tag reaches (ref-counted from tagged roots)
+//	reset         wipe the directory back to empty
+func cmdCache(args []string) int {
+	fs := flag.NewFlagSet("cache", flag.ExitOnError)
+	cacheDir := fs.String("cache-dir", "", "persistent build-cache directory (required)")
+	fs.Parse(args)
+	if *cacheDir == "" {
+		fmt.Fprintln(os.Stderr, "ch-image: cache: --cache-dir DIR is required")
+		return 2
+	}
+	if fs.NArg() < 1 {
+		fmt.Fprintln(os.Stderr, "ch-image: cache: subcommand required: ls, gc or reset")
+		return 2
+	}
+	d, err := openCacheDir(*cacheDir)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ch-image: %v\n", err)
+		return 2
+	}
+	defer d.Close()
+
+	switch sub := fs.Arg(0); sub {
+	case "ls":
+		fmt.Println("tags:")
+		for _, name := range d.TagNames() {
+			tg, _ := d.Tag(name)
+			fmt.Printf("  %-30s %d layer(s)\n", name, len(tg.Layers))
+		}
+		count, bytes := d.BlobStats()
+		fmt.Printf("instruction cache: %d entr(ies)\n", len(d.Steps()))
+		fmt.Printf("flatten chains:    %d snapshot(s)\n", d.Chains())
+		fmt.Printf("blobs:             %d file(s), %d bytes\n", count, bytes)
+		return 0
+	case "gc":
+		for _, tag := range fs.Args()[1:] {
+			if err := d.DeleteTag(tag); err != nil {
+				fmt.Fprintf(os.Stderr, "ch-image: cache gc: %v\n", err)
+				return 1
+			}
+		}
+		stats, err := d.GC()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ch-image: cache gc: %v\n", err)
+			return 1
+		}
+		fmt.Printf("gc: kept %d tag(s) and %d blob(s); swept %d blob(s) (%d bytes), dropped %d step(s) and %d chain(s)\n",
+			stats.TagsKept, stats.BlobsKept, stats.BlobsSwept, stats.BytesSwept,
+			stats.StepsDropped, stats.ChainsDropped)
+		return 0
+	case "reset":
+		if err := d.Reset(); err != nil {
+			fmt.Fprintf(os.Stderr, "ch-image: cache reset: %v\n", err)
+			return 1
+		}
+		fmt.Printf("reset: %s is empty\n", *cacheDir)
+		return 0
+	default:
+		fmt.Fprintf(os.Stderr, "ch-image: cache: unknown subcommand %q (want ls, gc or reset)\n", sub)
+		return 2
+	}
+}
+
 func cmdList() int {
 	world := pkgmgr.NewWorld()
-	store, err := seededStore(world)
+	store, err := seededStore(world, nil)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "ch-image: %v\n", err)
 		return 2

@@ -117,3 +117,83 @@ func TestCLIList(t *testing.T) {
 		t.Fatalf("exit %d", code)
 	}
 }
+
+func TestCLIJobsBelowOneRejected(t *testing.T) {
+	dir := writeContext(t, "FROM alpine:3.19\nRUN apk add sl\n", nil)
+	for _, jobs := range []string{"0", "-3"} {
+		if code := cmdBuild([]string{"-t", "x", "--jobs", jobs, dir}); code != 2 {
+			t.Fatalf("--jobs %s: exit %d, want 2", jobs, code)
+		}
+	}
+}
+
+func TestCLICacheDirOnFileRejected(t *testing.T) {
+	ctx := writeContext(t, "FROM alpine:3.19\nRUN apk add sl\n", nil)
+	notADir := filepath.Join(t.TempDir(), "file")
+	if err := os.WriteFile(notADir, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if code := cmdBuild([]string{"-t", "x", "--cache-dir", notADir, ctx}); code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+	if code := cmdCache([]string{"--cache-dir", notADir, "ls"}); code != 2 {
+		t.Fatalf("cache ls on file: exit %d, want 2", code)
+	}
+}
+
+// Two cmdBuild invocations with completely fresh state against one
+// --cache-dir: the CLI-level warm path.
+func TestCLIPersistentCacheWarmSecondRun(t *testing.T) {
+	ctx := writeContext(t, "FROM alpine:3.19\nRUN apk add sl\n", nil)
+	cache := filepath.Join(t.TempDir(), "cas")
+	if code := cmdBuild([]string{"-t", "w:1", "--cache-dir", cache, ctx}); code != 0 {
+		t.Fatalf("cold: exit %d", code)
+	}
+	if code := cmdBuild([]string{"-t", "w:1", "--cache-dir", cache, ctx}); code != 0 {
+		t.Fatalf("warm: exit %d", code)
+	}
+}
+
+func TestCLITargetStage(t *testing.T) {
+	dir := writeContext(t, `FROM centos:7 AS build
+RUN yum install -y openssh
+FROM alpine:3.19
+COPY --from=build /etc/centos-release /rel
+`, nil)
+	if code := cmdBuild([]string{"-t", "b:1", "--target", "build", dir}); code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	if code := cmdBuild([]string{"-t", "b:1", "--target", "missing", dir}); code != 1 {
+		t.Fatalf("unknown target: exit %d, want 1", code)
+	}
+}
+
+func TestCLICacheSubcommands(t *testing.T) {
+	ctx := writeContext(t, "FROM alpine:3.19\nRUN apk add sl\n", nil)
+	cache := filepath.Join(t.TempDir(), "cas")
+	if code := cmdBuild([]string{"-t", "a:1", "--cache-dir", cache, ctx}); code != 0 {
+		t.Fatalf("build: exit %d", code)
+	}
+	if code := cmdCache([]string{"--cache-dir", cache, "ls"}); code != 0 {
+		t.Fatalf("ls: exit %d", code)
+	}
+	if code := cmdCache([]string{"--cache-dir", cache, "gc", "a:1"}); code != 0 {
+		t.Fatalf("gc: exit %d", code)
+	}
+	if code := cmdCache([]string{"--cache-dir", cache, "reset"}); code != 0 {
+		t.Fatalf("reset: exit %d", code)
+	}
+	// gc on a directory that has never existed is a no-op, exit 0.
+	if code := cmdCache([]string{"--cache-dir", filepath.Join(t.TempDir(), "fresh"), "gc"}); code != 0 {
+		t.Fatalf("gc on missing dir: exit %d", code)
+	}
+	if code := cmdCache([]string{"ls"}); code != 2 {
+		t.Fatalf("missing --cache-dir: exit %d, want 2", code)
+	}
+	if code := cmdCache([]string{"--cache-dir", cache}); code != 2 {
+		t.Fatalf("missing subcommand: exit %d, want 2", code)
+	}
+	if code := cmdCache([]string{"--cache-dir", cache, "defrag"}); code != 2 {
+		t.Fatalf("unknown subcommand: exit %d, want 2", code)
+	}
+}

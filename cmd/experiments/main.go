@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/baseline"
 	"repro/internal/build"
+	"repro/internal/cas"
 	"repro/internal/container"
 	"repro/internal/core"
 	"repro/internal/errno"
@@ -394,6 +395,63 @@ CMD ["/app/solver"]
 		check("E18", "multi-stage: slim runtime gets artifact, debug pruned", ok,
 			fmt.Sprintf("built=%d skipped=%d artifact=%q", res.StagesBuilt, res.StagesSkipped,
 				strings.TrimSpace(string(artifact))))
+	}
+
+	// E19 (persistent cache): two separate invocations — completely fresh
+	// worlds, stores and instruction caches, sharing only an on-disk
+	// cas directory — of the E18 builder pattern. The second must run
+	// fully warm: every instruction a cache hit, nothing executed, and
+	// the flatten chains rehydrated from persisted snapshots instead of
+	// filled (zero fills).
+	{
+		text := `FROM centos:7 AS build
+RUN yum install -y openssh
+RUN mkdir -p /opt && echo solver-bin > /opt/solver
+
+FROM alpine:3.19
+COPY --from=build /opt/solver /app/solver
+`
+		dir, err := os.MkdirTemp("", "e19-cas-")
+		if err != nil {
+			panic(err)
+		}
+		defer os.RemoveAll(dir)
+		invoke := func() (*build.Result, *image.Store, error) {
+			d, _, err := cas.Open(dir)
+			if err != nil {
+				return nil, nil, err
+			}
+			defer d.Close()
+			w := pkgmgr.NewWorld()
+			s := image.NewStore()
+			s.SetBacking(d)
+			for _, db := range []struct{ distro, name string }{
+				{pkgmgr.DistroCentOS7, "centos:7"},
+				{pkgmgr.DistroAlpine, "alpine:3.19"},
+			} {
+				img, err := w.BaseImage(db.distro, db.name)
+				if err != nil {
+					return nil, nil, err
+				}
+				s.Put(img)
+			}
+			res, err := build.Build(text, build.Options{
+				Tag: "e19:1", Force: build.ForceSeccomp,
+				Store: s, World: w, Cache: build.NewPersistentCache(d),
+			})
+			return res, s, err
+		}
+		cold, _, err1 := invoke()
+		warm, s2, err2 := invoke()
+		ok := err1 == nil && err2 == nil &&
+			cold.Executed > 0 && warm.Executed == 0 &&
+			warm.CacheHits == cold.Executed && s2.FlattenFills() == 0
+		measured := "build failed"
+		if err1 == nil && err2 == nil {
+			measured = fmt.Sprintf("cold executed=%d; warm executed=%d hits=%d fills=%d rehydrates=%d",
+				cold.Executed, warm.Executed, warm.CacheHits, s2.FlattenFills(), s2.Rehydrates())
+		}
+		check("E19", "persistent cache: 2nd invocation fully warm from disk", ok, measured)
 	}
 
 	fmt.Println(strings.Repeat("=", 100))

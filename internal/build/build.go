@@ -33,6 +33,7 @@ import (
 	"strings"
 
 	"repro/internal/baseline"
+	"repro/internal/cas"
 	"repro/internal/container"
 	"repro/internal/core"
 	"repro/internal/dockerfile"
@@ -93,6 +94,26 @@ type Options struct {
 	// share one across builds for warm rebuilds.
 	Cache *Cache
 
+	// CacheDir, when non-empty, names a persistent content-addressed
+	// store (internal/cas) opened for this build: Store is backed by it
+	// and, when Cache is nil, a persistent instruction cache is created
+	// from it — so a second invocation of the same build in a *different
+	// process* replays warm from disk. The handle is scoped to the call:
+	// Build swaps it in as the Store's backing and restores the previous
+	// backing (closing its own handle) before returning — which is why
+	// CacheDir must NOT be used by concurrent Builds sharing one Store:
+	// the swap/restore pairs interleave and a stale or closed backing can
+	// win. Concurrent callers, and callers running many builds (an open
+	// is a full fsck pass over the store), should wire persistence once
+	// themselves: cas.Open + NewPersistentCache + Store.SetBacking.
+	CacheDir string
+
+	// TargetStage, when non-empty, stops a multi-stage build at the named
+	// stage (`ch-image build --target`): that stage — referenced by its AS
+	// name or decimal index — becomes the build product, it is tagged, and
+	// stages only later stages depend on are never built.
+	TargetStage string
+
 	// Context holds the build-context files COPY/ADD resolve against.
 	Context map[string][]byte
 
@@ -129,6 +150,12 @@ type Result struct {
 
 	// CacheHits counts instructions replayed from the cache.
 	CacheHits int
+
+	// Executed counts cacheable instructions (RUN, COPY, ADD) that
+	// actually executed rather than replaying from the cache. A fully
+	// warm rebuild reports Executed == 0 — the `make cache-smoke`
+	// assertion.
+	Executed int
 
 	// ModifiedRuns counts RUN instructions rewritten by the apt
 	// workaround (the Fig. 2 "modified N RUN instructions" report).
@@ -172,7 +199,26 @@ func Build(text string, opt Options) (*Result, error) {
 		// Parseable but FROM-less: an ARG-only Dockerfile.
 		return &Result{}, fmt.Errorf("build: no FROM instruction")
 	}
-	if len(f.Stages) > 1 {
+	if opt.CacheDir != "" {
+		d, _, err := cas.Open(opt.CacheDir)
+		if err != nil {
+			return &Result{}, fmt.Errorf("build: cache dir: %w", err)
+		}
+		// The handle lives for this call only: restore whatever backing
+		// the caller had and close ours on the way out, or every Build
+		// would leak a journal fd and the store would keep writing through
+		// a handle the caller never sees.
+		defer d.Close() // LIFO: runs after the backing is restored below
+		if opt.Cache == nil {
+			opt.Cache = NewPersistentCache(d)
+		}
+		if opt.Store != nil {
+			prev := opt.Store.Backing()
+			opt.Store.SetBacking(d)
+			defer opt.Store.SetBacking(prev)
+		}
+	}
+	if len(f.Stages) > 1 || opt.TargetStage != "" {
 		return buildStages(f, opt)
 	}
 	res, _, err := buildOneStage(f, 0, nil, opt)
@@ -427,6 +473,7 @@ func (b *builder) stepRun(ins dockerfile.Instruction) error {
 	if hit {
 		return nil
 	}
+	b.res.Executed++
 	// This builder owns the in-flight fill for key from here on: builders
 	// sharing the cache block on it, so every failure path must abandon.
 	recorded := false
@@ -482,6 +529,7 @@ func (b *builder) stepCopy(ins dockerfile.Instruction) error {
 	if hit {
 		return nil
 	}
+	b.res.Executed++
 	// Fill owned (see stepRun): abandon on any failure path.
 	recorded := false
 	defer func() {
@@ -571,6 +619,7 @@ func (b *builder) stepCopyFrom(ins dockerfile.Instruction) error {
 	if hit {
 		return nil
 	}
+	b.res.Executed++
 	// Fill owned (see stepRun): abandon on any failure path.
 	recorded := false
 	defer func() {

@@ -7,6 +7,7 @@ import (
 	"strings"
 	"sync"
 
+	"repro/internal/cas"
 	"repro/internal/core"
 	"repro/internal/image"
 )
@@ -29,12 +30,21 @@ import (
 // time, exactly one executes the instruction; the other blocks until the
 // result is recorded and then replays it as an ordinary hit, so the
 // expensive step runs once however many builders race on it.
+// A persistent cache (NewPersistentCache) is additionally backed by a
+// cas.Dir: completed steps write through to the journal and blob store,
+// and the journal's records rehydrate lazily — a key recorded by an
+// earlier process costs one digest-verified blob read on first hit, and
+// nothing at all if the build never reaches it.
 type Cache struct {
 	mu      sync.Mutex
 	entries map[string]cacheEntry
 	flights map[string]*stepFlight
 	hits    int
 	misses  int
+
+	dir        *cas.Dir            // nil for a purely in-memory cache
+	lazy       map[string]cas.Step // persisted entries not yet loaded
+	persistErr error
 }
 
 // stepFlight is one instruction being executed by some builder right now.
@@ -59,6 +69,49 @@ func NewCache() *Cache {
 	return &Cache{entries: map[string]cacheEntry{}, flights: map[string]*stepFlight{}}
 }
 
+// NewPersistentCache creates an instruction cache backed by an open
+// cas.Dir: every entry the Dir's journal holds is available (rehydrated
+// lazily on first hit), and every step completed through this cache is
+// persisted for the next invocation. Share one persistent cache across
+// the builds of a process exactly like an in-memory one; it is equally
+// safe under build.Pool.
+func NewPersistentCache(d *cas.Dir) *Cache {
+	c := NewCache()
+	c.dir = d
+	c.lazy = map[string]cas.Step{}
+	for _, st := range d.Steps() {
+		c.lazy[st.Key] = st
+	}
+	return c
+}
+
+// PersistErr reports the first write-through failure, nil when every
+// completed step reached the backing store. A failure leaves the on-disk
+// cache colder, never wrong.
+func (c *Cache) PersistErr() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.persistErr
+}
+
+// loadStep reads a persisted entry's layer blob (digest-verified by the
+// Dir on the way out). Called WITHOUT c.mu held — this is disk I/O, and
+// the loading goroutine holds the key's flight instead, so other builders
+// only wait on it for this key, never for the whole cache. A blob that
+// fails verification was quarantined by the Dir; the entry is dropped and
+// the step re-executes as an ordinary miss.
+func (c *Cache) loadStep(st cas.Step) (cacheEntry, bool) {
+	ent := cacheEntry{modified: st.Modified}
+	if st.Layer != "" {
+		data, err := c.dir.Blob(st.Layer)
+		if err != nil {
+			return cacheEntry{}, false
+		}
+		ent.layer = data
+	}
+	return ent, true
+}
+
 // Stats reports lifetime hit/miss totals across all builds sharing the
 // cache. Every replay — direct or after waiting out another builder's
 // in-flight execution — counts one hit; every fill counts one miss, so
@@ -70,11 +123,12 @@ func (c *Cache) Stats() (hits, misses int) {
 	return c.hits, c.misses
 }
 
-// Len reports the number of cached instructions.
+// Len reports the number of cached instructions, including persisted
+// entries not yet rehydrated.
 func (c *Cache) Len() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return len(c.entries)
+	return len(c.entries) + len(c.lazy)
 }
 
 // getOrBegin is the single entry point for a builder reaching a cacheable
@@ -94,6 +148,31 @@ func (c *Cache) getOrBegin(key string) (ent cacheEntry, hit, fill bool) {
 			c.hits++
 			c.mu.Unlock()
 			return ent, true, false
+		}
+		if st, ok := c.lazy[key]; ok {
+			// Rehydrate a persisted entry. The blob read happens outside
+			// the lock under a flight for this key: concurrent builders on
+			// the same key wait and replay, everyone else proceeds.
+			delete(c.lazy, key)
+			f := &stepFlight{done: make(chan struct{})}
+			c.flights[key] = f
+			c.mu.Unlock()
+			ent, loaded := c.loadStep(st)
+			c.mu.Lock()
+			delete(c.flights, key)
+			if loaded {
+				c.entries[key] = ent
+				c.hits++
+				c.mu.Unlock()
+				f.ent, f.filled = ent, true
+				close(f.done)
+				return ent, true, false
+			}
+			// Corrupt on disk: wake any waiters unfilled and contend with
+			// them for an ordinary fill.
+			c.mu.Unlock()
+			close(f.done)
+			continue
 		}
 		if f, inflight := c.flights[key]; inflight {
 			c.mu.Unlock()
@@ -115,7 +194,10 @@ func (c *Cache) getOrBegin(key string) (ent cacheEntry, hit, fill bool) {
 
 // complete records a finished step and releases any builders waiting on
 // it. The layer bytes are copied in: entries are shared across builds and
-// must stay immutable however callers treat the slices they recorded.
+// must stay immutable however callers treat the slices they recorded. A
+// persistent cache also writes the step through to its backing store; a
+// write-through failure is parked in PersistErr, never surfaced to the
+// build.
 func (c *Cache) complete(key string, ent cacheEntry) {
 	if ent.layer != nil {
 		ent.layer = append([]byte(nil), ent.layer...)
@@ -128,6 +210,15 @@ func (c *Cache) complete(key string, ent cacheEntry) {
 	if f != nil {
 		f.ent, f.filled = ent, true
 		close(f.done)
+	}
+	if c.dir != nil {
+		if err := c.dir.PutStep(key, ent.layer, ent.modified); err != nil {
+			c.mu.Lock()
+			if c.persistErr == nil {
+				c.persistErr = err
+			}
+			c.mu.Unlock()
+		}
 	}
 }
 

@@ -58,12 +58,19 @@ func buildStages(f *dockerfile.File, opt Options) (*Result, error) {
 		out = io.Discard
 	}
 	agg := &Result{}
-	reach := f.Reachable()
 	final := len(f.Stages) - 1
+	if opt.TargetStage != "" {
+		idx, ok := f.StageIndex(opt.TargetStage)
+		if !ok {
+			return agg, fmt.Errorf("build: target stage %q not found", opt.TargetStage)
+		}
+		final = idx
+	}
+	reach := f.ReachableFrom(final)
 	for i, ok := range reach {
 		if !ok {
 			agg.StagesSkipped++
-			fmt.Fprintf(out, "=== stage %d/%d (%s): skipped, not referenced by the final stage\n",
+			fmt.Fprintf(out, "=== stage %d/%d (%s): skipped, not referenced by the target stage\n",
 				i+1, len(f.Stages), stageLabel(f.Stages[i]))
 		}
 	}
@@ -148,6 +155,7 @@ func aggregate(agg *Result, stageRes []*Result, built []bool) {
 			agg.StagesBuilt++
 		}
 		agg.CacheHits += r.CacheHits
+		agg.Executed += r.Executed
 		agg.ModifiedRuns += r.ModifiedRuns
 		agg.FakerootRecords += r.FakerootRecords
 		agg.VirtualNanos += r.VirtualNanos

@@ -415,3 +415,101 @@ func TestMultiStageParseErrorNonNilResult(t *testing.T) {
 		t.Fatal("Result must be non-nil on parse errors")
 	}
 }
+
+// --target stops the build at the named stage: it becomes the product, is
+// tagged, and later stages (plus anything only they reference) never run.
+func TestTargetStageStopsEarly(t *testing.T) {
+	w, s := fixtures(t)
+	res, tr := mustBuild(t, builderPattern, Options{
+		Tag: "builder:1", Force: ForceSeccomp, Store: s, World: w,
+		TargetStage: "build",
+	})
+	// Only the target stage runs: the alpine stages (debug AND final) are
+	// skipped, and the result is the centos build stage's image.
+	if res.StagesBuilt != 1 || res.StagesSkipped != 2 {
+		t.Fatalf("built=%d skipped=%d\n%s", res.StagesBuilt, res.StagesSkipped, tr)
+	}
+	if res.Image.Name != "builder:1" {
+		t.Fatalf("target stage not tagged: %s", res.Image.Name)
+	}
+	if data, _ := readImageFile(t, res.Image, "/opt/out/bin"); string(data) != "artifact-v1\n" {
+		t.Fatalf("artifact: %q", data)
+	}
+	if _, ok := s.Get("builder:1"); !ok {
+		t.Fatal("target image not in store")
+	}
+}
+
+// --target accepts a decimal index too (StageIndex semantics).
+func TestTargetStageByIndex(t *testing.T) {
+	w, s := fixtures(t)
+	res, _ := mustBuild(t, builderPattern, Options{
+		Tag: "dbg:1", Force: ForceSeccomp, Store: s, World: w,
+		TargetStage: "1", // the debug stage
+	})
+	if res.StagesBuilt != 1 || res.StagesSkipped != 2 {
+		t.Fatalf("built=%d skipped=%d", res.StagesBuilt, res.StagesSkipped)
+	}
+	fs, err := res.Image.Flatten()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fs.Exists(vfs.RootContext(), "/usr/bin/sl") {
+		t.Fatal("debug stage's package missing from target image")
+	}
+}
+
+// A --target naming a mid-DAG stage builds its dependencies but nothing
+// downstream.
+func TestTargetStageBuildsDependencies(t *testing.T) {
+	w, s := fixtures(t)
+	text := `FROM centos:7 AS base
+RUN mkdir -p /opt && echo lib > /opt/lib
+
+FROM base AS mid
+RUN echo mid > /opt/mid
+
+FROM alpine:3.19
+COPY --from=mid /opt/mid /mid
+`
+	res, _ := mustBuild(t, text, Options{
+		Tag: "mid:1", Force: ForceSeccomp, Store: s, World: w, TargetStage: "mid",
+	})
+	if res.StagesBuilt != 2 || res.StagesSkipped != 1 {
+		t.Fatalf("built=%d skipped=%d", res.StagesBuilt, res.StagesSkipped)
+	}
+	if data, _ := readImageFile(t, res.Image, "/opt/lib"); string(data) != "lib\n" {
+		t.Fatalf("dependency stage content missing: %q", data)
+	}
+}
+
+// An unknown --target is an error before anything builds.
+func TestTargetStageUnknownFails(t *testing.T) {
+	w, s := fixtures(t)
+	res, _, err := mustFail(t, builderPattern, Options{
+		Tag: "x", Force: ForceSeccomp, Store: s, World: w, TargetStage: "nope",
+	})
+	if !strings.Contains(err.Error(), `target stage "nope" not found`) {
+		t.Fatalf("err=%v", err)
+	}
+	if res.StagesBuilt != 0 {
+		t.Fatalf("stages built despite bad target: %d", res.StagesBuilt)
+	}
+}
+
+// --target on a single-stage Dockerfile routes through the stage driver
+// and validates the name.
+func TestTargetStageSingleStageFile(t *testing.T) {
+	w, s := fixtures(t)
+	res, _ := mustBuild(t, "FROM alpine:3.19 AS only\nRUN apk add sl\n", Options{
+		Tag: "only:1", Force: ForceSeccomp, Store: s, World: w, TargetStage: "only",
+	})
+	if res.StagesBuilt != 1 {
+		t.Fatalf("built=%d", res.StagesBuilt)
+	}
+	if _, _, err := mustFail(t, "FROM alpine:3.19 AS only\nRUN apk add sl\n", Options{
+		Tag: "x", Store: s, World: w, TargetStage: "typo",
+	}); err == nil {
+		t.Fatal("bad target on single-stage file accepted")
+	}
+}

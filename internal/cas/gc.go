@@ -1,0 +1,91 @@
+package cas
+
+import (
+	"fmt"
+	"os"
+)
+
+// GCStats reports what a garbage collection swept and kept.
+type GCStats struct {
+	TagsKept      int   // roots the mark phase started from
+	BlobsKept     int   // blob files still referenced
+	BlobsSwept    int   // blob files deleted
+	BytesSwept    int64 // bytes freed by deleted blobs
+	StepsDropped  int   // instruction-cache entries whose layer was swept
+	ChainsDropped int   // flatten-chain indexes whose members were swept
+}
+
+// GC is mark-and-sweep from the tagged roots. A blob survives iff some
+// remaining tag's layer chain references it; a flatten-chain index
+// survives iff it has members and every one survives (its snapshot blob
+// is then kept too); an instruction-cache entry with a layer survives iff
+// that layer blob survives. Everything else — untagged intermediate-stage
+// layers, entries for steps no tagged image retains — is deleted, and the
+// journal is compacted to exactly the surviving records. On an empty
+// store GC is a no-op.
+//
+// Steps that recorded no layer carry no reachability information and are
+// always kept; they cost one journal line each and nothing in the blob
+// store. GC holds the Dir lock throughout, and the Put* writers hold it
+// across their blob-write + journal-append pairs, so a sweep never runs
+// between a blob landing and the record that references it.
+func (d *Dir) GC() (GCStats, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+
+	marked := map[string]bool{}
+	for _, tg := range d.tags {
+		for _, l := range tg.Layers {
+			marked[l] = true
+		}
+	}
+	var stats GCStats
+	stats.TagsKept = len(d.tags)
+
+	for key, ch := range d.chains {
+		keep := len(ch.Layers) > 0 // a memberless chain is unreachable by construction
+		for _, l := range ch.Layers {
+			keep = keep && marked[l]
+		}
+		if keep {
+			marked[ch.Snap] = true
+		} else {
+			delete(d.chains, key)
+			stats.ChainsDropped++
+		}
+	}
+	for key, st := range d.steps {
+		if st.Layer != "" && !marked[st.Layer] {
+			delete(d.steps, key)
+			stats.StepsDropped++
+		}
+	}
+
+	// Sweep: every blob file not marked goes away.
+	var sweepErr error
+	d.walkBlobs(func(digest, p string, ent os.DirEntry) {
+		if sweepErr != nil {
+			return
+		}
+		if marked[digest] {
+			stats.BlobsKept++
+			return
+		}
+		if info, err := ent.Info(); err == nil {
+			stats.BytesSwept += info.Size()
+		}
+		if err := os.Remove(p); err != nil {
+			sweepErr = fmt.Errorf("cas: gc: %w", err)
+			return
+		}
+		stats.BlobsSwept++
+	})
+	if sweepErr != nil {
+		return stats, sweepErr
+	}
+
+	if err := d.writeCompactJournal(); err != nil {
+		return stats, err
+	}
+	return stats, nil
+}

@@ -1,0 +1,149 @@
+package cas
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// GC keeps a blob while ANY tag references it: dropping one of two tags
+// sharing a layer must not sweep the layer.
+func TestGCBlobSharedByTwoTagsSurvives(t *testing.T) {
+	d, _ := openT(t, t.TempDir())
+	shared, _ := d.PutBlob([]byte("shared layer"))
+	only, _ := d.PutBlob([]byte("private layer"))
+	if err := d.PutTag("a:1", []string{shared}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.PutTag("b:1", []string{shared, only}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.DeleteTag("b:1"); err != nil {
+		t.Fatal(err)
+	}
+	stats, err := d.GC()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.HasBlob(shared) {
+		t.Fatal("blob still referenced by a:1 was swept")
+	}
+	if d.HasBlob(only) {
+		t.Fatal("blob referenced only by the deleted tag survived")
+	}
+	if stats.BlobsSwept != 1 || stats.BlobsKept != 1 || stats.TagsKept != 1 {
+		t.Fatalf("stats: %+v", stats)
+	}
+}
+
+// Untagged intermediate-stage blobs — step layers and flatten chains no
+// tagged image retains — are collected; everything a tag reaches stays.
+func TestGCCollectsUntaggedIntermediates(t *testing.T) {
+	root := t.TempDir()
+	d, _ := openT(t, root)
+	final := []byte("final layer")
+	inter := []byte("intermediate stage layer")
+	fd, _ := d.PutBlob(final)
+	if err := d.PutTag("app:1", []string{fd}, nil); err != nil {
+		t.Fatal(err)
+	}
+	// A step of the tagged image and a step of a pruned intermediate.
+	if err := d.PutStep("final-step", final, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.PutStep("inter-step", inter, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.PutStep("no-layer-step", nil, 1); err != nil {
+		t.Fatal(err)
+	}
+	// Chains for the tagged image and for the intermediate stage.
+	if err := d.PutChain("sha256:tagged", []string{fd}, []byte("tagged snap")); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.PutChain("sha256:inter", []string{Sum(inter)}, []byte("inter snap")); err != nil {
+		t.Fatal(err)
+	}
+
+	stats, err := d.GC()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.StepsDropped != 1 || stats.ChainsDropped != 1 {
+		t.Fatalf("stats: %+v", stats)
+	}
+	if _, ok := d.Step("final-step"); !ok {
+		t.Fatal("tagged image's step dropped")
+	}
+	if _, ok := d.Step("no-layer-step"); !ok {
+		t.Fatal("empty-layer step dropped")
+	}
+	if _, ok := d.Step("inter-step"); ok {
+		t.Fatal("intermediate step survived")
+	}
+	if _, ok := d.Chain("sha256:tagged"); !ok {
+		t.Fatal("tagged chain dropped")
+	}
+	if _, ok := d.Chain("sha256:inter"); ok {
+		t.Fatal("intermediate chain survived")
+	}
+	if d.HasBlob(Sum(inter)) || d.HasBlob(Sum([]byte("inter snap"))) {
+		t.Fatal("intermediate blobs survived")
+	}
+	if !d.HasBlob(fd) || !d.HasBlob(Sum([]byte("tagged snap"))) {
+		t.Fatal("tagged blobs swept")
+	}
+	d.Close()
+
+	// GC compacts the journal: the reopened store holds exactly the
+	// survivors and reports no damage (dropped records are gone for good,
+	// not re-dropped every open).
+	d2, rep := openT(t, root)
+	if rep.Quarantined() {
+		t.Fatalf("post-GC store reports damage: %+v", rep)
+	}
+	if _, ok := d2.Step("inter-step"); ok {
+		t.Fatal("dropped step resurrected by reopen")
+	}
+	if _, ok := d2.Step("final-step"); !ok {
+		t.Fatal("surviving step lost on reopen")
+	}
+}
+
+// GC on an empty (or never-used) store is a no-op, not an error.
+func TestGCEmptyStoreNoOp(t *testing.T) {
+	root := filepath.Join(t.TempDir(), "never-existed")
+	d, _ := openT(t, root) // Open creates the layout
+	stats, err := d.GC()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats != (GCStats{}) {
+		t.Fatalf("stats on empty store: %+v", stats)
+	}
+	// Still usable afterwards.
+	if _, err := d.PutBlob([]byte("post-gc")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(root, "journal")); err != nil {
+		t.Fatalf("journal after empty GC: %v", err)
+	}
+}
+
+// With no tags at all, GC sweeps everything — the store degenerates to
+// empty rather than leaking unreachable blobs forever.
+func TestGCNoRootsSweepsAll(t *testing.T) {
+	d, _ := openT(t, t.TempDir())
+	d.PutStep("s", []byte("layer"), 0)
+	d.PutChain("sha256:c", []string{Sum([]byte("layer"))}, []byte("snap"))
+	stats, err := d.GC()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.BlobsSwept != 2 || stats.BlobsKept != 0 {
+		t.Fatalf("stats: %+v", stats)
+	}
+	if n, _ := d.BlobStats(); n != 0 {
+		t.Fatalf("%d blobs left", n)
+	}
+}

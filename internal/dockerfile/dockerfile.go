@@ -396,6 +396,13 @@ func (f *File) StageIndex(ref string) (int, bool) {
 // unreachable stages entirely — they are parsed and validated but never
 // executed.
 func (f *File) Reachable() []bool {
+	return f.ReachableFrom(len(f.Stages) - 1)
+}
+
+// ReachableFrom reports, per stage, whether stage root transitively
+// depends on it (root itself included) — the reachability a --target
+// build prunes against. An out-of-range root marks nothing reachable.
+func (f *File) ReachableFrom(root int) []bool {
 	seen := make([]bool, len(f.Stages))
 	var visit func(int)
 	visit = func(i int) {
@@ -407,8 +414,8 @@ func (f *File) Reachable() []bool {
 			visit(d)
 		}
 	}
-	if len(f.Stages) > 0 {
-		visit(len(f.Stages) - 1)
+	if root >= 0 && root < len(f.Stages) {
+		visit(root)
 	}
 	return seen
 }

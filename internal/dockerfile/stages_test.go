@@ -232,3 +232,24 @@ func TestStageIndexLookup(t *testing.T) {
 		t.Fatal("out-of-range index resolved")
 	}
 }
+
+func TestReachableFrom(t *testing.T) {
+	f := parse(t, builderPattern)
+	// From the final stage: build + final, debug unreachable (Reachable()
+	// delegates here).
+	if got := f.ReachableFrom(2); !got[0] || got[1] || !got[2] {
+		t.Fatalf("from final: %v", got)
+	}
+	// From the build stage: only itself.
+	if got := f.ReachableFrom(0); !got[0] || got[1] || got[2] {
+		t.Fatalf("from build: %v", got)
+	}
+	// Out-of-range roots mark nothing.
+	for _, root := range []int{-1, 3} {
+		for i, ok := range f.ReachableFrom(root) {
+			if ok {
+				t.Fatalf("root %d marks stage %d", root, i)
+			}
+		}
+	}
+}

@@ -8,11 +8,13 @@ package image
 import (
 	"crypto/sha256"
 	"encoding/hex"
+	"encoding/json"
 	"fmt"
 	"sort"
 	"strings"
 	"sync"
 
+	"repro/internal/cas"
 	"repro/internal/tarutil"
 	"repro/internal/vfs"
 )
@@ -138,11 +140,20 @@ type Store struct {
 	flattens map[string]*vfs.FS         // chain digest → pristine flattened tree
 	lowers   map[string][]tarutil.Entry // chain digest → snapshot of that tree
 
+	// backing, when set, is the persistent content-addressed store the
+	// in-memory maps are a cache over: Put writes through (blobs, tag
+	// records, flatten-chain snapshots), Get and flattened fall back to it
+	// on miss and rehydrate lazily. A backing failure never fails the
+	// store — persistence degrades and the error parks in backingErr.
+	backing    *cas.Dir
+	backingErr error
+
 	// Single-flight state for flatten-cache fills: concurrent misses on
 	// one chain must unpack+snapshot once, not clobber each other.
-	flightMu sync.Mutex
-	flights  map[string]*flattenFlight
-	fills    int // completed fills, for tests and stats
+	flightMu   sync.Mutex
+	flights    map[string]*flattenFlight
+	fills      int // completed fills (unpack+snapshot paid), for tests and stats
+	rehydrates int // chains loaded from the backing store instead of filled
 }
 
 // flattenFlight is one in-progress flatten-cache fill. Waiters block on
@@ -185,6 +196,12 @@ func (s *Store) Flatten(img *Image) (*vfs.FS, error) {
 // concurrent misses on one chain, exactly one goroutine pays the
 // unpack+snapshot (O(tree)); the rest block until it publishes and then
 // share the result. A failed fill is not cached — the next caller retries.
+//
+// With a backing store attached, a miss first tries the persisted
+// flatten-chain index: the whole-tree snapshot recorded by an earlier
+// invocation unpacks in one pass (counted in Rehydrates, not
+// FlattenFills), and a genuine fill persists its snapshot for the next
+// invocation.
 func (s *Store) flattened(img *Image) (*vfs.FS, []tarutil.Entry, error) {
 	key := ChainDigest(img.Layers)
 	s.mu.RLock()
@@ -215,9 +232,12 @@ func (s *Store) flattened(img *Image) (*vfs.FS, []tarutil.Entry, error) {
 	s.flights[key] = f
 	s.flightMu.Unlock()
 
-	f.fs, f.err = s.flattenPristine(img)
-	if f.err == nil {
-		f.lower, f.err = tarutil.Snapshot(f.fs)
+	rehydrated := s.rehydrateChain(key, f)
+	if !rehydrated {
+		f.fs, f.err = s.flattenPristine(img)
+		if f.err == nil {
+			f.lower, f.err = tarutil.Snapshot(f.fs)
+		}
 	}
 	if f.err != nil {
 		f.fs, f.lower = nil, nil
@@ -226,15 +246,82 @@ func (s *Store) flattened(img *Image) (*vfs.FS, []tarutil.Entry, error) {
 		s.flattens[key] = f.fs
 		s.lowers[key] = f.lower
 		s.mu.Unlock()
+		if !rehydrated {
+			s.persistChain(key, img, f.lower)
+		}
 	}
 	s.flightMu.Lock()
 	delete(s.flights, key)
 	if f.err == nil {
-		s.fills++
+		if rehydrated {
+			s.rehydrates++
+		} else {
+			s.fills++
+		}
 	}
 	s.flightMu.Unlock()
 	close(f.done)
 	return f.fs, f.lower, f.err
+}
+
+// rehydrateChain tries to satisfy a flatten-cache miss from the backing
+// store's persisted chain snapshot. On success it populates f and returns
+// true; any failure (no backing, no record, corrupt snapshot) returns
+// false and the caller pays the ordinary fill.
+func (s *Store) rehydrateChain(key string, f *flattenFlight) bool {
+	backing := s.Backing()
+	if backing == nil {
+		return false
+	}
+	ch, ok := backing.Chain(key)
+	if !ok {
+		return false
+	}
+	snap, err := backing.Blob(ch.Snap)
+	if err != nil {
+		return false
+	}
+	fs := vfs.New()
+	if err := tarutil.Unpack(fs, snap); err != nil {
+		return false
+	}
+	lower, err := tarutil.Snapshot(fs)
+	if err != nil {
+		return false
+	}
+	f.fs, f.lower = fs, lower
+	return true
+}
+
+// persistChain writes a freshly filled flatten chain through to the
+// backing store: the member layer blobs (so fsck and GC can account for
+// them) and the packed whole-tree snapshot under the chain digest.
+func (s *Store) persistChain(key string, img *Image, lower []tarutil.Entry) {
+	backing := s.Backing()
+	if backing == nil {
+		return
+	}
+	digests := make([]string, len(img.Layers))
+	for i, l := range img.Layers {
+		data, ok := s.blobView(l.Digest)
+		if !ok {
+			data = l.Data
+		}
+		if _, err := backing.PutBlob(data); err != nil {
+			s.mu.Lock()
+			s.noteBackingErr(err)
+			s.mu.Unlock()
+			return
+		}
+		digests[i] = l.Digest
+	}
+	packed, err := tarutil.Pack(lower)
+	if err == nil {
+		err = backing.PutChain(key, digests, packed)
+	}
+	s.mu.Lock()
+	s.noteBackingErr(err)
+	s.mu.Unlock()
 }
 
 // flattenPristine is Image.Flatten reading each layer from the store's
@@ -280,6 +367,15 @@ func (s *Store) FlattenFills() int {
 	return s.fills
 }
 
+// Rehydrates reports how many flatten chains were loaded from the backing
+// store's persisted snapshots instead of being filled from layers — the
+// warm-from-disk counterpart of FlattenFills.
+func (s *Store) Rehydrates() int {
+	s.flightMu.Lock()
+	defer s.flightMu.Unlock()
+	return s.rehydrates
+}
+
 // CommitLayer is Image.CommitLayer using the store's flatten cache: the
 // base image's lower snapshot is computed once per layer chain, so each
 // commit costs one walk of fs instead of an unpack plus two full
@@ -292,36 +388,151 @@ func (s *Store) CommitLayer(newName string, img *Image, fs *vfs.FS) (*Image, boo
 	return img.commitAgainst(newName, lower, fs)
 }
 
+// SetBacking attaches a persistent content-addressed store: subsequent
+// Puts write through (layer blobs, tag records) and Gets and flatten
+// fills fall back to it, so tags, layers and flatten chains survive the
+// process and the next invocation starts warm. Attach the backing before
+// seeding the store — images Put earlier are not retroactively persisted.
+// Persistence errors never fail store operations; they are recorded and
+// readable via BackingErr.
+func (s *Store) SetBacking(d *cas.Dir) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.backing = d
+}
+
+// Backing returns the attached persistent store, nil when in-memory only.
+func (s *Store) Backing() *cas.Dir {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.backing
+}
+
+// BackingErr reports the first persistence failure since the backing was
+// attached, nil when every write-through landed. A failure means the
+// on-disk cache is colder than memory, never that it is wrong.
+func (s *Store) BackingErr() error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.backingErr
+}
+
+// noteBackingErr records the first persistence failure. Callers hold s.mu.
+func (s *Store) noteBackingErr(err error) {
+	if err != nil && s.backingErr == nil {
+		s.backingErr = err
+	}
+}
+
 // Put tags an image, registering its layer blobs. Blob bytes are copied
 // on the way in and write-once thereafter: the store is content-addressed,
 // so the first bytes recorded under a digest are the bytes that digest
-// names, however callers later treat the Image they handed over.
+// names, however callers later treat the Image they handed over. With a
+// backing store attached, the blobs and the tag record write through to
+// disk.
 func (s *Store) Put(img *Image) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	for _, l := range img.Layers {
-		if _, ok := s.blobs[l.Digest]; ok {
-			continue
+	pristine := make([][]byte, len(img.Layers))
+	digests := make([]string, len(img.Layers))
+	for i, l := range img.Layers {
+		if _, ok := s.blobs[l.Digest]; !ok {
+			s.blobs[l.Digest] = append([]byte(nil), l.Data...)
 		}
-		s.blobs[l.Digest] = append([]byte(nil), l.Data...)
+		// Persist the store's pristine copy, not the caller's mutable
+		// slice. Blobs are write-once, so reading the map entry here and
+		// using it after unlock is safe.
+		pristine[i] = s.blobs[l.Digest]
+		digests[i] = l.Digest
 	}
 	s.images[img.Name] = img
+	backing := s.backing
+	s.mu.Unlock()
+	if backing == nil {
+		return
+	}
+	// Write-through runs outside s.mu: disk writes must not stall the
+	// store's readers. (Two concurrent Puts of the same tag may journal
+	// in either order; both orders are internally consistent.)
+	var err error
+	for _, data := range pristine {
+		if _, err = backing.PutBlob(data); err != nil {
+			break
+		}
+	}
+	if err == nil {
+		var cfg []byte
+		if cfg, err = json.Marshal(img.Config); err == nil {
+			err = backing.PutTag(img.Name, digests, cfg)
+		}
+	}
+	s.mu.Lock()
+	s.noteBackingErr(err)
+	s.mu.Unlock()
 }
 
-// Get resolves a tag.
+// Get resolves a tag, falling back to the backing store: a tag persisted
+// by an earlier invocation is rehydrated (layers loaded and digest-
+// verified) on first access and cached in memory from then on.
 func (s *Store) Get(name string) (*Image, bool) {
 	s.mu.RLock()
-	defer s.mu.RUnlock()
 	img, ok := s.images[name]
-	return img, ok
-}
-
-// Delete removes a tag (blobs are kept; the store is append-mostly like
-// real CAS stores, and nothing in the workloads needs GC).
-func (s *Store) Delete(name string) {
+	backing := s.backing
+	s.mu.RUnlock()
+	if ok || backing == nil {
+		return img, ok
+	}
+	tg, found := backing.Tag(name)
+	if !found {
+		return nil, false
+	}
+	loaded := &Image{Name: name, Layers: make([]Layer, 0, len(tg.Layers))}
+	if len(tg.Config) > 0 {
+		if err := json.Unmarshal(tg.Config, &loaded.Config); err != nil {
+			return nil, false
+		}
+	}
+	for _, digest := range tg.Layers {
+		// Blob digest-verifies on the way out and quarantines mismatches,
+		// so an error here means the tag is cold, never that bad bytes
+		// got through.
+		data, err := backing.Blob(digest)
+		if err != nil {
+			return nil, false
+		}
+		loaded.Layers = append(loaded.Layers, Layer{Digest: digest, Data: data})
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if cur, ok := s.images[name]; ok {
+		return cur, true // raced with a concurrent Put/Get; keep the winner
+	}
+	for _, l := range loaded.Layers {
+		if _, ok := s.blobs[l.Digest]; !ok {
+			// Copied, like Put: the caller owns the Image and may scribble
+			// on its slices; the pristine-blob invariant must hold anyway.
+			s.blobs[l.Digest] = append([]byte(nil), l.Data...)
+		}
+	}
+	s.images[name] = loaded
+	return loaded, true
+}
+
+// Delete removes a tag, writing the untag through to the backing store —
+// otherwise Get's backing fallback would resurrect it on the next miss.
+// Blobs are kept; reclaiming them is the backing store's GC's job
+// (`ch-image cache gc`).
+func (s *Store) Delete(name string) {
+	s.mu.Lock()
+	backing := s.backing
 	delete(s.images, name)
+	s.mu.Unlock()
+	if backing == nil {
+		return
+	}
+	err := backing.DeleteTag(name)
+	s.mu.Lock()
+	s.noteBackingErr(err)
+	s.mu.Unlock()
 }
 
 // Blob fetches a blob by digest. The returned slice is the caller's to

@@ -2,6 +2,7 @@ package pkgmgr
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/image"
 	"repro/internal/shell"
@@ -91,9 +92,14 @@ func registerShellAndCoreutils(reg *simos.BinaryRegistry, static bool) {
 	reg.Register("/bin/sh.real", shell.Binary())
 }
 
-// BaseImage builds the single-layer base image for a distro.
+// BaseImage builds the single-layer base image for a distro. The image
+// filesystem is stamped with a fixed clock, not wall time: layer bytes —
+// and therefore digests, the keys of the persistent build cache — must be
+// identical across processes, or every invocation would start cold.
 func (w *World) BaseImage(distro, name string) (*image.Image, error) {
 	fs := vfs.New()
+	epoch := time.Date(2024, 5, 9, 0, 0, 0, 0, time.UTC) // the simulated kernel's base time
+	fs.SetClock(func() time.Time { return epoch })
 	rc := vfs.RootContext()
 	for _, d := range []string{"/bin", "/sbin", "/usr/bin", "/usr/sbin",
 		"/usr/lib", "/etc", "/var", "/tmp", "/root", "/home", "/lib"} {
