@@ -33,8 +33,12 @@ race:
 # persistent-cache claim (a warm-from-disk invocation with completely
 # fresh in-memory state lands far under a cold one, approaching the
 # in-memory warm rebuild) stays recorded run over run.
+# BenchmarkCacheOpen lands in BENCH_cas.{txt,json}: the --cache-verify
+# claim (a lazy open of a large store skips the O(store bytes) fsck and
+# lands far — at least 5× — under the full-verify open) stays recorded
+# run over run.
 bench:
-	go test -bench=. -skip='BenchmarkBuildParallel|BenchmarkBuildMultiStage|BenchmarkBuildPersistent' -benchtime=1x -run='^$$' . > BENCH_layercommit.txt; \
+	go test -bench=. -skip='BenchmarkBuildParallel|BenchmarkBuildMultiStage|BenchmarkBuildPersistent|BenchmarkCacheOpen' -benchtime=1x -run='^$$' . > BENCH_layercommit.txt; \
 		status=$$?; cat BENCH_layercommit.txt; exit $$status
 	go run ./cmd/benchjson < BENCH_layercommit.txt > BENCH_layercommit.json
 	go test -bench=BenchmarkBuildParallel -benchtime=5x -run='^$$' . > BENCH_parallel.txt; \
@@ -46,6 +50,9 @@ bench:
 	go test -bench=BenchmarkBuildPersistent -benchtime=5x -run='^$$' . > BENCH_persistent.txt; \
 		status=$$?; cat BENCH_persistent.txt; exit $$status
 	go run ./cmd/benchjson < BENCH_persistent.txt > BENCH_persistent.json
+	go test -bench=BenchmarkCacheOpen -benchtime=5x -run='^$$' . > BENCH_cas.txt; \
+		status=$$?; cat BENCH_cas.txt; exit $$status
+	go run ./cmd/benchjson < BENCH_cas.txt > BENCH_cas.json
 
 # The cross-invocation acceptance check: two ch-image builds in two
 # SEPARATE processes against one --cache-dir; the second must execute
@@ -61,9 +68,22 @@ cache-smoke:
 	@grep -q '^instructions executed: 0 ' $(CACHE_SMOKE_DIR)/second.out || \
 		{ echo "cache-smoke FAILED: second process executed instructions:"; cat $(CACHE_SMOKE_DIR)/second.out; exit 1; }
 	@echo "cache-smoke OK: second process ran fully warm from $(CACHE_SMOKE_DIR)/cas"
+	@# Cross-process flock: a build and a budgeted gc race on ONE
+	@# --cache-dir. The gc's exclusive lock conversion blocks behind the
+	@# build's shared hold (up to --lock-wait) instead of rewriting the
+	@# journal underneath it; both must exit 0 in any interleaving.
+	go run ./cmd/ch-image build -t smoke:2 --cache-dir $(CACHE_SMOKE_DIR)/cas $(CACHE_SMOKE_DIR)/ctx > $(CACHE_SMOKE_DIR)/third.out & \
+		build_pid=$$!; \
+		go run ./cmd/ch-image cache --cache-dir $(CACHE_SMOKE_DIR)/cas gc --max-bytes 1073741824 > $(CACHE_SMOKE_DIR)/gc.out; gc_status=$$?; \
+		wait $$build_pid; build_status=$$?; \
+		if [ $$gc_status -ne 0 ] || [ $$build_status -ne 0 ]; then \
+			echo "cache-smoke FAILED: concurrent build/gc (build=$$build_status gc=$$gc_status)"; \
+			cat $(CACHE_SMOKE_DIR)/third.out $(CACHE_SMOKE_DIR)/gc.out; exit 1; \
+		fi
+	@echo "cache-smoke OK: concurrent build and gc on one store both succeeded"
 	@# Bound the fixture: CI restores+saves this dir forever, so collect
 	@# everything the tagged images don't reach before it is cached again.
-	go run ./cmd/ch-image cache --cache-dir $(CACHE_SMOKE_DIR)/cas gc
+	go run ./cmd/ch-image cache --cache-dir $(CACHE_SMOKE_DIR)/cas gc smoke:2
 
 # Documentation gate: every relative link in the Markdown docs must
 # resolve and every ```go example must be gofmt-clean (cmd/doccheck).

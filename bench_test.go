@@ -679,3 +679,61 @@ func BenchmarkRegistryPushPull(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkCacheOpen (the --cache-verify claim): opening a large store
+// with the default full-verify fsck is O(store bytes) — every blob read
+// back and re-hashed — while a lazy open is O(journal lines). Over a
+// synthetic 256-blob × 64 KiB store the lazy open must land far (≥5×)
+// under the full one; BENCH_cas.{txt,json} record the gap run over run.
+// Each open also touches one step so the benchmark can't pass with a
+// handle that skipped loading the journal.
+func BenchmarkCacheOpen(b *testing.B) {
+	const (
+		blobCount = 256
+		blobSize  = 64 << 10
+	)
+	root := b.TempDir() + "/cas"
+	d, _, err := cas.Open(root)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < blobCount; i++ {
+		layer := make([]byte, blobSize)
+		copy(layer, fmt.Sprintf("blob-%d", i))
+		if err := d.PutStep(fmt.Sprintf("step-%d", i), layer, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := d.Close(); err != nil {
+		b.Fatal(err)
+	}
+
+	open := func(b *testing.B, mode cas.VerifyMode, wantChecked int) {
+		b.Helper()
+		d, _, err := cas.Open(root, cas.WithVerify(mode))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if got := d.Report().BlobsChecked; got != wantChecked {
+			b.Fatalf("BlobsChecked=%d, want %d", got, wantChecked)
+		}
+		if _, ok := d.Step("step-0"); !ok {
+			b.Fatal("journal not loaded")
+		}
+		if err := d.Close(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.Run("full-verify", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			open(b, cas.VerifyFull, blobCount)
+		}
+	})
+	b.Run("lazy", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			open(b, cas.VerifyLazy, 0)
+		}
+	})
+}

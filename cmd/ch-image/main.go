@@ -64,15 +64,26 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: ch-image build -t TAG[,TAG...] [-f DOCKERFILE] [--force=MODE] [--jobs N] [--target STAGE] [--cache-dir DIR] CONTEXT")
-	fmt.Fprintln(os.Stderr, "       ch-image cache --cache-dir DIR ls|gc [TAG...]|reset")
+	fmt.Fprintln(os.Stderr, "usage: ch-image build -t TAG[,TAG...] [-f DOCKERFILE] [--force=MODE] [--jobs N] [--target STAGE] [--cache-dir DIR] [--cache-verify=full|lazy] [--cache-max-bytes N] CONTEXT")
+	fmt.Fprintln(os.Stderr, "       ch-image cache --cache-dir DIR [--cache-verify=full|lazy] [--lock-wait DUR] ls|gc [--max-bytes N] [TAG...]|reset")
 	fmt.Fprintln(os.Stderr, "       ch-image list")
+}
+
+// verifyMode maps the --cache-verify flag onto cas.VerifyMode.
+func verifyMode(s string) (cas.VerifyMode, error) {
+	switch s {
+	case "full":
+		return cas.VerifyFull, nil
+	case "lazy":
+		return cas.VerifyLazy, nil
+	}
+	return 0, fmt.Errorf("unknown --cache-verify mode %q (want full or lazy)", s)
 }
 
 // openCacheDir opens the persistent store, reporting fsck findings the
 // way fsck(8) would: loudly, but without failing the run.
-func openCacheDir(dir string) (*cas.Dir, error) {
-	d, rep, err := cas.Open(dir)
+func openCacheDir(dir string, opts ...cas.Option) (*cas.Dir, error) {
+	d, rep, err := cas.Open(dir, opts...)
 	if err != nil {
 		return nil, err
 	}
@@ -107,7 +118,10 @@ func seededStore(w *pkgmgr.World, d *cas.Dir) (*image.Store, error) {
 }
 
 func cmdBuild(args []string) int {
-	fs := flag.NewFlagSet("build", flag.ExitOnError)
+	// ContinueOnError, not ExitOnError: a bad flag must return exit 2
+	// through the normal path (running deferred cleanups), not os.Exit
+	// from inside the flag package.
+	fs := flag.NewFlagSet("build", flag.ContinueOnError)
 	tag := fs.String("t", "", "image tag, or a comma-separated list for a pooled multi-tag build")
 	file := fs.String("f", "", "Dockerfile path (default CONTEXT/Dockerfile)")
 	force := fs.String("force", "seccomp", "root emulation: none, seccomp, fakeroot, proot")
@@ -118,7 +132,11 @@ func cmdBuild(args []string) int {
 	jobs := fs.Int("jobs", 1, "concurrent builders for a multi-tag build and concurrent stages for a multi-stage build")
 	target := fs.String("target", "", "stop the build at this stage (name or index) and tag it")
 	cacheDir := fs.String("cache-dir", "", "persistent build-cache directory; warm rebuilds survive across invocations")
-	fs.Parse(args)
+	cacheVerify := fs.String("cache-verify", "full", "cache-dir open validation: full (read every blob) or lazy (verify on first read)")
+	cacheMaxBytes := fs.Int64("cache-max-bytes", 0, "after the build, evict least-recently-recorded cache entries until the cache-dir blob store fits this many bytes (0 = unbounded)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 	if *tag == "" {
 		fmt.Fprintln(os.Stderr, "ch-image: -t TAG is required")
 		return 2
@@ -178,10 +196,15 @@ func cmdBuild(args []string) int {
 		}
 	}
 
+	verify, err := verifyMode(*cacheVerify)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ch-image: %v\n", err)
+		return 2
+	}
 	var dir *cas.Dir
 	if *cacheDir != "" {
 		var err error
-		if dir, err = openCacheDir(*cacheDir); err != nil {
+		if dir, err = openCacheDir(*cacheDir, cas.WithVerify(verify)); err != nil {
 			fmt.Fprintf(os.Stderr, "ch-image: %v\n", err)
 			return 2
 		}
@@ -233,6 +256,9 @@ func cmdBuild(args []string) int {
 			return 2
 		}
 		code := cmdBuildPool(string(text), tags, *jobs, opts, *rebuild, *pushTo)
+		if code == 0 {
+			budgetGC(store, *cacheMaxBytes)
+		}
 		warnPersistence(opts.Cache, store)
 		return code
 	}
@@ -255,6 +281,7 @@ func cmdBuild(args []string) int {
 		// against the same --cache-dir must report 0 executed.
 		fmt.Printf("instructions executed: %d (cache hits %d)\n", res.Executed, res.CacheHits)
 	}
+	budgetGC(store, *cacheMaxBytes)
 	warnPersistence(opts.Cache, store)
 	if *pushTo != "" {
 		if err := image.Push(*pushTo, res.Image); err != nil {
@@ -264,6 +291,20 @@ func cmdBuild(args []string) int {
 		fmt.Printf("pushed %s to %s\n", res.Image.Name, *pushTo)
 	}
 	return 0
+}
+
+// budgetGC bounds the persistent cache after a successful build
+// (--cache-max-bytes): least-recently-recorded entries are evicted until
+// the blob store fits. A failure (ErrBusy included) degrades to an
+// oversized cache, surfaced by warnPersistence, never a failed build.
+func budgetGC(store *image.Store, maxBytes int64) {
+	if maxBytes <= 0 || store.Backing() == nil {
+		return
+	}
+	if stats, err := store.GCBacking(cas.Budget{MaxBytes: maxBytes}); err == nil {
+		fmt.Printf("cache gc: %d bytes kept (budget %d), %d blob(s) evicted\n",
+			stats.BytesKept, maxBytes, stats.BlobsSwept)
+	}
 }
 
 // warnPersistence surfaces degraded --cache-dir write-through on stderr:
@@ -334,30 +375,58 @@ func cmdBuildPool(text string, tags []string, jobs int, opts build.Options, rebu
 
 // cmdCache inspects and maintains a persistent cache directory:
 //
-//	ls            list tags, cached instructions, chains and blob usage
-//	gc [TAG...]   drop the listed tags, then collect everything no
-//	              remaining tag reaches (ref-counted from tagged roots)
-//	reset         wipe the directory back to empty
+//	ls                         list tags, cached instructions, chains and blob usage
+//	gc [--max-bytes N] [TAG...]  drop the listed tags, then collect: with no
+//	                           budget, everything no remaining tag reaches;
+//	                           with --max-bytes, the least-recently-recorded
+//	                           entries until the blob store fits N bytes
+//	reset                      wipe the directory back to empty
+//
+// Flags may appear before or after the subcommand, so
+// `cache gc --max-bytes N --cache-dir DIR` works. The flag set uses
+// ContinueOnError: a bad flag returns exit 2 through the normal path
+// (deferred handle close included) instead of os.Exit from the flag
+// package.
 func cmdCache(args []string) int {
-	fs := flag.NewFlagSet("cache", flag.ExitOnError)
+	fs := flag.NewFlagSet("cache", flag.ContinueOnError)
 	cacheDir := fs.String("cache-dir", "", "persistent build-cache directory (required)")
-	fs.Parse(args)
+	cacheVerify := fs.String("cache-verify", "full", "open validation: full (read every blob) or lazy (verify on first read)")
+	maxBytes := fs.Int64("max-bytes", 0, "gc: evict least-recently-recorded entries until the blob store fits this many bytes (0 = full reachability sweep)")
+	lockWait := fs.Duration("lock-wait", cas.DefaultLockWait, "how long gc/reset wait for a store another process holds open")
+	// Interleaved parse: flag.Parse stops at the first positional, so
+	// collect positionals one at a time and re-parse the rest.
+	var pos []string
+	for rest := args; ; {
+		if err := fs.Parse(rest); err != nil {
+			return 2
+		}
+		if fs.NArg() == 0 {
+			break
+		}
+		pos = append(pos, fs.Arg(0))
+		rest = fs.Args()[1:]
+	}
 	if *cacheDir == "" {
 		fmt.Fprintln(os.Stderr, "ch-image: cache: --cache-dir DIR is required")
 		return 2
 	}
-	if fs.NArg() < 1 {
+	if len(pos) < 1 {
 		fmt.Fprintln(os.Stderr, "ch-image: cache: subcommand required: ls, gc or reset")
 		return 2
 	}
-	d, err := openCacheDir(*cacheDir)
+	verify, err := verifyMode(*cacheVerify)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ch-image: %v\n", err)
+		return 2
+	}
+	d, err := openCacheDir(*cacheDir, cas.WithVerify(verify), cas.WithLockWait(*lockWait))
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "ch-image: %v\n", err)
 		return 2
 	}
 	defer d.Close()
 
-	switch sub := fs.Arg(0); sub {
+	switch sub, tags := pos[0], pos[1:]; sub {
 	case "ls":
 		fmt.Println("tags:")
 		for _, name := range d.TagNames() {
@@ -370,19 +439,28 @@ func cmdCache(args []string) int {
 		fmt.Printf("blobs:             %d file(s), %d bytes\n", count, bytes)
 		return 0
 	case "gc":
-		for _, tag := range fs.Args()[1:] {
+		// Validate every tag before deleting any: `gc good:1 typo:1`
+		// must be an error and a no-op, not a half-done deletion that
+		// aborts without collecting.
+		for _, tag := range tags {
+			if _, ok := d.Tag(tag); !ok {
+				fmt.Fprintf(os.Stderr, "ch-image: cache gc: unknown tag %q; nothing deleted\n", tag)
+				return 1
+			}
+		}
+		for _, tag := range tags {
 			if err := d.DeleteTag(tag); err != nil {
 				fmt.Fprintf(os.Stderr, "ch-image: cache gc: %v\n", err)
 				return 1
 			}
 		}
-		stats, err := d.GC()
+		stats, err := d.GC(cas.Budget{MaxBytes: *maxBytes})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "ch-image: cache gc: %v\n", err)
 			return 1
 		}
-		fmt.Printf("gc: kept %d tag(s) and %d blob(s); swept %d blob(s) (%d bytes), dropped %d step(s) and %d chain(s)\n",
-			stats.TagsKept, stats.BlobsKept, stats.BlobsSwept, stats.BytesSwept,
+		fmt.Printf("gc: kept %d tag(s) and %d blob(s) (%d bytes); swept %d blob(s) (%d bytes), dropped %d step(s) and %d chain(s)\n",
+			stats.TagsKept, stats.BlobsKept, stats.BytesKept, stats.BlobsSwept, stats.BytesSwept,
 			stats.StepsDropped, stats.ChainsDropped)
 		return 0
 	case "reset":

@@ -197,3 +197,83 @@ func TestCLICacheSubcommands(t *testing.T) {
 		t.Fatalf("unknown subcommand: exit %d, want 2", code)
 	}
 }
+
+// A bad flag must come back as exit 2 through the normal return path —
+// the flag set uses ContinueOnError, so the test process itself surviving
+// this call is part of the assertion (ExitOnError would have killed it).
+func TestCLICacheBadFlagReturnsTwo(t *testing.T) {
+	cache := filepath.Join(t.TempDir(), "cas")
+	if code := cmdCache([]string{"--cache-dir", cache, "--bogus", "ls"}); code != 2 {
+		t.Fatalf("bad flag: exit %d, want 2", code)
+	}
+	if code := cmdCache([]string{"--cache-dir", cache, "gc", "--max-bytes", "not-a-number"}); code != 2 {
+		t.Fatalf("bad flag value: exit %d, want 2", code)
+	}
+}
+
+// Flags may follow the subcommand: `cache gc --max-bytes N --cache-dir D`
+// is the natural spelling and must parse.
+func TestCLICacheFlagsAfterSubcommand(t *testing.T) {
+	ctx := writeContext(t, "FROM alpine:3.19\nRUN apk add sl\n", nil)
+	cache := filepath.Join(t.TempDir(), "cas")
+	if code := cmdBuild([]string{"-t", "i:1", "--cache-dir", cache, ctx}); code != 0 {
+		t.Fatalf("build: exit %d", code)
+	}
+	if code := cmdCache([]string{"ls", "--cache-dir", cache}); code != 0 {
+		t.Fatalf("ls with trailing flags: exit %d", code)
+	}
+	if code := cmdCache([]string{"gc", "--max-bytes", "1048576", "--cache-dir", cache}); code != 0 {
+		t.Fatalf("gc with trailing flags: exit %d", code)
+	}
+	if code := cmdCache([]string{"--cache-dir", cache, "gc", "--max-bytes", "1048576"}); code != 0 {
+		t.Fatalf("gc with flags either side: exit %d", code)
+	}
+}
+
+// `cache gc TAG...` validates every tag before deleting any: one typo
+// must not half-delete the list and abort without collecting.
+func TestCLICacheGCUnknownTagIsAtomic(t *testing.T) {
+	ctx := writeContext(t, "FROM alpine:3.19\nRUN apk add sl\n", nil)
+	cache := filepath.Join(t.TempDir(), "cas")
+	if code := cmdBuild([]string{"-t", "keep:1", "--cache-dir", cache, ctx}); code != 0 {
+		t.Fatalf("build: exit %d", code)
+	}
+	if code := cmdCache([]string{"--cache-dir", cache, "gc", "keep:1", "nosuch:1"}); code != 1 {
+		t.Fatalf("gc with unknown tag: exit %d, want 1", code)
+	}
+	// The known tag must still be there: nothing was deleted.
+	d, err := openCacheDir(cache)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	if _, ok := d.Tag("keep:1"); !ok {
+		t.Fatal("gc deleted keep:1 before failing on the unknown tag")
+	}
+}
+
+// The build-side knobs: --cache-verify=lazy opens without the fsck pass,
+// --cache-max-bytes runs a budgeted gc after the build. Both exercised
+// end to end; bad values are exit 2.
+func TestCLIBuildCacheVerifyAndBudget(t *testing.T) {
+	ctx := writeContext(t, "FROM alpine:3.19\nRUN apk add sl\n", nil)
+	cache := filepath.Join(t.TempDir(), "cas")
+	if code := cmdBuild([]string{"-t", "v:1", "--cache-dir", cache, ctx}); code != 0 {
+		t.Fatalf("cold build: exit %d", code)
+	}
+	if code := cmdBuild([]string{"-t", "v:1", "--cache-dir", cache,
+		"--cache-verify", "lazy", "--cache-max-bytes", "1", ctx}); code != 0 {
+		t.Fatalf("lazy+budget build: exit %d", code)
+	}
+	if code := cmdBuild([]string{"-t", "v:1", "--cache-dir", cache, "--cache-verify", "paranoid", ctx}); code != 2 {
+		t.Fatalf("bad --cache-verify: exit %d, want 2", code)
+	}
+	if code := cmdCache([]string{"--cache-dir", cache, "--cache-verify", "paranoid", "ls"}); code != 2 {
+		t.Fatalf("cache with bad --cache-verify: exit %d, want 2", code)
+	}
+	// The budgeted gc must not have evicted what the tag pins: the next
+	// warm build still succeeds.
+	if code := cmdBuild([]string{"-t", "v:1", "--cache-dir", cache, ctx}); code != 0 {
+		t.Fatalf("post-budget build: exit %d", code)
+	}
+}

@@ -108,6 +108,21 @@ type Options struct {
 	// themselves: cas.Open + NewPersistentCache + Store.SetBacking.
 	CacheDir string
 
+	// CacheVerify selects how much validation the CacheDir open performs:
+	// cas.VerifyFull (the zero value) reads and re-hashes every blob up
+	// front; cas.VerifyLazy defers blob validation to first read, making
+	// the open O(journal) instead of O(store bytes). Ignored when
+	// CacheDir is empty.
+	CacheVerify cas.VerifyMode
+
+	// CacheMaxBytes, when > 0, runs a size-budgeted GC on the CacheDir
+	// store after the build: least-recently-recorded unpinned entries are
+	// evicted until the blob store fits the budget. A GC failure (for
+	// example cas.ErrBusy while another process holds the store) does not
+	// fail the build; it is recorded as a Store backing error. Ignored
+	// when CacheDir is empty.
+	CacheMaxBytes int64
+
 	// TargetStage, when non-empty, stops a multi-stage build at the named
 	// stage (`ch-image build --target`): that stage — referenced by its AS
 	// name or decimal index — becomes the build product, it is tagged, and
@@ -200,7 +215,7 @@ func Build(text string, opt Options) (*Result, error) {
 		return &Result{}, fmt.Errorf("build: no FROM instruction")
 	}
 	if opt.CacheDir != "" {
-		d, _, err := cas.Open(opt.CacheDir)
+		d, _, err := cas.Open(opt.CacheDir, cas.WithVerify(opt.CacheVerify))
 		if err != nil {
 			return &Result{}, fmt.Errorf("build: cache dir: %w", err)
 		}
@@ -216,6 +231,19 @@ func Build(text string, opt Options) (*Result, error) {
 			prev := opt.Store.Backing()
 			opt.Store.SetBacking(d)
 			defer opt.Store.SetBacking(prev)
+		}
+		if opt.CacheMaxBytes > 0 {
+			// Registered after the backing swap so it runs before the
+			// restore (LIFO): the budget applies to the store this build
+			// just warmed. GCBacking records failures as backing errors
+			// rather than failing the finished build.
+			defer func() {
+				if opt.Store != nil && opt.Store.Backing() == d {
+					opt.Store.GCBacking(cas.Budget{MaxBytes: opt.CacheMaxBytes})
+				} else {
+					d.GC(cas.Budget{MaxBytes: opt.CacheMaxBytes})
+				}
+			}()
 		}
 	}
 	if len(f.Stages) > 1 || opt.TargetStage != "" {

@@ -369,3 +369,97 @@ func TestOptionsCacheDirRestoresCallerBacking(t *testing.T) {
 		t.Fatal("post-Build Put through restored backing lost")
 	}
 }
+
+// Options.CacheVerify=lazy must warm exactly like the default full-verify
+// open — the mode changes when corruption is discovered, never what a
+// healthy store replays.
+func TestOptionsCacheVerifyLazyWarms(t *testing.T) {
+	root := filepath.Join(t.TempDir(), "cas")
+	const text = "FROM alpine:3.19\nRUN apk add sl\n"
+	run := func() *Result {
+		w, s := fixturesBacked(t, root)
+		res, err := Build(text, Options{
+			Tag: "app:1", Force: ForceSeccomp, Store: s, World: w,
+			CacheDir: root, CacheVerify: cas.VerifyLazy,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	if res := run(); res.Executed != 1 {
+		t.Fatalf("cold: executed=%d", res.Executed)
+	}
+	if res := run(); res.Executed != 0 || res.CacheHits != 1 {
+		t.Fatalf("warm: executed=%d hits=%d", res.Executed, res.CacheHits)
+	}
+}
+
+// Options.CacheMaxBytes runs the budgeted GC after the build, on the
+// handle Build itself opened: tag pins survive an impossible budget, the
+// GC failure mode is a colder cache rather than a failed build, and the
+// next build still loads the tagged image.
+func TestOptionsCacheMaxBytesBudgetsAfterBuild(t *testing.T) {
+	root := filepath.Join(t.TempDir(), "cas")
+	const text = "FROM alpine:3.19\nRUN apk add sl\n"
+	// Seed through our own handle, then close it: Build's handle must be
+	// the sole opener or the deferred GC would wait on our shared lock.
+	seed := func() (*pkgmgr.World, *image.Store) {
+		d, _, err := cas.Open(root)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w := pkgmgr.NewWorld()
+		s := image.NewStore()
+		s.SetBacking(d)
+		img, err := w.BaseImage(pkgmgr.DistroAlpine, "alpine:3.19")
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.Put(img)
+		s.SetBacking(nil)
+		if err := d.Close(); err != nil {
+			t.Fatal(err)
+		}
+		return w, s
+	}
+	w, s := seed()
+	if _, err := Build(text, Options{
+		Tag: "app:1", Force: ForceSeccomp, Store: s, World: w,
+		CacheDir: root, CacheMaxBytes: 1,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.BackingErr(); err != nil {
+		t.Fatalf("budgeted GC recorded an error: %v", err)
+	}
+
+	// The impossible budget evicted every unpinned entry but not the
+	// tag's layers: a fresh process still loads app:1 whole.
+	d, _, err := cas.Open(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	tg, ok := d.Tag("app:1")
+	if !ok {
+		t.Fatal("tag evicted by budgeted GC")
+	}
+	for _, l := range tg.Layers {
+		if !d.HasBlob(l) {
+			t.Fatalf("pinned layer %s evicted", l)
+		}
+	}
+	// Steps may survive only when evicting them would free nothing: their
+	// layer is one of the tag's pinned layers (the RUN step's layer IS the
+	// image's top layer here) or they recorded no layer at all.
+	pinned := map[string]bool{}
+	for _, l := range tg.Layers {
+		pinned[l] = true
+	}
+	for _, st := range d.Steps() {
+		if st.Layer != "" && !pinned[st.Layer] {
+			t.Fatalf("step %q with unpinned layer survived an impossible budget", st.Key)
+		}
+	}
+}

@@ -24,6 +24,13 @@
 // reference a missing or quarantined blob are dropped at open the same
 // way; the affected build steps simply re-execute.
 //
+// Cross-process safety is by an advisory flock on DIR/lock: every open
+// handle holds it shared, and the operations that rewrite the journal or
+// sweep the blob directory — GC, Reset, compaction — convert to exclusive
+// first (bounded by the lock wait; see ErrBusy), so a maintenance pass in
+// one process can never interleave with an append in another. See
+// storeLock for the full protocol.
+//
 // The higher layers attach a Dir with image.Store.SetBacking and
 // build.NewPersistentCache; ch-image exposes it as --cache-dir and the
 // cache ls|gc|reset subcommands.
@@ -34,12 +41,14 @@ import (
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
 	"sort"
 	"strings"
 	"sync"
+	"time"
 )
 
 // DigestPrefix is the digest scheme every blob key carries, matching
@@ -103,32 +112,90 @@ func (r Report) Quarantined() bool {
 	return r.BlobsQuarantined > 0 || r.JournalQuarantined > 0 || r.RecordsDropped > 0
 }
 
+// VerifyMode selects how much validation Open performs.
+type VerifyMode int
+
+const (
+	// VerifyFull reads back and digest-verifies every blob file at open —
+	// the fsck-style pass. Corruption is discovered (and quarantined)
+	// before the first build step runs, at a cost of O(store bytes).
+	VerifyFull VerifyMode = iota
+
+	// VerifyLazy skips the per-blob read at open: blob presence is still
+	// stat-checked against the journal (dangling records drop as usual),
+	// but content verification is deferred to Blob's verify-on-read, so
+	// opening costs O(journal lines) instead of O(store bytes). A corrupt
+	// blob is discovered at first use, quarantined then, and costs one
+	// re-execution of the affected steps — the same end state as
+	// VerifyFull, discovered later.
+	VerifyLazy
+)
+
+// Option configures Open.
+type Option func(*openConfig)
+
+type openConfig struct {
+	verify   VerifyMode
+	lockWait time.Duration
+}
+
+// WithVerify selects the open-time validation mode (default VerifyFull).
+func WithVerify(m VerifyMode) Option {
+	return func(c *openConfig) { c.verify = m }
+}
+
+// WithLockWait bounds how long this handle's exclusive operations (GC,
+// Reset, journal compaction) wait for the store lock before failing with
+// ErrBusy (default DefaultLockWait; <= 0 tries once).
+func WithLockWait(wait time.Duration) Option {
+	return func(c *openConfig) { c.lockWait = wait }
+}
+
 // Dir is an open content-addressed store rooted at a directory. All
 // methods are safe for concurrent use by multiple goroutines sharing the
-// one handle (the build pool's writers); distinct processes coordinate
-// through the append-only journal and write-once blobs instead of locks,
-// so a reader opening mid-write sees at worst a torn tail it quarantines.
+// one handle (the build pool's writers). Distinct processes coordinate
+// through the store lock (shared while open, exclusive around GC, Reset
+// and journal compaction — see storeLock), the append-only journal and
+// write-once blobs, so appends from many processes interleave whole
+// records and a maintenance rewrite never races any of them.
 type Dir struct {
 	root string
 
-	mu      sync.Mutex
-	journal *os.File
-	steps   map[string]Step
-	tags    map[string]Tag
-	chains  map[string]Chain
-	report  Report
-	seq     uint64 // temp-file uniquifier
-	closed  bool
+	mu       sync.Mutex
+	lock     *storeLock
+	lockWait time.Duration
+	verify   VerifyMode
+	journal  *os.File
+	steps    map[string]Step
+	tags     map[string]Tag
+	chains   map[string]Chain
+	order    map[string]uint64 // "s:<key>"/"c:<chain>" → journal recency
+	orderSeq uint64
+	tornTail bool // journal ends in an unterminated fragment
+	report   Report
+	seq      uint64 // temp-file uniquifier
+	closed   bool
 }
 
-// Open opens (creating if absent) the store at root and runs fsck-style
-// validation: every blob file is read back and digest-verified against its
-// name, every journal line is checksum-verified, and anything corrupt is
-// moved to quarantine/ while the records referencing it are dropped. The
-// returned Report says what was found; damage is never an error — a
-// damaged store is just a colder one. Opening fails only when root exists
-// and is not a directory, or the filesystem refuses the layout.
-func Open(root string) (*Dir, Report, error) {
+// Open opens (creating if absent) the store at root and validates it:
+// every journal line is checksum-verified, every blob the surviving
+// records reference is presence-checked, and — under the default
+// WithVerify(VerifyFull) — every blob file is read back and
+// digest-verified against its name. Anything corrupt is moved to
+// quarantine/ while the records referencing it are dropped. The returned
+// Report says what was found; damage is never an error — a damaged store
+// is just a colder one. Opening fails only when root exists and is not a
+// directory, the filesystem refuses the layout, or the store lock cannot
+// be established.
+//
+// The handle holds the store lock shared until Close, so another
+// process's GC/Reset/compaction waits for this handle (or fails with
+// ErrBusy) instead of rewriting state underneath it.
+func Open(root string, opts ...Option) (*Dir, Report, error) {
+	cfg := openConfig{verify: VerifyFull, lockWait: DefaultLockWait}
+	for _, o := range opts {
+		o(&cfg)
+	}
 	if st, err := os.Stat(root); err == nil && !st.IsDir() {
 		return nil, Report{}, fmt.Errorf("cas: %s: not a directory", root)
 	}
@@ -138,21 +205,43 @@ func Open(root string) (*Dir, Report, error) {
 		}
 	}
 	d := &Dir{
-		root:   root,
-		steps:  map[string]Step{},
-		tags:   map[string]Tag{},
-		chains: map[string]Chain{},
+		root:     root,
+		lockWait: cfg.lockWait,
+		verify:   cfg.verify,
+		steps:    map[string]Step{},
+		tags:     map[string]Tag{},
+		chains:   map[string]Chain{},
+		order:    map[string]uint64{},
+	}
+	lk, err := openLock(d.path("lock"))
+	if err != nil {
+		return nil, Report{}, err
+	}
+	d.lock = lk
+	fail := func(err error) (*Dir, Report, error) {
+		lk.close()
+		return nil, d.report, err
 	}
 	// Stranded temp files are crash litter from interrupted blob writes;
 	// nothing references them (a rename never happened), so clear them.
-	if tmps, err := os.ReadDir(d.path("tmp")); err == nil {
-		for _, t := range tmps {
-			os.Remove(filepath.Join(d.path("tmp"), t.Name()))
+	// Only under an uncontended exclusive lock, though: with the store
+	// open elsewhere, a temp file may be another process's in-flight blob
+	// write, and deleting it would fail that write's rename.
+	if d.lock.exclusive(0) == nil {
+		if tmps, err := os.ReadDir(d.path("tmp")); err == nil {
+			for _, t := range tmps {
+				os.Remove(filepath.Join(d.path("tmp"), t.Name()))
+			}
+		}
+		if err := d.lock.shared(); err != nil {
+			return fail(err)
 		}
 	}
-	d.fsckBlobs()
+	if d.verify == VerifyFull {
+		d.fsckBlobs()
+	}
 	if err := d.loadJournal(); err != nil {
-		return nil, d.report, err
+		return fail(err)
 	}
 	d.dropDanglingRecords()
 	if d.report.JournalQuarantined > 0 || d.report.RecordsDropped > 0 {
@@ -160,18 +249,87 @@ func Open(root string) (*Dir, Report, error) {
 		// O_APPEND write would merge with, corrupting the next record) or
 		// records we just dropped (which would be re-parsed, re-dropped
 		// and re-warned about at every open). Rewrite it to exactly the
-		// surviving records — atomically, like GC's compaction.
-		if err := d.writeCompactJournal(); err != nil {
-			return nil, d.report, err
+		// surviving records — atomically, like GC's compaction, under the
+		// exclusive lock so no concurrent append lands between our read
+		// of the journal and the rename that replaces it.
+		switch err := d.lock.exclusive(d.lockWait); {
+		case err == nil:
+			// Appends may have landed while we waited for the lock;
+			// recompute the surviving set from the current journal.
+			if err := d.reloadJournalLocked(); err != nil {
+				return fail(err)
+			}
+			if err := d.writeCompactJournal(); err != nil {
+				return fail(err)
+			}
+			if err := d.lock.shared(); err != nil {
+				d.journal.Close()
+				return fail(err)
+			}
+			return d, d.report, nil
+		case errors.Is(err, ErrBusy):
+			// Peers hold the store open; compaction must wait for a later
+			// open. Degrade: terminate any torn tail with a bare newline so
+			// O_APPEND writes cannot merge with the fragment (the fragment
+			// becomes a standalone bad line, quarantined again next open),
+			// and keep the dropped records dropped in memory.
+			if d.tornTail {
+				if err := d.terminateTornTail(); err != nil {
+					return fail(err)
+				}
+			}
+		default:
+			return fail(err)
 		}
-		return d, d.report, nil
 	}
 	f, err := os.OpenFile(d.path("journal"), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
-		return nil, d.report, fmt.Errorf("cas: journal: %w", err)
+		return fail(fmt.Errorf("cas: journal: %w", err))
 	}
 	d.journal = f
 	return d, d.report, nil
+}
+
+// terminateTornTail appends a single newline to the journal so the
+// unterminated fragment at EOF becomes a standalone (checksum-failing)
+// line instead of merging with the next append. The degraded-open path:
+// used only when damage was found but the exclusive lock for a real
+// compaction is unavailable.
+func (d *Dir) terminateTornTail() error {
+	f, err := os.OpenFile(d.path("journal"), os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("cas: journal: %w", err)
+	}
+	_, werr := f.WriteString("\n")
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		return fmt.Errorf("cas: journal: %w", werr)
+	}
+	d.tornTail = false
+	return nil
+}
+
+// reloadJournalLocked discards the in-memory record state and replays the
+// journal from disk — the step that makes compaction safe after waiting
+// for the exclusive lock, during which other processes may have appended
+// or compacted. Callers hold the exclusive store lock.
+func (d *Dir) reloadJournalLocked() error {
+	d.steps = map[string]Step{}
+	d.tags = map[string]Tag{}
+	d.chains = map[string]Chain{}
+	d.order = map[string]uint64{}
+	d.orderSeq = 0
+	d.tornTail = false
+	d.report.JournalLines = 0
+	d.report.JournalQuarantined = 0
+	d.report.RecordsDropped = 0
+	if err := d.loadJournal(); err != nil {
+		return err
+	}
+	d.dropDanglingRecords()
+	return nil
 }
 
 // Root returns the directory the store lives in.
@@ -184,7 +342,8 @@ func (d *Dir) Report() Report {
 	return d.report
 }
 
-// Close releases the journal handle. Further writes fail; reads of
+// Close releases the journal handle and the store lock (letting another
+// process's pending GC/Reset proceed). Further writes fail; reads of
 // already-loaded state keep working.
 func (d *Dir) Close() error {
 	d.mu.Lock()
@@ -193,7 +352,11 @@ func (d *Dir) Close() error {
 		return nil
 	}
 	d.closed = true
-	return d.journal.Close()
+	err := d.journal.Close()
+	if lerr := d.lock.close(); err == nil {
+		err = lerr
+	}
+	return err
 }
 
 func (d *Dir) path(parts ...string) string {
@@ -287,6 +450,9 @@ func (d *Dir) loadJournal() error {
 	lines := strings.Split(string(data), "\n")
 	// A journal not ending in '\n' has a torn final line; Split leaves the
 	// fragment (or "") as the last element, and the checksum rejects it.
+	// Remember the tear: the degraded-open path (compaction lock busy)
+	// must terminate it before any O_APPEND write can merge with it.
+	d.tornTail = len(data) > 0 && data[len(data)-1] != '\n'
 	for _, line := range lines {
 		if line == "" {
 			continue
@@ -330,12 +496,17 @@ func decodeLine(line string) (record, bool) {
 
 // apply folds one validated record into the in-memory state. Later records
 // win, so re-recording a step or re-tagging a name behaves like a map
-// write, and "untag" deletes.
+// write, and "untag" deletes. Steps and chains also record their journal
+// position (most recent record wins there too): the recency order the
+// size-budgeted GC evicts by, preserved across compactions because
+// writeCompactJournal emits records in this order.
 func (d *Dir) apply(rec record) {
 	switch rec.T {
 	case "step":
 		if rec.Stp != nil {
 			d.steps[rec.Stp.Key] = *rec.Stp
+			d.orderSeq++
+			d.order["s:"+rec.Stp.Key] = d.orderSeq
 		}
 	case "tag":
 		if rec.Tag != nil {
@@ -346,6 +517,8 @@ func (d *Dir) apply(rec record) {
 	case "chain":
 		if rec.Chn != nil {
 			d.chains[rec.Chn.Chain] = *rec.Chn
+			d.orderSeq++
+			d.order["c:"+rec.Chn.Chain] = d.orderSeq
 		}
 	}
 	// Unknown record types are ignored: an older binary opening a newer
@@ -397,20 +570,34 @@ func (d *Dir) hasBlobLocked(digest string) bool {
 // append writes one checksummed record line to the journal and mirrors it
 // into the in-memory state. Callers hold d.mu.
 //
-// Before writing it checks that the handle still names DIR/journal:
-// another handle's compaction (GC, or a damaged Open) replaces the file
-// by rename, orphaning this one's O_APPEND fd. Appending to the unlinked
-// inode would "succeed" invisibly, so an orphaned handle first rewrites
-// the journal from its own in-memory state — a superset of everything it
-// ever appended — and then appends to the fresh file. (Records the
-// *other* handle added that this one never loaded are its to re-append;
-// true multi-writer coordination is the flock item in ROADMAP.)
+// Before writing it checks that the handle still names DIR/journal. A
+// cooperating process cannot replace the file while we hold the shared
+// store lock (compaction requires the exclusive lock), but a legacy or
+// external writer still can; appending to the unlinked inode would
+// "succeed" invisibly, so an orphaned handle first rewrites the journal
+// from its own in-memory state — a superset of everything it ever
+// appended — under the exclusive lock, and then appends to the fresh
+// file. (Records the *other* writer added that this one never loaded are
+// its to re-append.)
 func (d *Dir) append(rec record) error {
 	if d.closed {
 		return fmt.Errorf("cas: store is closed")
 	}
-	if d.journalOrphaned() {
-		if err := d.writeCompactJournal(); err != nil {
+	orphaned, err := d.journalOrphaned()
+	if err != nil {
+		return err
+	}
+	if orphaned {
+		// The detect→rewrite window itself must not race another writer:
+		// hold the exclusive lock across the compaction.
+		if err := d.lock.exclusive(d.lockWait); err != nil {
+			return err
+		}
+		err := d.writeCompactJournal()
+		if serr := d.lock.shared(); err == nil {
+			err = serr
+		}
+		if err != nil {
 			return err
 		}
 	}
@@ -430,17 +617,20 @@ func (d *Dir) append(rec record) error {
 }
 
 // journalOrphaned reports whether the open journal handle no longer
-// backs DIR/journal. Callers hold d.mu.
-func (d *Dir) journalOrphaned() bool {
+// backs DIR/journal. A failed stat of our own handle is surfaced, not
+// swallowed: guessing "not orphaned" would let the next append land on a
+// possibly-unlinked inode, which is exactly the silent loss this check
+// exists to prevent. Callers hold d.mu.
+func (d *Dir) journalOrphaned() (bool, error) {
 	fi, err := d.journal.Stat()
 	if err != nil {
-		return false // cannot tell; let the write surface its own error
+		return false, fmt.Errorf("cas: journal: %w", err)
 	}
 	pi, err := os.Stat(d.path("journal"))
 	if err != nil {
-		return true // the file is gone entirely
+		return true, nil // the file is gone entirely
 	}
-	return !os.SameFile(fi, pi)
+	return !os.SameFile(fi, pi), nil
 }
 
 // PutBlob stores data under its digest and returns the digest. Blobs are
@@ -672,10 +862,16 @@ func (d *Dir) BlobStats() (count int, bytes int64) {
 	return count, bytes
 }
 
-// Reset wipes the store back to empty: blobs, journal, quarantine.
+// Reset wipes the store back to empty: blobs, journal, quarantine. It
+// requires the exclusive store lock (the lock file itself survives the
+// wipe), failing with ErrBusy while another process has the store open.
 func (d *Dir) Reset() error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	if err := d.lock.exclusive(d.lockWait); err != nil {
+		return err
+	}
+	defer d.lock.shared()
 	if err := d.journal.Close(); err != nil && !d.closed {
 		return fmt.Errorf("cas: %w", err)
 	}
@@ -698,12 +894,19 @@ func (d *Dir) Reset() error {
 	d.steps = map[string]Step{}
 	d.tags = map[string]Tag{}
 	d.chains = map[string]Chain{}
+	d.order = map[string]uint64{}
+	d.orderSeq = 0
+	d.tornTail = false
 	d.report = Report{}
 	return nil
 }
 
 // writeCompactJournal atomically replaces the journal with exactly the
-// surviving records (GC's compaction step). Callers hold d.mu.
+// surviving records (GC's compaction step). Tags come first (the pins),
+// then steps and chains in their recorded order — so replaying the
+// compacted journal reconstructs the same recency ranking the budgeted
+// GC evicts by. Callers hold d.mu and, when other handles may exist, the
+// exclusive store lock.
 func (d *Dir) writeCompactJournal() error {
 	d.seq++
 	tmp := d.path("tmp", fmt.Sprintf("journal-%d", d.seq))
@@ -722,17 +925,26 @@ func (d *Dir) writeCompactJournal() error {
 		return err
 	}
 	var werr error
-	for _, key := range sortedKeys(d.steps) {
-		st := d.steps[key]
-		werr = firstErr(werr, writeRec(record{T: "step", Stp: &st}))
-	}
 	for _, name := range sortedKeys(d.tags) {
 		tg := d.tags[name]
 		werr = firstErr(werr, writeRec(record{T: "tag", Tag: &tg}))
 	}
+	type orderedRec struct {
+		seq uint64
+		rec record
+	}
+	ordered := make([]orderedRec, 0, len(d.steps)+len(d.chains))
+	for _, key := range sortedKeys(d.steps) {
+		st := d.steps[key]
+		ordered = append(ordered, orderedRec{d.order["s:"+key], record{T: "step", Stp: &st}})
+	}
 	for _, key := range sortedKeys(d.chains) {
 		ch := d.chains[key]
-		werr = firstErr(werr, writeRec(record{T: "chain", Chn: &ch}))
+		ordered = append(ordered, orderedRec{d.order["c:"+key], record{T: "chain", Chn: &ch}})
+	}
+	sort.SliceStable(ordered, func(i, j int) bool { return ordered[i].seq < ordered[j].seq })
+	for _, o := range ordered {
+		werr = firstErr(werr, writeRec(o.rec))
 	}
 	werr = firstErr(werr, w.Flush(), f.Close())
 	if werr != nil {
@@ -756,6 +968,7 @@ func (d *Dir) writeCompactJournal() error {
 	}
 	d.journal = nf
 	old.Close()
+	d.tornTail = false
 	return nil
 }
 

@@ -3,36 +3,88 @@ package cas
 import (
 	"fmt"
 	"os"
+	"sort"
 )
 
-// GCStats reports what a garbage collection swept and kept.
+// GCStats reports what a garbage collection swept, evicted and kept.
 type GCStats struct {
 	TagsKept      int   // roots the mark phase started from
-	BlobsKept     int   // blob files still referenced
+	BlobsKept     int   // blob files still present after the collection
 	BlobsSwept    int   // blob files deleted
 	BytesSwept    int64 // bytes freed by deleted blobs
-	StepsDropped  int   // instruction-cache entries whose layer was swept
-	ChainsDropped int   // flatten-chain indexes whose members were swept
+	BytesKept     int64 // bytes still on disk after the collection
+	StepsDropped  int   // instruction-cache entries removed
+	ChainsDropped int   // flatten-chain indexes removed
 }
 
-// GC is mark-and-sweep from the tagged roots. A blob survives iff some
-// remaining tag's layer chain references it; a flatten-chain index
-// survives iff it has members and every one survives (its snapshot blob
-// is then kept too); an instruction-cache entry with a layer survives iff
-// that layer blob survives. Everything else — untagged intermediate-stage
-// layers, entries for steps no tagged image retains — is deleted, and the
-// journal is compacted to exactly the surviving records. On an empty
-// store GC is a no-op.
+// Budget parameterises GC. The zero value selects the full reachability
+// sweep; MaxBytes > 0 selects the size-budgeted policy instead.
+type Budget struct {
+	// MaxBytes, when > 0, bounds the blob store: instead of dropping
+	// everything no tag reaches, GC keeps every record (warm cache
+	// entries for untagged intermediates included) and evicts the
+	// least-recently-recorded unpinned steps and chains — journal order,
+	// oldest first — until the blob bytes fit the budget. Tag records
+	// and the layers they reference are pins: they are never evicted,
+	// so a budget smaller than the pinned bytes is reported via
+	// GCStats.BytesKept rather than enforced.
+	MaxBytes int64
+}
+
+// GC collects garbage under the exclusive store lock (failing with
+// ErrBusy if another process keeps the store open past the lock wait),
+// then compacts the journal to exactly the surviving records.
+//
+// With a zero Budget this is mark-and-sweep from the tagged roots. A
+// blob survives iff some remaining tag's layer chain references it; a
+// flatten-chain index survives iff it has members and every one
+// survives (its snapshot blob is then kept too); an instruction-cache
+// entry with a layer survives iff that layer blob survives. Everything
+// else — untagged intermediate-stage layers, entries for steps no
+// tagged image retains — is deleted. On an empty store GC is a no-op.
+//
+// With Budget.MaxBytes > 0 the policy flips from reachability to
+// recency: see Budget.
 //
 // Steps that recorded no layer carry no reachability information and are
 // always kept; they cost one journal line each and nothing in the blob
 // store. GC holds the Dir lock throughout, and the Put* writers hold it
 // across their blob-write + journal-append pairs, so a sweep never runs
-// between a blob landing and the record that references it.
-func (d *Dir) GC() (GCStats, error) {
+// between a blob landing and the record that references it. The store
+// lock extends the same guarantee across processes.
+func (d *Dir) GC(b Budget) (GCStats, error) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	if d.closed {
+		return GCStats{}, fmt.Errorf("cas: store is closed")
+	}
+	if err := d.lock.exclusive(d.lockWait); err != nil {
+		return GCStats{}, err
+	}
+	// Exclusive conversion may have waited behind other writers (and
+	// briefly released our shared hold): replay the journal as it stands
+	// now, or the compaction below would clobber their records.
+	var stats GCStats
+	err := d.reloadJournalLocked()
+	if err == nil {
+		if b.MaxBytes > 0 {
+			stats, err = d.gcBudget(b)
+		} else {
+			stats, err = d.gcFull()
+		}
+	}
+	if err == nil {
+		err = d.writeCompactJournal()
+	}
+	if serr := d.lock.shared(); err == nil {
+		err = serr
+	}
+	return stats, err
+}
 
+// gcFull is the reachability sweep. Callers hold d.mu and the exclusive
+// store lock.
+func (d *Dir) gcFull() (GCStats, error) {
 	marked := map[string]bool{}
 	for _, tg := range d.tags {
 		for _, l := range tg.Layers {
@@ -51,12 +103,14 @@ func (d *Dir) GC() (GCStats, error) {
 			marked[ch.Snap] = true
 		} else {
 			delete(d.chains, key)
+			delete(d.order, "c:"+key)
 			stats.ChainsDropped++
 		}
 	}
 	for key, st := range d.steps {
 		if st.Layer != "" && !marked[st.Layer] {
 			delete(d.steps, key)
+			delete(d.order, "s:"+key)
 			stats.StepsDropped++
 		}
 	}
@@ -67,25 +121,163 @@ func (d *Dir) GC() (GCStats, error) {
 		if sweepErr != nil {
 			return
 		}
+		size := int64(0)
+		if info, err := ent.Info(); err == nil {
+			size = info.Size()
+		}
 		if marked[digest] {
 			stats.BlobsKept++
+			stats.BytesKept += size
 			return
-		}
-		if info, err := ent.Info(); err == nil {
-			stats.BytesSwept += info.Size()
 		}
 		if err := os.Remove(p); err != nil {
 			sweepErr = fmt.Errorf("cas: gc: %w", err)
 			return
 		}
 		stats.BlobsSwept++
+		stats.BytesSwept += size
 	})
 	if sweepErr != nil {
 		return stats, sweepErr
 	}
+	return stats, nil
+}
 
-	if err := d.writeCompactJournal(); err != nil {
-		return stats, err
+// gcBudget is the size-budgeted policy: keep the cache as warm as the
+// budget allows. Blobs referenced by no record at all are garbage in any
+// policy and go first; then the least-recently-recorded steps and chains
+// are evicted — with the blobs only they referenced — until the store
+// fits. Callers hold d.mu and the exclusive store lock.
+func (d *Dir) gcBudget(b Budget) (GCStats, error) {
+	var stats GCStats
+	stats.TagsKept = len(d.tags)
+
+	// Pins and reference counts. A chain holds references on its member
+	// layers as well as its snapshot: evicting a step must not delete a
+	// blob a surviving chain still lists, or the chain record would
+	// dangle and read as damage at the next open.
+	pinned := map[string]bool{}
+	for _, tg := range d.tags {
+		for _, l := range tg.Layers {
+			pinned[l] = true
+		}
 	}
+	ref := map[string]int{}
+	for _, st := range d.steps {
+		if st.Layer != "" {
+			ref[st.Layer]++
+		}
+	}
+	for _, ch := range d.chains {
+		ref[ch.Snap]++
+		for _, l := range ch.Layers {
+			ref[l]++
+		}
+	}
+
+	// Sweep unreferenced blobs; size the referenced ones.
+	sizes := map[string]int64{}
+	var total int64
+	var sweepErr error
+	d.walkBlobs(func(digest, p string, ent os.DirEntry) {
+		if sweepErr != nil {
+			return
+		}
+		size := int64(0)
+		if info, err := ent.Info(); err == nil {
+			size = info.Size()
+		}
+		if !pinned[digest] && ref[digest] == 0 {
+			if err := os.Remove(p); err != nil {
+				sweepErr = fmt.Errorf("cas: gc: %w", err)
+				return
+			}
+			stats.BlobsSwept++
+			stats.BytesSwept += size
+			return
+		}
+		sizes[digest] = size
+		total += size
+	})
+	if sweepErr != nil {
+		return stats, sweepErr
+	}
+	blobsKept := len(sizes)
+
+	// release drops one reference; the blob file goes once nothing holds
+	// it and no tag pins it.
+	release := func(digest string) error {
+		if digest == "" {
+			return nil
+		}
+		ref[digest]--
+		if ref[digest] > 0 || pinned[digest] {
+			return nil
+		}
+		p, err := d.blobPath(digest)
+		if err != nil {
+			return nil // malformed digest in an old record: nothing on disk
+		}
+		if err := os.Remove(p); err != nil {
+			if os.IsNotExist(err) {
+				return nil
+			}
+			return fmt.Errorf("cas: gc: %w", err)
+		}
+		total -= sizes[digest]
+		blobsKept--
+		stats.BlobsSwept++
+		stats.BytesSwept += sizes[digest]
+		return nil
+	}
+
+	// Evict in journal order, oldest record first. Steps whose layer a
+	// tag pins are skipped: evicting them frees no bytes and only makes
+	// the cache colder, and steps with no layer likewise cost nothing.
+	type victim struct {
+		seq     uint64
+		isChain bool
+		key     string
+	}
+	var victims []victim
+	for key, st := range d.steps {
+		if st.Layer == "" || pinned[st.Layer] {
+			continue
+		}
+		victims = append(victims, victim{d.order["s:"+key], false, key})
+	}
+	for key := range d.chains {
+		victims = append(victims, victim{d.order["c:"+key], true, key})
+	}
+	sort.Slice(victims, func(i, j int) bool { return victims[i].seq < victims[j].seq })
+	for _, v := range victims {
+		if total <= b.MaxBytes {
+			break
+		}
+		if v.isChain {
+			ch := d.chains[v.key]
+			delete(d.chains, v.key)
+			delete(d.order, "c:"+v.key)
+			stats.ChainsDropped++
+			if err := release(ch.Snap); err != nil {
+				return stats, err
+			}
+			for _, l := range ch.Layers {
+				if err := release(l); err != nil {
+					return stats, err
+				}
+			}
+		} else {
+			st := d.steps[v.key]
+			delete(d.steps, v.key)
+			delete(d.order, "s:"+v.key)
+			stats.StepsDropped++
+			if err := release(st.Layer); err != nil {
+				return stats, err
+			}
+		}
+	}
+	stats.BlobsKept = blobsKept
+	stats.BytesKept = total
 	return stats, nil
 }

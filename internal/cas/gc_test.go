@@ -21,7 +21,7 @@ func TestGCBlobSharedByTwoTagsSurvives(t *testing.T) {
 	if err := d.DeleteTag("b:1"); err != nil {
 		t.Fatal(err)
 	}
-	stats, err := d.GC()
+	stats, err := d.GC(Budget{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -65,7 +65,7 @@ func TestGCCollectsUntaggedIntermediates(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	stats, err := d.GC()
+	stats, err := d.GC(Budget{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -114,7 +114,7 @@ func TestGCCollectsUntaggedIntermediates(t *testing.T) {
 func TestGCEmptyStoreNoOp(t *testing.T) {
 	root := filepath.Join(t.TempDir(), "never-existed")
 	d, _ := openT(t, root) // Open creates the layout
-	stats, err := d.GC()
+	stats, err := d.GC(Budget{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -136,7 +136,7 @@ func TestGCNoRootsSweepsAll(t *testing.T) {
 	d, _ := openT(t, t.TempDir())
 	d.PutStep("s", []byte("layer"), 0)
 	d.PutChain("sha256:c", []string{Sum([]byte("layer"))}, []byte("snap"))
-	stats, err := d.GC()
+	stats, err := d.GC(Budget{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,40 @@
+//go:build darwin || dragonfly || freebsd || linux || netbsd || openbsd
+
+package cas
+
+import (
+	"os"
+	"syscall"
+)
+
+// flockShared takes (or converts to) a shared flock, blocking. EINTR is
+// retried: a signal must not silently leave the handle unlocked.
+func flockShared(f *os.File) error {
+	for {
+		err := syscall.Flock(int(f.Fd()), syscall.LOCK_SH)
+		if err != syscall.EINTR {
+			return err
+		}
+	}
+}
+
+// flockExclusiveNB attempts a nonblocking conversion to an exclusive
+// flock. It reports whether the lock was acquired; EWOULDBLOCK is not
+// an error, just "somebody else holds it". Note the kernel converts by
+// unlock-then-lock, so after a false return the previously held shared
+// lock may be gone — callers must re-acquire it.
+func flockExclusiveNB(f *os.File) (bool, error) {
+	for {
+		err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB)
+		switch err {
+		case nil:
+			return true, nil
+		case syscall.EINTR:
+			continue
+		case syscall.EWOULDBLOCK:
+			return false, nil
+		default:
+			return false, err
+		}
+	}
+}

@@ -1,0 +1,165 @@
+//go:build darwin || dragonfly || freebsd || linux || netbsd || openbsd
+
+package cas
+
+import (
+	"errors"
+	"os"
+	"os/exec"
+	"testing"
+	"time"
+)
+
+// Two handles in one process open the lock file separately, so flock
+// treats them like two processes: a maintenance pass through one must
+// fail with ErrBusy while the other keeps the store open.
+func TestGCBusyWhileSecondHandleOpen(t *testing.T) {
+	root := t.TempDir()
+	d1, _ := openT(t, root)
+	if err := d1.PutStep("warm", []byte("layer"), 0); err != nil {
+		t.Fatal(err)
+	}
+
+	d2, _, err := Open(root, WithLockWait(50*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d2.Close()
+
+	if _, err := d2.GC(Budget{}); !errors.Is(err, ErrBusy) {
+		t.Fatalf("GC with peer open: err = %v, want ErrBusy", err)
+	}
+	if err := d2.Reset(); !errors.Is(err, ErrBusy) {
+		t.Fatalf("Reset with peer open: err = %v, want ErrBusy", err)
+	}
+
+	// A failed maintenance attempt must leave the handle fully usable:
+	// the exclusive conversion re-acquired its shared hold.
+	if err := d2.PutStep("after-busy", []byte("more"), 0); err != nil {
+		t.Fatalf("append after ErrBusy: %v", err)
+	}
+
+	// Once the peer closes, the same call succeeds.
+	if err := d1.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d2.GC(Budget{}); err != nil {
+		t.Fatalf("GC after peer closed: %v", err)
+	}
+	if _, ok := d2.Step("after-busy"); ok {
+		t.Fatal("untagged step survived a full-sweep GC")
+	}
+}
+
+// A GC that starts before the peer closes must block on the store lock
+// and then proceed, rather than interleaving with the peer's appends.
+func TestGCWaitsForPeerClose(t *testing.T) {
+	root := t.TempDir()
+	d1, _ := openT(t, root)
+	if err := d1.PutStep("warm", []byte("layer"), 0); err != nil {
+		t.Fatal(err)
+	}
+	d2, _, err := Open(root, WithLockWait(10*time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d2.Close()
+
+	done := make(chan error, 1)
+	go func() {
+		_, err := d2.GC(Budget{})
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		t.Fatalf("GC returned (%v) while peer still held the store", err)
+	case <-time.After(100 * time.Millisecond):
+	}
+	if err := d1.Close(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("GC after peer close: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("GC never completed after peer closed")
+	}
+}
+
+// TestFlockGCHelper is the child half of TestTwoProcessFlock: re-executed
+// via the test binary, it opens the store named by CAS_FLOCK_ROOT with a
+// short lock wait and reports through its exit code — 3 for ErrBusy,
+// 0 for a successful GC, 1 for anything else.
+func TestFlockGCHelper(t *testing.T) {
+	root := os.Getenv("CAS_FLOCK_ROOT")
+	if root == "" {
+		t.Skip("helper: run by TestTwoProcessFlock only")
+	}
+	d, _, err := Open(root, WithLockWait(200*time.Millisecond))
+	if err != nil {
+		t.Logf("open: %v", err)
+		os.Exit(1)
+	}
+	_, err = d.GC(Budget{})
+	d.Close()
+	switch {
+	case errors.Is(err, ErrBusy):
+		os.Exit(3)
+	case err != nil:
+		t.Logf("gc: %v", err)
+		os.Exit(1)
+	}
+	os.Exit(0)
+}
+
+// The cross-process acceptance case: while this process holds the store
+// open (shared lock), a second process's GC fails cleanly with ErrBusy;
+// after Close it succeeds.
+func TestTwoProcessFlock(t *testing.T) {
+	root := t.TempDir()
+	d, _ := openT(t, root)
+	if err := d.PutStep("warm", []byte("layer"), 0); err != nil {
+		t.Fatal(err)
+	}
+
+	run := func() int {
+		t.Helper()
+		cmd := exec.Command(os.Args[0], "-test.run=^TestFlockGCHelper$", "-test.v")
+		cmd.Env = append(os.Environ(), "CAS_FLOCK_ROOT="+root)
+		out, err := cmd.CombinedOutput()
+		if err == nil {
+			return 0
+		}
+		var ee *exec.ExitError
+		if errors.As(err, &ee) {
+			return ee.ExitCode()
+		}
+		t.Fatalf("exec: %v\n%s", err, out)
+		return -1
+	}
+
+	if code := run(); code != 3 {
+		t.Fatalf("child GC with store held: exit %d, want 3 (ErrBusy)", code)
+	}
+	// The busy child must not have corrupted anything for us.
+	if err := d.PutStep("after-child", []byte("more"), 0); err != nil {
+		t.Fatalf("append after child ErrBusy: %v", err)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if code := run(); code != 0 {
+		t.Fatalf("child GC with store released: exit %d, want 0", code)
+	}
+	// The child's full sweep dropped the untagged steps; reopening must
+	// see a healthy (colder) store, not damage.
+	d2, rep := openT(t, root)
+	if rep.Quarantined() {
+		t.Fatalf("store damaged after child GC: %+v", rep)
+	}
+	if _, ok := d2.Step("warm"); ok {
+		t.Fatal("untagged step survived the child's full sweep")
+	}
+}

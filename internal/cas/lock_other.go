@@ -1,0 +1,16 @@
+//go:build !(darwin || dragonfly || freebsd || linux || netbsd || openbsd)
+
+package cas
+
+import "os"
+
+// Platforms without flock(2) get a no-op lock: the store keeps its
+// single-process guarantees (append-atomicity, checksummed journal,
+// orphaned-handle detection) but concurrent processes are not excluded
+// from GC/compaction windows. The simulated builder only targets
+// flock-capable systems; this stub keeps the package compiling
+// elsewhere.
+
+func flockShared(*os.File) error { return nil }
+
+func flockExclusiveNB(*os.File) (bool, error) { return true, nil }

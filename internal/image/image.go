@@ -424,6 +424,23 @@ func (s *Store) noteBackingErr(err error) {
 	}
 }
 
+// GCBacking runs a garbage collection on the attached persistent store,
+// a no-op when the store is in-memory only. Failures (cas.ErrBusy from
+// another process holding the store, sweep I/O errors) are recorded the
+// same way write-through failures are: the cache ends up colder than
+// asked for, never wrong.
+func (s *Store) GCBacking(b cas.Budget) (cas.GCStats, error) {
+	backing := s.Backing()
+	if backing == nil {
+		return cas.GCStats{}, nil
+	}
+	stats, err := backing.GC(b)
+	s.mu.Lock()
+	s.noteBackingErr(err)
+	s.mu.Unlock()
+	return stats, err
+}
+
 // Put tags an image, registering its layer blobs. Blob bytes are copied
 // on the way in and write-once thereafter: the store is content-addressed,
 // so the first bytes recorded under a digest are the bytes that digest

@@ -237,3 +237,42 @@ func TestDeleteWritesThroughUntag(t *testing.T) {
 		t.Fatal("deleted tag resurrected in the next process")
 	}
 }
+
+// GCBacking delegates to the attached cas directory; without one it is a
+// quiet no-op, and a failure is recorded as a backing error (colder
+// cache) rather than returned as a build-stopping condition upstream.
+func TestGCBackingDelegatesAndRecordsErrors(t *testing.T) {
+	// No backing: zero stats, no error, nothing recorded.
+	s := NewStore()
+	if stats, err := s.GCBacking(cas.Budget{MaxBytes: 1}); err != nil || stats != (cas.GCStats{}) {
+		t.Fatalf("GCBacking without backing: %+v %v", stats, err)
+	}
+
+	// With a backing: the untagged blob goes, the tagged image survives.
+	root := t.TempDir()
+	d := openDir(t, root)
+	s.SetBacking(d)
+	s.Put(testImage(t, "keep:1"))
+	if _, err := d.PutBlob([]byte("untagged garbage")); err != nil {
+		t.Fatal(err)
+	}
+	stats, err := s.GCBacking(cas.Budget{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.BlobsSwept != 1 || stats.TagsKept != 1 {
+		t.Fatalf("stats: %+v", stats)
+	}
+	if err := s.BackingErr(); err != nil {
+		t.Fatalf("successful GC recorded an error: %v", err)
+	}
+
+	// A failing GC (closed backing) is recorded, not swallowed.
+	d.Close()
+	if _, err := s.GCBacking(cas.Budget{}); err == nil {
+		t.Fatal("GC on closed backing succeeded")
+	}
+	if err := s.BackingErr(); err == nil {
+		t.Fatal("GC failure not recorded as backing error")
+	}
+}
