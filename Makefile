@@ -1,6 +1,6 @@
 # Tier-1 gate (see ROADMAP.md): the module must build, vet clean and pass
 # every test from a clean checkout.
-.PHONY: check build test vet race bench experiments lint-docs cache-smoke
+.PHONY: check build test vet race bench experiments lint-docs cache-smoke fault-smoke
 
 check: vet test
 
@@ -84,6 +84,21 @@ cache-smoke:
 	@# Bound the fixture: CI restores+saves this dir forever, so collect
 	@# everything the tagged images don't reach before it is cached again.
 	go run ./cmd/ch-image cache --cache-dir $(CACHE_SMOKE_DIR)/cas gc smoke:2
+
+# The fault-injection soak (deterministic per FAULT_SOAK_SEED): seeded
+# randomized builds against a persistent store with faults injected at
+# every cas failpoint — torn blob writes, rename and read errors, ENOSPC
+# on the journal, lock busyness. Every build must either succeed
+# (degraded allowed) or fail with a clean error, and the store must
+# reopen with zero damage after every single build. Invariant violations
+# are appended to FAULT_SOAK_LOG, which CI uploads on failure.
+FAULT_SOAK_BUILDS ?= 200
+FAULT_SOAK_SEED ?= 1
+FAULT_SOAK_LOG ?= $(abspath fault-soak.log)
+fault-smoke:
+	FAULT_SOAK_BUILDS=$(FAULT_SOAK_BUILDS) FAULT_SOAK_SEED=$(FAULT_SOAK_SEED) \
+		FAULT_SOAK_LOG=$(FAULT_SOAK_LOG) \
+		go test -run TestFaultSoak -count=1 -v ./internal/build
 
 # Documentation gate: every relative link in the Markdown docs must
 # resolve and every ```go example must be gofmt-clean (cmd/doccheck).

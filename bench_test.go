@@ -22,6 +22,7 @@
 package repro
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -700,7 +701,7 @@ func BenchmarkCacheOpen(b *testing.B) {
 	for i := 0; i < blobCount; i++ {
 		layer := make([]byte, blobSize)
 		copy(layer, fmt.Sprintf("blob-%d", i))
-		if err := d.PutStep(fmt.Sprintf("step-%d", i), layer, 0); err != nil {
+		if err := d.PutStep(context.Background(), fmt.Sprintf("step-%d", i), layer, 0); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -32,11 +32,15 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
+	"syscall"
 
 	"repro/internal/build"
 	"repro/internal/cas"
@@ -50,11 +54,18 @@ func main() {
 		usage()
 		os.Exit(1)
 	}
+	// SIGINT/SIGTERM cancel the command's context: an in-flight build
+	// stops at its next instruction boundary, the cache handle closes
+	// cleanly through the usual defers, and the process exits 130 like an
+	// interrupted shell command. A second signal kills the process the
+	// default way (stop() restores default disposition on the first).
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 	switch os.Args[1] {
 	case "build":
-		os.Exit(cmdBuild(os.Args[2:]))
+		os.Exit(cmdBuild(ctx, os.Args[2:]))
 	case "cache":
-		os.Exit(cmdCache(os.Args[2:]))
+		os.Exit(cmdCache(ctx, os.Args[2:]))
 	case "list":
 		os.Exit(cmdList())
 	default:
@@ -62,6 +73,10 @@ func main() {
 		os.Exit(1)
 	}
 }
+
+// exitInterrupted is the exit status of a build stopped by SIGINT/SIGTERM
+// (128 + SIGINT, the shell convention).
+const exitInterrupted = 130
 
 func usage() {
 	fmt.Fprintln(os.Stderr, "usage: ch-image build -t TAG[,TAG...] [-f DOCKERFILE] [--force=MODE] [--jobs N] [--target STAGE] [--cache-dir DIR] [--cache-verify=full|lazy] [--cache-max-bytes N] CONTEXT")
@@ -117,7 +132,7 @@ func seededStore(w *pkgmgr.World, d *cas.Dir) (*image.Store, error) {
 	return s, nil
 }
 
-func cmdBuild(args []string) int {
+func cmdBuild(ctx context.Context, args []string) int {
 	// ContinueOnError, not ExitOnError: a bad flag must return exit 2
 	// through the normal path (running deferred cleanups), not os.Exit
 	// from inside the flag package.
@@ -134,6 +149,8 @@ func cmdBuild(args []string) int {
 	cacheDir := fs.String("cache-dir", "", "persistent build-cache directory; warm rebuilds survive across invocations")
 	cacheVerify := fs.String("cache-verify", "full", "cache-dir open validation: full (read every blob) or lazy (verify on first read)")
 	cacheMaxBytes := fs.Int64("cache-max-bytes", 0, "after the build, evict least-recently-recorded cache entries until the cache-dir blob store fits this many bytes (0 = unbounded)")
+	timeout := fs.Duration("timeout", 0, "whole-build deadline; an overrunning build fails at its next instruction boundary (0 = none)")
+	instrTimeout := fs.Duration("instr-timeout", 0, "per-instruction deadline (0 = none)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -184,13 +201,13 @@ func cmdBuild(args []string) int {
 
 	// Load the build context (regular files only, one level of depth is
 	// plenty for the examples).
-	context := map[string][]byte{}
+	ctxFiles := map[string][]byte{}
 	entries, err := os.ReadDir(ctxDir)
 	if err == nil {
 		for _, e := range entries {
 			if e.Type().IsRegular() {
 				if data, err := os.ReadFile(filepath.Join(ctxDir, e.Name())); err == nil {
-					context[e.Name()] = data
+					ctxFiles[e.Name()] = data
 				}
 			}
 		}
@@ -209,6 +226,17 @@ func cmdBuild(args []string) int {
 			return 2
 		}
 		defer dir.Close()
+		// CH_IMAGE_CAS_FAULTS injects deterministic faults into the
+		// persistent store (testing the degraded-operation contract
+		// end to end; see internal/cas.ParseFaults for the syntax).
+		if spec := os.Getenv("CH_IMAGE_CAS_FAULTS"); spec != "" {
+			inj, err := cas.ParseFaults(spec)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "ch-image: CH_IMAGE_CAS_FAULTS: %v\n", err)
+				return 2
+			}
+			dir.SetFailpoints(inj)
+		}
 	}
 	world := pkgmgr.NewWorld()
 	store, err := seededStore(world, dir)
@@ -218,10 +246,12 @@ func cmdBuild(args []string) int {
 	}
 	opts := build.Options{
 		Tag: tags[0], Force: mode, Store: store, World: world,
-		Context: context, Output: os.Stdout,
+		Context: ctxFiles, Output: os.Stdout,
 		DisableAptWorkaround: *noWorkaround,
 		StageJobs:            *jobs,
 		TargetStage:          *target,
+		BuildTimeout:         *timeout,
+		InstrTimeout:         *instrTimeout,
 	}
 	if dir != nil {
 		opts.Cache = build.NewPersistentCache(dir)
@@ -255,24 +285,22 @@ func cmdBuild(args []string) int {
 			fmt.Fprintln(os.Stderr, "ch-image: -strace does not combine with a multi-tag build")
 			return 2
 		}
-		code := cmdBuildPool(string(text), tags, *jobs, opts, *rebuild, *pushTo)
+		code := cmdBuildPool(ctx, string(text), tags, *jobs, opts, *rebuild, *pushTo)
 		if code == 0 {
-			budgetGC(store, *cacheMaxBytes)
+			budgetGC(ctx, store, *cacheMaxBytes)
 		}
-		warnPersistence(opts.Cache, store)
+		warnDegraded(opts.Cache, store)
 		return code
 	}
-	res, err := build.Build(string(text), opts)
+	res, err := build.BuildContext(ctx, string(text), opts)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "ch-image: %v\n", err)
-		return 1
+		return buildFailure(err)
 	}
 	if *rebuild {
 		fmt.Println("--- rebuilding with warm cache ---")
-		res, err = build.Build(string(text), opts)
+		res, err = build.BuildContext(ctx, string(text), opts)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "ch-image: %v\n", err)
-			return 1
+			return buildFailure(err)
 		}
 		fmt.Printf("cache hits: %d\n", res.CacheHits)
 	}
@@ -281,8 +309,8 @@ func cmdBuild(args []string) int {
 		// against the same --cache-dir must report 0 executed.
 		fmt.Printf("instructions executed: %d (cache hits %d)\n", res.Executed, res.CacheHits)
 	}
-	budgetGC(store, *cacheMaxBytes)
-	warnPersistence(opts.Cache, store)
+	budgetGC(ctx, store, *cacheMaxBytes)
+	warnDegraded(opts.Cache, store)
 	if *pushTo != "" {
 		if err := image.Push(*pushTo, res.Image); err != nil {
 			fmt.Fprintf(os.Stderr, "ch-image: push: %v\n", err)
@@ -293,38 +321,57 @@ func cmdBuild(args []string) int {
 	return 0
 }
 
+// buildFailure reports a failed build and picks its exit status: 130 for
+// a build interrupted by a cancelled context (SIGINT/SIGTERM), 1 for
+// everything else — a --timeout overrun included, which is an ordinary
+// build failure wrapping context.DeadlineExceeded.
+func buildFailure(err error) int {
+	if errors.Is(err, context.Canceled) {
+		fmt.Fprintf(os.Stderr, "ch-image: interrupted: %v\n", err)
+		return exitInterrupted
+	}
+	fmt.Fprintf(os.Stderr, "ch-image: %v\n", err)
+	return 1
+}
+
 // budgetGC bounds the persistent cache after a successful build
 // (--cache-max-bytes): least-recently-recorded entries are evicted until
 // the blob store fits. A failure (ErrBusy included) degrades to an
-// oversized cache, surfaced by warnPersistence, never a failed build.
-func budgetGC(store *image.Store, maxBytes int64) {
+// oversized cache, surfaced by warnDegraded, never a failed build. Runs
+// even after an interrupt: it is cleanup of what the build already wrote.
+func budgetGC(ctx context.Context, store *image.Store, maxBytes int64) {
 	if maxBytes <= 0 || store.Backing() == nil {
 		return
 	}
-	if stats, err := store.GCBacking(cas.Budget{MaxBytes: maxBytes}); err == nil {
+	if stats, err := store.GCBacking(context.WithoutCancel(ctx), cas.Budget{MaxBytes: maxBytes}); err == nil {
 		fmt.Printf("cache gc: %d bytes kept (budget %d), %d blob(s) evicted\n",
 			stats.BytesKept, maxBytes, stats.BlobsSwept)
 	}
 }
 
-// warnPersistence surfaces degraded --cache-dir write-through on stderr:
-// the build succeeded, but the on-disk cache is colder than it should be
-// and the next invocation will re-execute what failed to persist.
-func warnPersistence(cache *build.Cache, store *image.Store) {
+// warnDegraded is the degraded-build contract: when the build succeeded
+// but some of its persistence failed — cache write-through or store
+// backing writes — ch-image prints one warning on stderr and still exits
+// 0. The image is correct; the on-disk cache is merely colder and the
+// next invocation re-executes what failed to persist.
+func warnDegraded(cache *build.Cache, store *image.Store) {
+	var errs []error
 	if cache != nil {
-		if err := cache.PersistErr(); err != nil {
-			fmt.Fprintf(os.Stderr, "ch-image: warning: cache persistence degraded: %v\n", err)
-		}
+		errs = append(errs, cache.PersistErrs()...)
 	}
-	if err := store.BackingErr(); err != nil {
-		fmt.Fprintf(os.Stderr, "ch-image: warning: store persistence degraded: %v\n", err)
+	if store != nil {
+		errs = append(errs, store.BackingErrs()...)
+	}
+	if len(errs) > 0 {
+		fmt.Fprintf(os.Stderr, "ch-image: warning: cache degraded: %d persistence failure(s); first: %v\n",
+			len(errs), errs[0])
 	}
 }
 
 // cmdBuildPool runs the same Dockerfile once per tag through build.Pool:
 // up to jobs builds in flight, all sharing the store and one instruction
 // cache, so shared steps execute once and replay under every other tag.
-func cmdBuildPool(text string, tags []string, jobs int, opts build.Options, rebuild bool, pushTo string) int {
+func cmdBuildPool(ctx context.Context, text string, tags []string, jobs int, opts build.Options, rebuild bool, pushTo string) int {
 	mkJobs := func() []build.Job {
 		js := make([]build.Job, len(tags))
 		for i, tg := range tags {
@@ -335,8 +382,8 @@ func cmdBuildPool(text string, tags []string, jobs int, opts build.Options, rebu
 		}
 		return js
 	}
-	run := func() ([]build.JobResult, bool) {
-		results, err := (&build.Pool{Workers: jobs}).Run(mkJobs())
+	run := func() ([]build.JobResult, error) {
+		results, err := (&build.Pool{Workers: jobs}).RunContext(ctx, mkJobs())
 		for _, r := range results {
 			fmt.Printf("=== %s ===\n", r.Name)
 			fmt.Print(r.Transcript)
@@ -346,16 +393,16 @@ func cmdBuildPool(text string, tags []string, jobs int, opts build.Options, rebu
 				fmt.Printf("cache hits: %d\n", r.Result.CacheHits)
 			}
 		}
-		return results, err == nil
+		return results, err
 	}
-	results, ok := run()
-	if !ok {
-		return 1
+	results, err := run()
+	if err != nil {
+		return buildFailure(err)
 	}
 	if rebuild {
 		fmt.Println("--- rebuilding with warm cache ---")
-		if results, ok = run(); !ok {
-			return 1
+		if results, err = run(); err != nil {
+			return buildFailure(err)
 		}
 	}
 	hits, misses := opts.Cache.Stats()
@@ -387,7 +434,7 @@ func cmdBuildPool(text string, tags []string, jobs int, opts build.Options, rebu
 // ContinueOnError: a bad flag returns exit 2 through the normal path
 // (deferred handle close included) instead of os.Exit from the flag
 // package.
-func cmdCache(args []string) int {
+func cmdCache(ctx context.Context, args []string) int {
 	fs := flag.NewFlagSet("cache", flag.ContinueOnError)
 	cacheDir := fs.String("cache-dir", "", "persistent build-cache directory (required)")
 	cacheVerify := fs.String("cache-verify", "full", "open validation: full (read every blob) or lazy (verify on first read)")
@@ -449,12 +496,12 @@ func cmdCache(args []string) int {
 			}
 		}
 		for _, tag := range tags {
-			if err := d.DeleteTag(tag); err != nil {
+			if err := d.DeleteTag(ctx, tag); err != nil {
 				fmt.Fprintf(os.Stderr, "ch-image: cache gc: %v\n", err)
 				return 1
 			}
 		}
-		stats, err := d.GC(cas.Budget{MaxBytes: *maxBytes})
+		stats, err := d.GC(ctx, cas.Budget{MaxBytes: *maxBytes})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "ch-image: cache gc: %v\n", err)
 			return 1
@@ -464,7 +511,7 @@ func cmdCache(args []string) int {
 			stats.StepsDropped, stats.ChainsDropped)
 		return 0
 	case "reset":
-		if err := d.Reset(); err != nil {
+		if err := d.Reset(ctx); err != nil {
 			fmt.Fprintf(os.Stderr, "ch-image: cache reset: %v\n", err)
 			return 1
 		}

@@ -26,11 +26,13 @@
 package build
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"path"
 	"sort"
 	"strings"
+	"time"
 
 	"repro/internal/baseline"
 	"repro/internal/cas"
@@ -155,6 +157,24 @@ type Options struct {
 
 	// Tracer, when set, receives one event per simulated syscall.
 	Tracer func(simos.TraceEvent)
+
+	// BuildTimeout, when > 0, bounds the whole build: the build's context
+	// gains this deadline, and a build that overruns it fails at the next
+	// instruction boundary with an error wrapping
+	// context.DeadlineExceeded (`ch-image build --timeout`).
+	BuildTimeout time.Duration
+
+	// InstrTimeout, when > 0, bounds each cacheable instruction: an
+	// instruction that overruns it fails the build with a deadline error
+	// naming the instruction. The whole-build deadline, when also set,
+	// still applies on top.
+	InstrTimeout time.Duration
+
+	// testStepGate, when set, is called before every instruction with the
+	// build's context and the instruction name. Tests use it as a
+	// rendezvous point to hold builds at a known boundary; the gate must
+	// select on ctx.Done so a cancelled build can leave.
+	testStepGate func(ctx context.Context, cmd string)
 }
 
 // Result reports what a build did.
@@ -195,6 +215,17 @@ type Result struct {
 	// StagesSkipped counts the unreferenced stages a multi-stage build
 	// pruned without executing. Zero for single-stage builds.
 	StagesSkipped int
+
+	// Degraded reports that the build succeeded in memory but some of its
+	// persistence — cache write-through or store backing writes — failed.
+	// The image is correct and tagged; the on-disk cache is merely colder
+	// than it should be. DegradedErrs holds the failures.
+	Degraded bool
+
+	// DegradedErrs are the persistence failures behind Degraded: the
+	// Cache's write-through errors followed by the Store's backing errors.
+	// Nil when Degraded is false.
+	DegradedErrs []error
 }
 
 // buildUID is the invoking (unprivileged) user every build runs as.
@@ -206,6 +237,31 @@ const buildUID = 1000
 // returned Result is never nil: on failure it still carries the counters
 // and modeled time accrued up to the failing instruction.
 func Build(text string, opt Options) (*Result, error) {
+	return BuildContext(context.Background(), text, opt)
+}
+
+// BuildContext is Build under a context: cancelling ctx stops the build
+// at its next instruction boundary with an error wrapping ctx's cause,
+// and Options.BuildTimeout layers a whole-build deadline on top. A build
+// that succeeds but fails to persist — cache write-through or store
+// backing errors — still returns nil error, with Result.Degraded set
+// (the degraded-operation contract; see docs/cas.md).
+func BuildContext(ctx context.Context, text string, opt Options) (res *Result, err error) {
+	if opt.BuildTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, opt.BuildTimeout)
+		defer cancel()
+	}
+	// Registered before every cleanup below so it runs after them (LIFO):
+	// the degraded annotation must observe persistence failures recorded
+	// by the deferred budget GC and the backing restore. The closure reads
+	// opt, so the persistent cache installed in the CacheDir block is
+	// visible to it.
+	defer func() {
+		if err == nil && res != nil {
+			noteDegraded(res, opt)
+		}
+	}()
 	f, err := dockerfile.Parse(text)
 	if err != nil {
 		return &Result{}, err
@@ -236,30 +292,55 @@ func Build(text string, opt Options) (*Result, error) {
 			// Registered after the backing swap so it runs before the
 			// restore (LIFO): the budget applies to the store this build
 			// just warmed. GCBacking records failures as backing errors
-			// rather than failing the finished build.
+			// rather than failing the finished build. The GC runs even
+			// when the build was cancelled — it is cleanup of a store the
+			// build already wrote, not more build work — so it detaches
+			// from ctx's cancellation while keeping its values.
 			defer func() {
+				gcCtx := context.WithoutCancel(ctx)
 				if opt.Store != nil && opt.Store.Backing() == d {
-					opt.Store.GCBacking(cas.Budget{MaxBytes: opt.CacheMaxBytes})
+					opt.Store.GCBacking(gcCtx, cas.Budget{MaxBytes: opt.CacheMaxBytes})
 				} else {
-					d.GC(cas.Budget{MaxBytes: opt.CacheMaxBytes})
+					d.GC(gcCtx, cas.Budget{MaxBytes: opt.CacheMaxBytes})
 				}
 			}()
 		}
 	}
 	if len(f.Stages) > 1 || opt.TargetStage != "" {
-		return buildStages(f, opt)
+		return buildStages(ctx, f, opt)
 	}
-	res, _, err := buildOneStage(f, 0, nil, opt)
+	res, _, err = buildOneStage(ctx, f, 0, nil, opt)
 	return res, err
+}
+
+// noteDegraded annotates a successful build with the persistence
+// failures its cache and store accrued: the build is correct in memory,
+// the disk is merely colder.
+func noteDegraded(res *Result, opt Options) {
+	var errs []error
+	if opt.Cache != nil {
+		errs = append(errs, opt.Cache.PersistErrs()...)
+	}
+	if opt.Store != nil {
+		errs = append(errs, opt.Store.BackingErrs()...)
+	}
+	if len(errs) > 0 {
+		res.Degraded = true
+		res.DegradedErrs = errs
+	}
 }
 
 // buildOneStage executes one stage of f (for a single-stage file, the
 // whole build): the global ARGs, the stage's FROM and its body. imgs holds
 // the completed earlier stage images, indexed by stage; it may be nil when
 // f has a single stage. It returns the stage's Result and image.
-func buildOneStage(f *dockerfile.File, stage int, imgs []*image.Image, opt Options) (*Result, *image.Image, error) {
+// Cancelling ctx stops the stage at its next instruction boundary.
+func buildOneStage(ctx context.Context, f *dockerfile.File, stage int, imgs []*image.Image, opt Options) (*Result, *image.Image, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	b := &builder{
-		opt: opt, out: opt.Output, res: &Result{},
+		ctx: ctx, opt: opt, out: opt.Output, res: &Result{},
 		file: f, stageIdx: stage, stageImgs: imgs,
 	}
 	if b.out == nil {
@@ -270,7 +351,7 @@ func buildOneStage(f *dockerfile.File, stage int, imgs []*image.Image, opt Optio
 	ins = append(ins, f.GlobalArgs...)
 	ins = append(ins, st.From)
 	ins = append(ins, st.Body...)
-	err := b.run(ins)
+	err := b.run(ctx, ins)
 	if b.k != nil {
 		b.res.Counters = b.k.Snapshot()
 		b.res.VirtualNanos = b.k.VirtualNanos()
@@ -287,6 +368,12 @@ func buildOneStage(f *dockerfile.File, stage int, imgs []*image.Image, opt Optio
 // builder is the per-stage build state machine (per-build for single-stage
 // files).
 type builder struct {
+	// ctx is the context the current instruction runs under: the build
+	// context, narrowed to a per-instruction deadline while a step with
+	// Options.InstrTimeout executes. Step handlers pass it to every
+	// cache and store operation.
+	ctx context.Context
+
 	opt Options
 	out io.Writer
 	res *Result
@@ -311,65 +398,105 @@ type builder struct {
 	chainKey string // content-addressed key of everything built so far
 }
 
-// run executes the stage's instruction sequence.
-func (b *builder) run(instructions []dockerfile.Instruction) error {
+// run executes the stage's instruction sequence. ctx is checked at every
+// instruction boundary: a cancelled or expired build stops before its
+// next instruction with an error saying where it stopped, and the layers
+// committed so far stay recorded in the cache — a later build resumes
+// warm from the boundary.
+func (b *builder) run(ctx context.Context, instructions []dockerfile.Instruction) error {
 	b.vars = map[string]string{}
 	b.env = map[string]string{}
 	b.shell = []string{"/bin/sh", "-c"}
 
 	for i, ins := range instructions {
+		if gate := b.opt.testStepGate; gate != nil {
+			gate(ctx, ins.Cmd)
+		}
+		if cerr := ctx.Err(); cerr != nil {
+			return fmt.Errorf("build: interrupted before instruction %d (%s): %w",
+				i+1, ins.Cmd, cerr)
+		}
+		// Narrow the instruction to its own deadline when configured; the
+		// step handlers run cache and store operations under b.ctx.
+		stepCtx, cancelStep := ctx, context.CancelFunc(func() {})
+		if b.opt.InstrTimeout > 0 {
+			stepCtx, cancelStep = context.WithTimeout(ctx, b.opt.InstrTimeout)
+		}
+		b.ctx = stepCtx
 		fmt.Fprintf(b.out, "%3d %s %s\n", i+1, ins.Cmd, ins.Raw)
-		if b.p == nil && ins.Cmd != "FROM" && ins.Cmd != "ARG" {
-			return fmt.Errorf("build: line %d: %s before FROM", ins.Line, ins.Cmd)
-		}
 		var err error
-		switch ins.Cmd {
-		case "FROM":
-			err = b.stepFrom(ins)
-		case "RUN":
-			err = b.stepRun(ins)
-		case "COPY", "ADD":
-			err = b.stepCopy(ins)
-		case "ENV":
-			err = b.stepEnv(ins)
-		case "ARG":
-			err = b.stepArg(ins)
-		case "WORKDIR":
-			err = b.stepWorkdir(ins)
-		case "USER":
-			b.cur.Config.User = b.expand(ins.Raw)
-		case "LABEL":
-			err = b.stepLabel(ins)
-		case "CMD":
-			b.cur.Config.Cmd = b.commandWords(ins)
-		case "ENTRYPOINT":
-			b.cur.Config.Entrypoint = b.commandWords(ins)
-		case "SHELL":
-			if len(ins.ExecForm) == 0 {
-				return fmt.Errorf("build: line %d: SHELL requires exec form", ins.Line)
-			}
-			b.shell = ins.ExecForm
-			b.chainKey = chain(b.chainKey, "SHELL\x00"+strings.Join(b.shell, "\x00"))
-		case "EXPOSE", "VOLUME", "STOPSIGNAL", "HEALTHCHECK", "ONBUILD", "MAINTAINER":
-			// Accepted for compatibility; no effect on the simulated image.
+		switch {
+		case b.p == nil && ins.Cmd != "FROM" && ins.Cmd != "ARG":
+			err = fmt.Errorf("build: line %d: %s before FROM", ins.Line, ins.Cmd)
 		default:
-			return fmt.Errorf("build: line %d: unsupported instruction %s", ins.Line, ins.Cmd)
+			err = b.step(ins)
 		}
+		// An instruction that ran to completion but overran its own
+		// deadline fails the build: the per-instruction budget is a
+		// contract, not advice. (The simulated execution cannot block
+		// mid-syscall, so the boundary is where the overrun surfaces.)
+		if err == nil && stepCtx.Err() != nil && ctx.Err() == nil {
+			err = fmt.Errorf("build: line %d: %s exceeded the per-instruction deadline: %w",
+				ins.Line, ins.Cmd, stepCtx.Err())
+		}
+		cancelStep()
 		if err != nil {
 			return err
 		}
 	}
+	// Out of the loop, operations run under the build context again (the
+	// last instruction's deadline no longer applies).
+	b.ctx = ctx
 	if b.p == nil {
 		return fmt.Errorf("build: no FROM instruction")
 	}
 	b.cur.Config.Env = envList(b.env)
 	b.res.Image = b.cur
 	if b.opt.Tag != "" && b.opt.Store != nil {
-		b.opt.Store.Put(b.cur)
+		b.opt.Store.PutContext(ctx, b.cur)
 	}
 	fmt.Fprintf(b.out, "grown in %d instructions: %s\n", len(instructions), b.cur.Name)
 	if b.opt.Force == ForceSeccomp {
 		fmt.Fprintf(b.out, "--force=seccomp: modified %d RUN instructions\n", b.res.ModifiedRuns)
+	}
+	return nil
+}
+
+// step dispatches one instruction to its handler. The handler runs under
+// b.ctx — the build context, narrowed to the per-instruction deadline
+// when Options.InstrTimeout is set.
+func (b *builder) step(ins dockerfile.Instruction) error {
+	switch ins.Cmd {
+	case "FROM":
+		return b.stepFrom(ins)
+	case "RUN":
+		return b.stepRun(ins)
+	case "COPY", "ADD":
+		return b.stepCopy(ins)
+	case "ENV":
+		return b.stepEnv(ins)
+	case "ARG":
+		return b.stepArg(ins)
+	case "WORKDIR":
+		return b.stepWorkdir(ins)
+	case "USER":
+		b.cur.Config.User = b.expand(ins.Raw)
+	case "LABEL":
+		return b.stepLabel(ins)
+	case "CMD":
+		b.cur.Config.Cmd = b.commandWords(ins)
+	case "ENTRYPOINT":
+		b.cur.Config.Entrypoint = b.commandWords(ins)
+	case "SHELL":
+		if len(ins.ExecForm) == 0 {
+			return fmt.Errorf("build: line %d: SHELL requires exec form", ins.Line)
+		}
+		b.shell = ins.ExecForm
+		b.chainKey = chain(b.chainKey, "SHELL\x00"+strings.Join(b.shell, "\x00"))
+	case "EXPOSE", "VOLUME", "STOPSIGNAL", "HEALTHCHECK", "ONBUILD", "MAINTAINER":
+		// Accepted for compatibility; no effect on the simulated image.
+	default:
+		return fmt.Errorf("build: line %d: unsupported instruction %s", ins.Line, ins.Cmd)
 	}
 	return nil
 }
@@ -397,8 +524,13 @@ func (b *builder) stepFrom(ins dockerfile.Instruction) error {
 			return fmt.Errorf("build: no image store configured")
 		}
 		var ok bool
-		base, ok = b.opt.Store.Get(ref)
+		base, ok = b.opt.Store.GetContext(b.ctx, ref)
 		if !ok {
+			// Disambiguate: a cancelled context aborts the backing read,
+			// which looks like a miss from here.
+			if cerr := b.ctx.Err(); cerr != nil {
+				return fmt.Errorf("build: %w", cerr)
+			}
 			return fmt.Errorf("build: base image %q not in storage", ref)
 		}
 	}
@@ -415,7 +547,7 @@ func (b *builder) stepFrom(ins dockerfile.Instruction) error {
 	// the invoking user — exactly what ch-image's storage directory
 	// holds, and why the container needs emulation to chown at all. The
 	// store memoises the unpacked chain; we get a private clone.
-	fs, err := b.opt.Store.Flatten(base)
+	fs, err := b.opt.Store.FlattenContext(b.ctx, base)
 	if err != nil {
 		return fmt.Errorf("build: flatten %s: %w", ref, err)
 	}
@@ -609,8 +741,11 @@ func (b *builder) copySource(ins dockerfile.Instruction) (*image.Image, error) {
 		return nil, fmt.Errorf("no image store configured")
 	}
 	ref := b.expand(ins.From)
-	img, ok := b.opt.Store.Get(ref)
+	img, ok := b.opt.Store.GetContext(b.ctx, ref)
 	if !ok {
+		if cerr := b.ctx.Err(); cerr != nil {
+			return nil, cerr
+		}
 		return nil, fmt.Errorf("--from image %q not in storage", ref)
 	}
 	return img, nil
@@ -656,7 +791,7 @@ func (b *builder) stepCopyFrom(ins dockerfile.Instruction) error {
 		}
 	}()
 
-	entries, err := b.opt.Store.FlattenedEntries(src)
+	entries, err := b.opt.Store.FlattenedEntriesContext(b.ctx, src)
 	if err != nil {
 		return fmt.Errorf("build: line %d: COPY --from=%s: %w", ins.Line, ins.From, err)
 	}
@@ -862,7 +997,7 @@ func (b *builder) replay(key, cmd string) (bool, error) {
 	if b.opt.Cache == nil {
 		return false, nil
 	}
-	ent, hit, _ := b.opt.Cache.getOrBegin(key)
+	ent, hit, _ := b.opt.Cache.getOrBegin(b.ctx, key)
 	if !hit {
 		return false, nil
 	}
@@ -888,7 +1023,7 @@ func (b *builder) replay(key, cmd string) (bool, error) {
 // blocked on the in-flight fill.
 func (b *builder) record(key string, layer []byte, modified int) {
 	if b.opt.Cache != nil {
-		b.opt.Cache.complete(key, cacheEntry{layer: layer, modified: modified})
+		b.opt.Cache.complete(b.ctx, key, cacheEntry{layer: layer, modified: modified})
 	}
 }
 

@@ -1,8 +1,10 @@
 package build
 
 import (
+	"context"
 	"crypto/sha256"
 	"encoding/hex"
+	"errors"
 	"fmt"
 	"strings"
 	"sync"
@@ -42,10 +44,17 @@ type Cache struct {
 	hits    int
 	misses  int
 
-	dir        *cas.Dir            // nil for a purely in-memory cache
-	lazy       map[string]cas.Step // persisted entries not yet loaded
-	persistErr error
+	dir  *cas.Dir            // nil for a purely in-memory cache
+	lazy map[string]cas.Step // persisted entries not yet loaded
+
+	// Write-through failures aggregate here (capped like the image
+	// store's backing errors; overflow counted in persistDropped).
+	persistErrs    []error
+	persistDropped int
 }
+
+// persistErrCap bounds the aggregated write-through failure list.
+const persistErrCap = 32
 
 // stepFlight is one instruction being executed by some builder right now.
 // Waiters block on done; the outcome field is written before the channel
@@ -85,13 +94,38 @@ func NewPersistentCache(d *cas.Dir) *Cache {
 	return c
 }
 
-// PersistErr reports the first write-through failure, nil when every
-// completed step reached the backing store. A failure leaves the on-disk
-// cache colder, never wrong.
+// PersistErr reports the write-through failures as one joined error, nil
+// when every completed step reached the backing store. A failure leaves
+// the on-disk cache colder, never wrong.
 func (c *Cache) PersistErr() error {
+	return errors.Join(c.PersistErrs()...)
+}
+
+// PersistErrs returns every recorded write-through failure (a copy),
+// plus a trailing summary entry when failures past the cap were dropped.
+func (c *Cache) PersistErrs() []error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.persistErr
+	if len(c.persistErrs) == 0 {
+		return nil
+	}
+	out := append([]error(nil), c.persistErrs...)
+	if c.persistDropped > 0 {
+		out = append(out, fmt.Errorf("build: %d further persistence failure(s) dropped", c.persistDropped))
+	}
+	return out
+}
+
+// notePersistErr records one write-through failure. Callers hold c.mu.
+func (c *Cache) notePersistErr(err error) {
+	if err == nil {
+		return
+	}
+	if len(c.persistErrs) >= persistErrCap {
+		c.persistDropped++
+		return
+	}
+	c.persistErrs = append(c.persistErrs, err)
 }
 
 // loadStep reads a persisted entry's layer blob (digest-verified by the
@@ -100,10 +134,15 @@ func (c *Cache) PersistErr() error {
 // only wait on it for this key, never for the whole cache. A blob that
 // fails verification was quarantined by the Dir; the entry is dropped and
 // the step re-executes as an ordinary miss.
-func (c *Cache) loadStep(st cas.Step) (cacheEntry, bool) {
+func (c *Cache) loadStep(ctx context.Context, st cas.Step) (cacheEntry, bool) {
 	ent := cacheEntry{modified: st.Modified}
 	if st.Layer != "" {
-		data, err := c.dir.Blob(st.Layer)
+		var data []byte
+		err := cas.DefaultRetry.Do(ctx, func() error {
+			var rerr error
+			data, rerr = c.dir.Blob(ctx, st.Layer)
+			return rerr
+		})
 		if err != nil {
 			return cacheEntry{}, false
 		}
@@ -141,7 +180,7 @@ func (c *Cache) Len() int {
 // A caller that finds the key in flight blocks until the filler finishes;
 // a completed fill returns as a hit, an abandoned one loops and contends
 // to become the next filler.
-func (c *Cache) getOrBegin(key string) (ent cacheEntry, hit, fill bool) {
+func (c *Cache) getOrBegin(ctx context.Context, key string) (ent cacheEntry, hit, fill bool) {
 	for {
 		c.mu.Lock()
 		if ent, ok := c.entries[key]; ok {
@@ -157,7 +196,7 @@ func (c *Cache) getOrBegin(key string) (ent cacheEntry, hit, fill bool) {
 			f := &stepFlight{done: make(chan struct{})}
 			c.flights[key] = f
 			c.mu.Unlock()
-			ent, loaded := c.loadStep(st)
+			ent, loaded := c.loadStep(ctx, st)
 			c.mu.Lock()
 			delete(c.flights, key)
 			if loaded {
@@ -198,7 +237,7 @@ func (c *Cache) getOrBegin(key string) (ent cacheEntry, hit, fill bool) {
 // persistent cache also writes the step through to its backing store; a
 // write-through failure is parked in PersistErr, never surfaced to the
 // build.
-func (c *Cache) complete(key string, ent cacheEntry) {
+func (c *Cache) complete(ctx context.Context, key string, ent cacheEntry) {
 	if ent.layer != nil {
 		ent.layer = append([]byte(nil), ent.layer...)
 	}
@@ -212,11 +251,12 @@ func (c *Cache) complete(key string, ent cacheEntry) {
 		close(f.done)
 	}
 	if c.dir != nil {
-		if err := c.dir.PutStep(key, ent.layer, ent.modified); err != nil {
+		err := cas.DefaultRetry.Do(ctx, func() error {
+			return c.dir.PutStep(ctx, key, ent.layer, ent.modified)
+		})
+		if err != nil {
 			c.mu.Lock()
-			if c.persistErr == nil {
-				c.persistErr = err
-			}
+			c.notePersistErr(err)
 			c.mu.Unlock()
 		}
 	}

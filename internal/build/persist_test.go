@@ -1,6 +1,7 @@
 package build
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -179,7 +180,7 @@ func TestCorruptBlobReExecutesOnlyAffectedSteps(t *testing.T) {
 		if st.Layer == "" {
 			continue
 		}
-		data, err := d1.Blob(st.Layer)
+		data, err := d1.Blob(context.Background(), st.Layer)
 		if err != nil {
 			t.Fatal(err)
 		}

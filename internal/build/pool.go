@@ -10,6 +10,7 @@ package build
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -40,17 +41,27 @@ type JobResult struct {
 	// Name echoes the job identity.
 	Name string
 
-	// Result is the build's result; non-nil even on failure (it carries
-	// the counters accrued up to the failing instruction). Nil only when
-	// the job was skipped by fail-fast.
+	// Result is the build's result; non-nil even on failure or
+	// cancellation (it carries the counters accrued up to the point the
+	// build stopped). Nil only when the job never started — skipped by
+	// fail-fast or pre-empted by a cancelled context.
 	Result *Result
 
 	// Err is the build error, nil on success. Skipped jobs report
-	// ErrSkipped.
+	// ErrSkipped; cancelled jobs report an error wrapping
+	// context.Canceled.
 	Err error
+
+	// Cancelled distinguishes a job stopped by context cancellation —
+	// the caller's, or the pool's own fail-fast cancel — from a job that
+	// genuinely failed. A cancelled in-flight job still carries the
+	// partial Transcript and Result it accrued before stopping.
+	Cancelled bool
 
 	// Transcript is the captured build output when the job's Options.
 	// Output was nil; empty otherwise (the caller's writer received it).
+	// Cancelled and failed jobs keep the partial transcript they
+	// produced — it is the evidence of where they stopped.
 	Transcript string
 }
 
@@ -62,18 +73,26 @@ type Pool struct {
 	// Workers bounds concurrent builds; <= 0 means one worker per job.
 	Workers int
 
-	// FailFast stops dispatching queued jobs after the first failure;
-	// in-flight builds run to completion. Already-queued unstarted jobs
-	// report ErrSkipped. When false (collect-all), every job runs and
-	// the aggregate error joins every failure.
+	// FailFast cancels the pool after the first failure: queued unstarted
+	// jobs report ErrSkipped, and in-flight sibling builds are actively
+	// cancelled — each stops at its next instruction boundary and reports
+	// Cancelled with its partial transcript. When false (collect-all),
+	// every job runs and the aggregate error joins every failure.
 	FailFast bool
 }
 
-// Run executes jobs and returns one JobResult per job, in submission
-// order, plus the aggregate error (errors.Join of the per-job failures).
-// Results are complete even when the error is non-nil — the caller
-// decides what a partial batch is worth.
+// Run is RunContext under context.Background().
 func (p *Pool) Run(jobs []Job) ([]JobResult, error) {
+	return p.RunContext(context.Background(), jobs)
+}
+
+// RunContext executes jobs and returns one JobResult per job, in
+// submission order, plus the aggregate error (errors.Join of the per-job
+// failures). Results are complete even when the error is non-nil — the
+// caller decides what a partial batch is worth. Cancelling ctx stops
+// every in-flight build at its next instruction boundary; jobs not yet
+// started report Cancelled without running.
+func (p *Pool) RunContext(ctx context.Context, jobs []Job) ([]JobResult, error) {
 	results := make([]JobResult, len(jobs))
 	if len(jobs) == 0 {
 		return results, nil
@@ -83,10 +102,14 @@ func (p *Pool) Run(jobs []Job) ([]JobResult, error) {
 		workers = len(jobs)
 	}
 
+	// runCtx is the pool's own cancellation scope: the caller's ctx plus
+	// fail-fast. The first failure cancels it, which both stops dispatch
+	// and actively interrupts the sibling builds already running.
+	runCtx, cancelRun := context.WithCancel(ctx)
+	defer cancelRun()
+
 	var (
 		wg      sync.WaitGroup
-		mu      sync.Mutex // guards failed
-		failed  bool
 		indices = make(chan int)
 	)
 	wg.Add(workers)
@@ -102,14 +125,19 @@ func (p *Pool) Run(jobs []Job) ([]JobResult, error) {
 				if name == "" {
 					name = fmt.Sprintf("job-%d", i)
 				}
-				if p.FailFast {
-					mu.Lock()
-					bail := failed
-					mu.Unlock()
-					if bail {
+				if runCtx.Err() != nil {
+					if ctx.Err() != nil {
+						// The caller cancelled the whole pool.
+						results[i] = JobResult{
+							Name:      name,
+							Err:       fmt.Errorf("build: job %s not started: %w", name, ctx.Err()),
+							Cancelled: true,
+						}
+					} else {
+						// Fail-fast tripped by a sibling's failure.
 						results[i] = JobResult{Name: name, Err: ErrSkipped}
-						continue
 					}
+					continue
 				}
 				var buf *bytes.Buffer
 				opt := job.Options
@@ -120,19 +148,18 @@ func (p *Pool) Run(jobs []Job) ([]JobResult, error) {
 				var res *Result
 				var err error
 				if job.stage != nil {
-					res, _, err = buildOneStage(job.stage.file, job.stage.idx, job.stage.imgs, opt)
+					res, _, err = buildOneStage(runCtx, job.stage.file, job.stage.idx, job.stage.imgs, opt)
 				} else {
-					res, err = Build(job.Dockerfile, opt)
+					res, err = BuildContext(runCtx, job.Dockerfile, opt)
 				}
 				r := JobResult{Name: name, Result: res, Err: err}
+				r.Cancelled = err != nil && errors.Is(err, context.Canceled)
 				if buf != nil {
 					r.Transcript = buf.String()
 				}
 				results[i] = r
-				if err != nil {
-					mu.Lock()
-					failed = true
-					mu.Unlock()
+				if err != nil && p.FailFast {
+					cancelRun()
 				}
 			}
 		}()

@@ -14,6 +14,7 @@
 package build
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -30,11 +31,18 @@ import (
 // directly is only useful to force the stage pipeline on single-stage
 // files too. The returned Result is never nil.
 func BuildStages(text string, opt Options) (*Result, error) {
+	return BuildStagesContext(context.Background(), text, opt)
+}
+
+// BuildStagesContext is BuildStages under a context: cancellation stops
+// every in-flight stage at its next instruction boundary and the waves
+// that never started never run.
+func BuildStagesContext(ctx context.Context, text string, opt Options) (*Result, error) {
 	f, err := dockerfile.Parse(text)
 	if err != nil {
 		return &Result{}, err
 	}
-	return buildStages(f, opt)
+	return buildStages(ctx, f, opt)
 }
 
 // stageJob carries one stage through the Pool (Job.stage). The imgs slice
@@ -49,7 +57,7 @@ type stageJob struct {
 }
 
 // buildStages schedules the reachable stages of f in dependency order.
-func buildStages(f *dockerfile.File, opt Options) (*Result, error) {
+func buildStages(ctx context.Context, f *dockerfile.File, opt Options) (*Result, error) {
 	if len(f.Stages) == 0 {
 		return &Result{}, fmt.Errorf("build: no FROM instruction")
 	}
@@ -116,7 +124,7 @@ func buildStages(f *dockerfile.File, opt Options) (*Result, error) {
 				stage:   &stageJob{file: f, idx: i, imgs: imgs, final: i == final},
 			}
 		}
-		results, err := (&Pool{Workers: opt.StageJobs, FailFast: true}).Run(jobs)
+		results, err := (&Pool{Workers: opt.StageJobs, FailFast: true}).RunContext(ctx, jobs)
 		for j, r := range results {
 			i := ready[j]
 			fmt.Fprintf(out, "=== stage %d/%d (%s)\n", i+1, len(f.Stages), stageLabel(f.Stages[i]))

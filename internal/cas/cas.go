@@ -38,6 +38,7 @@ package cas
 
 import (
 	"bufio"
+	"context"
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
@@ -137,6 +138,7 @@ type Option func(*openConfig)
 type openConfig struct {
 	verify   VerifyMode
 	lockWait time.Duration
+	inj      Injector
 }
 
 // WithVerify selects the open-time validation mode (default VerifyFull).
@@ -149,6 +151,12 @@ func WithVerify(m VerifyMode) Option {
 // ErrBusy (default DefaultLockWait; <= 0 tries once).
 func WithLockWait(wait time.Duration) Option {
 	return func(c *openConfig) { c.lockWait = wait }
+}
+
+// WithFailpoints installs a fault injector on the handle from the start
+// (see Injector); SetFailpoints changes it later.
+func WithFailpoints(inj Injector) Option {
+	return func(c *openConfig) { c.inj = inj }
 }
 
 // Dir is an open content-addressed store rooted at a directory. All
@@ -175,6 +183,11 @@ type Dir struct {
 	report   Report
 	seq      uint64 // temp-file uniquifier
 	closed   bool
+
+	// injMu guards inj separately from d.mu: failpoints fire inside
+	// sections that already hold d.mu.
+	injMu sync.Mutex
+	inj   Injector
 }
 
 // Open opens (creating if absent) the store at root and validates it:
@@ -212,6 +225,7 @@ func Open(root string, opts ...Option) (*Dir, Report, error) {
 		tags:     map[string]Tag{},
 		chains:   map[string]Chain{},
 		order:    map[string]uint64{},
+		inj:      cfg.inj,
 	}
 	lk, err := openLock(d.path("lock"))
 	if err != nil {
@@ -227,7 +241,7 @@ func Open(root string, opts ...Option) (*Dir, Report, error) {
 	// Only under an uncontended exclusive lock, though: with the store
 	// open elsewhere, a temp file may be another process's in-flight blob
 	// write, and deleting it would fail that write's rename.
-	if d.lock.exclusive(0) == nil {
+	if d.lock.exclusive(context.Background(), 0) == nil {
 		if tmps, err := os.ReadDir(d.path("tmp")); err == nil {
 			for _, t := range tmps {
 				os.Remove(filepath.Join(d.path("tmp"), t.Name()))
@@ -252,7 +266,7 @@ func Open(root string, opts ...Option) (*Dir, Report, error) {
 		// surviving records — atomically, like GC's compaction, under the
 		// exclusive lock so no concurrent append lands between our read
 		// of the journal and the rename that replaces it.
-		switch err := d.lock.exclusive(d.lockWait); {
+		switch err := d.lock.exclusive(context.Background(), d.lockWait); {
 		case err == nil:
 			// Appends may have landed while we waited for the lock;
 			// recompute the surviving set from the current journal.
@@ -579,9 +593,12 @@ func (d *Dir) hasBlobLocked(digest string) bool {
 // appended — under the exclusive lock, and then appends to the fresh
 // file. (Records the *other* writer added that this one never loaded are
 // its to re-append.)
-func (d *Dir) append(rec record) error {
+func (d *Dir) append(ctx context.Context, rec record) error {
 	if d.closed {
 		return fmt.Errorf("cas: store is closed")
+	}
+	if err := d.failpoint(OpJournalAppend); err != nil {
+		return fmt.Errorf("cas: journal: %w", err)
 	}
 	orphaned, err := d.journalOrphaned()
 	if err != nil {
@@ -590,7 +607,7 @@ func (d *Dir) append(rec record) error {
 	if orphaned {
 		// The detect→rewrite window itself must not race another writer:
 		// hold the exclusive lock across the compaction.
-		if err := d.lock.exclusive(d.lockWait); err != nil {
+		if err := d.lock.exclusive(ctx, d.lockWait); err != nil {
 			return err
 		}
 		err := d.writeCompactJournal()
@@ -638,7 +655,10 @@ func (d *Dir) journalOrphaned() (bool, error) {
 // itself goes to a private temp file renamed into place, so no reader can
 // observe a partial blob. The whole operation runs under the Dir lock,
 // which is what makes it atomic with respect to a concurrent GC sweep.
-func (d *Dir) PutBlob(data []byte) (string, error) {
+func (d *Dir) PutBlob(ctx context.Context, data []byte) (string, error) {
+	if err := ctxErr(ctx); err != nil {
+		return "", err
+	}
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	return d.putBlobLocked(data)
@@ -659,12 +679,30 @@ func (d *Dir) putBlobLocked(data []byte) (string, error) {
 	}
 	d.seq++
 	tmp := d.path("tmp", fmt.Sprintf("blob-%d-%s", d.seq, digest[len(digest)-12:]))
+	if err := d.failpoint(OpBlobWrite); err != nil {
+		// A torn-write fault leaves the partial temp behind — never renamed
+		// into place, so it is litter for the next open's tmp sweep, not a
+		// reachable blob.
+		var torn *TornWrite
+		if errors.As(err, &torn) {
+			keep := torn.Keep
+			if keep > len(data) {
+				keep = len(data)
+			}
+			os.WriteFile(tmp, data[:keep], 0o644)
+		}
+		return "", fmt.Errorf("cas: blob %s: %w", digest, err)
+	}
 	if err := os.WriteFile(tmp, data, 0o644); err != nil {
 		return "", fmt.Errorf("cas: %w", err)
 	}
 	if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
 		os.Remove(tmp)
 		return "", fmt.Errorf("cas: %w", err)
+	}
+	if err := d.failpoint(OpBlobRename); err != nil {
+		os.Remove(tmp)
+		return "", fmt.Errorf("cas: blob %s: %w", digest, err)
 	}
 	if err := os.Rename(tmp, p); err != nil {
 		os.Remove(tmp)
@@ -676,10 +714,19 @@ func (d *Dir) putBlobLocked(data []byte) (string, error) {
 // Blob reads a blob back, digest-verifying it on the way out. Content that
 // no longer matches its name (bit rot since open, or tampering) is
 // quarantined and reported as an error — callers treat it as a cache miss.
-func (d *Dir) Blob(digest string) ([]byte, error) {
+func (d *Dir) Blob(ctx context.Context, digest string) ([]byte, error) {
+	if err := ctxErr(ctx); err != nil {
+		return nil, err
+	}
 	p, err := d.blobPath(digest)
 	if err != nil {
 		return nil, err
+	}
+	// An injected read fault reports as-is, before the real read: the blob
+	// on disk is healthy, so quarantining it would turn a simulated
+	// transient error into real data loss.
+	if err := d.failpoint(OpBlobRead); err != nil {
+		return nil, fmt.Errorf("cas: blob %s: %w", digest, err)
 	}
 	data, err := os.ReadFile(p)
 	if err != nil {
@@ -715,7 +762,10 @@ func (d *Dir) HasBlob(digest string) bool {
 // PutStep persists one instruction-cache entry: the layer bytes (nil for a
 // step that changed nothing) go to the blob store, the key and metadata to
 // the journal.
-func (d *Dir) PutStep(key string, layer []byte, modified int) error {
+func (d *Dir) PutStep(ctx context.Context, key string, layer []byte, modified int) error {
+	if err := ctxErr(ctx); err != nil {
+		return err
+	}
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	st := Step{Key: key, Modified: modified}
@@ -729,7 +779,7 @@ func (d *Dir) PutStep(key string, layer []byte, modified int) error {
 	if cur, ok := d.steps[key]; ok && cur == st {
 		return nil // identical re-record: the journal must not grow per run
 	}
-	return d.append(record{T: "step", Stp: &st})
+	return d.append(ctx, record{T: "step", Stp: &st})
 }
 
 // Step looks up a persisted instruction-cache entry by key.
@@ -755,7 +805,10 @@ func (d *Dir) Steps() []Step {
 // PutTag persists an image tag. The layer blobs must already be in the
 // store (image.Store.Put writes them first); a tag referencing a missing
 // blob is rejected rather than recorded dangling.
-func (d *Dir) PutTag(name string, layers []string, config []byte) error {
+func (d *Dir) PutTag(ctx context.Context, name string, layers []string, config []byte) error {
+	if err := ctxErr(ctx); err != nil {
+		return err
+	}
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	for _, l := range layers {
@@ -769,7 +822,7 @@ func (d *Dir) PutTag(name string, layers []string, config []byte) error {
 		// the append-only journal by one identical line per run.
 		return nil
 	}
-	return d.append(record{T: "tag", Tag: &tg})
+	return d.append(ctx, record{T: "tag", Tag: &tg})
 }
 
 // sameTag reports whether two tag records serialise identically.
@@ -795,13 +848,16 @@ func (d *Dir) Tag(name string) (Tag, bool) {
 
 // DeleteTag removes a tag (journalled as an "untag" record; blobs stay
 // until GC). Deleting an absent tag is a no-op.
-func (d *Dir) DeleteTag(name string) error {
+func (d *Dir) DeleteTag(ctx context.Context, name string) error {
+	if err := ctxErr(ctx); err != nil {
+		return err
+	}
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	if _, ok := d.tags[name]; !ok {
 		return nil
 	}
-	return d.append(record{T: "untag", Untag: name})
+	return d.append(ctx, record{T: "untag", Untag: name})
 }
 
 // TagNames lists persisted tags, sorted.
@@ -820,7 +876,10 @@ func (d *Dir) TagNames() []string {
 // goes to the blob store, the chain digest and member layers to the
 // journal. A warm process unpacks the snapshot instead of re-flattening
 // the member layers one by one.
-func (d *Dir) PutChain(chain string, layers []string, snapshot []byte) error {
+func (d *Dir) PutChain(ctx context.Context, chain string, layers []string, snapshot []byte) error {
+	if err := ctxErr(ctx); err != nil {
+		return err
+	}
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	digest, err := d.putBlobLocked(snapshot)
@@ -830,7 +889,7 @@ func (d *Dir) PutChain(chain string, layers []string, snapshot []byte) error {
 	if cur, ok := d.chains[chain]; ok && cur.Snap == digest {
 		return nil // identical re-record (see PutTag)
 	}
-	return d.append(record{T: "chain", Chn: &Chain{
+	return d.append(ctx, record{T: "chain", Chn: &Chain{
 		Chain: chain, Layers: append([]string(nil), layers...), Snap: digest,
 	}})
 }
@@ -865,10 +924,16 @@ func (d *Dir) BlobStats() (count int, bytes int64) {
 // Reset wipes the store back to empty: blobs, journal, quarantine. It
 // requires the exclusive store lock (the lock file itself survives the
 // wipe), failing with ErrBusy while another process has the store open.
-func (d *Dir) Reset() error {
+func (d *Dir) Reset(ctx context.Context) error {
+	if err := ctxErr(ctx); err != nil {
+		return err
+	}
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	if err := d.lock.exclusive(d.lockWait); err != nil {
+	if err := d.failpoint(OpLock); err != nil {
+		return fmt.Errorf("cas: reset: %w", err)
+	}
+	if err := d.lock.exclusive(ctx, d.lockWait); err != nil {
 		return err
 	}
 	defer d.lock.shared()
@@ -986,6 +1051,15 @@ func firstErr(errs ...error) error {
 		if err != nil {
 			return err
 		}
+	}
+	return nil
+}
+
+// ctxErr reports a done context as a package-prefixed error, nil otherwise
+// — the boundary check every context-taking method starts with.
+func ctxErr(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("cas: %w", err)
 	}
 	return nil
 }

@@ -1,6 +1,7 @@
 package cas
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -8,6 +9,10 @@ import (
 	"sync"
 	"testing"
 )
+
+// ctx is the no-deadline context the package tests thread through the
+// store's context-taking methods.
+var ctx = context.Background()
 
 func openT(t *testing.T, root string) (*Dir, Report) {
 	t.Helper()
@@ -25,7 +30,7 @@ func TestBlobRoundTrip(t *testing.T) {
 		t.Fatalf("fresh store reports damage: %+v", rep)
 	}
 	data := []byte("layer bytes")
-	digest, err := d.PutBlob(data)
+	digest, err := d.PutBlob(ctx, data)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -33,17 +38,17 @@ func TestBlobRoundTrip(t *testing.T) {
 		t.Fatalf("digest %q", digest)
 	}
 	// Re-put is a no-op, not an error.
-	if d2, err := d.PutBlob(data); err != nil || d2 != digest {
+	if d2, err := d.PutBlob(ctx, data); err != nil || d2 != digest {
 		t.Fatalf("re-put: %q %v", d2, err)
 	}
-	got, err := d.Blob(digest)
+	got, err := d.Blob(ctx, digest)
 	if err != nil || string(got) != string(data) {
 		t.Fatalf("Blob: %q %v", got, err)
 	}
 	if !d.HasBlob(digest) || d.HasBlob(Sum([]byte("other"))) {
 		t.Fatal("HasBlob wrong")
 	}
-	if _, err := d.Blob("sha256:doge"); err == nil {
+	if _, err := d.Blob(ctx, "sha256:doge"); err == nil {
 		t.Fatal("malformed digest accepted")
 	}
 }
@@ -52,23 +57,23 @@ func TestJournalStateSurvivesReopen(t *testing.T) {
 	root := t.TempDir()
 	d, _ := openT(t, root)
 	layer := []byte("step layer")
-	if err := d.PutStep("key1", layer, 2); err != nil {
+	if err := d.PutStep(ctx, "key1", layer, 2); err != nil {
 		t.Fatal(err)
 	}
-	if err := d.PutStep("key2", nil, 0); err != nil {
+	if err := d.PutStep(ctx, "key2", nil, 0); err != nil {
 		t.Fatal(err)
 	}
-	ld, _ := d.PutBlob([]byte("tag layer"))
-	if err := d.PutTag("app:1", []string{ld}, []byte(`{"user":"u"}`)); err != nil {
+	ld, _ := d.PutBlob(ctx, []byte("tag layer"))
+	if err := d.PutTag(ctx, "app:1", []string{ld}, []byte(`{"user":"u"}`)); err != nil {
 		t.Fatal(err)
 	}
-	if err := d.PutChain("sha256:chain", []string{ld}, []byte("snapshot")); err != nil {
+	if err := d.PutChain(ctx, "sha256:chain", []string{ld}, []byte("snapshot")); err != nil {
 		t.Fatal(err)
 	}
-	if err := d.PutTag("gone:1", []string{ld}, nil); err != nil {
+	if err := d.PutTag(ctx, "gone:1", []string{ld}, nil); err != nil {
 		t.Fatal(err)
 	}
-	if err := d.DeleteTag("gone:1"); err != nil {
+	if err := d.DeleteTag(ctx, "gone:1"); err != nil {
 		t.Fatal(err)
 	}
 	d.Close()
@@ -81,7 +86,7 @@ func TestJournalStateSurvivesReopen(t *testing.T) {
 	if !ok || st.Modified != 2 || st.Layer != Sum(layer) {
 		t.Fatalf("step: %+v ok=%v", st, ok)
 	}
-	if got, err := d2.Blob(st.Layer); err != nil || string(got) != "step layer" {
+	if got, err := d2.Blob(ctx, st.Layer); err != nil || string(got) != "step layer" {
 		t.Fatalf("step layer: %q %v", got, err)
 	}
 	if st2, ok := d2.Step("key2"); !ok || st2.Layer != "" {
@@ -105,7 +110,7 @@ func TestJournalStateSurvivesReopen(t *testing.T) {
 
 func TestTagRejectsMissingLayer(t *testing.T) {
 	d, _ := openT(t, t.TempDir())
-	if err := d.PutTag("x:1", []string{Sum([]byte("never stored"))}, nil); err == nil {
+	if err := d.PutTag(ctx, "x:1", []string{Sum([]byte("never stored"))}, nil); err == nil {
 		t.Fatal("dangling tag accepted")
 	}
 }
@@ -125,7 +130,7 @@ func TestOpenOnFileFails(t *testing.T) {
 func TestTornJournalTailRecovered(t *testing.T) {
 	root := t.TempDir()
 	d, _ := openT(t, root)
-	if err := d.PutStep("good", []byte("bytes"), 0); err != nil {
+	if err := d.PutStep(ctx, "good", []byte("bytes"), 0); err != nil {
 		t.Fatal(err)
 	}
 	d.Close()
@@ -157,7 +162,7 @@ func TestTornJournalTailRecovered(t *testing.T) {
 	// Appending after recovery keeps working — and because recovery
 	// compacted the journal (the fragment is gone from the file, not just
 	// skipped), the appended record must NOT merge with the torn tail.
-	if err := d2.PutStep("after", nil, 0); err != nil {
+	if err := d2.PutStep(ctx, "after", nil, 0); err != nil {
 		t.Fatal(err)
 	}
 	d2.Close()
@@ -179,10 +184,10 @@ func TestTornJournalTailRecovered(t *testing.T) {
 func TestCorruptJournalLineQuarantined(t *testing.T) {
 	root := t.TempDir()
 	d, _ := openT(t, root)
-	if err := d.PutStep("a", nil, 0); err != nil {
+	if err := d.PutStep(ctx, "a", nil, 0); err != nil {
 		t.Fatal(err)
 	}
-	if err := d.PutStep("b", nil, 0); err != nil {
+	if err := d.PutStep(ctx, "b", nil, 0); err != nil {
 		t.Fatal(err)
 	}
 	d.Close()
@@ -214,17 +219,17 @@ func TestCorruptBlobQuarantinedAtOpen(t *testing.T) {
 	root := t.TempDir()
 	d, _ := openT(t, root)
 	layer := []byte("will be truncated")
-	if err := d.PutStep("victim", layer, 0); err != nil {
+	if err := d.PutStep(ctx, "victim", layer, 0); err != nil {
 		t.Fatal(err)
 	}
-	if err := d.PutStep("bystander", []byte("fine"), 0); err != nil {
+	if err := d.PutStep(ctx, "bystander", []byte("fine"), 0); err != nil {
 		t.Fatal(err)
 	}
-	digest, _ := d.PutBlob([]byte("tagged bytes"))
-	if err := d.PutTag("app:1", []string{digest}, nil); err != nil {
+	digest, _ := d.PutBlob(ctx, []byte("tagged bytes"))
+	if err := d.PutTag(ctx, "app:1", []string{digest}, nil); err != nil {
 		t.Fatal(err)
 	}
-	if err := d.PutChain("sha256:c1", []string{Sum(layer)}, []byte("snap")); err != nil {
+	if err := d.PutChain(ctx, "sha256:c1", []string{Sum(layer)}, []byte("snap")); err != nil {
 		t.Fatal(err)
 	}
 	d.Close()
@@ -269,13 +274,13 @@ func TestCorruptBlobQuarantinedAtOpen(t *testing.T) {
 func TestBlobVerifiedOnRead(t *testing.T) {
 	root := t.TempDir()
 	d, _ := openT(t, root)
-	digest, err := d.PutBlob([]byte("pristine"))
+	digest, err := d.PutBlob(ctx, []byte("pristine"))
 	if err != nil {
 		t.Fatal(err)
 	}
 	p, _ := d.blobPath(digest)
 	os.WriteFile(p, []byte("scribbled"), 0o644)
-	if _, err := d.Blob(digest); err == nil {
+	if _, err := d.Blob(ctx, digest); err == nil {
 		t.Fatal("corrupt blob served")
 	}
 	if d.HasBlob(digest) {
@@ -300,10 +305,10 @@ func TestStrandedTempFilesCleared(t *testing.T) {
 
 func TestReset(t *testing.T) {
 	d, _ := openT(t, t.TempDir())
-	d.PutStep("k", []byte("x"), 0)
-	digest, _ := d.PutBlob([]byte("y"))
-	d.PutTag("t:1", []string{digest}, nil)
-	if err := d.Reset(); err != nil {
+	d.PutStep(ctx, "k", []byte("x"), 0)
+	digest, _ := d.PutBlob(ctx, []byte("y"))
+	d.PutTag(ctx, "t:1", []string{digest}, nil)
+	if err := d.Reset(ctx); err != nil {
 		t.Fatal(err)
 	}
 	if _, ok := d.Step("k"); ok {
@@ -313,7 +318,7 @@ func TestReset(t *testing.T) {
 		t.Fatalf("%d blobs survived reset", n)
 	}
 	// The store stays usable after a reset.
-	if err := d.PutStep("k2", []byte("z"), 0); err != nil {
+	if err := d.PutStep(ctx, "k2", []byte("z"), 0); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -332,12 +337,12 @@ func TestConcurrentWriters(t *testing.T) {
 			defer wg.Done()
 			for i := 0; i < each; i++ {
 				layer := []byte(fmt.Sprintf("layer-%d-%d", w, i))
-				if err := d.PutStep(fmt.Sprintf("key-%d-%d", w, i), layer, 0); err != nil {
+				if err := d.PutStep(ctx, fmt.Sprintf("key-%d-%d", w, i), layer, 0); err != nil {
 					errs <- err
 					return
 				}
 				// Contend on one shared blob too.
-				if _, err := d.PutBlob([]byte("shared")); err != nil {
+				if _, err := d.PutBlob(ctx, []byte("shared")); err != nil {
 					errs <- err
 					return
 				}
@@ -368,7 +373,7 @@ func TestConcurrentWriters(t *testing.T) {
 			if !ok {
 				t.Fatalf("key-%d-%d lost", w, i)
 			}
-			if got, err := d2.Blob(st.Layer); err != nil ||
+			if got, err := d2.Blob(ctx, st.Layer); err != nil ||
 				string(got) != fmt.Sprintf("layer-%d-%d", w, i) {
 				t.Fatalf("layer %d-%d: %q %v", w, i, got, err)
 			}
@@ -379,7 +384,7 @@ func TestConcurrentWriters(t *testing.T) {
 func TestAppendAfterCloseFails(t *testing.T) {
 	d, _ := openT(t, t.TempDir())
 	d.Close()
-	if err := d.PutStep("k", nil, 0); err == nil {
+	if err := d.PutStep(ctx, "k", nil, 0); err == nil {
 		t.Fatal("append after close succeeded")
 	}
 }
@@ -393,10 +398,10 @@ func TestAppendAfterCloseFails(t *testing.T) {
 func TestAppendAfterExternalCompactionNotLost(t *testing.T) {
 	root := t.TempDir()
 	d1, _ := openT(t, root)
-	if err := d1.PutStep("before", []byte("layer-b"), 0); err != nil {
+	if err := d1.PutStep(ctx, "before", []byte("layer-b"), 0); err != nil {
 		t.Fatal(err)
 	}
-	if err := d1.PutTag("root:1", []string{Sum([]byte("layer-b"))}, nil); err != nil {
+	if err := d1.PutTag(ctx, "root:1", []string{Sum([]byte("layer-b"))}, nil); err != nil {
 		t.Fatal(err)
 	}
 
@@ -414,7 +419,7 @@ func TestAppendAfterExternalCompactionNotLost(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	if err := d1.PutStep("after", []byte("layer-a"), 0); err != nil {
+	if err := d1.PutStep(ctx, "after", []byte("layer-a"), 0); err != nil {
 		t.Fatal(err)
 	}
 	d1.Close()
@@ -437,7 +442,7 @@ func TestAppendAfterExternalCompactionNotLost(t *testing.T) {
 func TestUnserveableBlobHealsOnRePut(t *testing.T) {
 	d, _ := openT(t, t.TempDir())
 	data := []byte("healable bytes")
-	digest, err := d.PutBlob(data)
+	digest, err := d.PutBlob(ctx, data)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -449,14 +454,14 @@ func TestUnserveableBlobHealsOnRePut(t *testing.T) {
 	if err := os.Mkdir(p, 0o755); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := d.Blob(digest); err == nil {
+	if _, err := d.Blob(ctx, digest); err == nil {
 		t.Fatal("unserveable blob served")
 	}
 	// The broken entry was moved aside; re-putting the bytes heals.
-	if _, err := d.PutBlob(data); err != nil {
+	if _, err := d.PutBlob(ctx, data); err != nil {
 		t.Fatal(err)
 	}
-	got, err := d.Blob(digest)
+	got, err := d.Blob(ctx, digest)
 	if err != nil || string(got) != string(data) {
 		t.Fatalf("after heal: %q %v", got, err)
 	}

@@ -1,6 +1,7 @@
 package cas
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"sort"
@@ -52,13 +53,19 @@ type Budget struct {
 // across their blob-write + journal-append pairs, so a sweep never runs
 // between a blob landing and the record that references it. The store
 // lock extends the same guarantee across processes.
-func (d *Dir) GC(b Budget) (GCStats, error) {
+func (d *Dir) GC(ctx context.Context, b Budget) (GCStats, error) {
+	if err := ctxErr(ctx); err != nil {
+		return GCStats{}, err
+	}
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	if d.closed {
 		return GCStats{}, fmt.Errorf("cas: store is closed")
 	}
-	if err := d.lock.exclusive(d.lockWait); err != nil {
+	if err := d.failpoint(OpLock); err != nil {
+		return GCStats{}, fmt.Errorf("cas: gc: %w", err)
+	}
+	if err := d.lock.exclusive(ctx, d.lockWait); err != nil {
 		return GCStats{}, err
 	}
 	// Exclusive conversion may have waited behind other writers (and

@@ -14,7 +14,7 @@ func putSizedStep(t *testing.T, d *Dir, key string, size int) string {
 	if len(layer) != size {
 		t.Fatalf("layer for %q is %d bytes, want %d", key, len(layer), size)
 	}
-	if err := d.PutStep(key, layer, 0); err != nil {
+	if err := d.PutStep(ctx, key, layer, 0); err != nil {
 		t.Fatal(err)
 	}
 	st, _ := d.Step(key)
@@ -30,7 +30,7 @@ func TestGCBudgetEvictsOldestFirst(t *testing.T) {
 	putSizedStep(t, d, "middle", 1024)
 	putSizedStep(t, d, "newest", 1024)
 
-	stats, err := d.GC(Budget{MaxBytes: 2048})
+	stats, err := d.GC(ctx, Budget{MaxBytes: 2048})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -53,7 +53,7 @@ func TestGCBudgetEvictsOldestFirst(t *testing.T) {
 func TestGCBudgetKeepsUntaggedUnderBudget(t *testing.T) {
 	d, _ := openT(t, t.TempDir())
 	putSizedStep(t, d, "untagged-warm", 512)
-	stats, err := d.GC(Budget{MaxBytes: 4096})
+	stats, err := d.GC(ctx, Budget{MaxBytes: 4096})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -71,12 +71,12 @@ func TestGCBudgetKeepsUntaggedUnderBudget(t *testing.T) {
 func TestGCBudgetNeverEvictsTagPins(t *testing.T) {
 	d, _ := openT(t, t.TempDir())
 	pinnedLayer := putSizedStep(t, d, "pinned-step", 2048)
-	if err := d.PutTag("app:1", []string{pinnedLayer}, nil); err != nil {
+	if err := d.PutTag(ctx, "app:1", []string{pinnedLayer}, nil); err != nil {
 		t.Fatal(err)
 	}
 	putSizedStep(t, d, "loose-step", 1024)
 
-	stats, err := d.GC(Budget{MaxBytes: 1}) // impossible budget
+	stats, err := d.GC(ctx, Budget{MaxBytes: 1}) // impossible budget
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -99,10 +99,10 @@ func TestGCBudgetNeverEvictsTagPins(t *testing.T) {
 func TestGCBudgetSharedBlobRefcounted(t *testing.T) {
 	d, _ := openT(t, t.TempDir())
 	shared := bytes.Repeat([]byte{'s'}, 1024)
-	if err := d.PutStep("first", shared, 0); err != nil {
+	if err := d.PutStep(ctx, "first", shared, 0); err != nil {
 		t.Fatal(err)
 	}
-	if err := d.PutStep("second", shared, 0); err != nil {
+	if err := d.PutStep(ctx, "second", shared, 0); err != nil {
 		t.Fatal(err)
 	}
 	putSizedStep(t, d, "third", 1024)
@@ -110,7 +110,7 @@ func TestGCBudgetSharedBlobRefcounted(t *testing.T) {
 
 	// Budget forces one eviction: "first" goes, but "second" still holds
 	// the shared blob.
-	if _, err := d.GC(Budget{MaxBytes: 2048}); err != nil {
+	if _, err := d.GC(ctx, Budget{MaxBytes: 2048}); err != nil {
 		t.Fatal(err)
 	}
 	if !d.HasBlob(digest) {
@@ -121,7 +121,7 @@ func TestGCBudgetSharedBlobRefcounted(t *testing.T) {
 	}
 
 	// Now evict everything: the blob goes with its last reference.
-	if _, err := d.GC(Budget{MaxBytes: 1}); err != nil {
+	if _, err := d.GC(ctx, Budget{MaxBytes: 1}); err != nil {
 		t.Fatal(err)
 	}
 	if d.HasBlob(digest) {
@@ -137,19 +137,19 @@ func TestGCBudgetChainMembersHoldReferences(t *testing.T) {
 	root := t.TempDir()
 	d, _ := openT(t, root)
 	layer := bytes.Repeat([]byte{'l'}, 1024)
-	if err := d.PutStep("old-step", layer, 0); err != nil {
+	if err := d.PutStep(ctx, "old-step", layer, 0); err != nil {
 		t.Fatal(err)
 	}
 	putSizedStep(t, d, "filler", 1024)
 	// Recorded last, so both steps are older victims; the chain lists the
 	// first step's layer as a member.
-	if err := d.PutChain("sha256:chain", []string{Sum(layer)}, bytes.Repeat([]byte{'n'}, 512)); err != nil {
+	if err := d.PutChain(ctx, "sha256:chain", []string{Sum(layer)}, bytes.Repeat([]byte{'n'}, 512)); err != nil {
 		t.Fatal(err)
 	}
 
 	// Budget 1536: evicting old-step frees nothing (the chain holds its
 	// layer), evicting filler frees 1024 → total 1536 = layer + snap.
-	if _, err := d.GC(Budget{MaxBytes: 1536}); err != nil {
+	if _, err := d.GC(ctx, Budget{MaxBytes: 1536}); err != nil {
 		t.Fatal(err)
 	}
 	if !d.HasBlob(Sum(layer)) {
@@ -180,7 +180,7 @@ func TestGCBudgetOrderSurvivesCompactionAndReopen(t *testing.T) {
 		putSizedStep(t, d, fmt.Sprintf("step-%d", i), 1024)
 	}
 	// Under budget: keeps all four, compacts the journal.
-	if _, err := d.GC(Budget{MaxBytes: 1 << 20}); err != nil {
+	if _, err := d.GC(ctx, Budget{MaxBytes: 1 << 20}); err != nil {
 		t.Fatal(err)
 	}
 	if err := d.Close(); err != nil {
@@ -188,7 +188,7 @@ func TestGCBudgetOrderSurvivesCompactionAndReopen(t *testing.T) {
 	}
 
 	d2, _ := openT(t, root)
-	if _, err := d2.GC(Budget{MaxBytes: 2048}); err != nil {
+	if _, err := d2.GC(ctx, Budget{MaxBytes: 2048}); err != nil {
 		t.Fatal(err)
 	}
 	for i, wantAlive := range []bool{false, false, true, true} {

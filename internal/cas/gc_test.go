@@ -10,18 +10,18 @@ import (
 // sharing a layer must not sweep the layer.
 func TestGCBlobSharedByTwoTagsSurvives(t *testing.T) {
 	d, _ := openT(t, t.TempDir())
-	shared, _ := d.PutBlob([]byte("shared layer"))
-	only, _ := d.PutBlob([]byte("private layer"))
-	if err := d.PutTag("a:1", []string{shared}, nil); err != nil {
+	shared, _ := d.PutBlob(ctx, []byte("shared layer"))
+	only, _ := d.PutBlob(ctx, []byte("private layer"))
+	if err := d.PutTag(ctx, "a:1", []string{shared}, nil); err != nil {
 		t.Fatal(err)
 	}
-	if err := d.PutTag("b:1", []string{shared, only}, nil); err != nil {
+	if err := d.PutTag(ctx, "b:1", []string{shared, only}, nil); err != nil {
 		t.Fatal(err)
 	}
-	if err := d.DeleteTag("b:1"); err != nil {
+	if err := d.DeleteTag(ctx, "b:1"); err != nil {
 		t.Fatal(err)
 	}
-	stats, err := d.GC(Budget{})
+	stats, err := d.GC(ctx, Budget{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -43,29 +43,29 @@ func TestGCCollectsUntaggedIntermediates(t *testing.T) {
 	d, _ := openT(t, root)
 	final := []byte("final layer")
 	inter := []byte("intermediate stage layer")
-	fd, _ := d.PutBlob(final)
-	if err := d.PutTag("app:1", []string{fd}, nil); err != nil {
+	fd, _ := d.PutBlob(ctx, final)
+	if err := d.PutTag(ctx, "app:1", []string{fd}, nil); err != nil {
 		t.Fatal(err)
 	}
 	// A step of the tagged image and a step of a pruned intermediate.
-	if err := d.PutStep("final-step", final, 0); err != nil {
+	if err := d.PutStep(ctx, "final-step", final, 0); err != nil {
 		t.Fatal(err)
 	}
-	if err := d.PutStep("inter-step", inter, 0); err != nil {
+	if err := d.PutStep(ctx, "inter-step", inter, 0); err != nil {
 		t.Fatal(err)
 	}
-	if err := d.PutStep("no-layer-step", nil, 1); err != nil {
+	if err := d.PutStep(ctx, "no-layer-step", nil, 1); err != nil {
 		t.Fatal(err)
 	}
 	// Chains for the tagged image and for the intermediate stage.
-	if err := d.PutChain("sha256:tagged", []string{fd}, []byte("tagged snap")); err != nil {
+	if err := d.PutChain(ctx, "sha256:tagged", []string{fd}, []byte("tagged snap")); err != nil {
 		t.Fatal(err)
 	}
-	if err := d.PutChain("sha256:inter", []string{Sum(inter)}, []byte("inter snap")); err != nil {
+	if err := d.PutChain(ctx, "sha256:inter", []string{Sum(inter)}, []byte("inter snap")); err != nil {
 		t.Fatal(err)
 	}
 
-	stats, err := d.GC(Budget{})
+	stats, err := d.GC(ctx, Budget{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -114,7 +114,7 @@ func TestGCCollectsUntaggedIntermediates(t *testing.T) {
 func TestGCEmptyStoreNoOp(t *testing.T) {
 	root := filepath.Join(t.TempDir(), "never-existed")
 	d, _ := openT(t, root) // Open creates the layout
-	stats, err := d.GC(Budget{})
+	stats, err := d.GC(ctx, Budget{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -122,7 +122,7 @@ func TestGCEmptyStoreNoOp(t *testing.T) {
 		t.Fatalf("stats on empty store: %+v", stats)
 	}
 	// Still usable afterwards.
-	if _, err := d.PutBlob([]byte("post-gc")); err != nil {
+	if _, err := d.PutBlob(ctx, []byte("post-gc")); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := os.Stat(filepath.Join(root, "journal")); err != nil {
@@ -134,9 +134,9 @@ func TestGCEmptyStoreNoOp(t *testing.T) {
 // empty rather than leaking unreachable blobs forever.
 func TestGCNoRootsSweepsAll(t *testing.T) {
 	d, _ := openT(t, t.TempDir())
-	d.PutStep("s", []byte("layer"), 0)
-	d.PutChain("sha256:c", []string{Sum([]byte("layer"))}, []byte("snap"))
-	stats, err := d.GC(Budget{})
+	d.PutStep(ctx, "s", []byte("layer"), 0)
+	d.PutChain(ctx, "sha256:c", []string{Sum([]byte("layer"))}, []byte("snap"))
+	stats, err := d.GC(ctx, Budget{})
 	if err != nil {
 		t.Fatal(err)
 	}

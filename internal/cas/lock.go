@@ -1,6 +1,7 @@
 package cas
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"os"
@@ -59,9 +60,11 @@ func openLock(path string) (*storeLock, error) {
 }
 
 // exclusive converts the held shared lock to exclusive, polling for up
-// to wait (wait <= 0 tries once). On timeout it restores the shared
-// lock and returns ErrBusy; the caller's handle stays fully usable.
-func (l *storeLock) exclusive(wait time.Duration) error {
+// to wait (wait <= 0 tries once) or until ctx is done. On timeout it
+// restores the shared lock and returns ErrBusy; on cancellation it does
+// the same and returns the context error. The caller's handle stays
+// fully usable either way.
+func (l *storeLock) exclusive(ctx context.Context, wait time.Duration) error {
 	deadline := time.Now().Add(wait)
 	for {
 		ok, err := flockExclusiveNB(l.f)
@@ -78,7 +81,14 @@ func (l *storeLock) exclusive(wait time.Duration) error {
 			}
 			return ErrBusy
 		}
-		time.Sleep(5 * time.Millisecond)
+		select {
+		case <-ctx.Done():
+			if err := l.reshare(); err != nil {
+				return err
+			}
+			return fmt.Errorf("cas: lock: %w", ctx.Err())
+		case <-time.After(5 * time.Millisecond):
+		}
 	}
 }
 

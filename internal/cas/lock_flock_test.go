@@ -16,7 +16,7 @@ import (
 func TestGCBusyWhileSecondHandleOpen(t *testing.T) {
 	root := t.TempDir()
 	d1, _ := openT(t, root)
-	if err := d1.PutStep("warm", []byte("layer"), 0); err != nil {
+	if err := d1.PutStep(ctx, "warm", []byte("layer"), 0); err != nil {
 		t.Fatal(err)
 	}
 
@@ -26,16 +26,16 @@ func TestGCBusyWhileSecondHandleOpen(t *testing.T) {
 	}
 	defer d2.Close()
 
-	if _, err := d2.GC(Budget{}); !errors.Is(err, ErrBusy) {
+	if _, err := d2.GC(ctx, Budget{}); !errors.Is(err, ErrBusy) {
 		t.Fatalf("GC with peer open: err = %v, want ErrBusy", err)
 	}
-	if err := d2.Reset(); !errors.Is(err, ErrBusy) {
+	if err := d2.Reset(ctx); !errors.Is(err, ErrBusy) {
 		t.Fatalf("Reset with peer open: err = %v, want ErrBusy", err)
 	}
 
 	// A failed maintenance attempt must leave the handle fully usable:
 	// the exclusive conversion re-acquired its shared hold.
-	if err := d2.PutStep("after-busy", []byte("more"), 0); err != nil {
+	if err := d2.PutStep(ctx, "after-busy", []byte("more"), 0); err != nil {
 		t.Fatalf("append after ErrBusy: %v", err)
 	}
 
@@ -43,7 +43,7 @@ func TestGCBusyWhileSecondHandleOpen(t *testing.T) {
 	if err := d1.Close(); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := d2.GC(Budget{}); err != nil {
+	if _, err := d2.GC(ctx, Budget{}); err != nil {
 		t.Fatalf("GC after peer closed: %v", err)
 	}
 	if _, ok := d2.Step("after-busy"); ok {
@@ -56,7 +56,7 @@ func TestGCBusyWhileSecondHandleOpen(t *testing.T) {
 func TestGCWaitsForPeerClose(t *testing.T) {
 	root := t.TempDir()
 	d1, _ := openT(t, root)
-	if err := d1.PutStep("warm", []byte("layer"), 0); err != nil {
+	if err := d1.PutStep(ctx, "warm", []byte("layer"), 0); err != nil {
 		t.Fatal(err)
 	}
 	d2, _, err := Open(root, WithLockWait(10*time.Second))
@@ -67,7 +67,7 @@ func TestGCWaitsForPeerClose(t *testing.T) {
 
 	done := make(chan error, 1)
 	go func() {
-		_, err := d2.GC(Budget{})
+		_, err := d2.GC(ctx, Budget{})
 		done <- err
 	}()
 	select {
@@ -102,7 +102,7 @@ func TestFlockGCHelper(t *testing.T) {
 		t.Logf("open: %v", err)
 		os.Exit(1)
 	}
-	_, err = d.GC(Budget{})
+	_, err = d.GC(ctx, Budget{})
 	d.Close()
 	switch {
 	case errors.Is(err, ErrBusy):
@@ -120,7 +120,7 @@ func TestFlockGCHelper(t *testing.T) {
 func TestTwoProcessFlock(t *testing.T) {
 	root := t.TempDir()
 	d, _ := openT(t, root)
-	if err := d.PutStep("warm", []byte("layer"), 0); err != nil {
+	if err := d.PutStep(ctx, "warm", []byte("layer"), 0); err != nil {
 		t.Fatal(err)
 	}
 
@@ -144,7 +144,7 @@ func TestTwoProcessFlock(t *testing.T) {
 		t.Fatalf("child GC with store held: exit %d, want 3 (ErrBusy)", code)
 	}
 	// The busy child must not have corrupted anything for us.
-	if err := d.PutStep("after-child", []byte("more"), 0); err != nil {
+	if err := d.PutStep(ctx, "after-child", []byte("more"), 0); err != nil {
 		t.Fatalf("append after child ErrBusy: %v", err)
 	}
 	if err := d.Close(); err != nil {

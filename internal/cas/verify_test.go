@@ -25,10 +25,10 @@ func corruptBlobOnDisk(t *testing.T, d *Dir, digest string) {
 func TestCrashMidCompactionHeals(t *testing.T) {
 	root := t.TempDir()
 	d, _ := openT(t, root)
-	if err := d.PutStep("k1", []byte("layer-1"), 0); err != nil {
+	if err := d.PutStep(ctx, "k1", []byte("layer-1"), 0); err != nil {
 		t.Fatal(err)
 	}
-	if err := d.PutStep("k2", []byte("layer-2"), 0); err != nil {
+	if err := d.PutStep(ctx, "k2", []byte("layer-2"), 0); err != nil {
 		t.Fatal(err)
 	}
 	if err := d.Close(); err != nil {
@@ -66,10 +66,10 @@ func TestCrashMidCompactionHeals(t *testing.T) {
 func TestLazyOpenDefersBlobVerification(t *testing.T) {
 	root := t.TempDir()
 	d, _ := openT(t, root)
-	if err := d.PutStep("good", []byte("good layer"), 0); err != nil {
+	if err := d.PutStep(ctx, "good", []byte("good layer"), 0); err != nil {
 		t.Fatal(err)
 	}
-	if err := d.PutStep("bad", []byte("bad layer"), 0); err != nil {
+	if err := d.PutStep(ctx, "bad", []byte("bad layer"), 0); err != nil {
 		t.Fatal(err)
 	}
 	badStep, _ := d.Step("bad")
@@ -94,14 +94,14 @@ func TestLazyOpenDefersBlobVerification(t *testing.T) {
 	}
 	// Verify-on-read is the backstop: the corrupt blob reads as an error
 	// and is quarantined then.
-	if _, err := d2.Blob(badStep.Layer); err == nil {
+	if _, err := d2.Blob(ctx, badStep.Layer); err == nil {
 		t.Fatal("corrupt blob read back without error")
 	}
 	if d2.Report().BlobsQuarantined != 1 {
 		t.Fatalf("corrupt blob not quarantined at read: %+v", d2.Report())
 	}
 	goodStep, _ := d2.Step("good")
-	if data, err := d2.Blob(goodStep.Layer); err != nil || string(data) != "good layer" {
+	if data, err := d2.Blob(ctx, goodStep.Layer); err != nil || string(data) != "good layer" {
 		t.Fatalf("good blob: %q %v", data, err)
 	}
 	if err := d2.Close(); err != nil {
@@ -128,7 +128,7 @@ func TestLazyOpenDefersBlobVerification(t *testing.T) {
 func TestLazyOpenDropsDanglingRecords(t *testing.T) {
 	root := t.TempDir()
 	d, _ := openT(t, root)
-	if err := d.PutStep("dangling", []byte("gone layer"), 0); err != nil {
+	if err := d.PutStep(ctx, "dangling", []byte("gone layer"), 0); err != nil {
 		t.Fatal(err)
 	}
 	st, _ := d.Step("dangling")

@@ -6,9 +6,11 @@
 package image
 
 import (
+	"context"
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"sort"
 	"strings"
@@ -144,9 +146,11 @@ type Store struct {
 	// in-memory maps are a cache over: Put writes through (blobs, tag
 	// records, flatten-chain snapshots), Get and flattened fall back to it
 	// on miss and rehydrate lazily. A backing failure never fails the
-	// store — persistence degrades and the error parks in backingErr.
-	backing    *cas.Dir
-	backingErr error
+	// store — persistence degrades and the errors aggregate in
+	// backingErrs (capped; overflow counted in backingDropped).
+	backing        *cas.Dir
+	backingErrs    []error
+	backingDropped int
 
 	// Single-flight state for flatten-cache fills: concurrent misses on
 	// one chain must unpack+snapshot once, not clobber each other.
@@ -184,7 +188,14 @@ func NewStore() *Store {
 // which both serves Store.CommitLayer and warms the per-file content
 // digests every clone inherits.
 func (s *Store) Flatten(img *Image) (*vfs.FS, error) {
-	fs, _, err := s.flattened(img)
+	return s.FlattenContext(context.Background(), img)
+}
+
+// FlattenContext is Flatten under a context: cancellation aborts a
+// backing-store rehydration (the fill itself is in-memory work that runs
+// to completion).
+func (s *Store) FlattenContext(ctx context.Context, img *Image) (*vfs.FS, error) {
+	fs, _, err := s.flattened(ctx, img)
 	if err != nil {
 		return nil, err
 	}
@@ -202,7 +213,7 @@ func (s *Store) Flatten(img *Image) (*vfs.FS, error) {
 // invocation unpacks in one pass (counted in Rehydrates, not
 // FlattenFills), and a genuine fill persists its snapshot for the next
 // invocation.
-func (s *Store) flattened(img *Image) (*vfs.FS, []tarutil.Entry, error) {
+func (s *Store) flattened(ctx context.Context, img *Image) (*vfs.FS, []tarutil.Entry, error) {
 	key := ChainDigest(img.Layers)
 	s.mu.RLock()
 	fs, ok := s.flattens[key]
@@ -232,7 +243,7 @@ func (s *Store) flattened(img *Image) (*vfs.FS, []tarutil.Entry, error) {
 	s.flights[key] = f
 	s.flightMu.Unlock()
 
-	rehydrated := s.rehydrateChain(key, f)
+	rehydrated := s.rehydrateChain(ctx, key, f)
 	if !rehydrated {
 		f.fs, f.err = s.flattenPristine(img)
 		if f.err == nil {
@@ -247,7 +258,7 @@ func (s *Store) flattened(img *Image) (*vfs.FS, []tarutil.Entry, error) {
 		s.lowers[key] = f.lower
 		s.mu.Unlock()
 		if !rehydrated {
-			s.persistChain(key, img, f.lower)
+			s.persistChain(ctx, key, img, f.lower)
 		}
 	}
 	s.flightMu.Lock()
@@ -268,7 +279,7 @@ func (s *Store) flattened(img *Image) (*vfs.FS, []tarutil.Entry, error) {
 // store's persisted chain snapshot. On success it populates f and returns
 // true; any failure (no backing, no record, corrupt snapshot) returns
 // false and the caller pays the ordinary fill.
-func (s *Store) rehydrateChain(key string, f *flattenFlight) bool {
+func (s *Store) rehydrateChain(ctx context.Context, key string, f *flattenFlight) bool {
 	backing := s.Backing()
 	if backing == nil {
 		return false
@@ -277,7 +288,12 @@ func (s *Store) rehydrateChain(key string, f *flattenFlight) bool {
 	if !ok {
 		return false
 	}
-	snap, err := backing.Blob(ch.Snap)
+	var snap []byte
+	err := cas.DefaultRetry.Do(ctx, func() error {
+		var rerr error
+		snap, rerr = backing.Blob(ctx, ch.Snap)
+		return rerr
+	})
 	if err != nil {
 		return false
 	}
@@ -296,29 +312,31 @@ func (s *Store) rehydrateChain(key string, f *flattenFlight) bool {
 // persistChain writes a freshly filled flatten chain through to the
 // backing store: the member layer blobs (so fsck and GC can account for
 // them) and the packed whole-tree snapshot under the chain digest.
-func (s *Store) persistChain(key string, img *Image, lower []tarutil.Entry) {
+func (s *Store) persistChain(ctx context.Context, key string, img *Image, lower []tarutil.Entry) {
 	backing := s.Backing()
 	if backing == nil {
 		return
 	}
-	digests := make([]string, len(img.Layers))
-	for i, l := range img.Layers {
-		data, ok := s.blobView(l.Digest)
-		if !ok {
-			data = l.Data
+	// The whole sequence is idempotent (write-once blobs, same-record
+	// skip), so a transient mid-sequence failure retries from the top.
+	err := cas.DefaultRetry.Do(ctx, func() error {
+		digests := make([]string, len(img.Layers))
+		for i, l := range img.Layers {
+			data, ok := s.blobView(l.Digest)
+			if !ok {
+				data = l.Data
+			}
+			if _, err := backing.PutBlob(ctx, data); err != nil {
+				return err
+			}
+			digests[i] = l.Digest
 		}
-		if _, err := backing.PutBlob(data); err != nil {
-			s.mu.Lock()
-			s.noteBackingErr(err)
-			s.mu.Unlock()
-			return
+		packed, err := tarutil.Pack(lower)
+		if err != nil {
+			return err
 		}
-		digests[i] = l.Digest
-	}
-	packed, err := tarutil.Pack(lower)
-	if err == nil {
-		err = backing.PutChain(key, digests, packed)
-	}
+		return backing.PutChain(ctx, key, digests, packed)
+	})
 	s.mu.Lock()
 	s.noteBackingErr(err)
 	s.mu.Unlock()
@@ -351,7 +369,12 @@ func (s *Store) flattenPristine(img *Image) (*vfs.FS, error) {
 // across callers and must be treated as read-only; copy Entry.Data before
 // retaining or mutating it.
 func (s *Store) FlattenedEntries(img *Image) ([]tarutil.Entry, error) {
-	_, lower, err := s.flattened(img)
+	return s.FlattenedEntriesContext(context.Background(), img)
+}
+
+// FlattenedEntriesContext is FlattenedEntries under a context.
+func (s *Store) FlattenedEntriesContext(ctx context.Context, img *Image) ([]tarutil.Entry, error) {
+	_, lower, err := s.flattened(ctx, img)
 	if err != nil {
 		return nil, err
 	}
@@ -381,7 +404,12 @@ func (s *Store) Rehydrates() int {
 // commit costs one walk of fs instead of an unpack plus two full
 // snapshots.
 func (s *Store) CommitLayer(newName string, img *Image, fs *vfs.FS) (*Image, bool, error) {
-	_, lower, err := s.flattened(img)
+	return s.CommitLayerContext(context.Background(), newName, img, fs)
+}
+
+// CommitLayerContext is CommitLayer under a context.
+func (s *Store) CommitLayerContext(ctx context.Context, newName string, img *Image, fs *vfs.FS) (*Image, bool, error) {
+	_, lower, err := s.flattened(ctx, img)
 	if err != nil {
 		return nil, false, err
 	}
@@ -408,20 +436,44 @@ func (s *Store) Backing() *cas.Dir {
 	return s.backing
 }
 
-// BackingErr reports the first persistence failure since the backing was
-// attached, nil when every write-through landed. A failure means the
-// on-disk cache is colder than memory, never that it is wrong.
+// backingErrCap bounds the aggregated persistence-failure list: past it,
+// further failures are counted, not stored, so a long degraded build
+// cannot grow the error list without bound.
+const backingErrCap = 32
+
+// BackingErr reports the persistence failures since the backing was
+// attached as one joined error, nil when every write-through landed. A
+// failure means the on-disk cache is colder than memory, never that it
+// is wrong.
 func (s *Store) BackingErr() error {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.backingErr
+	return errors.Join(s.BackingErrs()...)
 }
 
-// noteBackingErr records the first persistence failure. Callers hold s.mu.
-func (s *Store) noteBackingErr(err error) {
-	if err != nil && s.backingErr == nil {
-		s.backingErr = err
+// BackingErrs returns every recorded persistence failure (a copy), plus
+// a trailing summary entry when failures past the cap were dropped.
+func (s *Store) BackingErrs() []error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if len(s.backingErrs) == 0 {
+		return nil
 	}
+	out := append([]error(nil), s.backingErrs...)
+	if s.backingDropped > 0 {
+		out = append(out, fmt.Errorf("image: %d further persistence failure(s) dropped", s.backingDropped))
+	}
+	return out
+}
+
+// noteBackingErr records one persistence failure. Callers hold s.mu.
+func (s *Store) noteBackingErr(err error) {
+	if err == nil {
+		return
+	}
+	if len(s.backingErrs) >= backingErrCap {
+		s.backingDropped++
+		return
+	}
+	s.backingErrs = append(s.backingErrs, err)
 }
 
 // GCBacking runs a garbage collection on the attached persistent store,
@@ -429,12 +481,12 @@ func (s *Store) noteBackingErr(err error) {
 // another process holding the store, sweep I/O errors) are recorded the
 // same way write-through failures are: the cache ends up colder than
 // asked for, never wrong.
-func (s *Store) GCBacking(b cas.Budget) (cas.GCStats, error) {
+func (s *Store) GCBacking(ctx context.Context, b cas.Budget) (cas.GCStats, error) {
 	backing := s.Backing()
 	if backing == nil {
 		return cas.GCStats{}, nil
 	}
-	stats, err := backing.GC(b)
+	stats, err := backing.GC(ctx, b)
 	s.mu.Lock()
 	s.noteBackingErr(err)
 	s.mu.Unlock()
@@ -448,6 +500,13 @@ func (s *Store) GCBacking(b cas.Budget) (cas.GCStats, error) {
 // backing store attached, the blobs and the tag record write through to
 // disk.
 func (s *Store) Put(img *Image) {
+	s.PutContext(context.Background(), img)
+}
+
+// PutContext is Put under a context: cancellation aborts the
+// write-through (recorded as a persistence failure), never the in-memory
+// tag, which is already visible when the disk write starts.
+func (s *Store) PutContext(ctx context.Context, img *Image) {
 	s.mu.Lock()
 	pristine := make([][]byte, len(img.Layers))
 	digests := make([]string, len(img.Layers))
@@ -469,19 +528,21 @@ func (s *Store) Put(img *Image) {
 	}
 	// Write-through runs outside s.mu: disk writes must not stall the
 	// store's readers. (Two concurrent Puts of the same tag may journal
-	// in either order; both orders are internally consistent.)
-	var err error
-	for _, data := range pristine {
-		if _, err = backing.PutBlob(data); err != nil {
-			break
+	// in either order; both orders are internally consistent.) The whole
+	// sequence is idempotent — write-once blobs, same-tag skip — so
+	// transient failures retry it from the top.
+	err := cas.DefaultRetry.Do(ctx, func() error {
+		for _, data := range pristine {
+			if _, err := backing.PutBlob(ctx, data); err != nil {
+				return err
+			}
 		}
-	}
-	if err == nil {
-		var cfg []byte
-		if cfg, err = json.Marshal(img.Config); err == nil {
-			err = backing.PutTag(img.Name, digests, cfg)
+		cfg, err := json.Marshal(img.Config)
+		if err != nil {
+			return err
 		}
-	}
+		return backing.PutTag(ctx, img.Name, digests, cfg)
+	})
 	s.mu.Lock()
 	s.noteBackingErr(err)
 	s.mu.Unlock()
@@ -491,6 +552,13 @@ func (s *Store) Put(img *Image) {
 // by an earlier invocation is rehydrated (layers loaded and digest-
 // verified) on first access and cached in memory from then on.
 func (s *Store) Get(name string) (*Image, bool) {
+	return s.GetContext(context.Background(), name)
+}
+
+// GetContext is Get under a context: cancellation aborts a backing-store
+// rehydration and reports a miss (callers on a cancelled context are
+// about to fail at their own boundary check anyway).
+func (s *Store) GetContext(ctx context.Context, name string) (*Image, bool) {
 	s.mu.RLock()
 	img, ok := s.images[name]
 	backing := s.backing
@@ -512,7 +580,12 @@ func (s *Store) Get(name string) (*Image, bool) {
 		// Blob digest-verifies on the way out and quarantines mismatches,
 		// so an error here means the tag is cold, never that bad bytes
 		// got through.
-		data, err := backing.Blob(digest)
+		var data []byte
+		err := cas.DefaultRetry.Do(ctx, func() error {
+			var rerr error
+			data, rerr = backing.Blob(ctx, digest)
+			return rerr
+		})
 		if err != nil {
 			return nil, false
 		}
@@ -539,6 +612,12 @@ func (s *Store) Get(name string) (*Image, bool) {
 // Blobs are kept; reclaiming them is the backing store's GC's job
 // (`ch-image cache gc`).
 func (s *Store) Delete(name string) {
+	s.DeleteContext(context.Background(), name)
+}
+
+// DeleteContext is Delete under a context; like PutContext, cancellation
+// only degrades the write-through.
+func (s *Store) DeleteContext(ctx context.Context, name string) {
 	s.mu.Lock()
 	backing := s.backing
 	delete(s.images, name)
@@ -546,7 +625,9 @@ func (s *Store) Delete(name string) {
 	if backing == nil {
 		return
 	}
-	err := backing.DeleteTag(name)
+	err := cas.DefaultRetry.Do(ctx, func() error {
+		return backing.DeleteTag(ctx, name)
+	})
 	s.mu.Lock()
 	s.noteBackingErr(err)
 	s.mu.Unlock()

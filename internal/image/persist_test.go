@@ -1,6 +1,7 @@
 package image
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"testing"
@@ -244,7 +245,7 @@ func TestDeleteWritesThroughUntag(t *testing.T) {
 func TestGCBackingDelegatesAndRecordsErrors(t *testing.T) {
 	// No backing: zero stats, no error, nothing recorded.
 	s := NewStore()
-	if stats, err := s.GCBacking(cas.Budget{MaxBytes: 1}); err != nil || stats != (cas.GCStats{}) {
+	if stats, err := s.GCBacking(context.Background(), cas.Budget{MaxBytes: 1}); err != nil || stats != (cas.GCStats{}) {
 		t.Fatalf("GCBacking without backing: %+v %v", stats, err)
 	}
 
@@ -253,10 +254,10 @@ func TestGCBackingDelegatesAndRecordsErrors(t *testing.T) {
 	d := openDir(t, root)
 	s.SetBacking(d)
 	s.Put(testImage(t, "keep:1"))
-	if _, err := d.PutBlob([]byte("untagged garbage")); err != nil {
+	if _, err := d.PutBlob(context.Background(), []byte("untagged garbage")); err != nil {
 		t.Fatal(err)
 	}
-	stats, err := s.GCBacking(cas.Budget{})
+	stats, err := s.GCBacking(context.Background(), cas.Budget{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -269,7 +270,7 @@ func TestGCBackingDelegatesAndRecordsErrors(t *testing.T) {
 
 	// A failing GC (closed backing) is recorded, not swallowed.
 	d.Close()
-	if _, err := s.GCBacking(cas.Budget{}); err == nil {
+	if _, err := s.GCBacking(context.Background(), cas.Budget{}); err == nil {
 		t.Fatal("GC on closed backing succeeded")
 	}
 	if err := s.BackingErr(); err == nil {
