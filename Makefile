@@ -1,6 +1,6 @@
 # Tier-1 gate (see ROADMAP.md): the module must build, vet clean and pass
 # every test from a clean checkout.
-.PHONY: check build test vet race bench experiments lint-docs cache-smoke fault-smoke
+.PHONY: check build test vet race bench experiments lint lint-docs cache-smoke fault-smoke
 
 check: vet test
 
@@ -99,6 +99,15 @@ fault-smoke:
 	FAULT_SOAK_BUILDS=$(FAULT_SOAK_BUILDS) FAULT_SOAK_SEED=$(FAULT_SOAK_SEED) \
 		FAULT_SOAK_LOG=$(FAULT_SOAK_LOG) \
 		go test -run TestFaultSoak -count=1 -v ./internal/build
+
+# Static-analysis gate: go vet plus the project's own analyzers
+# (cmd/chlint → internal/analysis, stdlib-only; see docs/analysis.md).
+# chlint exits 1 on any finding; the report file is written either way
+# so CI can archive it. CHLINT_REPORT is overridable for CI artifacts.
+CHLINT_REPORT ?= chlint-report.txt
+lint:
+	go vet ./...
+	go run ./cmd/chlint -o $(CHLINT_REPORT) ./...
 
 # Documentation gate: every relative link in the Markdown docs must
 # resolve and every ```go example must be gofmt-clean (cmd/doccheck).

@@ -1,0 +1,154 @@
+// Command chlint is the project's static-analysis gate: six
+// stdlib-only analyzers (go/parser + go/types, no external modules)
+// that machine-check the build engine's safety contracts. See
+// docs/analysis.md for the invariants and the //chlint:allow
+// suppression grammar.
+//
+// Usage:
+//
+//	chlint [-C dir] [-o report] [-list] [patterns ...]
+//
+// Patterns are import paths or directories, optionally suffixed with
+// /... for a recursive walk (default: ./...). Exit status is 0 when
+// clean, 1 when findings are reported, 2 on usage or load errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+var all = analysis.All()
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr *os.File) int {
+	fs := flag.NewFlagSet("chlint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	chdir := fs.String("C", "", "module root to analyze (default: walk up from cwd to go.mod)")
+	report := fs.String("o", "", "also write findings to this file (written even when clean, so CI can archive it)")
+	list := fs.Bool("list", false, "list analyzers and exit")
+	only := fs.String("run", "", "comma-separated analyzer names to run (default: all)")
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: chlint [-C dir] [-o report] [-run names] [patterns ...]\n\nAnalyzers:\n")
+		for _, a := range all {
+			fmt.Fprintf(stderr, "  %-15s %s\n", a.Name, a.Doc)
+		}
+		fmt.Fprintf(stderr, "\nFlags:\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *list {
+		for _, a := range all {
+			fmt.Fprintf(stdout, "%-15s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+
+	analyzers := all
+	if *only != "" {
+		byName := map[string]*analysis.Analyzer{}
+		for _, a := range all {
+			byName[a.Name] = a
+		}
+		analyzers = nil
+		for _, name := range strings.Split(*only, ",") {
+			a, ok := byName[strings.TrimSpace(name)]
+			if !ok {
+				fmt.Fprintf(stderr, "chlint: unknown analyzer %q\n", name)
+				return 2
+			}
+			analyzers = append(analyzers, a)
+		}
+	}
+
+	modRoot := *chdir
+	if modRoot == "" {
+		var err error
+		modRoot, err = findModRoot()
+		if err != nil {
+			fmt.Fprintf(stderr, "chlint: %v\n", err)
+			return 2
+		}
+	}
+
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	loader, err := analysis.NewLoader(modRoot)
+	if err != nil {
+		fmt.Fprintf(stderr, "chlint: %v\n", err)
+		return 2
+	}
+	pkgs, err := loader.LoadPatterns(patterns...)
+	if err != nil {
+		fmt.Fprintf(stderr, "chlint: %v\n", err)
+		return 2
+	}
+	prog := &analysis.Program{Fset: loader.Fset, Packages: pkgs}
+	findings := analysis.Run(prog, analyzers)
+
+	// Findings arrive position-sorted from analysis.Run; path shortening
+	// preserves that order, so no re-sort (a lexical sort would put
+	// line 100 before line 99).
+	var lines []string
+	for _, f := range findings {
+		lines = append(lines, shortenPath(modRoot, f))
+	}
+	body := strings.Join(lines, "\n")
+	if body != "" {
+		body += "\n"
+	}
+	if *report != "" {
+		header := fmt.Sprintf("chlint: %d finding(s) over %d package(s)\n", len(findings), len(pkgs))
+		if err := os.WriteFile(*report, []byte(header+body), 0o644); err != nil {
+			fmt.Fprintf(stderr, "chlint: %v\n", err)
+			return 2
+		}
+	}
+	if len(findings) == 0 {
+		return 0
+	}
+	fmt.Fprint(stdout, body)
+	fmt.Fprintf(stderr, "chlint: %d finding(s)\n", len(findings))
+	return 1
+}
+
+// shortenPath renders a finding with the filename relative to the
+// module root, so output and report files are machine-stable.
+func shortenPath(modRoot string, f analysis.Finding) string {
+	if rel, err := filepath.Rel(modRoot, f.Pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
+		f.Pos.Filename = rel
+	}
+	return f.String()
+}
+
+// findModRoot walks up from the working directory to the nearest
+// go.mod.
+func findModRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}

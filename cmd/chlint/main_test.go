@@ -1,0 +1,84 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func modRoot(t *testing.T) string {
+	t.Helper()
+	root, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return root
+}
+
+func devNull(t *testing.T) *os.File {
+	t.Helper()
+	f, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { f.Close() })
+	return f
+}
+
+func TestListExitsZero(t *testing.T) {
+	null := devNull(t)
+	if got := run([]string{"-list"}, null, null); got != 0 {
+		t.Fatalf("chlint -list = %d, want 0", got)
+	}
+}
+
+func TestUnknownAnalyzerIsUsageError(t *testing.T) {
+	null := devNull(t)
+	if got := run([]string{"-run", "nosuch", "./..."}, null, null); got != 2 {
+		t.Fatalf("chlint -run nosuch = %d, want 2", got)
+	}
+}
+
+// TestRepoIsClean is the command-level self-check: the shipped binary,
+// pointed at the repository with default flags, exits 0. CI runs
+// exactly this invocation.
+func TestRepoIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("whole-repo type-check is slow; run without -short")
+	}
+	null := devNull(t)
+	report := filepath.Join(t.TempDir(), "report.txt")
+	if got := run([]string{"-C", modRoot(t), "-o", report, "./..."}, null, null); got != 0 {
+		data, _ := os.ReadFile(report)
+		t.Fatalf("chlint ./... = %d, want 0; report:\n%s", got, data)
+	}
+	data, err := os.ReadFile(report)
+	if err != nil {
+		t.Fatalf("report not written on clean run: %v", err)
+	}
+	if !strings.Contains(string(data), "0 finding(s)") {
+		t.Fatalf("clean report header missing, got: %q", data)
+	}
+}
+
+// TestSeededViolationsGoRed is the negative smoke: chlint pointed at a
+// deliberately violating corpus package must exit 1 and name the
+// analyzer — proof the CI gate actually fires, not just that the repo
+// happens to be clean.
+func TestSeededViolationsGoRed(t *testing.T) {
+	null := devNull(t)
+	report := filepath.Join(t.TempDir(), "report.txt")
+	corpus := "./internal/analysis/testdata/src/ctxfirst"
+	got := run([]string{"-C", modRoot(t), "-o", report, "-run", "ctxfirst", corpus}, null, null)
+	if got != 1 {
+		t.Fatalf("chlint %s = %d, want 1", corpus, got)
+	}
+	data, err := os.ReadFile(report)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "[ctxfirst]") {
+		t.Fatalf("report does not name the analyzer:\n%s", data)
+	}
+}

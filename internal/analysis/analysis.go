@@ -1,0 +1,346 @@
+// Package analysis is chlint's engine: a small static-analysis driver
+// (go/parser + go/types, no dependencies outside the standard library)
+// plus the project-specific analyzers that machine-check the engine's
+// safety contracts — the invariants the paper's correctness argument
+// rests on, previously enforced only by code review:
+//
+//   - ctxfirst: I/O APIs are context-first and library code never
+//     manufactures its own context.Background (PR 7's cancellation
+//     contract);
+//   - lockdiscipline: methods touching mutex-guarded state hold the
+//     guard, and a failed flock exclusive conversion re-acquires the
+//     shared store lock (PR 6's cross-process protocol);
+//   - failpointcover: the cas store's real I/O stays behind its
+//     deterministic failpoints, and every declared failpoint is wired
+//     (PR 7's fault-injection soak is only as strong as its coverage);
+//   - errcompare: sentinel errors are matched with errors.Is, never ==,
+//     and deadline errors wrap their context cause;
+//   - boundarycopy: byte slices crossing shared-map boundaries are
+//     copied (PR 3's write-once blob invariant);
+//   - detclock: nothing reachable from cache-key/digest computation
+//     reads the wall clock or math/rand (PR 5's deterministic keys).
+//
+// Findings are suppressed, one by one and with a visible audit trail,
+// by //chlint:allow annotations (see the directive grammar below and
+// docs/analysis.md).
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, type-checked package.
+type Package struct {
+	Path  string // import path
+	Dir   string // directory the files were read from
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Program is the full set of packages one chlint run analyzes.
+// Analyzers that need whole-program views (detclock's call graph)
+// see every loaded package; per-package analyzers filter by Targets.
+type Program struct {
+	Fset     *token.FileSet
+	Packages []*Package
+}
+
+// Finding is one reported violation.
+type Finding struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: [%s] %s", f.Pos, f.Analyzer, f.Message)
+}
+
+// Analyzer is one invariant checker.
+type Analyzer struct {
+	// Name is the identifier //chlint:allow directives reference.
+	Name string
+
+	// Doc is the one-line description `chlint -help` prints.
+	Doc string
+
+	// Targets are the import-path prefixes the analyzer constrains. A
+	// package is in scope when its path equals or is under a target, or
+	// — so golden corpora under testdata/ can exercise the analyzer
+	// without masquerading as a real package — when the final path
+	// element equals the analyzer's name.
+	Targets []string
+
+	// Run reports the analyzer's findings over the program. It must not
+	// filter by allow directives; the driver does, so suppressions are
+	// audited in one place.
+	Run func(prog *Program) []Finding
+}
+
+// All returns the full analyzer suite in reporting order — the set
+// cmd/chlint runs by default and CI gates on.
+func All() []*Analyzer {
+	return []*Analyzer{CtxFirst, LockDiscipline, FailpointCover, ErrCompare, BoundaryCopy, DetClock}
+}
+
+// inScope reports whether the analyzer constrains pkg.
+func (a *Analyzer) inScope(pkg *Package) bool {
+	if path.Base(pkg.Path) == a.Name {
+		return true
+	}
+	for _, t := range a.Targets {
+		if pkg.Path == t || strings.HasPrefix(pkg.Path, t+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+// scoped returns the program's packages the analyzer constrains.
+func (a *Analyzer) scoped(prog *Program) []*Package {
+	var out []*Package
+	for _, pkg := range prog.Packages {
+		if a.inScope(pkg) {
+			out = append(out, pkg)
+		}
+	}
+	return out
+}
+
+// Run executes the analyzers over the program, applies //chlint:allow
+// suppressions, and returns the surviving findings sorted by position.
+// Malformed or unknown-analyzer directives are themselves findings
+// (analyzer "chlint"): a typoed suppression must fail loudly, not
+// silently stop suppressing.
+func Run(prog *Program, analyzers []*Analyzer) []Finding {
+	known := map[string]bool{"chlint": true}
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+	dirs, findings := collectDirectives(prog, known)
+	for _, a := range analyzers {
+		for _, f := range a.Run(prog) {
+			if !dirs.suppressed(a.Name, f.Pos) {
+				findings = append(findings, f)
+			}
+		}
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return findings
+}
+
+// AllowPrefix is the directive comment prefix. The grammar is
+//
+//	//chlint:allow <analyzer> -- <reason>
+//
+// placed on (or directly above) the offending line, or in the doc
+// comment of a function to cover the whole function. The reason is
+// mandatory: a suppression without a recorded why is itself a finding.
+const AllowPrefix = "//chlint:allow"
+
+// directive is one parsed //chlint:allow comment.
+type directive struct {
+	analyzer string
+	file     string
+	line     int
+	// funcFrom/funcTo, when non-zero, widen the scope to a whole
+	// function body (the directive sat in its doc comment).
+	funcFrom, funcTo int
+}
+
+type directiveSet []directive
+
+// suppressed reports whether a finding of analyzer at pos is covered
+// by a directive: same line, the line directly below the directive, or
+// anywhere in a function whose doc carried it.
+func (ds directiveSet) suppressed(analyzer string, pos token.Position) bool {
+	for _, d := range ds {
+		if d.analyzer != analyzer || d.file != pos.Filename {
+			continue
+		}
+		if pos.Line == d.line || pos.Line == d.line+1 {
+			return true
+		}
+		if d.funcFrom != 0 && pos.Line >= d.funcFrom && pos.Line <= d.funcTo {
+			return true
+		}
+	}
+	return false
+}
+
+// collectDirectives parses every //chlint:allow comment in the program
+// and reports the malformed ones as findings.
+func collectDirectives(prog *Program, known map[string]bool) (directiveSet, []Finding) {
+	var dirs directiveSet
+	var bad []Finding
+	for _, pkg := range prog.Packages {
+		for _, file := range pkg.Files {
+			// Map doc-comment lines to function extents so a directive in
+			// a func's doc covers the whole body.
+			type span struct{ from, to int }
+			docSpan := map[int]span{}
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok {
+					continue
+				}
+				from := prog.Fset.Position(fd.Pos()).Line
+				to := prog.Fset.Position(fd.End()).Line
+				if fd.Doc != nil {
+					for l := prog.Fset.Position(fd.Doc.Pos()).Line; l <= prog.Fset.Position(fd.Doc.End()).Line; l++ {
+						docSpan[l] = span{from, to}
+					}
+				}
+			}
+			for _, cg := range file.Comments {
+				for _, c := range cg.List {
+					rest, ok := strings.CutPrefix(c.Text, AllowPrefix)
+					if !ok {
+						continue
+					}
+					pos := prog.Fset.Position(c.Pos())
+					name, reason, hasReason := strings.Cut(strings.TrimSpace(rest), "--")
+					name = strings.TrimSpace(name)
+					switch {
+					case name == "" || strings.ContainsAny(name, " \t"):
+						bad = append(bad, Finding{"chlint", pos,
+							fmt.Sprintf("malformed directive %q: want %s <analyzer> -- <reason>", c.Text, AllowPrefix)})
+						continue
+					case !known[name]:
+						bad = append(bad, Finding{"chlint", pos,
+							fmt.Sprintf("directive allows unknown analyzer %q", name)})
+						continue
+					case !hasReason || strings.TrimSpace(reason) == "":
+						bad = append(bad, Finding{"chlint", pos,
+							fmt.Sprintf("directive %q has no reason: add ` -- <why this is safe>`", AllowPrefix+" "+name)})
+						continue
+					}
+					d := directive{analyzer: name, file: pos.Filename, line: pos.Line}
+					if s, ok := docSpan[pos.Line]; ok {
+						d.funcFrom, d.funcTo = s.from, s.to
+					}
+					dirs = append(dirs, d)
+				}
+			}
+		}
+	}
+	return dirs, bad
+}
+
+// --- shared AST helpers the analyzers build on ---
+
+// funcBodyCalls reports whether body contains a call whose callee
+// matches fn (an *ast.Ident name or a dotted selector rendering like
+// "recv.mu.Lock"). Matching is textual on the selector chain rooted at
+// an identifier — exactly the shapes the analyzers assert about.
+func funcBodyCalls(body *ast.BlockStmt, want ...string) bool {
+	if body == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		name, ok := renderChain(call.Fun)
+		if !ok {
+			return true
+		}
+		for _, w := range want {
+			if name == w {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// renderChain renders an identifier-rooted selector chain ("a.b.c").
+func renderChain(e ast.Expr) (string, bool) {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name, true
+	case *ast.SelectorExpr:
+		prefix, ok := renderChain(e.X)
+		if !ok {
+			return "", false
+		}
+		return prefix + "." + e.Sel.Name, true
+	}
+	return "", false
+}
+
+// recvName returns the receiver identifier of a method declaration
+// ("" for functions and anonymous receivers).
+func recvName(fd *ast.FuncDecl) string {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 || len(fd.Recv.List[0].Names) == 0 {
+		return ""
+	}
+	return fd.Recv.List[0].Names[0].Name
+}
+
+// recvStruct resolves a method's receiver to its named struct type,
+// nil when the receiver is not a struct.
+func recvStruct(pkg *Package, fd *ast.FuncDecl) (*types.Named, *types.Struct) {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return nil, nil
+	}
+	tv, ok := pkg.Info.Types[fd.Recv.List[0].Type]
+	if !ok {
+		return nil, nil
+	}
+	t := tv.Type
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return nil, nil
+	}
+	st, ok := named.Underlying().(*types.Struct)
+	if !ok {
+		return nil, nil
+	}
+	return named, st
+}
+
+// isErrorType reports whether t is the error interface itself.
+func isErrorType(t types.Type) bool {
+	return types.Identical(t, types.Universe.Lookup("error").Type())
+}
+
+// qualifiedFunc renders a *types.Func as "pkgpath.Name" or
+// "pkgpath.(Type).Name" for methods.
+func qualifiedFunc(fn *types.Func) string {
+	if fn.Pkg() == nil {
+		return fn.Name()
+	}
+	if recv := fn.Type().(*types.Signature).Recv(); recv != nil {
+		t := recv.Type()
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		if named, ok := t.(*types.Named); ok {
+			return fn.Pkg().Path() + ".(" + named.Obj().Name() + ")." + fn.Name()
+		}
+	}
+	return fn.Pkg().Path() + "." + fn.Name()
+}

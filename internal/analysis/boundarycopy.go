@@ -1,0 +1,264 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// BoundaryCopy checks the write-once aliasing contract around the
+// engine's shared byte-slice maps (image.Store blobs, build caches):
+//
+//  1. storing a []byte into a receiver's map[...][]byte field must
+//     store a fresh copy (an append([]byte(nil), src...) /
+//     append(src[:0:0], ...) shape or a locally made+copied slice),
+//     never the caller's slice — a caller mutating its buffer after
+//     Put would silently corrupt the cache for every later reader;
+//  2. an exported method must not return an element of a receiver's
+//     map[...][]byte field directly — handing out an aliased slice
+//     lets callers mutate cached bytes in place. Internal accessors
+//     that intentionally share (image.blobView) stay unexported,
+//     which is the boundary the analyzer draws.
+var BoundaryCopy = &Analyzer{
+	Name: "boundarycopy",
+	Doc:  "byte slices crossing exported cache boundaries are copied, not aliased",
+	Targets: []string{
+		"repro/internal/cas",
+		"repro/internal/build",
+		"repro/internal/image",
+	},
+}
+
+func init() { BoundaryCopy.Run = runBoundaryCopy }
+
+func runBoundaryCopy(prog *Program) []Finding {
+	var out []Finding
+	for _, pkg := range BoundaryCopy.scoped(prog) {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				recv := recvName(fd)
+				if recv == "" {
+					continue
+				}
+				_, st := recvStruct(pkg, fd)
+				if st == nil {
+					continue
+				}
+				byteMapFields := byteSliceMapFields(st)
+				if len(byteMapFields) == 0 {
+					continue
+				}
+				out = append(out, checkMapStores(prog, pkg, fd, recv, byteMapFields)...)
+				if fd.Name.IsExported() {
+					out = append(out, checkAliasedReturns(prog, pkg, fd, recv, byteMapFields)...)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// byteSliceMapFields returns the names of st's fields whose type is
+// map[...][]byte.
+func byteSliceMapFields(st *types.Struct) map[string]bool {
+	fields := map[string]bool{}
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		m, ok := f.Type().Underlying().(*types.Map)
+		if !ok {
+			continue
+		}
+		s, ok := m.Elem().Underlying().(*types.Slice)
+		if !ok {
+			continue
+		}
+		if b, ok := s.Elem().Underlying().(*types.Basic); ok && b.Kind() == types.Byte {
+			fields[f.Name()] = true
+		}
+	}
+	return fields
+}
+
+// checkMapStores enforces rule 1: assignments recv.field[k] = v where v
+// is not a visibly fresh copy.
+func checkMapStores(prog *Program, pkg *Package, fd *ast.FuncDecl, recv string, fields map[string]bool) []Finding {
+	var out []Finding
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for i, lhs := range as.Lhs {
+			idx, ok := lhs.(*ast.IndexExpr)
+			if !ok {
+				continue
+			}
+			field, ok := receiverField(pkg, idx.X, recv, fields)
+			if !ok || i >= len(as.Rhs) {
+				continue
+			}
+			rhs := as.Rhs[i]
+			if freshCopy(pkg, rhs, fd) {
+				continue
+			}
+			out = append(out, Finding{BoundaryCopy.Name, prog.Fset.Position(as.Pos()),
+				fmt.Sprintf("storing a caller-visible []byte into %s.%s aliases the caller's buffer; store append([]byte(nil), src...) instead", recv, field)})
+		}
+		return true
+	})
+	return out
+}
+
+// checkAliasedReturns enforces rule 2: `return recv.field[k]` (or the
+// two-value comma-ok read assigned then returned is out of scope —
+// the direct index return is the regression this guards).
+func checkAliasedReturns(prog *Program, pkg *Package, fd *ast.FuncDecl, recv string, fields map[string]bool) []Finding {
+	var out []Finding
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok {
+			return true
+		}
+		for _, res := range ret.Results {
+			idx, ok := res.(*ast.IndexExpr)
+			if !ok {
+				continue
+			}
+			field, ok := receiverField(pkg, idx.X, recv, fields)
+			if !ok {
+				continue
+			}
+			out = append(out, Finding{BoundaryCopy.Name, prog.Fset.Position(res.Pos()),
+				fmt.Sprintf("exported %s returns %s.%s[...] without copying; callers can mutate the cached bytes in place", fd.Name.Name, recv, field)})
+		}
+		return true
+	})
+	return out
+}
+
+// receiverField matches e against recv.<field> for a tracked field.
+func receiverField(pkg *Package, e ast.Expr, recv string, fields map[string]bool) (string, bool) {
+	sel, ok := e.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok || id.Name != recv || !fields[sel.Sel.Name] {
+		return "", false
+	}
+	if s, ok := pkg.Info.Selections[sel]; !ok || s.Kind() != types.FieldVal {
+		return "", false
+	}
+	return sel.Sel.Name, true
+}
+
+// freshCopy reports whether rhs is a visibly fresh slice:
+//
+//   - append(<nil-or-empty-capacity slice>, src...) — the canonical
+//     copy idiom;
+//   - a composite literal or make/[]byte conversion of a string —
+//     freshly allocated by construction;
+//   - an identifier that was itself produced by one of the above or
+//     filled via copy() inside this function.
+func freshCopy(pkg *Package, rhs ast.Expr, fd *ast.FuncDecl) bool {
+	switch e := rhs.(type) {
+	case *ast.CallExpr:
+		switch fun := e.Fun.(type) {
+		case *ast.Ident:
+			if fun.Name == "append" && len(e.Args) >= 1 && isEmptyBase(e.Args[0]) {
+				return true
+			}
+			if fun.Name == "make" {
+				return true
+			}
+		case *ast.ArrayType:
+			// []byte(stringExpr) conversion copies.
+			if len(e.Args) != 1 {
+				return false
+			}
+			if tv, ok := pkg.Info.Types[e.Args[0]]; ok {
+				if b, ok := tv.Type.Underlying().(*types.Basic); ok && b.Info()&types.IsString != 0 {
+					return true
+				}
+			}
+		}
+	case *ast.CompositeLit:
+		return true
+	case *ast.Ident:
+		return localFresh(pkg, e, fd)
+	}
+	return false
+}
+
+// isEmptyBase recognises append bases that force reallocation:
+// []byte(nil), []byte{}, nil, or src[:0:0].
+func isEmptyBase(e ast.Expr) bool {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name == "nil"
+	case *ast.CallExpr: // []byte(nil)
+		if _, ok := e.Fun.(*ast.ArrayType); ok && len(e.Args) == 1 {
+			if id, ok := e.Args[0].(*ast.Ident); ok && id.Name == "nil" {
+				return true
+			}
+		}
+	case *ast.CompositeLit:
+		return len(e.Elts) == 0
+	case *ast.SliceExpr: // src[:0:0] — full-slice-expression with zero cap
+		if e.Slice3 && e.Max != nil {
+			if lit, ok := e.Max.(*ast.BasicLit); ok && lit.Value == "0" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// localFresh reports whether ident was assigned a fresh slice (per
+// freshCopy) or filled via copy(ident, ...) somewhere in the function —
+// the two-statement copy idiom:
+//
+//	buf := make([]byte, len(src))
+//	copy(buf, src)
+//	s.m[k] = buf
+func localFresh(pkg *Package, id *ast.Ident, fd *ast.FuncDecl) bool {
+	obj := pkg.Info.Uses[id]
+	if obj == nil {
+		return false
+	}
+	fresh := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for i, lhs := range n.Lhs {
+				lid, ok := lhs.(*ast.Ident)
+				if !ok || i >= len(n.Rhs) {
+					continue
+				}
+				if pkg.Info.Defs[lid] != obj && pkg.Info.Uses[lid] != obj {
+					continue
+				}
+				// Recurse one level: fresh-producing RHS shapes only, to
+				// keep the check finite.
+				switch rhs := n.Rhs[i].(type) {
+				case *ast.CallExpr, *ast.CompositeLit:
+					if freshCopy(pkg, rhs, fd) {
+						fresh = true
+					}
+				}
+			}
+		case *ast.CallExpr:
+			if fun, ok := n.Fun.(*ast.Ident); ok && fun.Name == "copy" && len(n.Args) == 2 {
+				if dst, ok := n.Args[0].(*ast.Ident); ok && (pkg.Info.Uses[dst] == obj || pkg.Info.Defs[dst] == obj) {
+					fresh = true
+				}
+			}
+		}
+		return true
+	})
+	return fresh
+}

@@ -1,0 +1,154 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// DetClock checks cache-key determinism (PR 5's contract): a content
+// key computed twice for the same inputs must be byte-identical across
+// processes and days, so nothing reachable from key/digest computation
+// may read the wall clock or a random source.
+//
+// Roots are marked in source with a `//chlint:keyroot` line in the
+// function's doc comment (cas.Sum, image digests, build chain keys).
+// The analyzer walks the static call graph from every root through the
+// module's own functions and flags any reference — call or value use,
+// so `clock: time.Now` is caught too — to time.Now / time.Since /
+// time.Until or anything in math/rand (and math/rand/v2).
+//
+// The graph is a static over-approximation: calls through interfaces
+// or function values stop the walk at the boundary. That is the right
+// bias for this invariant — key computation is deliberately concrete,
+// and a conservative miss is recoverable in review while a
+// nondeterministic key silently poisons every cache hit after it.
+var DetClock = &Analyzer{
+	Name:    "detclock",
+	Doc:     "no time.Now/math/rand reachable from //chlint:keyroot cache-key computations",
+	Targets: []string{"repro"},
+}
+
+func init() { DetClock.Run = runDetClock }
+
+// KeyrootMarker marks a function as a determinism root.
+const KeyrootMarker = "//chlint:keyroot"
+
+// bannedUse is one reference to a nondeterminism source.
+type bannedUse struct {
+	pos  token.Position
+	what string // "time.Now", "math/rand.Intn", ...
+}
+
+// dcNode is one function in detclock's call graph.
+type dcNode struct {
+	fn     *types.Func
+	name   string // rendered, for messages
+	edges  []*types.Func
+	banned []bannedUse
+	root   bool
+}
+
+func runDetClock(prog *Program) []Finding {
+	nodes := map[*types.Func]*dcNode{}
+
+	for _, pkg := range DetClock.scoped(prog) {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				fn, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				nd := &dcNode{fn: fn, name: qualifiedFunc(fn)}
+				if fd.Doc != nil {
+					for _, c := range fd.Doc.List {
+						if strings.HasPrefix(c.Text, KeyrootMarker) {
+							nd.root = true
+						}
+					}
+				}
+				ast.Inspect(fd.Body, func(n ast.Node) bool {
+					id, ok := n.(*ast.Ident)
+					if !ok {
+						return true
+					}
+					obj := pkg.Info.Uses[id]
+					if obj == nil || obj.Pkg() == nil {
+						return true
+					}
+					path := obj.Pkg().Path()
+					switch {
+					case path == "time" && (id.Name == "Now" || id.Name == "Since" || id.Name == "Until"):
+						nd.banned = append(nd.banned, bannedUse{prog.Fset.Position(id.Pos()), "time." + id.Name})
+					case path == "math/rand" || path == "math/rand/v2":
+						nd.banned = append(nd.banned, bannedUse{prog.Fset.Position(id.Pos()), path + "." + id.Name})
+					}
+					if callee, ok := obj.(*types.Func); ok {
+						nd.edges = append(nd.edges, callee)
+					}
+					return true
+				})
+				nodes[fn] = nd
+			}
+		}
+	}
+
+	// BFS from each root; first root to reach a banned use claims it so
+	// one nondeterministic call is one finding, not one per root.
+	var out []Finding
+	claimed := map[token.Position]bool{}
+	for _, start := range nodes {
+		if !start.root {
+			continue
+		}
+		seen := map[*types.Func]bool{start.fn: true}
+		// parent links let the finding show how the root reaches the sink.
+		parent := map[*types.Func]*types.Func{}
+		queue := []*dcNode{start}
+		for len(queue) > 0 {
+			cur := queue[0]
+			queue = queue[1:]
+			for _, b := range cur.banned {
+				if claimed[b.pos] {
+					continue
+				}
+				claimed[b.pos] = true
+				out = append(out, Finding{DetClock.Name, b.pos,
+					fmt.Sprintf("%s is reachable from cache-key root %s (via %s); keys must be deterministic",
+						b.what, start.name, renderPath(nodes, parent, start.fn, cur.fn))})
+			}
+			for _, callee := range cur.edges {
+				next, ok := nodes[callee]
+				if !ok || seen[callee] {
+					continue
+				}
+				seen[callee] = true
+				parent[callee] = cur.fn
+				queue = append(queue, next)
+			}
+		}
+	}
+	return out
+}
+
+// renderPath renders root → ... → sink through the BFS parent links.
+func renderPath(nodes map[*types.Func]*dcNode, parent map[*types.Func]*types.Func, root, sink *types.Func) string {
+	var rev []string
+	for cur := sink; cur != root; cur = parent[cur] {
+		rev = append(rev, nodes[cur].name)
+		if _, ok := parent[cur]; !ok {
+			break
+		}
+	}
+	rev = append(rev, nodes[root].name)
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return strings.Join(rev, " -> ")
+}

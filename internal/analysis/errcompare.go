@@ -1,0 +1,140 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strconv"
+	"strings"
+)
+
+// ErrCompare checks sentinel-error hygiene across the whole module:
+//
+//  1. an error value is never compared to a sentinel (a package-level
+//     variable of type error: io.EOF, cas.ErrBusy, context.Canceled,
+//     ...) with == or !=. The engine wraps errors aggressively —
+//     %w chains through build steps, retry classification, journal
+//     replay — so an == that works today breaks the moment a layer
+//     adds context. errors.Is is the only comparison that survives
+//     wrapping. (Comparisons with nil, and with non-sentinel values
+//     like syscall.Errno returns, are fine and not flagged.)
+//  2. a fmt.Errorf whose format string mentions a deadline/cancel
+//     condition must wrap a cause with %w: deadline errors that don't
+//     wrap context.DeadlineExceeded strand callers who select retry
+//     behavior with errors.Is(err, context.DeadlineExceeded).
+var ErrCompare = &Analyzer{
+	Name:    "errcompare",
+	Doc:     "sentinel errors are matched with errors.Is, never ==; deadline errors wrap their context cause with %w",
+	Targets: []string{"repro"},
+}
+
+func init() { ErrCompare.Run = runErrCompare }
+
+func runErrCompare(prog *Program) []Finding {
+	var out []Finding
+	for _, pkg := range ErrCompare.scoped(prog) {
+		for _, file := range pkg.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.BinaryExpr:
+					if f, ok := checkErrEq(prog, pkg, n); ok {
+						out = append(out, f)
+					}
+				case *ast.CallExpr:
+					if f, ok := checkDeadlineWrap(prog, pkg, n); ok {
+						out = append(out, f)
+					}
+				}
+				return true
+			})
+		}
+	}
+	return out
+}
+
+// checkErrEq flags `err == Sentinel` / `err != Sentinel`.
+func checkErrEq(prog *Program, pkg *Package, be *ast.BinaryExpr) (Finding, bool) {
+	if be.Op != token.EQL && be.Op != token.NEQ {
+		return Finding{}, false
+	}
+	sentinel := sentinelError(pkg, be.X)
+	other := be.Y
+	if sentinel == "" {
+		sentinel = sentinelError(pkg, be.Y)
+		other = be.X
+	}
+	if sentinel == "" {
+		return Finding{}, false
+	}
+	// The other side must itself be error-typed (rules out Op == OpX
+	// style comparisons where a sentinel-lookalike isn't an error).
+	if tv, ok := pkg.Info.Types[other]; !ok || !isErrorType(tv.Type) {
+		return Finding{}, false
+	}
+	verb := "errors.Is(err, " + sentinel + ")"
+	if be.Op == token.NEQ {
+		verb = "!" + verb
+	}
+	return Finding{ErrCompare.Name, prog.Fset.Position(be.Pos()),
+		fmt.Sprintf("comparison with sentinel %s breaks once the error is wrapped; use %s", sentinel, verb)}, true
+}
+
+// sentinelError returns the rendered name of e when it refers to a
+// package-level variable of type error ("io.EOF", "ErrBusy"), else "".
+func sentinelError(pkg *Package, e ast.Expr) string {
+	var id *ast.Ident
+	switch e := e.(type) {
+	case *ast.Ident:
+		id = e
+	case *ast.SelectorExpr:
+		id = e.Sel
+	default:
+		return ""
+	}
+	v, ok := pkg.Info.Uses[id].(*types.Var)
+	if !ok || v.IsField() || !isErrorType(v.Type()) {
+		return ""
+	}
+	// Package-level: parent scope is the package scope.
+	if v.Pkg() == nil || v.Parent() != v.Pkg().Scope() {
+		return ""
+	}
+	if name, ok := renderChain(e); ok {
+		return name
+	}
+	return id.Name
+}
+
+// checkDeadlineWrap flags fmt.Errorf("...deadline..."/"...canceled...",
+// args) with no %w verb in the format string.
+func checkDeadlineWrap(prog *Program, pkg *Package, call *ast.CallExpr) (Finding, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Errorf" {
+		return Finding{}, false
+	}
+	fn, ok := pkg.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "fmt" {
+		return Finding{}, false
+	}
+	if len(call.Args) == 0 {
+		return Finding{}, false
+	}
+	lit, ok := call.Args[0].(*ast.BasicLit)
+	if !ok || lit.Kind != token.STRING {
+		return Finding{}, false
+	}
+	format, err := strconv.Unquote(lit.Value)
+	if err != nil {
+		return Finding{}, false
+	}
+	lower := strings.ToLower(format)
+	if !strings.Contains(lower, "deadline") && !strings.Contains(lower, "canceled") {
+		return Finding{}, false
+	}
+	if strings.Contains(format, "%w") {
+		return Finding{}, false
+	}
+	return Finding{ErrCompare.Name, prog.Fset.Position(call.Pos()),
+		fmt.Sprintf("deadline/cancellation error %q does not wrap its cause; use %%w so errors.Is(err, context.DeadlineExceeded) works", format)}, true
+}

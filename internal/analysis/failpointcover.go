@@ -1,0 +1,210 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// FailpointCover checks the fault-injection seam (PR 7). The soak's
+// headline invariant — a store faulted at every failpoint reopens with
+// zero damage — is only as strong as failpoint coverage, so:
+//
+//  1. inside methods of a type that has failpoints (a `failpoint`
+//     method — cas.Dir), the real mutating I/O calls (os.WriteFile,
+//     os.Rename, os.ReadFile, (*os.File).WriteString) must share a
+//     function body with a failpoint consultation, so a new I/O path
+//     cannot silently bypass injection. Open-time validation and
+//     damage-quarantine paths are annotated exceptions: they run
+//     before/outside the build path the soak drives.
+//  2. every Op constant declared in the package appears in the AllOps
+//     list (harnesses that "fault everything" must really fault
+//     everything), and every Op fires at at least one failpoint call
+//     site — a declared-but-never-consulted failpoint is dead
+//     coverage the soak silently loses.
+//  3. failpoint arguments are named Op constants, never ad-hoc
+//     strings, so coverage is enumerable.
+var FailpointCover = &Analyzer{
+	Name:    "failpointcover",
+	Doc:     "real I/O in failpointed types stays behind d.failpoint(op); every Op is listed in AllOps and fired somewhere",
+	Targets: []string{"repro/internal/cas"},
+}
+
+func init() { FailpointCover.Run = runFailpointCover }
+
+// failpointIO lists the raw I/O operations that must not appear in a
+// failpointed type's methods without a failpoint consultation in the
+// same function.
+var failpointIO = map[string]string{
+	"os.WriteFile": "blob/journal bytes hitting disk",
+	"os.Rename":    "publishing a blob or journal rewrite",
+	"os.ReadFile":  "reading blob/journal bytes back",
+	"WriteString":  "appending to the journal", // method on *os.File
+}
+
+func runFailpointCover(prog *Program) []Finding {
+	var out []Finding
+	for _, pkg := range FailpointCover.scoped(prog) {
+		// Which named types have a failpoint method?
+		failpointed := map[string]bool{}
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Name.Name != "failpoint" {
+					continue
+				}
+				if named, _ := recvStruct(pkg, fd); named != nil {
+					failpointed[named.Obj().Name()] = true
+				}
+			}
+		}
+
+		// Op constants, AllOps membership, and failpoint call arguments.
+		opConsts := map[string]ast.Expr{} // name → declaring value expr (for position)
+		var opType types.Type
+		if obj := pkg.Types.Scope().Lookup("Op"); obj != nil {
+			opType = obj.Type()
+		}
+		inAllOps := map[string]bool{}
+		fired := map[string]bool{}
+
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				switch d := decl.(type) {
+				case *ast.GenDecl:
+					for _, spec := range d.Specs {
+						vs, ok := spec.(*ast.ValueSpec)
+						if !ok {
+							continue
+						}
+						for _, name := range vs.Names {
+							obj := pkg.Info.Defs[name]
+							if obj == nil || opType == nil || !types.Identical(obj.Type(), opType) {
+								continue
+							}
+							if _, isConst := obj.(*types.Const); isConst {
+								opConsts[name.Name] = name
+							}
+						}
+						// AllOps is []Op, not Op, so it misses the loop above.
+						for i, name := range vs.Names {
+							if name.Name != "AllOps" || i >= len(vs.Values) {
+								continue
+							}
+							if cl, ok := vs.Values[i].(*ast.CompositeLit); ok {
+								for _, elt := range cl.Elts {
+									if id, ok := elt.(*ast.Ident); ok {
+										inAllOps[id.Name] = true
+									}
+								}
+							}
+						}
+					}
+				case *ast.FuncDecl:
+					if d.Body == nil {
+						continue
+					}
+					out = append(out, checkIOBehindFailpoints(prog, pkg, d, failpointed)...)
+					collectFired(prog, pkg, d, opType, fired, &out)
+				}
+			}
+		}
+
+		for name, at := range opConsts {
+			pos := prog.Fset.Position(at.Pos())
+			if !inAllOps[name] {
+				out = append(out, Finding{FailpointCover.Name, pos,
+					fmt.Sprintf("failpoint %s is not listed in AllOps; fault-everything harnesses will never fire it", name)})
+			}
+			if !fired[name] {
+				out = append(out, Finding{FailpointCover.Name, pos,
+					fmt.Sprintf("failpoint %s is declared but no failpoint(%s) call site fires it", name, name)})
+			}
+		}
+	}
+	return out
+}
+
+// checkIOBehindFailpoints enforces rule 1 on one method.
+func checkIOBehindFailpoints(prog *Program, pkg *Package, fd *ast.FuncDecl, failpointed map[string]bool) []Finding {
+	named, _ := recvStruct(pkg, fd)
+	if named == nil || !failpointed[named.Obj().Name()] {
+		return nil
+	}
+	recv := recvName(fd)
+	hasFailpoint := recv != "" && funcBodyCalls(fd.Body, recv+".failpoint")
+	if hasFailpoint {
+		return nil
+	}
+	var out []Finding
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		var key string
+		if id, ok := sel.X.(*ast.Ident); ok && id.Name == "os" {
+			if obj, ok := pkg.Info.Uses[sel.Sel].(*types.Func); ok && obj.Pkg() != nil && obj.Pkg().Path() == "os" {
+				key = "os." + sel.Sel.Name
+			}
+		}
+		if key == "" && sel.Sel.Name == "WriteString" && isOSFile(pkg.Info.Types[sel.X].Type) {
+			key = "WriteString"
+		}
+		what, tracked := failpointIO[key]
+		if !tracked {
+			return true
+		}
+		out = append(out, Finding{FailpointCover.Name, prog.Fset.Position(call.Pos()),
+			fmt.Sprintf("(%s).%s performs %s (%s) with no %s.failpoint(op) in the function; faults cannot be injected on this path",
+				named.Obj().Name(), fd.Name.Name, key, what, recv)})
+		return true
+	})
+	return out
+}
+
+// collectFired records which Op constants appear as failpoint call
+// arguments (rule 2's "fires somewhere") and flags non-constant
+// arguments (rule 3).
+func collectFired(prog *Program, pkg *Package, fd *ast.FuncDecl, opType types.Type, fired map[string]bool, out *[]Finding) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		name, ok := renderChain(call.Fun)
+		if !ok || !strings.HasSuffix(name, ".failpoint") || len(call.Args) != 1 {
+			return true
+		}
+		if id, ok := call.Args[0].(*ast.Ident); ok {
+			if obj := pkg.Info.Uses[id]; obj != nil {
+				if _, isConst := obj.(*types.Const); isConst && opType != nil && types.Identical(obj.Type(), opType) {
+					fired[id.Name] = true
+					return true
+				}
+			}
+		}
+		*out = append(*out, Finding{FailpointCover.Name, prog.Fset.Position(call.Args[0].Pos()),
+			"failpoint argument must be a named Op constant so coverage stays enumerable"})
+		return true
+	})
+}
+
+// isOSFile reports whether t is *os.File.
+func isOSFile(t types.Type) bool {
+	p, ok := t.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := p.Elem().(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj != nil && obj.Name() == "File" && obj.Pkg() != nil && obj.Pkg().Path() == "os"
+}

@@ -1,0 +1,187 @@
+package analysis_test
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// The corpus convention: every line in testdata/src/<analyzer>/ that
+// must produce a finding carries a trailing
+//
+//	// want "regexp" ["regexp" ...]
+//
+// comment, one regexp per expected finding on that line. Lines without
+// a want comment must stay silent. Each corpus pairs a violations.go
+// (every seeded bug fires) with a clean.go (the blessed idioms stay
+// quiet), so the tests pin both directions: the analyzer catches the
+// regression AND does not cry wolf on the pattern the codebase
+// actually uses.
+
+// One Loader for the whole test binary: stdlib type-checking dominates
+// the cost and is memoised per import path, so the corpus packages and
+// the whole-repo self-check share the work.
+var (
+	loaderOnce sync.Once
+	loaderVal  *analysis.Loader
+	loaderErr  error
+)
+
+func sharedLoader(t *testing.T) *analysis.Loader {
+	t.Helper()
+	loaderOnce.Do(func() {
+		root, err := filepath.Abs(filepath.Join("..", ".."))
+		if err != nil {
+			loaderErr = err
+			return
+		}
+		loaderVal, loaderErr = analysis.NewLoader(root)
+	})
+	if loaderErr != nil {
+		t.Fatalf("loader: %v", loaderErr)
+	}
+	return loaderVal
+}
+
+var wantRe = regexp.MustCompile(`//\s*want\s+(.*)$`)
+var wantArgRe = regexp.MustCompile(`"((?:[^"\\]|\\.)*)"`)
+
+// wantsIn scans a corpus directory for want comments, keyed by
+// "<filename-base>:<line>".
+func wantsIn(t *testing.T, dir string) map[string][]string {
+	t.Helper()
+	wants := map[string][]string{}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			m := wantRe.FindStringSubmatch(line)
+			if m == nil {
+				continue
+			}
+			key := fmt.Sprintf("%s:%d", e.Name(), i+1)
+			for _, q := range wantArgRe.FindAllStringSubmatch(m[1], -1) {
+				pat := strings.ReplaceAll(q[1], `\"`, `"`)
+				wants[key] = append(wants[key], pat)
+			}
+		}
+	}
+	return wants
+}
+
+// TestGoldenCorpus runs each analyzer over its own corpus package and
+// matches findings against the want comments, both directions.
+func TestGoldenCorpus(t *testing.T) {
+	byName := map[string]*analysis.Analyzer{}
+	for _, a := range analysis.All() {
+		byName[a.Name] = a
+	}
+	for name, a := range byName {
+		a := a
+		t.Run(name, func(t *testing.T) {
+			l := sharedLoader(t)
+			ip := l.ModulePath() + "/internal/analysis/testdata/src/" + name
+			pkg, err := l.Load(ip)
+			if err != nil {
+				t.Fatalf("load corpus: %v", err)
+			}
+			prog := &analysis.Program{Fset: l.Fset, Packages: []*analysis.Package{pkg}}
+			findings := analysis.Run(prog, []*analysis.Analyzer{a})
+
+			wants := wantsIn(t, pkg.Dir)
+			if len(wants) == 0 {
+				t.Fatalf("corpus %s has no want comments; the violations file must seed at least one", name)
+			}
+			matched := map[string][]bool{}
+			for key, pats := range wants {
+				matched[key] = make([]bool, len(pats))
+			}
+			for _, f := range findings {
+				key := fmt.Sprintf("%s:%d", filepath.Base(f.Pos.Filename), f.Pos.Line)
+				pats, ok := wants[key]
+				if !ok {
+					t.Errorf("unexpected finding at %s: %s", key, f.Message)
+					continue
+				}
+				covered := false
+				for i, pat := range pats {
+					if regexp.MustCompile(pat).MatchString(f.Message) && !matched[key][i] {
+						matched[key][i] = true
+						covered = true
+						break
+					}
+				}
+				if !covered {
+					t.Errorf("finding at %s matches no unmatched want %q: %s", key, pats, f.Message)
+				}
+			}
+			for key, pats := range wants {
+				for i, pat := range pats {
+					if !matched[key][i] {
+						t.Errorf("want %q at %s produced no finding", pat, key)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestDirectiveDiagnostics pins the driver's own findings: a
+// suppression that cannot work (malformed, unknown analyzer, missing
+// reason) must fail loudly.
+func TestDirectiveDiagnostics(t *testing.T) {
+	l := sharedLoader(t)
+	pkg, err := l.Load(l.ModulePath() + "/internal/analysis/testdata/src/badallow")
+	if err != nil {
+		t.Fatalf("load corpus: %v", err)
+	}
+	prog := &analysis.Program{Fset: l.Fset, Packages: []*analysis.Package{pkg}}
+	findings := analysis.Run(prog, analysis.All())
+	want := []string{"malformed directive", "unknown analyzer", "has no reason"}
+	if len(findings) != len(want) {
+		t.Fatalf("got %d findings, want %d:\n%v", len(findings), len(want), findings)
+	}
+	for i, w := range want {
+		if f := findings[i]; f.Analyzer != "chlint" || !strings.Contains(f.Message, w) {
+			t.Errorf("finding %d = [%s] %q, want chlint finding containing %q", i, f.Analyzer, f.Message, w)
+		}
+	}
+}
+
+// TestRepoClean is the self-check: the repository's own library and
+// command code passes every analyzer. This is the same gate `make
+// lint` and CI apply; a regression that trips an analyzer fails here
+// first, with the finding text in the failure message.
+func TestRepoClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("whole-repo type-check is slow; run without -short")
+	}
+	l := sharedLoader(t)
+	pkgs, err := l.LoadPatterns("./...")
+	if err != nil {
+		t.Fatalf("load ./...: %v", err)
+	}
+	prog := &analysis.Program{Fset: l.Fset, Packages: pkgs}
+	findings := analysis.Run(prog, analysis.All())
+	for _, f := range findings {
+		t.Errorf("%s", f)
+	}
+	if len(findings) > 0 {
+		t.Logf("fix the finding or annotate the line with a reasoned %s directive", analysis.AllowPrefix)
+	}
+}

@@ -1,0 +1,239 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Loader type-checks packages of one module with nothing but the
+// standard library: files are selected per build constraints by
+// go/build, parsed by go/parser and checked by go/types, with imports
+// inside the module resolved recursively by the Loader itself and
+// everything else (the standard library) resolved by the compiler's
+// source importer. No GOPATH, no module proxy, no x/tools — the whole
+// pipeline runs from a clean checkout, which is what lets chlint gate
+// CI without adding a dependency the container doesn't bake in.
+//
+// Test files (_test.go) are excluded: the invariants chlint enforces
+// are library contracts; tests deliberately poke at internals.
+type Loader struct {
+	// Fset positions every file the Loader ever parses, shared across
+	// packages so a Finding renders with one consistent view.
+	Fset *token.FileSet
+
+	modRoot string
+	modPath string
+	std     types.ImporterFrom
+	pkgs    map[string]*Package // import path → loaded package
+	tpkgs   map[string]*types.Package
+}
+
+// NewLoader creates a Loader for the module rooted at modRoot (the
+// directory holding go.mod). The module path is read from go.mod.
+func NewLoader(modRoot string) (*Loader, error) {
+	data, err := os.ReadFile(filepath.Join(modRoot, "go.mod"))
+	if err != nil {
+		return nil, fmt.Errorf("analysis: %w", err)
+	}
+	modPath := ""
+	for _, line := range strings.Split(string(data), "\n") {
+		if rest, ok := strings.CutPrefix(strings.TrimSpace(line), "module "); ok {
+			modPath = strings.TrimSpace(rest)
+			break
+		}
+	}
+	if modPath == "" {
+		return nil, fmt.Errorf("analysis: no module directive in %s/go.mod", modRoot)
+	}
+	fset := token.NewFileSet()
+	std, ok := importer.ForCompiler(fset, "source", nil).(types.ImporterFrom)
+	if !ok {
+		return nil, fmt.Errorf("analysis: source importer unavailable")
+	}
+	return &Loader{
+		Fset:    fset,
+		modRoot: modRoot,
+		modPath: modPath,
+		std:     std,
+		pkgs:    map[string]*Package{},
+		tpkgs:   map[string]*types.Package{},
+	}, nil
+}
+
+// ModulePath returns the module path from go.mod.
+func (l *Loader) ModulePath() string { return l.modPath }
+
+// Import implements types.Importer for the type checker's use.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	return l.ImportFrom(path, "", 0)
+}
+
+// ImportFrom resolves one import: module-internal paths load (and
+// type-check) the package from the module tree, everything else
+// delegates to the standard library's source importer.
+func (l *Loader) ImportFrom(path, dir string, mode types.ImportMode) (*types.Package, error) {
+	if p, ok := l.tpkgs[path]; ok {
+		return p, nil
+	}
+	if path == l.modPath || strings.HasPrefix(path, l.modPath+"/") {
+		pkg, err := l.Load(path)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	p, err := l.std.ImportFrom(path, dir, mode)
+	if err == nil {
+		l.tpkgs[path] = p
+	}
+	return p, err
+}
+
+// Load type-checks the module package named by importPath (memoised).
+func (l *Loader) Load(importPath string) (*Package, error) {
+	if p, ok := l.pkgs[importPath]; ok {
+		return p, nil
+	}
+	rel := strings.TrimPrefix(strings.TrimPrefix(importPath, l.modPath), "/")
+	dir := filepath.Join(l.modRoot, filepath.FromSlash(rel))
+	bp, err := build.ImportDir(dir, 0)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: %s: %w", importPath, err)
+	}
+	var files []*ast.File
+	for _, name := range bp.GoFiles {
+		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: %w", err)
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	conf := types.Config{Importer: l}
+	tpkg, err := conf.Check(importPath, l.Fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: %w", err)
+	}
+	pkg := &Package{Path: importPath, Dir: dir, Files: files, Types: tpkg, Info: info}
+	l.pkgs[importPath] = pkg
+	l.tpkgs[importPath] = tpkg
+	return pkg, nil
+}
+
+// LoadPatterns expands and loads package patterns: an import path, a
+// directory path (absolute or ./-relative), or either suffixed with
+// "/..." for a recursive walk. Walks skip testdata, vendor and hidden
+// directories — exactly the set the go tool itself would build — and
+// silently drop directories without buildable non-test Go files.
+// Explicitly named directories (no "/...") are loaded even inside
+// testdata, which is how the corpus smoke test points chlint at a
+// deliberately violating package.
+func (l *Loader) LoadPatterns(patterns ...string) ([]*Package, error) {
+	var paths []string
+	seen := map[string]bool{}
+	add := func(p string) {
+		if !seen[p] {
+			seen[p] = true
+			paths = append(paths, p)
+		}
+	}
+	for _, pat := range patterns {
+		recursive := false
+		if rest, ok := strings.CutSuffix(pat, "/..."); ok {
+			recursive = true
+			pat = rest
+		}
+		if pat == "." || pat == "" {
+			pat = l.modPath
+		}
+		ip, err := l.importPathFor(pat)
+		if err != nil {
+			return nil, err
+		}
+		if !recursive {
+			add(ip)
+			continue
+		}
+		root := filepath.Join(l.modRoot, filepath.FromSlash(strings.TrimPrefix(strings.TrimPrefix(ip, l.modPath), "/")))
+		err = filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() {
+				return nil
+			}
+			name := d.Name()
+			if path != root && (name == "testdata" || name == "vendor" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+				return filepath.SkipDir
+			}
+			if !hasBuildableGo(path) {
+				return nil
+			}
+			rel, err := filepath.Rel(l.modRoot, path)
+			if err != nil {
+				return err
+			}
+			if rel == "." {
+				add(l.modPath)
+			} else {
+				add(l.modPath + "/" + filepath.ToSlash(rel))
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, fmt.Errorf("analysis: %w", err)
+		}
+	}
+	sort.Strings(paths)
+	pkgs := make([]*Package, 0, len(paths))
+	for _, p := range paths {
+		pkg, err := l.Load(p)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// importPathFor maps a pattern (import path or directory) onto a
+// module import path.
+func (l *Loader) importPathFor(pat string) (string, error) {
+	if pat == l.modPath || strings.HasPrefix(pat, l.modPath+"/") {
+		return pat, nil
+	}
+	// Treat it as a directory: relative to the module root, or absolute.
+	dir := pat
+	if !filepath.IsAbs(dir) {
+		dir = filepath.Join(l.modRoot, filepath.FromSlash(strings.TrimPrefix(pat, "./")))
+	}
+	rel, err := filepath.Rel(l.modRoot, dir)
+	if err != nil || strings.HasPrefix(rel, "..") {
+		return "", fmt.Errorf("analysis: %q is outside module %s", pat, l.modPath)
+	}
+	if rel == "." {
+		return l.modPath, nil
+	}
+	return l.modPath + "/" + filepath.ToSlash(rel), nil
+}
+
+// hasBuildableGo reports whether dir holds at least one non-test Go
+// file that survives build-constraint selection on this platform.
+func hasBuildableGo(dir string) bool {
+	bp, err := build.ImportDir(dir, 0)
+	return err == nil && len(bp.GoFiles) > 0
+}

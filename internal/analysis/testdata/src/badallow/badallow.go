@@ -1,0 +1,11 @@
+// Package badallow exercises the driver's directive diagnostics: a
+// suppression that cannot work must be a finding, never silence.
+package badallow
+
+//chlint:allow
+
+//chlint:allow nosuchanalyzer -- reason present but analyzer unknown
+
+//chlint:allow ctxfirst
+
+var X = 1

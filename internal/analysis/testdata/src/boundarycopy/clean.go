@@ -1,0 +1,24 @@
+package boundarycopy
+
+// PutAppend stores the canonical append-copy: clean.
+func (c *Cache) PutAppend(k string, v []byte) {
+	c.blobs[k] = append([]byte(nil), v...)
+}
+
+// PutMakeCopy uses the two-statement make+copy idiom: clean.
+func (c *Cache) PutMakeCopy(k string, v []byte) {
+	buf := make([]byte, len(v))
+	copy(buf, v)
+	c.blobs[k] = buf
+}
+
+// GetCopy returns a fresh copy: clean.
+func (c *Cache) GetCopy(k string) []byte {
+	return append([]byte(nil), c.blobs[k]...)
+}
+
+// view is unexported; intentional in-package aliasing (like
+// image.blobView) stays inside the boundary: clean.
+func (c *Cache) view(k string) []byte {
+	return c.blobs[k]
+}

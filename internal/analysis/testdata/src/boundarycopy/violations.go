@@ -1,0 +1,20 @@
+// Package boundarycopy is the golden corpus for the boundarycopy
+// analyzer.
+package boundarycopy
+
+// Cache shares byte slices through a receiver map — the boundary the
+// analyzer guards.
+type Cache struct {
+	blobs map[string][]byte
+}
+
+// Put stores the caller's slice without copying: flagged.
+func (c *Cache) Put(k string, v []byte) {
+	c.blobs[k] = v // want "aliases the caller's buffer"
+}
+
+// Get hands the cached slice out aliased from an exported method:
+// flagged.
+func (c *Cache) Get(k string) []byte {
+	return c.blobs[k] // want "mutate the cached bytes"
+}

@@ -1,0 +1,16 @@
+package ctxfirst
+
+import "context"
+
+// StoreBlob is context-first: clean.
+func StoreBlob(ctx context.Context, digest string, data []byte) error {
+	<-ctx.Done()
+	return nil
+}
+
+// Store is StoreBlob's context-free compat wrapper; the annotation
+// names it the exception, so it is clean.
+func Store(digest string, data []byte) error {
+	//chlint:allow ctxfirst -- context-free compat wrapper retained for callers predating the context plumbing
+	return StoreBlob(context.Background(), digest, data)
+}

@@ -1,0 +1,23 @@
+// Package ctxfirst is the golden corpus for the ctxfirst analyzer:
+// every tagged line must produce a finding matching the quoted
+// pattern, and no other findings may appear (see golden_test.go).
+package ctxfirst
+
+import "context"
+
+// FetchBlob takes its context second: flagged.
+func FetchBlob(digest string, ctx context.Context) error { // want "parameter 2"
+	<-ctx.Done()
+	return nil
+}
+
+// Detached manufactures a context mid-stack: flagged.
+func Detached() error {
+	ctx := context.Background() // want "context.Background"
+	return FetchBlob("d", ctx)
+}
+
+// Todo is the same violation via TODO.
+func Todo() error {
+	return FetchBlob("d", context.TODO()) // want "context.TODO"
+}

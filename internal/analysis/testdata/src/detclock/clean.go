@@ -1,0 +1,21 @@
+package detclock
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"time"
+)
+
+// CleanKey hashes only its inputs: clean.
+//
+//chlint:keyroot
+func CleanKey(data []byte) string {
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:])
+}
+
+// Elapsed reads the clock OUTSIDE any key computation, which is fine —
+// only reachability from a keyroot is banned.
+func Elapsed(start time.Time) time.Duration {
+	return time.Since(start)
+}

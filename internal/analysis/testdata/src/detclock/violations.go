@@ -1,0 +1,24 @@
+// Package detclock is the golden corpus for the detclock analyzer.
+package detclock
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"time"
+)
+
+// Key is a cache-key root whose helper reaches the wall clock — the
+// nondeterminism is two hops away, which is exactly what the call-graph
+// walk exists to catch.
+//
+//chlint:keyroot
+func Key(data []byte) string {
+	return hex.EncodeToString(stamp(data))
+}
+
+func stamp(data []byte) []byte {
+	h := sha256.New()
+	h.Write(data)
+	h.Write([]byte(time.Now().String())) // want "time.Now is reachable"
+	return h.Sum(nil)
+}

@@ -1,0 +1,26 @@
+package errcompare
+
+import (
+	"errors"
+	"fmt"
+	"io"
+)
+
+// ClassifyWrapped matches through wrapping with errors.Is: clean.
+func ClassifyWrapped(err error) string {
+	if err == nil { // nil comparison is fine
+		return "ok"
+	}
+	if errors.Is(err, ErrBusy) {
+		return "busy"
+	}
+	if !errors.Is(err, io.EOF) {
+		return "other"
+	}
+	return "eof"
+}
+
+// DeadlineWrapped wraps its cause with %w: clean.
+func DeadlineWrapped(step string, cause error) error {
+	return fmt.Errorf("step %s: deadline exceeded: %w", step, cause)
+}

@@ -1,0 +1,27 @@
+// Package errcompare is the golden corpus for the errcompare analyzer.
+package errcompare
+
+import (
+	"errors"
+	"fmt"
+	"io"
+)
+
+// ErrBusy is a local sentinel, like cas.ErrBusy.
+var ErrBusy = errors.New("busy")
+
+// Classify compares sentinels with == and !=: flagged at both sites.
+func Classify(err error) string {
+	if err == ErrBusy { // want "sentinel ErrBusy"
+		return "busy"
+	}
+	if err != io.EOF { // want "sentinel io.EOF"
+		return "other"
+	}
+	return "eof"
+}
+
+// Deadline reports a deadline without wrapping a cause: flagged.
+func Deadline(step string) error {
+	return fmt.Errorf("step %s: deadline exceeded", step) // want "does not wrap its cause"
+}

@@ -1,0 +1,15 @@
+package failpointcover
+
+import "os"
+
+// Good consults the failpoint in the same function as the real write:
+// clean, and fires OpWrite so the wired-coverage rule is satisfied.
+func (d *Dir) Good(p string, b []byte) error {
+	if err := d.failpoint(OpWrite); err != nil {
+		return err
+	}
+	return os.WriteFile(p, b, 0o644)
+}
+
+// Helper does no tracked I/O at all: clean without a failpoint.
+func (d *Dir) Helper() string { return d.root }

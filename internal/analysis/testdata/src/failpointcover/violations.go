@@ -1,0 +1,34 @@
+// Package failpointcover is the golden corpus for the failpointcover
+// analyzer.
+package failpointcover
+
+import "os"
+
+// Op names one injectable failure site, like cas.Op.
+type Op string
+
+const (
+	// OpWrite is fully wired: listed in AllOps, fired in Good.
+	OpWrite Op = "write"
+
+	// OpOrphan is declared but neither listed nor fired: flagged twice.
+	OpOrphan Op = "orphan" // want "not listed in AllOps" "declared but no failpoint"
+)
+
+// AllOps deliberately omits OpOrphan.
+var AllOps = []Op{OpWrite}
+
+// Dir is a failpointed type: it has a failpoint method.
+type Dir struct{ root string }
+
+func (d *Dir) failpoint(op Op) error { return nil }
+
+// Bad performs real I/O with no failpoint consultation: flagged.
+func (d *Dir) Bad(p string, b []byte) error {
+	return os.WriteFile(p, b, 0o644) // want "no d.failpoint"
+}
+
+// BadArg fires a failpoint with an ad-hoc literal: flagged.
+func (d *Dir) BadArg() error {
+	return d.failpoint("ad-hoc") // want "named Op constant"
+}

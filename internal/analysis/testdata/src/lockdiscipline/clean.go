@@ -1,0 +1,28 @@
+package lockdiscipline
+
+// Good locks mu before touching guarded state: clean.
+func (s *Store) Good(k string, v int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.entries[k] = v
+	s.dirty = true
+}
+
+// Name reads an unguarded (above-mu) field: clean.
+func (s *Store) Name() string { return s.name }
+
+// resetLocked is a caller-holds-the-lock helper by naming convention:
+// clean.
+func (s *Store) resetLocked() {
+	s.entries = map[string]int{}
+	s.dirty = false
+}
+
+// convertWithReshare re-acquires the shared lock after a failed
+// conversion: clean.
+func convertWithReshare() error {
+	if err := flockExclusiveNB(); err != nil {
+		return flockShared()
+	}
+	return nil
+}

@@ -1,0 +1,29 @@
+// Package lockdiscipline is the golden corpus for the lockdiscipline
+// analyzer.
+package lockdiscipline
+
+import "sync"
+
+// Store follows the "mu protects the fields below" layout the analyzer
+// recognises.
+type Store struct {
+	name string // before mu: unguarded
+
+	mu      sync.Mutex
+	entries map[string]int
+	dirty   bool
+}
+
+// Bad touches a guarded field without holding mu: flagged.
+func (s *Store) Bad(k string) int {
+	return s.entries[k] // want "without locking"
+}
+
+// flock stubs so the reshare rule has something to look at.
+func flockExclusiveNB() error { return nil }
+func flockShared() error      { return nil }
+
+// convertNoReshare upgrades the flock but never re-shares: flagged.
+func convertNoReshare() error { // want "never re-acquires shared"
+	return flockExclusiveNB()
+}

@@ -237,6 +237,7 @@ const buildUID = 1000
 // returned Result is never nil: on failure it still carries the counters
 // and modeled time accrued up to the failing instruction.
 func Build(text string, opt Options) (*Result, error) {
+	//chlint:allow ctxfirst -- context-free compat wrapper; BuildContext is the real entry point
 	return BuildContext(context.Background(), text, opt)
 }
 
@@ -337,6 +338,7 @@ func noteDegraded(res *Result, opt Options) {
 // Cancelling ctx stops the stage at its next instruction boundary.
 func buildOneStage(ctx context.Context, f *dockerfile.File, stage int, imgs []*image.Image, opt Options) (*Result, *image.Image, error) {
 	if ctx == nil {
+		//chlint:allow ctxfirst -- defensive nil-ctx guard for direct internal callers
 		ctx = context.Background()
 	}
 	b := &builder{

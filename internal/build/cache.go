@@ -38,13 +38,17 @@ import (
 // earlier process costs one digest-verified blob read on first hit, and
 // nothing at all if the build never reaches it.
 type Cache struct {
+	// dir is set once at construction (nil for a purely in-memory
+	// cache) and never reassigned, so it lives above mu: loadStep reads
+	// it without the lock while holding the key's flight.
+	dir *cas.Dir
+
 	mu      sync.Mutex
 	entries map[string]cacheEntry
 	flights map[string]*stepFlight
 	hits    int
 	misses  int
 
-	dir  *cas.Dir            // nil for a purely in-memory cache
 	lazy map[string]cas.Step // persisted entries not yet loaded
 
 	// Write-through failures aggregate here (capped like the image
@@ -116,8 +120,8 @@ func (c *Cache) PersistErrs() []error {
 	return out
 }
 
-// notePersistErr records one write-through failure. Callers hold c.mu.
-func (c *Cache) notePersistErr(err error) {
+// notePersistErrLocked records one write-through failure. Callers hold c.mu.
+func (c *Cache) notePersistErrLocked(err error) {
 	if err == nil {
 		return
 	}
@@ -256,7 +260,7 @@ func (c *Cache) complete(ctx context.Context, key string, ent cacheEntry) {
 		})
 		if err != nil {
 			c.mu.Lock()
-			c.notePersistErr(err)
+			c.notePersistErrLocked(err)
 			c.mu.Unlock()
 		}
 	}
@@ -275,6 +279,8 @@ func (c *Cache) abandon(key string) {
 }
 
 // chain folds a step descriptor into a running content-addressed key.
+//
+//chlint:keyroot
 func chain(prev, desc string) string {
 	h := sha256.Sum256([]byte(prev + "\x1f" + desc))
 	return hex.EncodeToString(h[:])
@@ -285,6 +291,8 @@ func chain(prev, desc string) string {
 // content* (its layer digests — retagging different bytes under the same
 // name must not replay stale layers), plus every option that changes
 // execution.
+//
+//chlint:keyroot
 func chainStart(base *image.Image, distro string, opt Options) string {
 	parts := []string{
 		"base=" + base.Name,
@@ -301,6 +309,8 @@ func chainStart(base *image.Image, distro string, opt Options) string {
 
 // filterKey renders a filter configuration deterministically (the struct
 // holds arch pointers, so %v would not be stable).
+//
+//chlint:keyroot
 func filterKey(cfg core.Config) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "%s/%s/errno=%d/idnotif=%v/killarch=%v",

@@ -83,6 +83,7 @@ type Pool struct {
 
 // Run is RunContext under context.Background().
 func (p *Pool) Run(jobs []Job) ([]JobResult, error) {
+	//chlint:allow ctxfirst -- context-free compat wrapper; RunContext is the real entry point
 	return p.RunContext(context.Background(), jobs)
 }
 

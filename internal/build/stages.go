@@ -31,6 +31,7 @@ import (
 // directly is only useful to force the stage pipeline on single-stage
 // files too. The returned Result is never nil.
 func BuildStages(text string, opt Options) (*Result, error) {
+	//chlint:allow ctxfirst -- context-free compat wrapper; BuildStagesContext is the real entry point
 	return BuildStagesContext(context.Background(), text, opt)
 }
 

@@ -75,13 +75,13 @@ func (d *Dir) GC(ctx context.Context, b Budget) (GCStats, error) {
 	err := d.reloadJournalLocked()
 	if err == nil {
 		if b.MaxBytes > 0 {
-			stats, err = d.gcBudget(b)
+			stats, err = d.gcBudgetLocked(b)
 		} else {
-			stats, err = d.gcFull()
+			stats, err = d.gcFullLocked()
 		}
 	}
 	if err == nil {
-		err = d.writeCompactJournal()
+		err = d.writeCompactJournalLocked()
 	}
 	if serr := d.lock.shared(); err == nil {
 		err = serr
@@ -89,9 +89,9 @@ func (d *Dir) GC(ctx context.Context, b Budget) (GCStats, error) {
 	return stats, err
 }
 
-// gcFull is the reachability sweep. Callers hold d.mu and the exclusive
+// gcFullLocked is the reachability sweep. Callers hold d.mu and the exclusive
 // store lock.
-func (d *Dir) gcFull() (GCStats, error) {
+func (d *Dir) gcFullLocked() (GCStats, error) {
 	marked := map[string]bool{}
 	for _, tg := range d.tags {
 		for _, l := range tg.Layers {
@@ -150,12 +150,12 @@ func (d *Dir) gcFull() (GCStats, error) {
 	return stats, nil
 }
 
-// gcBudget is the size-budgeted policy: keep the cache as warm as the
+// gcBudgetLocked is the size-budgeted policy: keep the cache as warm as the
 // budget allows. Blobs referenced by no record at all are garbage in any
 // policy and go first; then the least-recently-recorded steps and chains
 // are evicted — with the blobs only they referenced — until the store
 // fits. Callers hold d.mu and the exclusive store lock.
-func (d *Dir) gcBudget(b Budget) (GCStats, error) {
+func (d *Dir) gcBudgetLocked(b Budget) (GCStats, error) {
 	var stats GCStats
 	stats.TagsKept = len(d.tags)
 

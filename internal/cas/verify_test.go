@@ -19,7 +19,7 @@ func corruptBlobOnDisk(t *testing.T, d *Dir, digest string) {
 	}
 }
 
-// A kill between writeCompactJournal's temp write and its rename strands
+// A kill between writeCompactJournalLocked's temp write and its rename strands
 // a temp journal and leaves the real journal untouched. Reopen must heal:
 // the litter is cleared, every record survives, and no damage is reported.
 func TestCrashMidCompactionHeals(t *testing.T) {

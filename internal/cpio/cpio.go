@@ -172,7 +172,7 @@ func (r *Reader) Next() (*Header, error) {
 		// A well-formed archive always ends with the TRAILER!!! member;
 		// running out of bytes before it is corruption, as cpio(1)'s
 		// "premature end of archive" diagnoses.
-		if err == io.EOF || err == io.ErrUnexpectedEOF {
+		if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
 			return nil, fmt.Errorf("%w: premature end of archive (missing trailer)", ErrHeader)
 		}
 		return nil, err

@@ -28,6 +28,8 @@ type Layer struct {
 }
 
 // Digest computes the layer digest of data.
+//
+//chlint:keyroot
 func Digest(data []byte) string {
 	sum := sha256.Sum256(data)
 	return "sha256:" + hex.EncodeToString(sum[:])
@@ -120,6 +122,8 @@ func (img *Image) commitAgainst(newName string, lower []tarutil.Entry, fs *vfs.F
 
 // ChainDigest identifies a layer chain: the digest of the ordered layer
 // digests. Two images with equal chain digests flatten identically.
+//
+//chlint:keyroot
 func ChainDigest(layers []Layer) string {
 	var b strings.Builder
 	for _, l := range layers {
@@ -188,6 +192,7 @@ func NewStore() *Store {
 // which both serves Store.CommitLayer and warms the per-file content
 // digests every clone inherits.
 func (s *Store) Flatten(img *Image) (*vfs.FS, error) {
+	//chlint:allow ctxfirst -- context-free compat wrapper; FlattenContext is the real entry point
 	return s.FlattenContext(context.Background(), img)
 }
 
@@ -338,7 +343,7 @@ func (s *Store) persistChain(ctx context.Context, key string, img *Image, lower 
 		return backing.PutChain(ctx, key, digests, packed)
 	})
 	s.mu.Lock()
-	s.noteBackingErr(err)
+	s.noteBackingErrLocked(err)
 	s.mu.Unlock()
 }
 
@@ -369,6 +374,7 @@ func (s *Store) flattenPristine(img *Image) (*vfs.FS, error) {
 // across callers and must be treated as read-only; copy Entry.Data before
 // retaining or mutating it.
 func (s *Store) FlattenedEntries(img *Image) ([]tarutil.Entry, error) {
+	//chlint:allow ctxfirst -- context-free compat wrapper; FlattenedEntriesContext is the real entry point
 	return s.FlattenedEntriesContext(context.Background(), img)
 }
 
@@ -404,6 +410,7 @@ func (s *Store) Rehydrates() int {
 // commit costs one walk of fs instead of an unpack plus two full
 // snapshots.
 func (s *Store) CommitLayer(newName string, img *Image, fs *vfs.FS) (*Image, bool, error) {
+	//chlint:allow ctxfirst -- context-free compat wrapper; CommitLayerContext is the real entry point
 	return s.CommitLayerContext(context.Background(), newName, img, fs)
 }
 
@@ -464,8 +471,8 @@ func (s *Store) BackingErrs() []error {
 	return out
 }
 
-// noteBackingErr records one persistence failure. Callers hold s.mu.
-func (s *Store) noteBackingErr(err error) {
+// noteBackingErrLocked records one persistence failure. Callers hold s.mu.
+func (s *Store) noteBackingErrLocked(err error) {
 	if err == nil {
 		return
 	}
@@ -488,7 +495,7 @@ func (s *Store) GCBacking(ctx context.Context, b cas.Budget) (cas.GCStats, error
 	}
 	stats, err := backing.GC(ctx, b)
 	s.mu.Lock()
-	s.noteBackingErr(err)
+	s.noteBackingErrLocked(err)
 	s.mu.Unlock()
 	return stats, err
 }
@@ -500,6 +507,7 @@ func (s *Store) GCBacking(ctx context.Context, b cas.Budget) (cas.GCStats, error
 // backing store attached, the blobs and the tag record write through to
 // disk.
 func (s *Store) Put(img *Image) {
+	//chlint:allow ctxfirst -- context-free compat wrapper; PutContext is the real entry point
 	s.PutContext(context.Background(), img)
 }
 
@@ -544,7 +552,7 @@ func (s *Store) PutContext(ctx context.Context, img *Image) {
 		return backing.PutTag(ctx, img.Name, digests, cfg)
 	})
 	s.mu.Lock()
-	s.noteBackingErr(err)
+	s.noteBackingErrLocked(err)
 	s.mu.Unlock()
 }
 
@@ -552,6 +560,7 @@ func (s *Store) PutContext(ctx context.Context, img *Image) {
 // by an earlier invocation is rehydrated (layers loaded and digest-
 // verified) on first access and cached in memory from then on.
 func (s *Store) Get(name string) (*Image, bool) {
+	//chlint:allow ctxfirst -- context-free compat wrapper; GetContext is the real entry point
 	return s.GetContext(context.Background(), name)
 }
 
@@ -612,6 +621,7 @@ func (s *Store) GetContext(ctx context.Context, name string) (*Image, bool) {
 // Blobs are kept; reclaiming them is the backing store's GC's job
 // (`ch-image cache gc`).
 func (s *Store) Delete(name string) {
+	//chlint:allow ctxfirst -- context-free compat wrapper; DeleteContext is the real entry point
 	s.DeleteContext(context.Background(), name)
 }
 
@@ -629,7 +639,7 @@ func (s *Store) DeleteContext(ctx context.Context, name string) {
 		return backing.DeleteTag(ctx, name)
 	})
 	s.mu.Lock()
-	s.noteBackingErr(err)
+	s.noteBackingErrLocked(err)
 	s.mu.Unlock()
 }
 

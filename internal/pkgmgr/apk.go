@@ -3,6 +3,7 @@ package pkgmgr
 import (
 	"archive/tar"
 	"bytes"
+	"errors"
 	"fmt"
 	"io"
 	"sort"
@@ -54,7 +55,7 @@ func ParseAPK(blob []byte) (*Package, error) {
 	p := &Package{}
 	for {
 		hdr, err := tr.Next()
-		if err == io.EOF {
+		if errors.Is(err, io.EOF) {
 			break
 		}
 		if err != nil {

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/binary"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"strings"
@@ -100,7 +101,7 @@ func ParseRPM(blob []byte) (*Package, error) {
 	cr := cpio.NewReader(blob[8+metaLen:])
 	for {
 		ch, err := cr.Next()
-		if err == io.EOF {
+		if errors.Is(err, io.EOF) {
 			break
 		}
 		if err != nil {

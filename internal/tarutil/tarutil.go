@@ -14,6 +14,7 @@ import (
 	"bytes"
 	"crypto/sha256"
 	"encoding/hex"
+	"errors"
 	"fmt"
 	"io"
 	"path"
@@ -82,6 +83,8 @@ func pathLess(a, b string) bool {
 // (see pathLess) — the full-walk reference serialisation used for layer
 // digests and as the oracle the incremental Snapshotter is tested against.
 // The walk emits entries already ordered, so no sort pass is needed.
+//
+//chlint:keyroot
 func Snapshot(fs *vfs.FS) ([]Entry, error) {
 	var out []Entry
 	_, err := fs.WalkSince(0, func(n *vfs.Node) error {
@@ -100,6 +103,8 @@ func Snapshot(fs *vfs.FS) ([]Entry, error) {
 // Pack serialises entries into a tar stream. The buffer is pre-sized from
 // the entry sizes (512-byte header + 512-padded body each) so the encoder
 // never re-grows it.
+//
+//chlint:keyroot
 func Pack(entries []Entry) ([]byte, error) {
 	size := 2 * 512 // archive terminator
 	for i := range entries {
@@ -161,6 +166,8 @@ func Pack(entries []Entry) ([]byte, error) {
 }
 
 // PackFS is Snapshot followed by Pack.
+//
+//chlint:keyroot
 func PackFS(fs *vfs.FS) ([]byte, error) {
 	ents, err := Snapshot(fs)
 	if err != nil {
@@ -177,7 +184,7 @@ func Unpack(fs *vfs.FS, layer []byte) error {
 	tr := tar.NewReader(bytes.NewReader(layer))
 	for {
 		hdr, err := tr.Next()
-		if err == io.EOF {
+		if errors.Is(err, io.EOF) {
 			return nil
 		}
 		if err != nil {
