@@ -1,6 +1,6 @@
 # Tier-1 gate (see ROADMAP.md): the module must build, vet clean and pass
 # every test from a clean checkout.
-.PHONY: check build test vet race bench experiments lint lint-docs cache-smoke fault-smoke
+.PHONY: check build test vet race bench bench-daemon experiments lint lint-docs cache-smoke fault-smoke daemon-smoke
 
 check: vet test
 
@@ -53,6 +53,31 @@ bench:
 	go test -bench=BenchmarkCacheOpen -benchtime=5x -run='^$$' . > BENCH_cas.txt; \
 		status=$$?; cat BENCH_cas.txt; exit $$status
 	go run ./cmd/benchjson < BENCH_cas.txt > BENCH_cas.json
+	$(MAKE) bench-daemon
+
+# The service-throughput benchmark behind BENCH_daemon.{txt,json}: a real
+# ch-imaged subprocess with --jobs 4 takes 64 concurrent mixed warm/cold
+# loadgen builds. The loadgen exit status IS the acceptance gate: zero
+# failed operations and a >=75% warm cache-hit rate, with p50/p95/p99
+# latency recorded run over run.
+DAEMON_BENCH_DIR ?= .daemon-bench
+bench-daemon:
+	@rm -rf $(DAEMON_BENCH_DIR) && mkdir -p $(DAEMON_BENCH_DIR)
+	go build -o $(DAEMON_BENCH_DIR)/ch-imaged ./cmd/ch-imaged
+	go build -o $(DAEMON_BENCH_DIR)/loadgen ./cmd/loadgen
+	@$(DAEMON_BENCH_DIR)/ch-imaged --listen 127.0.0.1:0 --jobs 4 --queue 128 \
+		--cache-dir $(DAEMON_BENCH_DIR)/cas \
+		--addr-file $(DAEMON_BENCH_DIR)/addr 2> $(DAEMON_BENCH_DIR)/daemon.log & \
+		daemon_pid=$$!; \
+		$(DAEMON_BENCH_DIR)/loadgen --addr-file $(DAEMON_BENCH_DIR)/addr \
+			-n 64 -c 8 --variants 4 --cold-every 16 --min-hit-rate 0.75 \
+			--out BENCH_daemon.txt --json BENCH_daemon.json; load_status=$$?; \
+		kill -TERM $$daemon_pid; wait $$daemon_pid; daemon_status=$$?; \
+		if [ $$load_status -ne 0 ] || [ $$daemon_status -ne 0 ]; then \
+			echo "bench-daemon FAILED (loadgen=$$load_status daemon=$$daemon_status)"; \
+			cat $(DAEMON_BENCH_DIR)/daemon.log; exit 1; \
+		fi
+	@echo "bench-daemon OK: 64 builds served, daemon drained cleanly"
 
 # The cross-invocation acceptance check: two ch-image builds in two
 # SEPARATE processes against one --cache-dir; the second must execute
@@ -95,10 +120,36 @@ cache-smoke:
 FAULT_SOAK_BUILDS ?= 200
 FAULT_SOAK_SEED ?= 1
 FAULT_SOAK_LOG ?= $(abspath fault-soak.log)
+FAULT_SOAK_DAEMON_BUILDS ?= 48
 fault-smoke:
 	FAULT_SOAK_BUILDS=$(FAULT_SOAK_BUILDS) FAULT_SOAK_SEED=$(FAULT_SOAK_SEED) \
 		FAULT_SOAK_LOG=$(FAULT_SOAK_LOG) \
 		go test -run TestFaultSoak -count=1 -v ./internal/build
+	FAULT_SOAK_DAEMON_BUILDS=$(FAULT_SOAK_DAEMON_BUILDS) FAULT_SOAK_SEED=$(FAULT_SOAK_SEED) \
+		go test -run TestDaemonFaultSoak -count=1 -v ./internal/daemon
+
+# The daemon subprocess smoke: a real ch-imaged on a unix socket takes two
+# loadgen builds, then SIGTERM drains in-flight work and the process exits
+# 0 — the service analog of cache-smoke.
+DAEMON_SMOKE_DIR ?= .daemon-smoke
+daemon-smoke:
+	@rm -rf $(DAEMON_SMOKE_DIR) && mkdir -p $(DAEMON_SMOKE_DIR)
+	go build -o $(DAEMON_SMOKE_DIR)/ch-imaged ./cmd/ch-imaged
+	go build -o $(DAEMON_SMOKE_DIR)/loadgen ./cmd/loadgen
+	@$(DAEMON_SMOKE_DIR)/ch-imaged --listen unix:$(DAEMON_SMOKE_DIR)/sock --jobs 2 \
+		--cache-dir $(DAEMON_SMOKE_DIR)/cas \
+		--addr-file $(DAEMON_SMOKE_DIR)/addr 2> $(DAEMON_SMOKE_DIR)/daemon.log & \
+		daemon_pid=$$!; \
+		$(DAEMON_SMOKE_DIR)/loadgen --addr-file $(DAEMON_SMOKE_DIR)/addr \
+			-n 2 -c 2 --variants 2 --cold-every 0 > $(DAEMON_SMOKE_DIR)/loadgen.out; load_status=$$?; \
+		kill -TERM $$daemon_pid; wait $$daemon_pid; daemon_status=$$?; \
+		if [ $$load_status -ne 0 ] || [ $$daemon_status -ne 0 ]; then \
+			echo "daemon-smoke FAILED (loadgen=$$load_status daemon=$$daemon_status)"; \
+			cat $(DAEMON_SMOKE_DIR)/daemon.log $(DAEMON_SMOKE_DIR)/loadgen.out; exit 1; \
+		fi
+	@grep -q 'drained, exiting' $(DAEMON_SMOKE_DIR)/daemon.log || \
+		{ echo "daemon-smoke FAILED: no clean drain message:"; cat $(DAEMON_SMOKE_DIR)/daemon.log; exit 1; }
+	@echo "daemon-smoke OK: unix-socket daemon served 2 builds and drained on SIGTERM"
 
 # Static-analysis gate: go vet plus the project's own analyzers
 # (cmd/chlint → internal/analysis, stdlib-only; see docs/analysis.md).

@@ -1,0 +1,447 @@
+// loadgen hammers a ch-imaged daemon with N concurrent mixed warm/cold
+// builds and reports latency percentiles and cache-hit rates — the
+// service-throughput benchmark behind BENCH_daemon.{txt,json}. Exit is
+// non-zero when any operation fails or the warm cache-hit rate misses
+// the floor, so `make bench` doubles as an acceptance gate.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/daemon"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+// opSample is one measured request.
+type opSample struct {
+	latency   time.Duration
+	executed  int
+	cacheHits int
+	cold      bool
+	degraded  bool
+	status    string
+	rejected  int // 429s absorbed before admission
+	err       error
+}
+
+// report is the JSON shape of BENCH_daemon.json.
+type report struct {
+	Requests    int     `json:"requests"`
+	Concurrency int     `json:"concurrency"`
+	Variants    int     `json:"variants"`
+	ColdEvery   int     `json:"coldEvery"`
+	Failed      int     `json:"failed"`
+	Degraded    int     `json:"degraded"`
+	Rejected429 int     `json:"rejected429"`
+	P50MS       float64 `json:"p50Ms"`
+	P95MS       float64 `json:"p95Ms"`
+	P99MS       float64 `json:"p99Ms"`
+	MeanMS      float64 `json:"meanMs"`
+	WarmHitRate float64 `json:"warmHitRate"`
+	ColdBuilds  int     `json:"coldBuilds"`
+	WarmBuilds  int     `json:"warmBuilds"`
+	ElapsedMS   float64 `json:"elapsedMs"`
+	ThroughputS float64 `json:"throughputPerSec"`
+}
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("loadgen", flag.ContinueOnError)
+	addr := fs.String("addr", "", "daemon address: http://host:port or unix:PATH")
+	addrFile := fs.String("addr-file", "", "read the daemon address from this file (polls until it appears)")
+	n := fs.Int("n", 64, "total build requests")
+	concurrency := fs.Int("c", 8, "concurrent clients")
+	variants := fs.Int("variants", 4, "distinct warm Dockerfile variants cycled across requests")
+	coldEvery := fs.Int("cold-every", 16, "every k-th request is a unique cold build (0 = all warm)")
+	minHitRate := fs.Float64("min-hit-rate", 0, "fail unless the warm cache-hit rate reaches this fraction")
+	out := fs.String("out", "", "write the text report here as well as stdout")
+	jsonOut := fs.String("json", "", "write the JSON report here")
+	timeout := fs.Duration("timeout", 2*time.Minute, "overall deadline")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *addr == "" && *addrFile == "" {
+		fmt.Fprintln(os.Stderr, "loadgen: --addr or --addr-file is required")
+		return 2
+	}
+	if *n < 1 || *concurrency < 1 || *variants < 1 {
+		fmt.Fprintln(os.Stderr, "loadgen: -n, -c and --variants must be at least 1")
+		return 2
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+
+	base := *addr
+	if base == "" {
+		var err error
+		base, err = waitAddrFile(ctx, *addrFile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "loadgen: %v\n", err)
+			return 1
+		}
+	}
+	client, base := newClient(base)
+
+	if err := waitHealthy(ctx, client, base); err != nil {
+		fmt.Fprintf(os.Stderr, "loadgen: daemon not healthy: %v\n", err)
+		return 1
+	}
+
+	// Warm up: build each variant once so the measured phase exercises
+	// the warm path. Warmup builds are not measured.
+	for v := 0; v < *variants; v++ {
+		if _, err := oneBuild(ctx, client, base, variantRequest(v), true); err != nil {
+			fmt.Fprintf(os.Stderr, "loadgen: warmup variant %d: %v\n", v, err)
+			return 1
+		}
+	}
+
+	// Measured phase: N requests over c workers; every coldEvery-th
+	// request is a unique never-seen Dockerfile (a guaranteed cold
+	// build), the rest cycle the warm variants.
+	samples := make([]opSample, *n)
+	var wg sync.WaitGroup
+	work := make(chan int)
+	start := time.Now()
+	for w := 0; w < *concurrency; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				req, cold := requestFor(i, *variants, *coldEvery)
+				t0 := time.Now()
+				s, err := oneBuild(ctx, client, base, req, false)
+				s.latency = time.Since(t0)
+				s.cold = cold
+				s.err = err
+				samples[i] = s
+			}
+		}()
+	}
+	for i := 0; i < *n; i++ {
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	rep := summarise(samples, *concurrency, *variants, *coldEvery, elapsed)
+	text := renderText(rep)
+	fmt.Print(text)
+	if *out != "" {
+		if err := os.WriteFile(*out, []byte(text), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "loadgen: %v\n", err)
+			return 1
+		}
+	}
+	if *jsonOut != "" {
+		data, _ := json.MarshalIndent(rep, "", "  ")
+		if err := os.WriteFile(*jsonOut, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "loadgen: %v\n", err)
+			return 1
+		}
+	}
+	if rep.Failed > 0 {
+		fmt.Fprintf(os.Stderr, "loadgen: %d operation(s) failed\n", rep.Failed)
+		return 1
+	}
+	if *minHitRate > 0 && rep.WarmHitRate < *minHitRate {
+		fmt.Fprintf(os.Stderr, "loadgen: warm cache-hit rate %.2f below floor %.2f\n",
+			rep.WarmHitRate, *minHitRate)
+		return 1
+	}
+	return 0
+}
+
+// variantDockerfile is warm variant v: identical across runs so repeats
+// replay from the shared cache.
+func variantDockerfile(v int) string {
+	return fmt.Sprintf(`FROM alpine:3.19
+RUN echo variant-%d > /variant
+COPY f.txt /f.txt
+RUN echo done-%d > /done
+ENV LOADGEN=%d
+`, v, v, v)
+}
+
+// coldDockerfile is a never-repeated build: the i makes every
+// instruction chain unique, so nothing replays.
+func coldDockerfile(i int) string {
+	return fmt.Sprintf(`FROM alpine:3.19
+RUN echo cold-%d > /cold
+RUN echo cold-done-%d > /done
+`, i, i)
+}
+
+func variantRequest(v int) daemon.BuildRequest {
+	return daemon.BuildRequest{
+		Tag:        fmt.Sprintf("loadgen-warm-%d:latest", v),
+		Dockerfile: variantDockerfile(v),
+		Context:    map[string][]byte{"f.txt": []byte("loadgen context file\n")},
+	}
+}
+
+// requestFor maps measured request i to its build request; cold reports
+// whether it is a unique cold build.
+func requestFor(i, variants, coldEvery int) (daemon.BuildRequest, bool) {
+	if coldEvery > 0 && i%coldEvery == coldEvery-1 {
+		return daemon.BuildRequest{
+			Tag:        fmt.Sprintf("loadgen-cold-%d:latest", i),
+			Dockerfile: coldDockerfile(i),
+		}, true
+	}
+	return variantRequest(i % variants), false
+}
+
+// oneBuild POSTs one build and polls its operation to a terminal state.
+// A 429 backs off and retries — the bounded queue pushing back is normal
+// under saturation; the retries are counted, not fatal.
+func oneBuild(ctx context.Context, client *http.Client, base string, req daemon.BuildRequest, warmup bool) (opSample, error) {
+	var s opSample
+	body, err := json.Marshal(req)
+	if err != nil {
+		return s, err
+	}
+	var op daemon.Operation
+	backoff := 5 * time.Millisecond
+	for {
+		hreq, err := http.NewRequestWithContext(ctx, http.MethodPost,
+			base+"/v1/builds", bytes.NewReader(body))
+		if err != nil {
+			return s, err
+		}
+		hreq.Header.Set("Content-Type", "application/json")
+		resp, err := client.Do(hreq)
+		if err != nil {
+			return s, err
+		}
+		data, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			return s, err
+		}
+		if resp.StatusCode == http.StatusTooManyRequests {
+			s.rejected++
+			select {
+			case <-ctx.Done():
+				return s, ctx.Err()
+			case <-time.After(backoff):
+			}
+			if backoff < 200*time.Millisecond {
+				backoff *= 2
+			}
+			continue
+		}
+		if resp.StatusCode != http.StatusAccepted {
+			return s, fmt.Errorf("POST /v1/builds: %s: %s", resp.Status, strings.TrimSpace(string(data)))
+		}
+		if err := json.Unmarshal(data, &op); err != nil {
+			return s, err
+		}
+		break
+	}
+
+	for {
+		hreq, err := http.NewRequestWithContext(ctx, http.MethodGet,
+			base+"/v1/operations/"+op.ID, nil)
+		if err != nil {
+			return s, err
+		}
+		resp, err := client.Do(hreq)
+		if err != nil {
+			return s, err
+		}
+		data, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			return s, err
+		}
+		if resp.StatusCode != http.StatusOK {
+			return s, fmt.Errorf("GET operation %s: %s", op.ID, resp.Status)
+		}
+		var cur daemon.Operation
+		if err := json.Unmarshal(data, &cur); err != nil {
+			return s, err
+		}
+		switch cur.Status {
+		case daemon.StatusSucceeded:
+			if cur.Result != nil {
+				s.executed = cur.Result.Executed
+				s.cacheHits = cur.Result.CacheHits
+				s.degraded = cur.Result.Degraded
+			}
+			s.status = cur.Status
+			return s, nil
+		case daemon.StatusFailed, daemon.StatusCancelled:
+			s.status = cur.Status
+			return s, fmt.Errorf("operation %s %s: %s", op.ID, cur.Status, cur.Error)
+		}
+		select {
+		case <-ctx.Done():
+			return s, ctx.Err()
+		case <-time.After(2 * time.Millisecond):
+		}
+	}
+}
+
+// summarise folds the samples into the report.
+func summarise(samples []opSample, concurrency, variants, coldEvery int, elapsed time.Duration) report {
+	rep := report{
+		Requests:    len(samples),
+		Concurrency: concurrency,
+		Variants:    variants,
+		ColdEvery:   coldEvery,
+		ElapsedMS:   float64(elapsed.Microseconds()) / 1000,
+	}
+	latencies := make([]time.Duration, 0, len(samples))
+	var sum time.Duration
+	var warmHits, warmTotal int
+	for _, s := range samples {
+		if s.err != nil {
+			rep.Failed++
+			continue
+		}
+		latencies = append(latencies, s.latency)
+		sum += s.latency
+		rep.Rejected429 += s.rejected
+		if s.degraded {
+			rep.Degraded++
+		}
+		if s.cold {
+			rep.ColdBuilds++
+		} else {
+			rep.WarmBuilds++
+			warmHits += s.cacheHits
+			warmTotal += s.cacheHits + s.executed
+		}
+	}
+	if len(latencies) > 0 {
+		rep.P50MS = ms(percentile(latencies, 0.50))
+		rep.P95MS = ms(percentile(latencies, 0.95))
+		rep.P99MS = ms(percentile(latencies, 0.99))
+		rep.MeanMS = ms(sum / time.Duration(len(latencies)))
+	}
+	if warmTotal > 0 {
+		rep.WarmHitRate = float64(warmHits) / float64(warmTotal)
+	}
+	if elapsed > 0 {
+		rep.ThroughputS = float64(len(latencies)) / elapsed.Seconds()
+	}
+	return rep
+}
+
+// percentile returns the p-th (0..1] latency by the nearest-rank method;
+// it sorts a copy.
+func percentile(d []time.Duration, p float64) time.Duration {
+	if len(d) == 0 {
+		return 0
+	}
+	s := make([]time.Duration, len(d))
+	copy(s, d)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	rank := int(p*float64(len(s))+0.5) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= len(s) {
+		rank = len(s) - 1
+	}
+	return s[rank]
+}
+
+func ms(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }
+
+func renderText(rep report) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "loadgen: %d requests, %d concurrent, %d warm variants, cold every %d\n",
+		rep.Requests, rep.Concurrency, rep.Variants, rep.ColdEvery)
+	fmt.Fprintf(&b, "  failed:        %d\n", rep.Failed)
+	fmt.Fprintf(&b, "  degraded:      %d\n", rep.Degraded)
+	fmt.Fprintf(&b, "  429 retries:   %d\n", rep.Rejected429)
+	fmt.Fprintf(&b, "  latency p50:   %.3f ms\n", rep.P50MS)
+	fmt.Fprintf(&b, "  latency p95:   %.3f ms\n", rep.P95MS)
+	fmt.Fprintf(&b, "  latency p99:   %.3f ms\n", rep.P99MS)
+	fmt.Fprintf(&b, "  latency mean:  %.3f ms\n", rep.MeanMS)
+	fmt.Fprintf(&b, "  warm builds:   %d (cache-hit rate %.2f)\n", rep.WarmBuilds, rep.WarmHitRate)
+	fmt.Fprintf(&b, "  cold builds:   %d\n", rep.ColdBuilds)
+	fmt.Fprintf(&b, "  elapsed:       %.1f ms (%.1f builds/sec)\n", rep.ElapsedMS, rep.ThroughputS)
+	return b.String()
+}
+
+// waitAddrFile polls for the daemon's --addr-file.
+func waitAddrFile(ctx context.Context, path string) (string, error) {
+	for {
+		data, err := os.ReadFile(path)
+		if err == nil {
+			if addr := strings.TrimSpace(string(data)); addr != "" {
+				return addr, nil
+			}
+		}
+		select {
+		case <-ctx.Done():
+			return "", fmt.Errorf("addr-file %s: %w", path, ctx.Err())
+		case <-time.After(20 * time.Millisecond):
+		}
+	}
+}
+
+// newClient builds the HTTP client for base: unix:PATH gets a transport
+// dialling the socket (with a placeholder http host), TCP is passed
+// through.
+func newClient(base string) (*http.Client, string) {
+	if path, ok := strings.CutPrefix(base, "unix:"); ok {
+		tr := &http.Transport{
+			DialContext: func(ctx context.Context, _, _ string) (net.Conn, error) {
+				var d net.Dialer
+				return d.DialContext(ctx, "unix", path)
+			},
+		}
+		return &http.Client{Transport: tr}, "http://ch-imaged"
+	}
+	return &http.Client{}, strings.TrimRight(base, "/")
+}
+
+// waitHealthy polls /healthz until the daemon answers.
+func waitHealthy(ctx context.Context, client *http.Client, base string) error {
+	var lastErr error
+	for {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/healthz", nil)
+		if err != nil {
+			return err
+		}
+		resp, err := client.Do(req)
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return nil
+			}
+			lastErr = fmt.Errorf("healthz: %s", resp.Status)
+		} else {
+			lastErr = err
+		}
+		select {
+		case <-ctx.Done():
+			if lastErr != nil {
+				return fmt.Errorf("%w (last: %v)", ctx.Err(), lastErr)
+			}
+			return ctx.Err()
+		case <-time.After(20 * time.Millisecond):
+		}
+	}
+}

@@ -1,0 +1,99 @@
+package main
+
+import (
+	"testing"
+	"time"
+)
+
+func TestPercentileNearestRank(t *testing.T) {
+	// 1..100 ms: nearest-rank percentiles are exact.
+	d := make([]time.Duration, 100)
+	for i := range d {
+		d[i] = time.Duration(i+1) * time.Millisecond
+	}
+	cases := []struct {
+		p    float64
+		want time.Duration
+	}{
+		{0.50, 50 * time.Millisecond},
+		{0.95, 95 * time.Millisecond},
+		{0.99, 99 * time.Millisecond},
+		{1.00, 100 * time.Millisecond},
+	}
+	for _, c := range cases {
+		if got := percentile(d, c.p); got != c.want {
+			t.Errorf("p%.0f = %v, want %v", c.p*100, got, c.want)
+		}
+	}
+	if got := percentile(nil, 0.5); got != 0 {
+		t.Errorf("empty percentile = %v, want 0", got)
+	}
+	if got := percentile([]time.Duration{7 * time.Millisecond}, 0.99); got != 7*time.Millisecond {
+		t.Errorf("singleton p99 = %v, want 7ms", got)
+	}
+	// percentile must not reorder its input.
+	in := []time.Duration{3, 1, 2}
+	percentile(in, 0.5)
+	if in[0] != 3 || in[1] != 1 || in[2] != 2 {
+		t.Errorf("percentile mutated its input: %v", in)
+	}
+}
+
+func TestRequestForColdCadence(t *testing.T) {
+	seenCold := map[string]bool{}
+	for i := 0; i < 32; i++ {
+		req, cold := requestFor(i, 4, 16)
+		wantCold := i%16 == 15
+		if cold != wantCold {
+			t.Fatalf("request %d: cold=%v, want %v", i, cold, wantCold)
+		}
+		if cold {
+			if seenCold[req.Dockerfile] {
+				t.Fatalf("cold dockerfile %d repeats", i)
+			}
+			seenCold[req.Dockerfile] = true
+		} else if req.Dockerfile != variantDockerfile(i%4) {
+			t.Fatalf("request %d: not the expected warm variant", i)
+		}
+	}
+	// coldEvery=0 disables cold builds entirely.
+	for i := 0; i < 8; i++ {
+		if _, cold := requestFor(i, 2, 0); cold {
+			t.Fatalf("request %d cold with cold-every=0", i)
+		}
+	}
+}
+
+func TestSummarise(t *testing.T) {
+	samples := []opSample{
+		{latency: 10 * time.Millisecond, cacheHits: 4, executed: 0},
+		{latency: 20 * time.Millisecond, cacheHits: 3, executed: 1},
+		{latency: 30 * time.Millisecond, cold: true, executed: 2, rejected: 2},
+		{latency: 40 * time.Millisecond, err: errFake, status: "failed"},
+		{latency: 50 * time.Millisecond, cacheHits: 1, executed: 0, degraded: true},
+	}
+	rep := summarise(samples, 2, 2, 4, 100*time.Millisecond)
+	if rep.Failed != 1 {
+		t.Errorf("failed = %d, want 1", rep.Failed)
+	}
+	if rep.ColdBuilds != 1 || rep.WarmBuilds != 3 {
+		t.Errorf("cold/warm = %d/%d, want 1/3", rep.ColdBuilds, rep.WarmBuilds)
+	}
+	if rep.Rejected429 != 2 {
+		t.Errorf("rejected = %d, want 2", rep.Rejected429)
+	}
+	if rep.Degraded != 1 {
+		t.Errorf("degraded = %d, want 1", rep.Degraded)
+	}
+	// Warm hit rate counts only warm builds: (4+3+1)/(4+3+1+0+1+0).
+	want := 8.0 / 9.0
+	if diff := rep.WarmHitRate - want; diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("warm hit rate = %v, want %v", rep.WarmHitRate, want)
+	}
+}
+
+var errFake = &fakeErr{}
+
+type fakeErr struct{}
+
+func (*fakeErr) Error() string { return "fake" }

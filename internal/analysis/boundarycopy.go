@@ -26,6 +26,7 @@ var BoundaryCopy = &Analyzer{
 		"repro/internal/cas",
 		"repro/internal/build",
 		"repro/internal/image",
+		"repro/internal/daemon",
 	},
 }
 

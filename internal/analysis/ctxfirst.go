@@ -24,6 +24,7 @@ var CtxFirst = &Analyzer{
 		"repro/internal/cas",
 		"repro/internal/build",
 		"repro/internal/image",
+		"repro/internal/daemon",
 	},
 }
 

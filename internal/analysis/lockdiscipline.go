@@ -30,6 +30,7 @@ var LockDiscipline = &Analyzer{
 		"repro/internal/cas",
 		"repro/internal/build",
 		"repro/internal/image",
+		"repro/internal/daemon",
 	},
 }
 

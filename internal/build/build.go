@@ -158,6 +158,14 @@ type Options struct {
 	// Tracer, when set, receives one event per simulated syscall.
 	Tracer func(simos.TraceEvent)
 
+	// Progress, when set, is called synchronously at every instruction
+	// boundary, immediately before the instruction runs, with the build's
+	// context — the daemon's per-operation progress feed. The callback
+	// must be safe for concurrent use (the stages of a multi-stage build
+	// share it), and it must not block without selecting on ctx.Done: the
+	// build is parked for as long as the callback runs.
+	Progress func(ctx context.Context, ev ProgressEvent)
+
 	// BuildTimeout, when > 0, bounds the whole build: the build's context
 	// gains this deadline, and a build that overruns it fails at the next
 	// instruction boundary with an error wrapping
@@ -175,6 +183,24 @@ type Options struct {
 	// rendezvous point to hold builds at a known boundary; the gate must
 	// select on ctx.Done so a cancelled build can leave.
 	testStepGate func(ctx context.Context, cmd string)
+}
+
+// ProgressEvent is one instruction boundary of a running build, reported
+// through Options.Progress. Step counts within one stage's instruction
+// sequence; concurrent stages of a multi-stage build interleave their
+// events.
+type ProgressEvent struct {
+	// Step is the 1-based index of the instruction about to run.
+	Step int
+
+	// Total is the length of the stage's instruction sequence.
+	Total int
+
+	// Cmd is the instruction name (FROM, RUN, COPY, ...).
+	Cmd string
+
+	// Raw is the instruction's argument text.
+	Raw string
 }
 
 // Result reports what a build did.
@@ -413,6 +439,12 @@ func (b *builder) run(ctx context.Context, instructions []dockerfile.Instruction
 	for i, ins := range instructions {
 		if gate := b.opt.testStepGate; gate != nil {
 			gate(ctx, ins.Cmd)
+		}
+		// Like the test gate, Progress fires before the boundary's ctx
+		// check: a cancelled build's final event names the boundary it
+		// stopped at, and a blocking callback doubles as a rendezvous.
+		if pr := b.opt.Progress; pr != nil {
+			pr(ctx, ProgressEvent{Step: i + 1, Total: len(instructions), Cmd: ins.Cmd, Raw: ins.Raw})
 		}
 		if cerr := ctx.Err(); cerr != nil {
 			return fmt.Errorf("build: interrupted before instruction %d (%s): %w",

@@ -68,9 +68,20 @@ type JobResult struct {
 // ErrSkipped marks jobs a fail-fast pool never started.
 var ErrSkipped = errors.New("build: job skipped: pool failing fast")
 
-// Pool runs batches of builds with bounded concurrency.
+// ErrNotServing reports a Submit against a pool that is not in service
+// mode — never Started, or already Drained.
+var ErrNotServing = errors.New("build: pool not serving")
+
+// Pool runs batches of builds with bounded concurrency. It has two modes:
+// RunContext executes one batch and returns when it is done, while
+// Start/Submit/Drain turn the pool into a resident build service — Workers
+// goroutines stay up between jobs and callers hand in work one job at a
+// time (the ch-imaged daemon's mode). One Pool value uses one mode at a
+// time; the zero value is a batch pool.
 type Pool struct {
-	// Workers bounds concurrent builds; <= 0 means one worker per job.
+	// Workers bounds concurrent builds; <= 0 means one worker per job
+	// in batch mode. Service mode requires Workers >= 1. Immutable once
+	// the pool is in use.
 	Workers int
 
 	// FailFast cancels the pool after the first failure: queued unstarted
@@ -78,7 +89,168 @@ type Pool struct {
 	// cancelled — each stops at its next instruction boundary and reports
 	// Cancelled with its partial transcript. When false (collect-all),
 	// every job runs and the aggregate error joins every failure.
+	// Batch mode only; a service pool's jobs are independent.
 	FailFast bool
+
+	// wg tracks the resident service-mode workers; it synchronises
+	// itself and so lives above mu.
+	wg sync.WaitGroup
+
+	// mu guards the service-mode state below it.
+	mu       sync.Mutex
+	serving  bool
+	submit   chan *serviceJob
+	stop     chan struct{}
+	inFlight int
+}
+
+// serviceJob is one Submit-ted build travelling to a resident worker.
+type serviceJob struct {
+	ctx  context.Context
+	job  Job
+	done chan JobResult // buffered: the worker's send never blocks
+}
+
+// Start switches the pool into service mode: Workers resident goroutines
+// consume Submit-ted jobs until Drain. Workers must be at least 1 — a
+// service has no batch length to default to.
+func (p *Pool) Start() error {
+	if p.Workers < 1 {
+		return fmt.Errorf("build: pool service mode needs Workers >= 1 (got %d)", p.Workers)
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.serving {
+		return fmt.Errorf("build: pool already serving")
+	}
+	p.serving = true
+	p.submit = make(chan *serviceJob)
+	p.stop = make(chan struct{})
+	p.wg.Add(p.Workers)
+	for w := 0; w < p.Workers; w++ {
+		go p.serveLoop(p.submit, p.stop)
+	}
+	return nil
+}
+
+// serveLoop is one resident worker. The channels arrive as parameters so
+// the loop never reads the mutex-guarded fields they came from.
+func (p *Pool) serveLoop(submit <-chan *serviceJob, stop <-chan struct{}) {
+	defer p.wg.Done()
+	for {
+		select {
+		case <-stop:
+			return
+		case sj := <-submit:
+			p.noteJob(1)
+			sj.done <- runJob(sj.ctx, sj.job, "job")
+			p.noteJob(-1)
+		}
+	}
+}
+
+// noteJob adjusts the service-mode in-flight count.
+func (p *Pool) noteJob(delta int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.inFlight += delta
+}
+
+// Submit hands one job to a started pool and returns a channel that will
+// carry its JobResult. Submit blocks until a resident worker accepts the
+// job; cancelling ctx while waiting returns immediately with a channel
+// already carrying the cancelled not-started result, exactly as a batch
+// pool reports a job pre-empted by a dead context. The same ctx governs
+// the build itself — cancel it to stop the job at its next instruction
+// boundary.
+func (p *Pool) Submit(ctx context.Context, job Job) (<-chan JobResult, error) {
+	p.mu.Lock()
+	serving, submit, stop := p.serving, p.submit, p.stop
+	p.mu.Unlock()
+	if !serving {
+		return nil, ErrNotServing
+	}
+	sj := &serviceJob{ctx: ctx, job: job, done: make(chan JobResult, 1)}
+	select {
+	case submit <- sj:
+		return sj.done, nil
+	case <-stop:
+		return nil, ErrNotServing
+	case <-ctx.Done():
+		sj.done <- runJob(ctx, job, "job")
+		return sj.done, nil
+	}
+}
+
+// InFlight reports how many service-mode jobs are executing right now; a
+// drained or idle pool reports 0 — the daemon's no-leak check.
+func (p *Pool) InFlight() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.inFlight
+}
+
+// Drain leaves service mode: new Submits fail with ErrNotServing, the
+// resident workers finish the job they hold and exit, and Drain returns
+// once all of them have. Draining a pool that is not serving is a no-op.
+func (p *Pool) Drain() {
+	p.mu.Lock()
+	if !p.serving {
+		p.mu.Unlock()
+		return
+	}
+	p.serving = false
+	stop := p.stop
+	p.mu.Unlock()
+	close(stop)
+	p.wg.Wait()
+}
+
+// jobName picks the reported identity of a job: Name, then Options.Tag,
+// then the caller's positional fallback.
+func jobName(job Job, fallback string) string {
+	if job.Name != "" {
+		return job.Name
+	}
+	if job.Options.Tag != "" {
+		return job.Options.Tag
+	}
+	return fallback
+}
+
+// runJob executes one job under ctx — the shared heart of the batch
+// worker loop and the service-mode workers. A ctx already dead on entry
+// reports the cancelled not-started shape without running anything; a
+// job whose Options.Output is nil gets a private buffer whose contents
+// land in JobResult.Transcript.
+func runJob(ctx context.Context, job Job, fallback string) JobResult {
+	name := jobName(job, fallback)
+	if ctx.Err() != nil {
+		return JobResult{
+			Name:      name,
+			Err:       fmt.Errorf("build: job %s not started: %w", name, ctx.Err()),
+			Cancelled: true,
+		}
+	}
+	var buf *bytes.Buffer
+	opt := job.Options
+	if opt.Output == nil {
+		buf = &bytes.Buffer{}
+		opt.Output = buf
+	}
+	var res *Result
+	var err error
+	if job.stage != nil {
+		res, _, err = buildOneStage(ctx, job.stage.file, job.stage.idx, job.stage.imgs, opt)
+	} else {
+		res, err = BuildContext(ctx, job.Dockerfile, opt)
+	}
+	r := JobResult{Name: name, Result: res, Err: err}
+	r.Cancelled = err != nil && errors.Is(err, context.Canceled)
+	if buf != nil {
+		r.Transcript = buf.String()
+	}
+	return r
 }
 
 // Run is RunContext under context.Background().
@@ -119,47 +291,16 @@ func (p *Pool) RunContext(ctx context.Context, jobs []Job) ([]JobResult, error) 
 			defer wg.Done()
 			for i := range indices {
 				job := jobs[i]
-				name := job.Name
-				if name == "" {
-					name = job.Options.Tag
-				}
-				if name == "" {
-					name = fmt.Sprintf("job-%d", i)
-				}
-				if runCtx.Err() != nil {
-					if ctx.Err() != nil {
-						// The caller cancelled the whole pool.
-						results[i] = JobResult{
-							Name:      name,
-							Err:       fmt.Errorf("build: job %s not started: %w", name, ctx.Err()),
-							Cancelled: true,
-						}
-					} else {
-						// Fail-fast tripped by a sibling's failure.
-						results[i] = JobResult{Name: name, Err: ErrSkipped}
-					}
+				fallback := fmt.Sprintf("job-%d", i)
+				if runCtx.Err() != nil && ctx.Err() == nil {
+					// Fail-fast tripped by a sibling's failure. (A dead
+					// caller ctx instead falls through to runJob, which
+					// reports the cancelled not-started shape.)
+					results[i] = JobResult{Name: jobName(job, fallback), Err: ErrSkipped}
 					continue
 				}
-				var buf *bytes.Buffer
-				opt := job.Options
-				if opt.Output == nil {
-					buf = &bytes.Buffer{}
-					opt.Output = buf
-				}
-				var res *Result
-				var err error
-				if job.stage != nil {
-					res, _, err = buildOneStage(runCtx, job.stage.file, job.stage.idx, job.stage.imgs, opt)
-				} else {
-					res, err = BuildContext(runCtx, job.Dockerfile, opt)
-				}
-				r := JobResult{Name: name, Result: res, Err: err}
-				r.Cancelled = err != nil && errors.Is(err, context.Canceled)
-				if buf != nil {
-					r.Transcript = buf.String()
-				}
-				results[i] = r
-				if err != nil && p.FailFast {
+				results[i] = runJob(runCtx, job, fallback)
+				if results[i].Err != nil && p.FailFast {
 					cancelRun()
 				}
 			}
