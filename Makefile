@@ -37,8 +37,12 @@ race:
 # claim (a lazy open of a large store skips the O(store bytes) fsck and
 # lands far — at least 5× — under the full-verify open) stays recorded
 # run over run.
+# BenchmarkObsOverhead lands in BENCH_obs.{txt,json}: the observability
+# instrumentation's cost on the warm build path, instrumented vs
+# obs.SetDisabled — the <3% acceptance ceiling in docs/observability.md
+# is checked against these numbers.
 bench:
-	go test -bench=. -skip='BenchmarkBuildParallel|BenchmarkBuildMultiStage|BenchmarkBuildPersistent|BenchmarkCacheOpen' -benchtime=1x -run='^$$' . > BENCH_layercommit.txt; \
+	go test -bench=. -skip='BenchmarkBuildParallel|BenchmarkBuildMultiStage|BenchmarkBuildPersistent|BenchmarkCacheOpen|BenchmarkObsOverhead' -benchtime=1x -run='^$$' . > BENCH_layercommit.txt; \
 		status=$$?; cat BENCH_layercommit.txt; exit $$status
 	go run ./cmd/benchjson < BENCH_layercommit.txt > BENCH_layercommit.json
 	go test -bench=BenchmarkBuildParallel -benchtime=5x -run='^$$' . > BENCH_parallel.txt; \
@@ -53,6 +57,9 @@ bench:
 	go test -bench=BenchmarkCacheOpen -benchtime=5x -run='^$$' . > BENCH_cas.txt; \
 		status=$$?; cat BENCH_cas.txt; exit $$status
 	go run ./cmd/benchjson < BENCH_cas.txt > BENCH_cas.json
+	go test -bench=BenchmarkObsOverhead -benchtime=5x -run='^$$' . > BENCH_obs.txt; \
+		status=$$?; cat BENCH_obs.txt; exit $$status
+	go run ./cmd/benchjson < BENCH_obs.txt > BENCH_obs.json
 	$(MAKE) bench-daemon
 
 # The service-throughput benchmark behind BENCH_daemon.{txt,json}: a real
@@ -141,7 +148,7 @@ daemon-smoke:
 		--addr-file $(DAEMON_SMOKE_DIR)/addr 2> $(DAEMON_SMOKE_DIR)/daemon.log & \
 		daemon_pid=$$!; \
 		$(DAEMON_SMOKE_DIR)/loadgen --addr-file $(DAEMON_SMOKE_DIR)/addr \
-			-n 2 -c 2 --variants 2 --cold-every 0 > $(DAEMON_SMOKE_DIR)/loadgen.out; load_status=$$?; \
+			-n 2 -c 2 --variants 2 --cold-every 0 --scrape > $(DAEMON_SMOKE_DIR)/loadgen.out; load_status=$$?; \
 		kill -TERM $$daemon_pid; wait $$daemon_pid; daemon_status=$$?; \
 		if [ $$load_status -ne 0 ] || [ $$daemon_status -ne 0 ]; then \
 			echo "daemon-smoke FAILED (loadgen=$$load_status daemon=$$daemon_status)"; \

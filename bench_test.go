@@ -34,6 +34,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/errno"
 	"repro/internal/image"
+	"repro/internal/obs"
 	"repro/internal/pkgmgr"
 	"repro/internal/seccomp"
 	"repro/internal/simos"
@@ -392,6 +393,48 @@ func BenchmarkBuildCached(b *testing.B) {
 			b.Fatalf("cached rebuild: hits=%d err=%v", res.CacheHits, err)
 		}
 	}
+}
+
+// Observability ablation (the instrumentation-overhead gate recorded in
+// BENCH_obs.{txt,json}): the warm cached rebuild — the engine's hottest
+// path — with the obs registry live versus obs.SetDisabled(true), the
+// same fast-path no-op a deployment can flip to. docs/observability.md
+// documents the acceptance ceiling: instrumented stays within 3% of
+// disabled on this path.
+func BenchmarkObsOverhead(b *testing.B) {
+	warmRebuild := func(b *testing.B) {
+		world := pkgmgr.NewWorld()
+		store := image.NewStore()
+		img, err := world.BaseImage(pkgmgr.DistroCentOS7, "centos:7")
+		if err != nil {
+			b.Fatal(err)
+		}
+		store.Put(img)
+		cache := build.NewCache()
+		text := "FROM centos:7\nRUN yum install -y openssh\n"
+		opt := build.Options{Tag: "bench", Force: build.ForceSeccomp,
+			Store: store, World: world, Cache: cache}
+		if _, err := build.Build(text, opt); err != nil {
+			b.Fatal(err) // warm the cache
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			res, err := build.Build(text, opt)
+			if err != nil || res.CacheHits == 0 {
+				b.Fatalf("cached rebuild: hits=%d err=%v", res.CacheHits, err)
+			}
+		}
+	}
+	b.Run("instrumented", func(b *testing.B) {
+		obs.SetDisabled(false)
+		warmRebuild(b)
+	})
+	b.Run("disabled", func(b *testing.B) {
+		obs.SetDisabled(true)
+		defer obs.SetDisabled(false)
+		warmRebuild(b)
+	})
 }
 
 // The parallel build farm (PR 3 headline): N identical yum builds run

@@ -45,6 +45,7 @@ import (
 	"repro/internal/build"
 	"repro/internal/cas"
 	"repro/internal/image"
+	"repro/internal/obs"
 	"repro/internal/pkgmgr"
 	"repro/internal/simos"
 )
@@ -144,6 +145,7 @@ func cmdBuild(ctx context.Context, args []string) int {
 	rebuild := fs.Bool("rebuild", false, "build twice to demonstrate the instruction cache")
 	pushTo := fs.String("push", "", "after a successful build, push the image to this registry URL")
 	strace := fs.String("strace", "", "trace syscalls: 'faked' (emulated only) or 'all'")
+	trace := fs.Bool("trace", false, "when the build finishes, print its span tree (stages, instructions, cache outcomes) to stderr")
 	jobs := fs.Int("jobs", 1, "concurrent builders for a multi-tag build and concurrent stages for a multi-stage build")
 	target := fs.String("target", "", "stop the build at this stage (name or index) and tag it")
 	cacheDir := fs.String("cache-dir", "", "persistent build-cache directory; warm rebuilds survive across invocations")
@@ -285,6 +287,10 @@ func cmdBuild(ctx context.Context, args []string) int {
 			fmt.Fprintln(os.Stderr, "ch-image: -strace does not combine with a multi-tag build")
 			return 2
 		}
+		if *trace {
+			fmt.Fprintln(os.Stderr, "ch-image: -trace does not combine with a multi-tag build")
+			return 2
+		}
 		code := cmdBuildPool(ctx, string(text), tags, *jobs, opts, *rebuild, *pushTo)
 		if code == 0 {
 			budgetGC(ctx, store, *cacheMaxBytes)
@@ -292,13 +298,17 @@ func cmdBuild(ctx context.Context, args []string) int {
 		warnDegraded(opts.Cache, store)
 		return code
 	}
-	res, err := build.BuildContext(ctx, string(text), opts)
+	buildCtx, root := traceCtx(ctx, *trace, "build "+tags[0])
+	res, err := build.BuildContext(buildCtx, string(text), opts)
+	dumpTrace(root)
 	if err != nil {
 		return buildFailure(err)
 	}
 	if *rebuild {
 		fmt.Println("--- rebuilding with warm cache ---")
-		res, err = build.BuildContext(ctx, string(text), opts)
+		buildCtx, root = traceCtx(ctx, *trace, "rebuild "+tags[0])
+		res, err = build.BuildContext(buildCtx, string(text), opts)
+		dumpTrace(root)
 		if err != nil {
 			return buildFailure(err)
 		}
@@ -319,6 +329,27 @@ func cmdBuild(ctx context.Context, args []string) int {
 		fmt.Printf("pushed %s to %s\n", res.Image.Name, *pushTo)
 	}
 	return 0
+}
+
+// traceCtx starts a trace on ctx when --trace asked for one; otherwise
+// the context passes through untouched and the nil root makes dumpTrace
+// a no-op.
+func traceCtx(ctx context.Context, enabled bool, name string) (context.Context, *obs.Span) {
+	if !enabled {
+		return ctx, nil
+	}
+	return obs.NewTrace(ctx, name)
+}
+
+// dumpTrace ends the root span and prints the tree to stderr. The tree
+// prints on failure too — where the build stopped is exactly what the
+// flag is for.
+func dumpTrace(root *obs.Span) {
+	if root == nil {
+		return
+	}
+	root.End()
+	root.Snapshot().WriteTree(os.Stderr)
 }
 
 // buildFailure reports a failed build and picks its exit status: 130 for

@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -21,6 +22,7 @@ import (
 	"repro/internal/build"
 	"repro/internal/cas"
 	"repro/internal/daemon"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -43,6 +45,8 @@ func serve(ctx context.Context, args []string) int {
 	cacheVerify := fs.String("cache-verify", "full", "cache-dir open validation: full or lazy")
 	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight builds before cancelling them")
 	transcriptTail := fs.Int("transcript-tail", 4096, "transcript bytes an operation rendering carries")
+	maxOperations := fs.Int("max-operations", 512, "settled operations retained for polling; the oldest-settled are evicted past this (404 thereafter)")
+	debugAddr := fs.String("debug-addr", "", "optional second listen address (host:port) serving /debug/pprof/* and /metrics")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -83,6 +87,7 @@ func serve(ctx context.Context, args []string) int {
 		CacheDir:       *cacheDir,
 		CacheVerify:    verify,
 		TranscriptTail: *transcriptTail,
+		MaxOperations:  *maxOperations,
 	}
 	// CH_IMAGE_CAS_FAULTS injects deterministic faults into the
 	// persistent store (the degraded-operation contract end to end; see
@@ -119,6 +124,30 @@ func serve(ctx context.Context, args []string) int {
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.Serve(ln) }()
 	fmt.Fprintf(os.Stderr, "ch-imaged: listening on %s (jobs=%d)\n", advertised, *jobs)
+
+	// The debug listener is a separate, opt-in server: pprof and the
+	// metrics scrape never share a port with the build API unless the
+	// operator asks (the API's own /metrics remains for same-socket
+	// scrapes).
+	var debugSrv *http.Server
+	if *debugAddr != "" {
+		dln, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ch-imaged: debug-addr: %v\n", err)
+			drainCtx, cancel := context.WithTimeout(ctx, *drainTimeout)
+			defer cancel()
+			_ = srv.Close()
+			_ = d.Shutdown(drainCtx)
+			return 1
+		}
+		debugSrv = &http.Server{Handler: debugMux()}
+		go func() {
+			if err := debugSrv.Serve(dln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				fmt.Fprintf(os.Stderr, "ch-imaged: debug serve: %v\n", err)
+			}
+		}()
+		fmt.Fprintf(os.Stderr, "ch-imaged: debug listener on http://%s (pprof, metrics)\n", dln.Addr())
+	}
 	if *addrFile != "" {
 		// Write-then-rename so pollers never read a partial address.
 		tmp := *addrFile + ".tmp"
@@ -148,12 +177,32 @@ func serve(ctx context.Context, args []string) int {
 	if err := srv.Shutdown(drainCtx); err != nil {
 		_ = srv.Close()
 	}
+	if debugSrv != nil {
+		if err := debugSrv.Shutdown(drainCtx); err != nil {
+			_ = debugSrv.Close()
+		}
+	}
 	if err := d.Shutdown(drainCtx); err != nil {
 		fmt.Fprintf(os.Stderr, "ch-imaged: shutdown: %v\n", err)
 		code = 1
 	}
 	fmt.Fprintln(os.Stderr, "ch-imaged: drained, exiting")
 	return code
+}
+
+// debugMux builds the --debug-addr handler: the pprof surface plus the
+// Prometheus scrape. Explicit registrations, not net/http/pprof's
+// DefaultServeMux side effects — the build API's mux must never grow
+// pprof routes by accident.
+func debugMux() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/metrics", obs.Default.Handler())
+	return mux
 }
 
 // listenOn opens the listener for --listen and returns the address to

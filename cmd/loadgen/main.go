@@ -16,6 +16,7 @@ import (
 	"net/http"
 	"os"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -70,6 +71,7 @@ func run(args []string) int {
 	minHitRate := fs.Float64("min-hit-rate", 0, "fail unless the warm cache-hit rate reaches this fraction")
 	out := fs.String("out", "", "write the text report here as well as stdout")
 	jsonOut := fs.String("json", "", "write the JSON report here")
+	scrape := fs.Bool("scrape", false, "scrape /metrics around the measured phase and fail unless the server-side build counters match the client-side results")
 	timeout := fs.Duration("timeout", 2*time.Minute, "overall deadline")
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -107,6 +109,17 @@ func run(args []string) int {
 	for v := 0; v < *variants; v++ {
 		if _, err := oneBuild(ctx, client, base, variantRequest(v), true); err != nil {
 			fmt.Fprintf(os.Stderr, "loadgen: warmup variant %d: %v\n", v, err)
+			return 1
+		}
+	}
+
+	// The before-scrape sits between warmup and the measured phase, so
+	// the cross-check below sees exactly the measured window's deltas.
+	var before map[string]float64
+	if *scrape {
+		var err error
+		if before, err = scrapeMetrics(ctx, client, base); err != nil {
+			fmt.Fprintf(os.Stderr, "loadgen: scrape: %v\n", err)
 			return 1
 		}
 	}
@@ -165,7 +178,101 @@ func run(args []string) int {
 			rep.WarmHitRate, *minHitRate)
 		return 1
 	}
+	if *scrape {
+		after, err := scrapeMetrics(ctx, client, base)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "loadgen: scrape: %v\n", err)
+			return 1
+		}
+		text, err := crossCheck(before, after, samples)
+		fmt.Print(text)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "loadgen: scrape cross-check: %v\n", err)
+			return 1
+		}
+	}
 	return 0
+}
+
+// scrapeMetrics GETs /metrics and parses the exposition text into a
+// series → value map keyed exactly as the daemon's deterministic
+// renderer writes it (`name{l="v",...}` or a bare name).
+func scrapeMetrics(ctx context.Context, client *http.Client, base string) (map[string]float64, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/metrics", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET /metrics: %s", resp.Status)
+	}
+	series := map[string]float64{}
+	for _, line := range strings.Split(string(data), "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			return nil, fmt.Errorf("unparseable metrics line %q", line)
+		}
+		v, err := strconv.ParseFloat(line[sp+1:], 64)
+		if err != nil {
+			return nil, fmt.Errorf("metrics line %q: %v", line, err)
+		}
+		series[line[:sp]] = v
+	}
+	return series, nil
+}
+
+// crossCheck compares the measured window's server-side counter deltas
+// against the client's own accounting: settled operations, executed
+// instructions and cache hits must agree exactly (Cache.Stats semantics
+// make the hit totals exact, not approximate), which also makes the two
+// hit-rate views identical. Returns the comparison text and the first
+// disagreement.
+func crossCheck(before, after map[string]float64, samples []opSample) (string, error) {
+	d := func(k string) float64 { return after[k] - before[k] }
+	var ok, executed, hits int
+	for _, s := range samples {
+		if s.err != nil {
+			continue
+		}
+		ok++
+		executed += s.executed
+		hits += s.cacheHits
+	}
+	sExec := d(`ch_build_instructions_total{mode="executed"}`)
+	sHits := d(`ch_build_cache_hits_total`)
+	clientRate, serverRate := 0.0, 0.0
+	if hits+executed > 0 {
+		clientRate = float64(hits) / float64(hits+executed)
+	}
+	if sHits+sExec > 0 {
+		serverRate = sHits / (sHits + sExec)
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "  scrape check:  server settled=%g executed=%g hits=%g rate=%.4f\n",
+		d(`ch_daemon_operations_settled_total{status="succeeded"}`), sExec, sHits, serverRate)
+	fmt.Fprintf(&b, "                 client settled=%d executed=%d hits=%d rate=%.4f\n",
+		ok, executed, hits, clientRate)
+	if got := d(`ch_daemon_operations_settled_total{status="succeeded"}`); got != float64(ok) {
+		return b.String(), fmt.Errorf("settled{succeeded} delta %g != client %d", got, ok)
+	}
+	if sExec != float64(executed) {
+		return b.String(), fmt.Errorf("instructions{executed} delta %g != client %d", sExec, executed)
+	}
+	if sHits != float64(hits) {
+		return b.String(), fmt.Errorf("cache_hits delta %g != client %d", sHits, hits)
+	}
+	return b.String(), nil
 }
 
 // variantDockerfile is warm variant v: identical across runs so repeats

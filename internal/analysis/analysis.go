@@ -18,7 +18,10 @@
 //   - boundarycopy: byte slices crossing shared-map boundaries are
 //     copied (PR 3's write-once blob invariant);
 //   - detclock: nothing reachable from cache-key/digest computation
-//     reads the wall clock or math/rand (PR 5's deterministic keys).
+//     reads the wall clock or math/rand (PR 5's deterministic keys);
+//   - metricnames: obs metrics keep constant snake_case names with
+//     unit suffixes, and labels stay on the fixed allowlist with no
+//     request data in their values (bounded scrape cardinality).
 //
 // Findings are suppressed, one by one and with a visible audit trail,
 // by //chlint:allow annotations (see the directive grammar below and
@@ -87,7 +90,7 @@ type Analyzer struct {
 // All returns the full analyzer suite in reporting order — the set
 // cmd/chlint runs by default and CI gates on.
 func All() []*Analyzer {
-	return []*Analyzer{CtxFirst, LockDiscipline, FailpointCover, ErrCompare, BoundaryCopy, DetClock}
+	return []*Analyzer{CtxFirst, LockDiscipline, FailpointCover, ErrCompare, BoundaryCopy, DetClock, Metricnames}
 }
 
 // inScope reports whether the analyzer constrains pkg.

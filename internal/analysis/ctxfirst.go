@@ -25,6 +25,7 @@ var CtxFirst = &Analyzer{
 		"repro/internal/build",
 		"repro/internal/image",
 		"repro/internal/daemon",
+		"repro/internal/obs",
 	},
 }
 

@@ -31,6 +31,7 @@ var LockDiscipline = &Analyzer{
 		"repro/internal/build",
 		"repro/internal/image",
 		"repro/internal/daemon",
+		"repro/internal/obs",
 	},
 }
 

@@ -1,0 +1,213 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// Metricnames checks the observability registry's naming and
+// cardinality contract at every obs constructor and labeled-child
+// lookup:
+//
+//  1. metric names are compile-time string constants in
+//     snake_case, with the Prometheus unit-suffix conventions the
+//     docs promise: counters end in _total, histograms in _seconds
+//     or _bytes, and gauges never end in _total (a gauge is not a
+//     monotone count);
+//  2. label NAMES are compile-time constants drawn from the fixed
+//     allowlist below — a new label dimension is an interface
+//     change and must be added here (and to docs/observability.md)
+//     deliberately;
+//  3. label VALUES passed to With(...) never come from struct
+//     fields or map/index reads — the shapes request data arrives
+//     in. An unbounded label value (a tag, a path, an operation ID)
+//     would grow a child per distinct value and melt the scrape.
+//     Literals, named constants, plain locals and call results stay
+//     allowed: those are how the fixed value sets are spelled.
+var Metricnames = &Analyzer{
+	Name:    "metricnames",
+	Doc:     "obs metric names are constant snake_case with unit suffixes; labels come from the fixed allowlist and never carry request data",
+	Targets: []string{"repro"},
+}
+
+func init() { Metricnames.Run = runMetricnames }
+
+// obsPath is the import path of the instrumented registry package.
+const obsPath = "repro/internal/obs"
+
+// metricNameRE mirrors the registry's own runtime validation: the
+// analyzer catches at lint time what NewCounter would panic on at
+// process start, plus the unit-suffix conventions the registry cannot
+// know.
+var metricNameRE = regexp.MustCompile(`^[a-z][a-z0-9]*(_[a-z0-9]+)*$`)
+
+// labelAllowlist is the closed set of label names. Growing it is a
+// deliberate act: add the name here and document the new dimension in
+// docs/observability.md.
+var labelAllowlist = map[string]bool{
+	"mode":    true,
+	"outcome": true,
+	"status":  true,
+	"state":   true,
+	"route":   true,
+	"code":    true,
+	"reason":  true,
+	"op":      true,
+}
+
+// obsCtor describes one registry constructor: which argument holds the
+// metric name, where the label names start (0 = no labels), and the
+// suffix rule its kind carries.
+type obsCtor struct {
+	kind      string // "counter", "gauge", "histogram"
+	labelsAt  int    // index of the first label-name argument; 0 = none
+	wantTotal bool   // counters: must end _total
+	wantUnit  bool   // histograms: must end _seconds or _bytes
+}
+
+var obsCtors = map[string]obsCtor{
+	"NewCounter":      {kind: "counter", wantTotal: true},
+	"NewCounterVec":   {kind: "counter", labelsAt: 2, wantTotal: true},
+	"NewGauge":        {kind: "gauge"},
+	"NewGaugeVec":     {kind: "gauge", labelsAt: 2},
+	"NewHistogram":    {kind: "histogram", wantUnit: true},
+	"NewHistogramVec": {kind: "histogram", labelsAt: 3, wantUnit: true},
+}
+
+func runMetricnames(prog *Program) []Finding {
+	var out []Finding
+	for _, pkg := range Metricnames.scoped(prog) {
+		// The registry implementation itself is out of scope: it passes
+		// caller-supplied names through its own helpers, which is
+		// exactly the shape the analyzer flags at real call sites.
+		if pkg.Path == obsPath {
+			continue
+		}
+		for _, file := range pkg.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				fn := calleeFunc(pkg, call)
+				if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != obsPath {
+					return true
+				}
+				if ctor, ok := obsCtors[fn.Name()]; ok {
+					out = append(out, checkCtor(prog, pkg, call, fn.Name(), ctor)...)
+				}
+				if fn.Name() == "With" {
+					out = append(out, checkWith(prog, pkg, call)...)
+				}
+				return true
+			})
+		}
+	}
+	return out
+}
+
+// calleeFunc resolves the called function or method, nil when the
+// callee is not an identifier-rooted name (indirect calls are out of
+// scope: the registry API is never invoked through function values).
+func calleeFunc(pkg *Package, call *ast.CallExpr) *types.Func {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		fn, _ := pkg.Info.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := pkg.Info.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+// constString returns the compile-time string value of e, if it has one.
+func constString(pkg *Package, e ast.Expr) (string, bool) {
+	tv, ok := pkg.Info.Types[e]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(tv.Value), true
+}
+
+// checkCtor validates one registry-constructor call: constant
+// snake_case name, the kind's unit suffix, and allowlisted constant
+// label names.
+func checkCtor(prog *Program, pkg *Package, call *ast.CallExpr, fname string, ctor obsCtor) []Finding {
+	var out []Finding
+	if len(call.Args) == 0 {
+		return nil
+	}
+	pos := prog.Fset.Position(call.Pos())
+	name, ok := constString(pkg, call.Args[0])
+	switch {
+	case !ok:
+		out = append(out, Finding{Metricnames.Name, pos,
+			fmt.Sprintf("%s: metric name must be a compile-time string constant", fname)})
+	case !metricNameRE.MatchString(name):
+		out = append(out, Finding{Metricnames.Name, pos,
+			fmt.Sprintf("metric name %q is not snake_case (want %s)", name, metricNameRE)})
+	case ctor.wantTotal && !strings.HasSuffix(name, "_total"):
+		out = append(out, Finding{Metricnames.Name, pos,
+			fmt.Sprintf("counter %q must end in _total", name)})
+	case ctor.wantUnit && !strings.HasSuffix(name, "_seconds") && !strings.HasSuffix(name, "_bytes"):
+		out = append(out, Finding{Metricnames.Name, pos,
+			fmt.Sprintf("histogram %q must end in a unit suffix (_seconds or _bytes)", name)})
+	case ctor.kind == "gauge" && strings.HasSuffix(name, "_total"):
+		out = append(out, Finding{Metricnames.Name, pos,
+			fmt.Sprintf("gauge %q must not end in _total (that suffix promises a monotone counter)", name)})
+	}
+	if ctor.labelsAt > 0 && len(call.Args) > ctor.labelsAt {
+		for _, arg := range call.Args[ctor.labelsAt:] {
+			lpos := prog.Fset.Position(arg.Pos())
+			label, ok := constString(pkg, arg)
+			if !ok {
+				out = append(out, Finding{Metricnames.Name, lpos,
+					fmt.Sprintf("%s: label names must be compile-time string constants", fname)})
+				continue
+			}
+			if !labelAllowlist[label] {
+				out = append(out, Finding{Metricnames.Name, lpos,
+					fmt.Sprintf("label %q is not in the fixed allowlist %v; new label dimensions are added there deliberately", label, sortedAllowlist())})
+			}
+		}
+	}
+	return out
+}
+
+// checkWith flags With(...) label values read from struct fields or
+// indexed collections — the shapes unbounded request data arrives in.
+func checkWith(prog *Program, pkg *Package, call *ast.CallExpr) []Finding {
+	var out []Finding
+	for _, arg := range call.Args {
+		switch arg.(type) {
+		case *ast.SelectorExpr:
+			// A qualified constant (pkg.Const) is fine; a field read is
+			// the violation.
+			if _, isConst := constString(pkg, arg); isConst {
+				continue
+			}
+			out = append(out, Finding{Metricnames.Name, prog.Fset.Position(arg.Pos()),
+				"label value read from a struct field may carry request data; bind a fixed-set local first"})
+		case *ast.IndexExpr:
+			out = append(out, Finding{Metricnames.Name, prog.Fset.Position(arg.Pos()),
+				"label value read from a map or slice may carry request data; bind a fixed-set local first"})
+		}
+	}
+	return out
+}
+
+// sortedAllowlist renders the allowlist deterministically for messages.
+func sortedAllowlist() []string {
+	out := make([]string, 0, len(labelAllowlist))
+	for k := range labelAllowlist {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

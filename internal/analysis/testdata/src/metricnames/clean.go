@@ -1,0 +1,45 @@
+package metricnames
+
+import "repro/internal/obs"
+
+// The blessed idioms: constant snake_case names with unit suffixes,
+// allowlisted label names, and label values that are literals, named
+// constants, plain locals or call results — the spellings of fixed
+// value sets.
+
+const outcomeOK = "succeeded"
+
+var (
+	cBuilds = obs.NewCounterVec("ch_ok_builds_total",
+		"Builds finished, by outcome.", "outcome")
+	cDone    = cBuilds.With("failed")
+	cLatency = obs.NewHistogramVec("ch_ok_request_seconds",
+		"Request latency.", obs.DefBuckets, "route", "code")
+	cBytes = obs.NewHistogram("ch_ok_blob_bytes",
+		"Blob sizes.", nil)
+	cDepth = obs.NewGauge("ch_ok_queue_depth",
+		"Queued work right now.")
+	cStates = obs.NewGaugeVec("ch_ok_operations",
+		"Operations by state.", "state")
+)
+
+func classify(failed bool) string {
+	if failed {
+		return "failed"
+	}
+	return outcomeOK
+}
+
+func recordClean(failed bool, route string) {
+	cBuilds.With(outcomeOK).Inc()        // named constant
+	cBuilds.With(classify(failed)).Inc() // call result: a normaliser owns the value set
+	outcome := outcomeOK
+	cBuilds.With(outcome).Inc() // plain local bound from a fixed set
+	cLatency.With(route, "200").Observe(0.1)
+	cDone.Inc()
+	cDepth.Set(3)
+	for _, s := range []string{"queued", "running"} {
+		cStates.With(s).Set(0)
+	}
+	_ = cBytes
+}

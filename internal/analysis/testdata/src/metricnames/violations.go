@@ -1,0 +1,35 @@
+// Package metricnames seeds every rule the analyzer enforces: name
+// constancy, snake_case, unit suffixes, the label-name allowlist, and
+// request data flowing into label values.
+package metricnames
+
+import (
+	"strconv"
+
+	"repro/internal/obs"
+)
+
+// request stands in for wire data: anything read off it is unbounded.
+type request struct {
+	Tag   string
+	Codes map[string]string
+}
+
+func dynamicName(n int) string { return "metric_" + strconv.Itoa(n) }
+
+var (
+	vComputed = obs.NewCounter(dynamicName(1), "computed name")                // want "must be a compile-time string constant"
+	vCamel    = obs.NewCounter("chBadName_total", "camelCase segment")        // want "not snake_case"
+	vNoTotal  = obs.NewCounter("ch_requests", "counter without suffix")       // want `counter "ch_requests" must end in _total`
+	vNoUnit   = obs.NewHistogram("ch_latency", "unitless histogram", nil)     // want `histogram "ch_latency" must end in a unit suffix`
+	vGaugeTot = obs.NewGauge("ch_workers_total", "gauge posing as counter")   // want `gauge "ch_workers_total" must not end in _total`
+	vBadLabel = obs.NewCounterVec("ch_x_total", "off-list label", "tenant")   // want `label "tenant" is not in the fixed allowlist`
+	vDynLabel = obs.NewGaugeVec("ch_y", "computed label", dynamicName(2))     // want "label names must be compile-time string constants"
+	vVecHist  = obs.NewHistogramVec("ch_z_seconds", "ok name", nil, "shard")  // want `label "shard" is not in the fixed allowlist`
+	okVec     = obs.NewCounterVec("ch_ok_total", "for With checks", "status") // fixed-set label, fine
+)
+
+func recordRequest(req *request) {
+	okVec.With(req.Tag).Inc()            // want "struct field may carry request data"
+	okVec.With(req.Codes["status"]).Inc() // want "map or slice may carry request data"
+}

@@ -41,6 +41,7 @@ import (
 	"repro/internal/dockerfile"
 	"repro/internal/errno"
 	"repro/internal/image"
+	"repro/internal/obs"
 	"repro/internal/pkgmgr"
 	"repro/internal/rootemu"
 	"repro/internal/simos"
@@ -279,6 +280,9 @@ func BuildContext(ctx context.Context, text string, opt Options) (res *Result, e
 		ctx, cancel = context.WithTimeout(ctx, opt.BuildTimeout)
 		defer cancel()
 	}
+	// Outcome accounting runs after the degraded annotation below (LIFO):
+	// classification must observe Result.Degraded.
+	defer func() { mBuilds.With(buildOutcome(res, err)).Inc() }()
 	// Registered before every cleanup below so it runs after them (LIFO):
 	// the degraded annotation must observe persistence failures recorded
 	// by the deferred budget GC and the backing restore. The closure reads
@@ -367,6 +371,8 @@ func buildOneStage(ctx context.Context, f *dockerfile.File, stage int, imgs []*i
 		//chlint:allow ctxfirst -- defensive nil-ctx guard for direct internal callers
 		ctx = context.Background()
 	}
+	ctx, span := obs.StartSpan(ctx, fmt.Sprintf("stage %d (%s)", stage+1, stageLabel(f.Stages[stage])))
+	defer span.End()
 	b := &builder{
 		ctx: ctx, opt: opt, out: opt.Output, res: &Result{},
 		file: f, stageIdx: stage, stageImgs: imgs,
@@ -456,14 +462,39 @@ func (b *builder) run(ctx context.Context, instructions []dockerfile.Instruction
 		if b.opt.InstrTimeout > 0 {
 			stepCtx, cancelStep = context.WithTimeout(ctx, b.opt.InstrTimeout)
 		}
+		stepCtx, span := obs.StartSpan(stepCtx, instrSpanName(ins))
 		b.ctx = stepCtx
 		fmt.Fprintf(b.out, "%3d %s %s\n", i+1, ins.Cmd, ins.Raw)
+		hits0, exec0 := b.res.CacheHits, b.res.Executed
+		layers0 := 0
+		if b.cur != nil {
+			layers0 = len(b.cur.Layers)
+		}
+		t0 := time.Now()
 		var err error
 		switch {
 		case b.p == nil && ins.Cmd != "FROM" && ins.Cmd != "ARG":
 			err = fmt.Errorf("build: line %d: %s before FROM", ins.Line, ins.Cmd)
 		default:
 			err = b.step(ins)
+		}
+		mInstructionSeconds.ObserveSince(t0)
+		if dh := b.res.CacheHits - hits0; dh > 0 {
+			mInstrReplayed.Add(uint64(dh))
+			span.Annotate("cache", "hit")
+		}
+		if dx := b.res.Executed - exec0; dx > 0 {
+			mInstrExecuted.Add(uint64(dx))
+			span.Annotate("cache", "miss")
+		}
+		if span != nil && b.cur != nil {
+			var committed int64
+			for _, l := range b.cur.Layers[min(layers0, len(b.cur.Layers)):] {
+				committed += int64(len(l.Data))
+			}
+			if committed > 0 {
+				span.AnnotateInt("bytes", committed)
+			}
 		}
 		// An instruction that ran to completion but overran its own
 		// deadline fails the build: the per-instruction budget is a
@@ -473,6 +504,10 @@ func (b *builder) run(ctx context.Context, instructions []dockerfile.Instruction
 			err = fmt.Errorf("build: line %d: %s exceeded the per-instruction deadline: %w",
 				ins.Line, ins.Cmd, stepCtx.Err())
 		}
+		if err != nil {
+			span.Annotate("error", err.Error())
+		}
+		span.End()
 		cancelStep()
 		if err != nil {
 			return err

@@ -189,6 +189,7 @@ func (c *Cache) getOrBegin(ctx context.Context, key string) (ent cacheEntry, hit
 		c.mu.Lock()
 		if ent, ok := c.entries[key]; ok {
 			c.hits++
+			mCacheHits.Inc()
 			c.mu.Unlock()
 			return ent, true, false
 		}
@@ -206,6 +207,7 @@ func (c *Cache) getOrBegin(ctx context.Context, key string) (ent cacheEntry, hit
 			if loaded {
 				c.entries[key] = ent
 				c.hits++
+				mCacheHits.Inc()
 				c.mu.Unlock()
 				f.ent, f.filled = ent, true
 				close(f.done)
@@ -223,6 +225,7 @@ func (c *Cache) getOrBegin(ctx context.Context, key string) (ent cacheEntry, hit
 			if f.filled {
 				c.mu.Lock()
 				c.hits++
+				mCacheHits.Inc()
 				c.mu.Unlock()
 				return f.ent, true, false
 			}
@@ -230,6 +233,7 @@ func (c *Cache) getOrBegin(ctx context.Context, key string) (ent cacheEntry, hit
 		}
 		c.flights[key] = &stepFlight{done: make(chan struct{})}
 		c.misses++
+		mCacheMisses.Inc()
 		c.mu.Unlock()
 		return cacheEntry{}, false, true
 	}

@@ -151,6 +151,7 @@ func (p *Pool) serveLoop(submit <-chan *serviceJob, stop <-chan struct{}) {
 
 // noteJob adjusts the service-mode in-flight count.
 func (p *Pool) noteJob(delta int) {
+	mPoolInFlight.Add(int64(delta))
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	p.inFlight += delta
@@ -171,6 +172,8 @@ func (p *Pool) Submit(ctx context.Context, job Job) (<-chan JobResult, error) {
 		return nil, ErrNotServing
 	}
 	sj := &serviceJob{ctx: ctx, job: job, done: make(chan JobResult, 1)}
+	mPoolWaiting.Inc()
+	defer mPoolWaiting.Dec()
 	select {
 	case submit <- sj:
 		return sj.done, nil

@@ -447,6 +447,7 @@ func (d *Dir) fsckBlobsLocked() {
 //
 //chlint:allow failpointcover -- damage-disposal path; quarantine is the response to an (injected or real) fault, not a faultable step
 func (d *Dir) quarantine(p, as string) {
+	mQuarantines.Inc()
 	dst := d.path("quarantine", as)
 	for i := 1; ; i++ {
 		if _, err := os.Stat(dst); os.IsNotExist(err) {
@@ -641,6 +642,7 @@ func (d *Dir) appendLocked(ctx context.Context, rec record) error {
 	if _, err := d.journal.WriteString(line); err != nil {
 		return fmt.Errorf("cas: journal: %w", err)
 	}
+	mJournalAppends.Inc()
 	d.applyLocked(rec)
 	return nil
 }
@@ -689,6 +691,7 @@ func (d *Dir) putBlobLocked(data []byte) (string, error) {
 	if _, err := os.Stat(p); err == nil {
 		return digest, nil
 	}
+	t0 := time.Now()
 	d.seq++
 	tmp := d.path("tmp", fmt.Sprintf("blob-%d-%s", d.seq, digest[len(digest)-12:]))
 	if err := d.failpoint(OpBlobWrite); err != nil {
@@ -720,6 +723,8 @@ func (d *Dir) putBlobLocked(data []byte) (string, error) {
 		os.Remove(tmp)
 		return "", fmt.Errorf("cas: %w", err)
 	}
+	mBlobWriteBytes.Add(uint64(len(data)))
+	mBlobWriteSeconds.ObserveSince(t0)
 	return digest, nil
 }
 
@@ -734,6 +739,7 @@ func (d *Dir) Blob(ctx context.Context, digest string) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
+	t0 := time.Now()
 	// An injected read fault reports as-is, before the real read: the blob
 	// on disk is healthy, so quarantining it would turn a simulated
 	// transient error into real data loss.
@@ -761,6 +767,8 @@ func (d *Dir) Blob(ctx context.Context, digest string) ([]byte, error) {
 		d.mu.Unlock()
 		return nil, fmt.Errorf("cas: blob %s: content does not match digest", digest)
 	}
+	mBlobReadBytes.Add(uint64(len(data)))
+	mBlobReadSeconds.ObserveSince(t0)
 	return data, nil
 }
 

@@ -86,6 +86,10 @@ func (d *Dir) GC(ctx context.Context, b Budget) (GCStats, error) {
 	if serr := d.lock.shared(); err == nil {
 		err = serr
 	}
+	if err == nil {
+		mGCSweptBlobs.Add(uint64(stats.BlobsSwept))
+		mGCSweptBytes.Add(uint64(stats.BytesSwept))
+	}
 	return stats, err
 }
 

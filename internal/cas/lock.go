@@ -65,7 +65,8 @@ func openLock(path string) (*storeLock, error) {
 // the same and returns the context error. The caller's handle stays
 // fully usable either way.
 func (l *storeLock) exclusive(ctx context.Context, wait time.Duration) error {
-	deadline := time.Now().Add(wait)
+	start := time.Now()
+	deadline := start.Add(wait)
 	for {
 		ok, err := flockExclusiveNB(l.f)
 		if err != nil {
@@ -73,9 +74,12 @@ func (l *storeLock) exclusive(ctx context.Context, wait time.Duration) error {
 			return fmt.Errorf("cas: lock: %w", err)
 		}
 		if ok {
+			mFlockWaitSeconds.ObserveSince(start)
 			return nil
 		}
 		if !time.Now().Before(deadline) {
+			mFlockWaitSeconds.ObserveSince(start)
+			mBusy.Inc()
 			if err := l.reshare(); err != nil {
 				return err
 			}

@@ -83,6 +83,7 @@ func (p RetryPolicy) Do(ctx context.Context, op func() error) error {
 		if i == attempts-1 {
 			break
 		}
+		mRetries.Inc()
 		t := time.NewTimer(p.backoff(i))
 		select {
 		case <-ctx.Done():

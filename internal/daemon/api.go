@@ -5,6 +5,8 @@ package daemon
 // operation immediately, and the client polls GET /v1/operations/{id}
 // until it reaches a terminal status.
 
+import "repro/internal/obs"
+
 // BuildRequest is the body of POST /v1/builds.
 type BuildRequest struct {
 	// Tag names the result image ("name:tag"). Required.
@@ -94,6 +96,11 @@ type Operation struct {
 	// Result is present once the build finished (including the partial
 	// counters of a failed or cancelled build).
 	Result *BuildResult `json:"result,omitempty"`
+
+	// Spans is the build's span timeline: the root build span with one
+	// child per stage and, under each, one per instruction. Spans of a
+	// live operation report elapsed time with running=true.
+	Spans *obs.SpanData `json:"spans,omitempty"`
 
 	// Error is the failure message of a failed or cancelled operation.
 	Error string `json:"error,omitempty"`

@@ -20,6 +20,7 @@ import (
 	"repro/internal/build"
 	"repro/internal/cas"
 	"repro/internal/image"
+	"repro/internal/obs"
 	"repro/internal/pkgmgr"
 )
 
@@ -68,6 +69,12 @@ type Config struct {
 	// carries; <= 0 means 4096.
 	TranscriptTail int
 
+	// MaxOperations bounds how many terminal (settled) operations the
+	// registry retains for polling; past it the oldest-settled are
+	// evicted and later GETs for them answer 404. Live operations are
+	// never evicted. <= 0 means 512.
+	MaxOperations int
+
 	// stepGate, when set by tests, is called from the build's Progress
 	// hook at every instruction boundary — the same rendezvous the
 	// engine's own cancel tests use.
@@ -115,7 +122,7 @@ func New(cfg Config) (*Daemon, error) {
 	d := &Daemon{
 		cfg:   cfg,
 		world: pkgmgr.NewWorld(),
-		reg:   newRegistry(),
+		reg:   newRegistry(cfg.MaxOperations),
 		pool:  &build.Pool{Workers: cfg.Jobs},
 	}
 	if cfg.CacheDir != "" {
@@ -235,28 +242,34 @@ func (d *Daemon) Submit(ctx context.Context, req BuildRequest) (*operation, erro
 	d.mu.Lock()
 	if !d.started {
 		d.mu.Unlock()
+		mAdmissionRejected.With("not_started").Inc()
 		return nil, ErrNotStarted
 	}
 	if d.draining {
 		d.mu.Unlock()
+		mAdmissionRejected.With("draining").Inc()
 		return nil, ErrDraining
 	}
 	if d.active >= cap(d.queue) {
 		d.mu.Unlock()
+		mAdmissionRejected.With("queue_full").Inc()
 		return nil, ErrQueueFull
 	}
 	d.active++
 	// The operation's context derives from the daemon's base context
 	// but survives its cancellation: the async build outlives the POST,
 	// and drain — not base-context teardown — decides when running
-	// builds die.
+	// builds die. The trace rides the same context into the engine; its
+	// root span ends when the operation settles.
 	opCtx, cancel := context.WithCancel(context.WithoutCancel(d.baseCtx))
+	opCtx, root := obs.NewTrace(opCtx, "build "+req.Tag)
 	op := &operation{
 		id:      id,
 		req:     req,
 		force:   force,
 		ctx:     opCtx,
 		cancel:  cancel,
+		trace:   root,
 		done:    make(chan struct{}),
 		created: time.Now(),
 		status:  StatusQueued,
@@ -285,7 +298,7 @@ func (d *Daemon) dispatch(queue <-chan *operation, done chan<- struct{}) {
 				Err:  fmt.Errorf("daemon: operation %s not started: %w", op.id, err),
 			}, time.Now())
 			op.cancel()
-			d.noteSettled()
+			d.noteSettled(op)
 			continue
 		}
 		op.markRunning(time.Now())
@@ -298,12 +311,15 @@ func (d *Daemon) dispatch(queue <-chan *operation, done chan<- struct{}) {
 func (d *Daemon) await(op *operation, ch <-chan build.JobResult) {
 	op.settle(<-ch, time.Now())
 	op.cancel()
-	d.noteSettled()
+	d.noteSettled(op)
 }
 
-// noteSettled returns one admission slot and, during drain, closes idle
-// when the last live operation settles.
-func (d *Daemon) noteSettled() {
+// noteSettled returns one admission slot, records the operation as
+// terminal for retention accounting (which may evict the oldest settled
+// operations past the cap) and, during drain, closes idle when the last
+// live operation settles.
+func (d *Daemon) noteSettled(op *operation) {
+	d.reg.noteTerminal(op.id)
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	d.active--

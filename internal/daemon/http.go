@@ -8,14 +8,19 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 	"strings"
+	"time"
+
+	"repro/internal/obs"
 )
 
 // maxRequestBytes bounds a POST /v1/builds body (Dockerfile plus
 // base64-encoded context files).
 const maxRequestBytes = 32 << 20
 
-// routes builds the daemon's handler.
+// routes builds the daemon's handler: the REST surface plus the
+// Prometheus scrape endpoint, wrapped in the request-latency middleware.
 func (d *Daemon) routes() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", d.handleHealth)
@@ -24,7 +29,68 @@ func (d *Daemon) routes() http.Handler {
 	mux.HandleFunc("/v1/operations/", d.handleOperation)
 	mux.HandleFunc("/v1/images", d.handleImages)
 	mux.HandleFunc("/v1/stats", d.handleStats)
-	return mux
+	mux.Handle("/metrics", d.metricsHandler())
+	return instrument(mux)
+}
+
+// metricsHandler refreshes the scrape-time gauges (operations by state,
+// queue depth) and serves the default registry in Prometheus text
+// exposition format. Setting the gauges here — instead of on every
+// state transition — keeps them exact at each scrape with no extra
+// bookkeeping on the build path.
+func (d *Daemon) metricsHandler() http.Handler {
+	prom := obs.Default.Handler()
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		for _, s := range []string{
+			StatusQueued, StatusRunning, StatusCancelling,
+			StatusSucceeded, StatusFailed, StatusCancelled,
+		} {
+			mOpsByState.With(s).Set(0)
+		}
+		for s, n := range d.reg.statusCounts() {
+			mOpsByState.With(s).Set(int64(n))
+		}
+		d.mu.Lock()
+		active := d.active
+		d.mu.Unlock()
+		mQueueDepth.Set(int64(max(0, active-d.pool.InFlight())))
+		prom.ServeHTTP(w, r)
+	})
+}
+
+// statusRecorder captures the response code for the request histogram.
+type statusRecorder struct {
+	http.ResponseWriter
+	code int
+}
+
+func (s *statusRecorder) WriteHeader(code int) {
+	s.code = code
+	s.ResponseWriter.WriteHeader(code)
+}
+
+// instrument wraps the handler with the request-latency histogram.
+// Routes are normalised onto the fixed route set — never raw paths —
+// so label cardinality stays bounded whatever clients request.
+func instrument(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		t0 := time.Now()
+		rec := &statusRecorder{ResponseWriter: w, code: http.StatusOK}
+		next.ServeHTTP(rec, r)
+		mHTTPSeconds.With(routeOf(r.URL.Path), strconv.Itoa(rec.code)).ObserveSince(t0)
+	})
+}
+
+// routeOf maps a request path onto the bounded route label set.
+func routeOf(path string) string {
+	switch {
+	case path == "/healthz", path == "/v1/builds", path == "/v1/operations",
+		path == "/v1/images", path == "/v1/stats", path == "/metrics":
+		return path
+	case strings.HasPrefix(path, "/v1/operations/"):
+		return "/v1/operations/{id}"
+	}
+	return "other"
 }
 
 // writeJSON renders v with status code.

@@ -1,0 +1,220 @@
+package daemon
+
+// Observability surface tests: the /metrics scrape, the per-operation
+// span timeline, and the terminal-operation retention cap. The obs
+// default registry is process-global, so every counter assertion here
+// is a before/after delta, never an absolute value.
+
+import (
+	"bufio"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// scrapeMetrics GETs /metrics and parses the exposition text into a
+// series → value map keyed exactly as the deterministic renderer writes
+// it (`name{l="v",...}` or bare `name`).
+func scrapeMetrics(t *testing.T, base string) map[string]float64 {
+	t.Helper()
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics: status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("GET /metrics: content-type %q", ct)
+	}
+	out := map[string]float64{}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			t.Fatalf("unparseable metrics line %q", line)
+		}
+		v, err := strconv.ParseFloat(line[sp+1:], 64)
+		if err != nil {
+			t.Fatalf("metrics line %q: %v", line, err)
+		}
+		out[line[:sp]] = v
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// delta is after[k] - before[k], treating absent series as 0.
+func delta(before, after map[string]float64, k string) float64 {
+	return after[k] - before[k]
+}
+
+// TestDaemonMetricsEndpoint runs one cold and one warm build and checks
+// the scrape reflects them: settled-by-status and executed/replayed
+// instruction deltas match the operations' own results, the warm build
+// is all hits, and the request histogram saw the polling traffic.
+func TestDaemonMetricsEndpoint(t *testing.T) {
+	_, srv := startDaemon(t, Config{Jobs: 2})
+	before := scrapeMetrics(t, srv.URL)
+
+	req := BuildRequest{Tag: "obs:latest", Dockerfile: multiStageDockerfile, StageJobs: 2}
+	var op Operation
+	if code := doJSON(t, http.MethodPost, srv.URL+"/v1/builds", req, &op); code != http.StatusAccepted {
+		t.Fatalf("POST /v1/builds: status %d", code)
+	}
+	cold := pollOp(t, srv.URL, op.ID)
+	if cold.Status != StatusSucceeded {
+		t.Fatalf("cold build: status %s, error %q", cold.Status, cold.Error)
+	}
+	if code := doJSON(t, http.MethodPost, srv.URL+"/v1/builds", req, &op); code != http.StatusAccepted {
+		t.Fatalf("second POST: status %d", code)
+	}
+	warm := pollOp(t, srv.URL, op.ID)
+	if warm.Status != StatusSucceeded {
+		t.Fatalf("warm build: status %s, error %q", warm.Status, warm.Error)
+	}
+	after := scrapeMetrics(t, srv.URL)
+
+	if d := delta(before, after, `ch_daemon_operations_settled_total{status="succeeded"}`); d != 2 {
+		t.Errorf("settled{succeeded} delta = %v, want 2", d)
+	}
+	wantExec := float64(cold.Result.Executed + warm.Result.Executed)
+	if d := delta(before, after, `ch_build_instructions_total{mode="executed"}`); d != wantExec {
+		t.Errorf("instructions{executed} delta = %v, want %v", d, wantExec)
+	}
+	wantHits := float64(cold.Result.CacheHits + warm.Result.CacheHits)
+	if d := delta(before, after, `ch_build_cache_hits_total`); d != wantHits {
+		t.Errorf("cache_hits delta = %v, want %v", d, wantHits)
+	}
+	if warm.Result.Executed != 0 || warm.Result.CacheHits == 0 {
+		t.Errorf("warm build not fully cached: %+v", warm.Result)
+	}
+	if d := delta(before, after, `ch_build_builds_total{outcome="succeeded"}`); d != 2 {
+		t.Errorf("builds{succeeded} delta = %v, want 2", d)
+	}
+	if d := delta(before, after, `ch_build_instruction_seconds_count`); d == 0 {
+		t.Error("instruction duration histogram recorded nothing")
+	}
+	if after[`ch_daemon_operations{state="succeeded"}`] < 2 {
+		t.Errorf("operations gauge{succeeded} = %v, want >= 2",
+			after[`ch_daemon_operations{state="succeeded"}`])
+	}
+	if d := delta(before, after, `ch_daemon_http_request_seconds_count{route="/v1/operations/{id}",code="200"}`); d == 0 {
+		t.Error("request histogram saw no operation polls")
+	}
+}
+
+// TestOperationSpans checks the span timeline on a finished multi-stage
+// operation: a root build span, one child per stage, and under each
+// stage one span per instruction, all ended.
+func TestOperationSpans(t *testing.T) {
+	_, srv := startDaemon(t, Config{Jobs: 2})
+	req := BuildRequest{Tag: "spans:latest", Dockerfile: multiStageDockerfile, StageJobs: 2}
+	var op Operation
+	if code := doJSON(t, http.MethodPost, srv.URL+"/v1/builds", req, &op); code != http.StatusAccepted {
+		t.Fatalf("POST /v1/builds: status %d", code)
+	}
+	fin := pollOp(t, srv.URL, op.ID)
+	if fin.Status != StatusSucceeded {
+		t.Fatalf("status %s, error %q", fin.Status, fin.Error)
+	}
+	if fin.Spans == nil {
+		t.Fatal("terminal operation carries no span timeline")
+	}
+	if fin.Spans.Name != "build spans:latest" {
+		t.Errorf("root span name %q", fin.Spans.Name)
+	}
+	var assertEnded func(d *obs.SpanData, path string)
+	assertEnded = func(d *obs.SpanData, path string) {
+		if d.Running {
+			t.Errorf("span %s/%s still running in a terminal rendering", path, d.Name)
+		}
+		for i := range d.Children {
+			assertEnded(&d.Children[i], path+"/"+d.Name)
+		}
+	}
+	assertEnded(fin.Spans, "")
+	if got := len(fin.Spans.Children); got != 2 {
+		t.Fatalf("root has %d stage spans, want 2: %+v", got, fin.Spans)
+	}
+	wantInstr := []int{3, 3} // per-stage instructions in multiStageDockerfile, FROM included
+	for i, stage := range fin.Spans.Children {
+		if !strings.HasPrefix(stage.Name, fmt.Sprintf("stage %d ", i+1)) {
+			t.Errorf("stage span %d named %q", i, stage.Name)
+		}
+		if len(stage.Children) != wantInstr[i] {
+			t.Errorf("stage %d has %d instruction spans, want %d: %+v",
+				i+1, len(stage.Children), wantInstr[i], stage.Children)
+		}
+	}
+}
+
+// TestOperationEviction runs more builds than the retention cap allows
+// and checks the oldest settled operations vanish: evicted IDs answer
+// 404, the list holds at most the cap, and the by-status counts stay
+// consistent with the live table.
+func TestOperationEviction(t *testing.T) {
+	d, srv := startDaemon(t, Config{Jobs: 1, MaxOperations: 2})
+	dockerfile := "FROM alpine:3.19\nRUN echo hello\n"
+	var ids []string
+	for i := 0; i < 4; i++ {
+		req := BuildRequest{Tag: fmt.Sprintf("evict%d:latest", i), Dockerfile: dockerfile}
+		var op Operation
+		if code := doJSON(t, http.MethodPost, srv.URL+"/v1/builds", req, &op); code != http.StatusAccepted {
+			t.Fatalf("POST %d: status %d", i, code)
+		}
+		fin := pollOp(t, srv.URL, op.ID)
+		if fin.Status != StatusSucceeded {
+			t.Fatalf("build %d: status %s, error %q", i, fin.Status, fin.Error)
+		}
+		ids = append(ids, op.ID)
+	}
+
+	// noteTerminal runs just after the settle pollOp observed; give the
+	// evictions a moment rather than asserting on the exact interleaving.
+	deadline := time.Now().Add(5 * time.Second)
+	for _, id := range ids[:2] {
+		for {
+			if code := doJSON(t, http.MethodGet, srv.URL+"/v1/operations/"+id, nil, nil); code == http.StatusNotFound {
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("operation %s not evicted", id)
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+	}
+	for _, id := range ids[2:] {
+		if code := doJSON(t, http.MethodGet, srv.URL+"/v1/operations/"+id, nil, nil); code != http.StatusOK {
+			t.Errorf("GET retained %s: status %d, want 200", id, code)
+		}
+	}
+	var list OperationsResponse
+	if code := doJSON(t, http.MethodGet, srv.URL+"/v1/operations", nil, &list); code != http.StatusOK {
+		t.Fatalf("GET /v1/operations: status %d", code)
+	}
+	if len(list.Operations) != 2 {
+		t.Errorf("list holds %d operations, want 2", len(list.Operations))
+	}
+	counts := d.reg.statusCounts()
+	if counts[StatusSucceeded] != 2 {
+		t.Errorf("statusCounts[succeeded] = %d, want 2 after eviction", counts[StatusSucceeded])
+	}
+	m := scrapeMetrics(t, srv.URL)
+	if m[`ch_daemon_operations{state="succeeded"}`] != 2 {
+		t.Errorf("operations gauge{succeeded} = %v, want 2", m[`ch_daemon_operations{state="succeeded"}`])
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"repro/internal/build"
+	"repro/internal/obs"
 )
 
 // Operation statuses. queued → running → {succeeded, failed, cancelled};
@@ -44,6 +45,11 @@ type operation struct {
 	// boundary (DELETE /v1/operations/{id}, or daemon drain expiry).
 	ctx    context.Context
 	cancel context.CancelFunc
+
+	// trace is the build's root span, carried on ctx into the engine.
+	// Set once at admission and immutable after; the Span synchronises
+	// itself, so render snapshots it without o.mu ordering concerns.
+	trace *obs.Span
 
 	// done closes when the operation settles — the tests' and drain
 	// path's wait handle.
@@ -140,6 +146,14 @@ func (o *operation) settle(r build.JobResult, now time.Time) {
 	default:
 		o.status = StatusSucceeded
 	}
+	status := o.status
+	// The root span ends and the settled counter bumps before the
+	// terminal status is visible: a client that saw the operation settle
+	// and then scrapes /metrics must find it counted, and its timeline
+	// finished. (Lock order o.mu → span.mu / family mu is safe — neither
+	// ever takes an operation's mu.)
+	o.trace.End()
+	mOpsSettled.With(status).Inc()
 	o.mu.Unlock()
 	close(o.done)
 }
@@ -178,6 +192,10 @@ func (o *operation) render(tail int) Operation {
 	} else {
 		out.Transcript = string(t)
 	}
+	if o.trace != nil {
+		sd := o.trace.Snapshot()
+		out.Spans = &sd
+	}
 	if o.result != nil {
 		br := &BuildResult{
 			Executed:      o.result.Executed,
@@ -204,21 +222,56 @@ func (o *operation) statusNow() string {
 	return o.status
 }
 
-// registry is the daemon's operation table.
+// defaultMaxOperations is the terminal-operation retention cap when the
+// configuration does not name one.
+const defaultMaxOperations = 512
+
+// registry is the daemon's operation table. Live operations stay
+// forever (they hold an admission slot, so they are bounded by it);
+// terminal ones are retained for polling up to max, oldest-settled
+// evicted first.
 type registry struct {
-	// mu guards ops.
-	mu  sync.Mutex
-	ops map[string]*operation
+	// max is the terminal-operation retention cap; immutable.
+	max int
+
+	// mu guards the table state below it.
+	mu       sync.Mutex
+	ops      map[string]*operation
+	terminal []string // settled operation IDs, oldest first
 }
 
-func newRegistry() *registry {
-	return &registry{ops: map[string]*operation{}}
+func newRegistry(max int) *registry {
+	if max <= 0 {
+		max = defaultMaxOperations
+	}
+	return &registry{max: max, ops: map[string]*operation{}}
 }
 
 func (r *registry) add(op *operation) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.ops[op.id] = op
+}
+
+// noteTerminal records that the operation settled and evicts the
+// oldest-settled operations past the retention cap. An evicted
+// operation disappears from GET /v1/operations and its ID answers 404
+// from then on (docs/daemon.md).
+func (r *registry) noteTerminal(id string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.ops[id]; !ok {
+		return
+	}
+	r.terminal = append(r.terminal, id)
+	for len(r.terminal) > r.max {
+		victim := r.terminal[0]
+		r.terminal = r.terminal[1:]
+		if _, live := r.ops[victim]; live {
+			delete(r.ops, victim)
+			mOpsEvicted.Inc()
+		}
+	}
 }
 
 func (r *registry) get(id string) (*operation, bool) {

@@ -271,8 +271,10 @@ func (s *Store) flattened(ctx context.Context, img *Image) (*vfs.FS, []tarutil.E
 	if f.err == nil {
 		if rehydrated {
 			s.rehydrates++
+			mFlattenRehydrates.Inc()
 		} else {
 			s.fills++
+			mFlattenFills.Inc()
 		}
 	}
 	s.flightMu.Unlock()

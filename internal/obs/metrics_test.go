@@ -1,0 +1,227 @@
+package obs
+
+import (
+	"math"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestCounterExactUnderConcurrency hammers one counter, one labeled
+// counter and one histogram from N goroutines and asserts the totals
+// are exact: the atomic fast path may not drop increments. Run under
+// -race this is also the registry's data-race gate.
+func TestCounterExactUnderConcurrency(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("t_hammer_total", "hammered counter")
+	vec := r.NewCounterVec("t_hammer_labeled_total", "hammered labeled counter", "mode")
+	g := r.NewGauge("t_hammer_gauge", "hammered gauge")
+	h := r.NewHistogram("t_hammer_seconds", "hammered histogram", []float64{0.5, 1, 2})
+
+	const goroutines, per = 16, 10000
+	var wg sync.WaitGroup
+	for i := 0; i < goroutines; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			mode := "even"
+			if i%2 == 1 {
+				mode = "odd"
+			}
+			child := vec.With(mode)
+			for j := 0; j < per; j++ {
+				c.Inc()
+				child.Add(2)
+				g.Add(1)
+				g.Dec()
+				h.Observe(float64(j%4) * 0.75) // 0, 0.75, 1.5, 2.25
+			}
+		}()
+	}
+	wg.Wait()
+
+	if got, want := c.Value(), uint64(goroutines*per); got != want {
+		t.Errorf("counter: got %d, want %d", got, want)
+	}
+	for _, mode := range []string{"even", "odd"} {
+		if got, want := vec.With(mode).Value(), uint64(goroutines/2*per*2); got != want {
+			t.Errorf("counter{mode=%s}: got %d, want %d", mode, got, want)
+		}
+	}
+	if got := g.Value(); got != 0 {
+		t.Errorf("gauge: got %d, want 0", got)
+	}
+	if got, want := h.Count(), uint64(goroutines*per); got != want {
+		t.Errorf("histogram count: got %d, want %d", got, want)
+	}
+	wantSum := float64(goroutines) * float64(per/4) * (0 + 0.75 + 1.5 + 2.25)
+	if got := h.Sum(); math.Abs(got-wantSum) > 1e-6*wantSum {
+		t.Errorf("histogram sum: got %g, want %g", got, wantSum)
+	}
+}
+
+// TestHistogramBuckets pins the bucket assignment (le semantics: a
+// value lands in the first bucket whose bound is >= it) and that the
+// rendered cumulative counts are monotone and end at the total.
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.NewHistogram("t_bucket_seconds", "bucket test", []float64{1, 2, 4})
+	for _, v := range []float64{0.5, 1, 1.5, 2, 3, 4, 100} {
+		h.Observe(v)
+	}
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]uint64{"1": 2, "2": 4, "4": 6, "+Inf": 7}
+	prev := uint64(0)
+	seen := 0
+	for _, line := range strings.Split(b.String(), "\n") {
+		if !strings.HasPrefix(line, "t_bucket_seconds_bucket{le=") {
+			continue
+		}
+		seen++
+		le := line[strings.Index(line, `"`)+1 : strings.LastIndex(line, `"`)]
+		n, err := strconv.ParseUint(line[strings.LastIndex(line, " ")+1:], 10, 64)
+		if err != nil {
+			t.Fatalf("bad bucket line %q: %v", line, err)
+		}
+		if n < prev {
+			t.Errorf("bucket le=%s not monotone: %d < %d", le, n, prev)
+		}
+		prev = n
+		if w, ok := want[le]; !ok || n != w {
+			t.Errorf("bucket le=%s: got %d, want %d", le, n, want[le])
+		}
+	}
+	if seen != 4 {
+		t.Errorf("got %d bucket lines, want 4", seen)
+	}
+	if prev != h.Count() {
+		t.Errorf("+Inf bucket %d != count %d", prev, h.Count())
+	}
+}
+
+// Prometheus text-format grammar (version 0.0.4), line by line.
+var (
+	helpLineRE   = regexp.MustCompile(`^# HELP [a-z][a-z0-9_]* \S.*$`)
+	typeLineRE   = regexp.MustCompile(`^# TYPE [a-z][a-z0-9_]* (counter|gauge|histogram)$`)
+	sampleLineRE = regexp.MustCompile(
+		`^[a-z][a-z0-9_]*(\{[a-z][a-z0-9_]*="(\\.|[^"\\])*"(,[a-z][a-z0-9_]*="(\\.|[^"\\])*")*\})? (NaN|[+-]?Inf|[-+]?[0-9]*\.?[0-9]+([eE][-+]?[0-9]+)?)$`)
+)
+
+// TestExpositionGrammar renders a registry with every instrument kind
+// (labeled and not, with escaping-hostile label values) and checks
+// each output line against the text-format grammar, plus the ordering
+// and pairing invariants scrapers rely on.
+func TestExpositionGrammar(t *testing.T) {
+	r := NewRegistry()
+	r.NewCounter("t_a_total", "plain counter").Add(3)
+	r.NewCounterVec("t_b_total", "labeled counter", "route", "code").With(`/v1/"x"\y`, "200").Inc()
+	r.NewGauge("t_c_depth", "plain gauge").Set(-7)
+	r.NewHistogram("t_d_seconds", "plain histogram", []float64{0.25, 0.5}).Observe(0.3)
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.HasSuffix(out, "\n") {
+		t.Fatal("exposition does not end in newline")
+	}
+	var names []string
+	for i, line := range strings.Split(strings.TrimSuffix(out, "\n"), "\n") {
+		switch {
+		case strings.HasPrefix(line, "# HELP "):
+			if !helpLineRE.MatchString(line) {
+				t.Errorf("line %d: bad HELP line %q", i+1, line)
+			}
+			names = append(names, strings.Fields(line)[2])
+		case strings.HasPrefix(line, "# TYPE "):
+			if !typeLineRE.MatchString(line) {
+				t.Errorf("line %d: bad TYPE line %q", i+1, line)
+			}
+		default:
+			if !sampleLineRE.MatchString(line) {
+				t.Errorf("line %d: bad sample line %q", i+1, line)
+			}
+		}
+	}
+	if !sort.StringsAreSorted(names) {
+		t.Errorf("families not sorted: %v", names)
+	}
+	for _, want := range []string{
+		"t_a_total 3\n",
+		`t_b_total{route="/v1/\"x\"\\y",code="200"} 1` + "\n",
+		"t_c_depth -7\n",
+		"t_d_seconds_bucket{le=\"0.5\"} 1\n",
+		"t_d_seconds_sum 0.3\n",
+		"t_d_seconds_count 1\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+// TestDisabled: with collection off, every instrument is a no-op; on
+// again, it resumes. The global toggle is what BenchmarkObsOverhead
+// flips to measure instrumentation cost.
+func TestDisabled(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("t_off_total", "disabled counter")
+	h := r.NewHistogram("t_off_seconds", "disabled histogram", []float64{1})
+	g := r.NewGauge("t_off_depth", "disabled gauge")
+	SetDisabled(true)
+	c.Inc()
+	h.Observe(0.5)
+	g.Set(9)
+	SetDisabled(false)
+	if c.Value() != 0 || h.Count() != 0 || g.Value() != 0 {
+		t.Errorf("disabled instruments moved: c=%d h=%d g=%d", c.Value(), h.Count(), g.Value())
+	}
+	c.Inc()
+	if c.Value() != 1 {
+		t.Errorf("re-enabled counter: got %d, want 1", c.Value())
+	}
+}
+
+// TestRegistryPanics: malformed and duplicate registrations are
+// programming errors caught at init time.
+func TestRegistryPanics(t *testing.T) {
+	for name, f := range map[string]func(r *Registry){
+		"bad name":       func(r *Registry) { r.NewCounter("Bad-Name", "x") },
+		"bad label":      func(r *Registry) { r.NewCounterVec("t_x_total", "x", "BadLabel") },
+		"dup":            func(r *Registry) { r.NewCounter("t_dup_total", "x"); r.NewGauge("t_dup_total", "x") },
+		"no buckets":     func(r *Registry) { r.NewHistogram("t_h_seconds", "x", nil) },
+		"unsorted":       func(r *Registry) { r.NewHistogram("t_h_seconds", "x", []float64{2, 1}) },
+		"label arity":    func(r *Registry) { r.NewCounterVec("t_x_total", "x", "mode").With("a", "b") },
+		"double us name": func(r *Registry) { r.NewCounter("t__x_total", "x") },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", name)
+				}
+			}()
+			f(NewRegistry())
+		}()
+	}
+}
+
+// TestVecIdentity: With returns the same child for the same values, a
+// distinct child otherwise.
+func TestVecIdentity(t *testing.T) {
+	r := NewRegistry()
+	v := r.NewCounterVec("t_id_total", "identity", "mode")
+	a, b, c := v.With("x"), v.With("x"), v.With("y")
+	if a != b {
+		t.Error("same label values gave distinct children")
+	}
+	if a == c {
+		t.Error("distinct label values gave the same child")
+	}
+}

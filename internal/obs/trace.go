@@ -1,0 +1,172 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Tracing: a per-build span tree carried on the context. The daemon
+// starts a trace per operation and ch-image starts one under --trace;
+// the engine then opens a child span per stage and per instruction
+// wherever the context already flows. When no trace is attached,
+// StartSpan returns a nil *Span and every Span method is a nil-safe
+// no-op, so untraced builds pay one context lookup per span site and
+// nothing else.
+
+// Attr is one key/value annotation on a span (cache hit/miss, bytes
+// committed, retries, degraded events, ...).
+type Attr struct {
+	Key   string `json:"key"`
+	Value string `json:"value"`
+}
+
+// Span is one timed node of a trace tree. Create the root with
+// NewTrace and children with StartSpan; both are safe for concurrent
+// children (parallel stages hang off one parent).
+type Span struct {
+	name  string
+	start time.Time
+
+	mu       sync.Mutex
+	ended    bool
+	end      time.Time
+	attrs    []Attr
+	children []*Span
+}
+
+type traceKey struct{}
+
+// NewTrace starts a new trace rooted at a span named name and returns
+// a context carrying it. The caller ends the root span itself.
+func NewTrace(ctx context.Context, name string) (context.Context, *Span) {
+	s := &Span{name: name, start: time.Now()}
+	return context.WithValue(ctx, traceKey{}, s), s
+}
+
+// SpanOf returns the span carried by ctx, or nil if ctx is untraced.
+func SpanOf(ctx context.Context) *Span {
+	s, _ := ctx.Value(traceKey{}).(*Span)
+	return s
+}
+
+// StartSpan opens a child span under the span carried by ctx and
+// returns a context carrying the child. On an untraced context it
+// returns (ctx, nil); the nil span's methods are all no-ops.
+func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
+	parent := SpanOf(ctx)
+	if parent == nil {
+		return ctx, nil
+	}
+	c := &Span{name: name, start: time.Now()}
+	parent.mu.Lock()
+	parent.children = append(parent.children, c)
+	parent.mu.Unlock()
+	return context.WithValue(ctx, traceKey{}, c), c
+}
+
+// End marks the span finished. The first call wins; later calls and
+// calls on a nil span are no-ops.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if !s.ended {
+		s.ended = true
+		s.end = time.Now()
+	}
+	s.mu.Unlock()
+}
+
+// Annotate attaches a key/value attribute. No-op on a nil span.
+func (s *Span) Annotate(key, value string) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.attrs = append(s.attrs, Attr{key, value})
+	s.mu.Unlock()
+}
+
+// AnnotateInt attaches an integer attribute. No-op on a nil span.
+func (s *Span) AnnotateInt(key string, v int64) {
+	s.Annotate(key, fmt.Sprintf("%d", v))
+}
+
+// SpanData is an immutable snapshot of a span subtree: the wire shape
+// the daemon embeds in GET /v1/operations/{id} and the input to the
+// --trace text renderer. Offsets are milliseconds from the snapshot
+// root's start.
+type SpanData struct {
+	Name       string     `json:"name"`
+	StartMs    float64    `json:"startMs"`
+	DurationMs float64    `json:"durationMs"`
+	Running    bool       `json:"running,omitempty"`
+	Attrs      []Attr     `json:"attrs,omitempty"`
+	Children   []SpanData `json:"children,omitempty"`
+}
+
+// Snapshot captures the subtree rooted at s. A still-running span
+// reports its elapsed time so far and Running=true. Returns the zero
+// SpanData on a nil span.
+func (s *Span) Snapshot() SpanData {
+	if s == nil {
+		return SpanData{}
+	}
+	return s.snapshot(s.start)
+}
+
+func (s *Span) snapshot(root time.Time) SpanData {
+	s.mu.Lock()
+	end, ended := s.end, s.ended
+	attrs := append([]Attr(nil), s.attrs...)
+	kids := append([]*Span(nil), s.children...)
+	s.mu.Unlock()
+	if !ended {
+		end = time.Now()
+	}
+	d := SpanData{
+		Name:       s.name,
+		StartMs:    float64(s.start.Sub(root)) / float64(time.Millisecond),
+		DurationMs: float64(end.Sub(s.start)) / float64(time.Millisecond),
+		Running:    !ended,
+		Attrs:      attrs,
+	}
+	for _, c := range kids {
+		d.Children = append(d.Children, c.snapshot(root))
+	}
+	// Concurrent children (parallel stages) land in creation order;
+	// present them by start time so the timeline reads top to bottom.
+	sort.SliceStable(d.Children, func(i, j int) bool {
+		return d.Children[i].StartMs < d.Children[j].StartMs
+	})
+	return d
+}
+
+// WriteTree renders the snapshot as an indented tree with durations
+// and attributes, one span per line — the ch-image build --trace
+// output.
+func (d SpanData) WriteTree(w io.Writer) {
+	d.writeTree(w, 0)
+}
+
+func (d SpanData) writeTree(w io.Writer, depth int) {
+	var attrs strings.Builder
+	for _, a := range d.Attrs {
+		fmt.Fprintf(&attrs, "  %s=%s", a.Key, a.Value)
+	}
+	running := ""
+	if d.Running {
+		running = " (running)"
+	}
+	fmt.Fprintf(w, "%s%-*s %9.2fms%s%s\n",
+		strings.Repeat("  ", depth), 48-2*depth, d.Name, d.DurationMs, running, attrs.String())
+	for _, c := range d.Children {
+		c.writeTree(w, depth+1)
+	}
+}
